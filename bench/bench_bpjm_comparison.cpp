@@ -1,0 +1,82 @@
+// Reproduces the Section 7.1 BPjM comparison: a static ~3000-entry blocklist
+// distributed as full MD5/SHA-1 hashes falls to a dictionary attack (the
+// real leak recovered 99%), while the same dictionary inverts only a small
+// fraction of an SB-style 32-bit prefix list of realistic size -- because
+// reconstruction needs web-scale crawl coverage, not because hashing hides
+// anything.
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "analysis/bpjm.hpp"
+#include "bench_util.hpp"
+#include "crypto/digest.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbp;
+  const std::size_t dictionary_coverage_pct =
+      argc > 1 ? std::atoi(argv[1]) : 99;
+  bench::header("Section 7.1 (BPjM)",
+                "static hashed blocklist vs SB prefix list reconstruction");
+
+  // The BPjM-style list: 3000 entries, full MD5 digests.
+  analysis::BpjmList bpjm(analysis::BpjmHash::kMd5);
+  std::vector<std::string> entries;
+  for (int i = 0; i < 3000; ++i) {
+    entries.push_back("blocked" + std::to_string(i) + ".example/");
+    bpjm.add_entry(entries.back());
+  }
+
+  // Attacker dictionary: covers `dictionary_coverage_pct` of the entries
+  // plus plenty of innocent candidates (crawl of the "known web").
+  std::vector<std::string> dictionary(
+      entries.begin(),
+      entries.begin() + entries.size() * dictionary_coverage_pct / 100);
+  for (int i = 0; i < 50000; ++i) {
+    dictionary.push_back("innocent" + std::to_string(i) + ".example/");
+  }
+
+  const auto bpjm_result = analysis::dictionary_attack(bpjm, dictionary);
+  std::printf("\nBPjM-style list: %zu entries, dictionary %zu candidates\n",
+              bpjm_result.list_size, bpjm_result.dictionary_size);
+  std::printf("recovered: %zu (%.1f%%) -- paper: hackers recovered 99%%\n",
+              bpjm_result.recovered, bpjm_result.recovery_rate() * 100.0);
+
+  // The same dictionary against an SB-style 32-bit prefix list whose
+  // content is mostly OUTSIDE the dictionary (the attacker lacks crawl
+  // coverage of the malicious web).
+  util::Rng rng(13);
+  std::unordered_set<crypto::Prefix32> sb_prefixes;
+  const std::size_t covered = 600;  // 600 of 300k known to the attacker
+  std::vector<std::string> sb_entries;
+  for (int i = 0; i < 300000; ++i) {
+    sb_entries.push_back("malware" + std::to_string(rng.next()) +
+                         ".example/");
+    sb_prefixes.insert(crypto::prefix32_of(sb_entries.back()));
+  }
+  std::vector<std::string> sb_dictionary(sb_entries.begin(),
+                                         sb_entries.begin() + covered);
+  sb_dictionary.insert(sb_dictionary.end(), dictionary.begin(),
+                       dictionary.end());
+  std::unordered_set<crypto::Prefix32> inverted;
+  for (const auto& candidate : sb_dictionary) {
+    const auto prefix = crypto::prefix32_of(candidate);
+    if (sb_prefixes.count(prefix) > 0) inverted.insert(prefix);
+  }
+  std::printf("\nSB-style list: %zu prefixes, same attacker dictionary + "
+              "%zu known entries\n",
+              sb_prefixes.size(), covered);
+  std::printf("inverted: %zu (%.2f%%) -- paper: 0.1%%..55%% depending on "
+              "dataset coverage (Table 10)\n",
+              inverted.size(),
+              100.0 * static_cast<double>(inverted.size()) /
+                  static_cast<double>(sb_prefixes.size()));
+
+  bench::note("identical attack, wildly different outcomes: recovery rate "
+              "== dictionary coverage. Hashing (full or truncated) is no "
+              "defence; only the attacker's crawl coverage matters. This "
+              "is why the paper says SB 'cannot be respectful of privacy' "
+              "without private information retrieval.");
+  return 0;
+}

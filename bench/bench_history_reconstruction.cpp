@@ -1,0 +1,110 @@
+// Section 4 end to end: how much of a population's browsing history the
+// provider reconstructs from its own query log, as a function of how
+// aggressively the lists blanket the web.
+//
+// A corpus of sites is generated; a fraction of its DOMAINS is blacklisted
+// (domain-root expressions, as the malware lists do -- Section 7.1 found
+// 20-31% of malware-list prefixes are SLDs); users browse corpus pages.
+// Every visit to a blacklisted domain leaks prefixes; the provider inverts
+// them through its web index. Sweeps the blacklisted-domain fraction.
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/history_reconstruction.hpp"
+#include "bench_util.hpp"
+#include "sb/client.hpp"
+#include "tracking/user_population.hpp"
+#include "url/domain.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbp;
+  const std::size_t num_sites =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 300;
+  bench::header("Section 4", "browsing-history reconstruction experiment");
+  std::printf("corpus: %zu sites; users: 40; sweep: fraction of domains "
+              "blacklisted\n",
+              num_sites);
+
+  const corpus::WebCorpus web(
+      corpus::CorpusConfig::random_like(num_sites, 77));
+
+  // The provider's web index (its crawl of everything).
+  analysis::ReidentificationIndex index;
+  index.add_corpus(web);
+
+  // Background browsing pool: sampled corpus pages.
+  std::vector<std::string> pool;
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    const auto site = web.site(i);
+    for (std::size_t p = 0; p < site.pages.size() && p < 3; ++p) {
+      pool.push_back(site.pages[p].url());
+    }
+  }
+
+  std::printf("\n%12s %10s %12s %12s %14s %16s\n", "blacklisted", "queries",
+              "unique-URL", "unique-DOMAIN", "mean cand.", "(URL%/domain%)");
+  for (const double fraction : {0.05, 0.2, 0.5, 1.0}) {
+    sb::Server server;
+    sb::SimClock clock;
+    sb::Transport transport(server, clock);
+    const auto blacklisted =
+        static_cast<std::size_t>(fraction * static_cast<double>(num_sites));
+    for (std::size_t i = 0; i < blacklisted; ++i) {
+      server.add_expression("list", web.site_domain(i) + "/");
+    }
+    server.seal_chunk("list");
+
+    tracking::PopulationConfig population;
+    population.num_users = 40;
+    population.interested_fraction = 0.0;
+    population.background_visits_per_user = 25;
+    population.seed = 42;
+    const auto users = tracking::make_population(population, {}, pool);
+    (void)tracking::replay_population(users, transport, {"list"});
+
+    const auto histories =
+        analysis::reconstruct_histories(server.query_log(), index);
+    const auto stats = analysis::summarize_reconstruction(histories);
+
+    // Domain-level recovery: all candidates of an event share one
+    // registrable domain (the paper's "the SB provider can still determine
+    // the common sub-domain visited by the client").
+    std::size_t domain_unique = 0;
+    for (const auto& history : histories) {
+      for (const auto& event : history.events) {
+        if (event.candidates.empty()) continue;
+        const std::string domain = url::registrable_domain(
+            url::host_suffixes(
+                event.candidates[0].substr(
+                    0, event.candidates[0].find('/')),
+                false)
+                .front());
+        bool all_same = true;
+        for (const auto& candidate : event.candidates) {
+          const std::string host = candidate.substr(0, candidate.find('/'));
+          if (url::registrable_domain(host) != domain) {
+            all_same = false;
+            break;
+          }
+        }
+        if (all_same) ++domain_unique;
+      }
+    }
+    std::printf("%11.0f%% %10zu %12zu %12zu %14.1f %9.1f%%/%5.1f%%\n",
+                fraction * 100.0, stats.events, stats.unique_events,
+                domain_unique, stats.mean_candidates,
+                stats.unique_fraction() * 100.0,
+                stats.events == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(domain_unique) /
+                          static_cast<double>(stats.events));
+  }
+
+  bench::note("single-prefix queries identify the DOMAIN nearly always "
+              "(the Table 5 domain column realized on live traffic) and "
+              "the exact URL whenever the domain is small -- 'hashing and "
+              "truncation fails to prevent re-identification when a user "
+              "visits small-sized domains' (Section 1). Multi-prefix "
+              "queries (Section 6) stay unique even on large domains.");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Reproduces the Section 8 mitigation analysis with ablations (DESIGN.md
+// ablations #4 and #5):
+//   * Firefox-style dummy requests: k-anonymity gain for single-prefix
+//     queries vs bandwidth cost, swept over the dummy count -- and the
+//     demonstration that multi-prefix re-identification is unaffected;
+//   * one-prefix-at-a-time querying: prefixes leaked to the server vs the
+//     stock client on tracked URLs.
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/kanonymity.hpp"
+#include "bench_util.hpp"
+#include "mitigation/dummy_requests.hpp"
+#include "mitigation/one_prefix.hpp"
+#include "tracking/shadow_db.hpp"
+
+int main() {
+  using namespace sbp;
+  bench::header("Section 8", "mitigations: dummy requests, one-prefix-at-a-time");
+
+  // --- Dummy requests: k-anonymity gain sweep -----------------------------
+  std::printf("\n[dummy requests] k-anonymity gain per dummy count\n");
+  std::printf("%8s %16s %22s %26s\n", "dummies", "request size",
+              "accidental-pair prob", "multi-prefix reid broken?");
+  for (const unsigned count : {0u, 2u, 4u, 8u, 16u}) {
+    const mitigation::DummyPolicy policy(count);
+    const auto padded = policy.pad_request({0xe70ee6d1});
+
+    // Does a 2-prefix tracking rule still fire through the padding?
+    const corpus::DomainHierarchy hierarchy({
+        "http://target.example/page.html",
+        "http://target.example/other.html",
+    });
+    const auto plan = tracking::plan_tracking(
+        "http://target.example/page.html", hierarchy, 2);
+    tracking::ShadowDatabase shadow;
+    shadow.add_plan(plan);
+    std::vector<sb::QueryLogEntry> log;
+    log.push_back({1, 42, policy.pad_request(plan.track_prefixes)});
+    const bool still_detected = !shadow.detect(log).empty();
+
+    std::printf("%8u %16zu %22.3g %26s\n", count, padded.size(),
+                mitigation::accidental_pair_probability(count),
+                still_detected ? "no (attack survives)" : "yes");
+  }
+  bench::note("paper: dummies improve single-prefix k-anonymity but 'the "
+              "probability that two given prefixes are included in the same "
+              "request as dummies is negligible' -- the tracker is immune.");
+
+  // --- One-prefix-at-a-time: leakage comparison ---------------------------
+  std::printf("\n[one-prefix-at-a-time] server-visible prefixes per lookup\n");
+  sb::Server server;
+  sb::SimClock clock;
+  sb::Transport transport(server, clock);
+  // Tracked URL: own digest real, domain-root prefix injected (orphan).
+  server.add_expression("list", "tracked.example/dir/page.html");
+  server.add_orphan_prefix("list", crypto::prefix32_of("tracked.example/"));
+  server.add_expression("list", "evil.example/");
+  server.seal_chunk("list");
+
+  sb::ClientConfig stock_config;
+  stock_config.cookie = 1;
+  sb::Client stock(transport, stock_config);
+  stock.subscribe("list");
+  stock.update();
+  const auto stock_result =
+      stock.lookup("http://tracked.example/dir/page.html");
+
+  sb::ClientConfig mitigated_config;
+  mitigated_config.cookie = 2;
+  mitigation::OnePrefixClient mitigated(transport, mitigated_config);
+  mitigated.subscribe("list");
+  // Pre-fetch crawl finds no Type I cover -> escalation suppressed.
+  const auto lonely = mitigated.lookup(
+      "http://tracked.example/dir/page.html",
+      {"http://tracked.example/dir/page.html"});
+  // With sibling pages, escalation is allowed (server learns the domain
+  // only).
+  const auto covered = mitigated.lookup(
+      "http://tracked.example/dir/page.html",
+      {"http://tracked.example/dir/page.html",
+       "http://tracked.example/dir/sibling.html"});
+
+  std::printf("stock client:              %zu prefixes sent\n",
+              stock_result.sent_prefixes.size());
+  std::printf("mitigated (no Type I):     %zu prefixes sent, escalation "
+              "suppressed=%s\n",
+              lonely.sent_prefixes.size(),
+              lonely.escalation_suppressed ? "yes" : "no");
+  std::printf("mitigated (Type I cover):  %zu prefixes sent (server learns "
+              "the domain, not the URL)\n",
+              covered.sent_prefixes.size());
+
+  // --- k-anonymity restored by the mitigation -----------------------------
+  // Single root prefix: its anonymity set over a corpus is much larger than
+  // the exact-URL prefix's.
+  const corpus::WebCorpus web(corpus::CorpusConfig::random_like(2000, 9));
+  analysis::KAnonymityIndex index(32);
+  index.add_corpus(web);
+  const auto stats = index.stats();
+  std::printf("\n[context] corpus k-anonymity at 32 bits: mean k = %.2f, "
+              "unique prefixes = %s of corpus expressions (scaled corpus "
+              "<< 2^32: nearly everything unique, as in Table 5's domain "
+              "column)\n",
+              stats.mean_k, bench::pct(stats.unique_fraction).c_str());
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces Tables 9 and 10: inverting the 32-bit prefixes of the
+// blacklists with harvested datasets.
+//
+// Table 9 datasets (paper sizes): Malware list 1,240,300; Phishing list
+// 151,331; BigBlackList 2,488,828; DNS Census-13 106,923,807 SLDs.
+// Table 10 match rates, e.g.: goog-malware-shavar inverted 5.9% by the
+// malware list and 20% by DNS Census; ydx-porno-hosts-top-shavar 55.7% by
+// DNS Census. Datasets are synthesized with the overlap that produces the
+// paper's rates; the measured rate then validates the inversion pipeline
+// end-to-end (see DESIGN.md substitutions).
+//
+// argv[1] = scale (default 0.02 of paper sizes).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/inversion.hpp"
+#include "bench_util.hpp"
+#include "sb/blacklist_factory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbp;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.02;
+  bench::header("Table 9 + Table 10", "blacklist inversion match rates");
+  bench::scale_note(scale);
+
+  struct ListSetup {
+    const char* name;
+    std::size_t prefixes;  // paper cardinality
+    // paper match fractions (of the list) for the four datasets:
+    double malware, phishing, bigblacklist, dns_census;
+  };
+  const ListSetup lists[] = {
+      {"goog-malware-shavar", 317807, 0.059, 0.001, 0.019, 0.200},
+      {"googpub-phish-shavar", 312621, 0.002, 0.035, 0.0026, 0.025},
+      {"ydx-malware-shavar", 283211, 0.156, 0.001, 0.039, 0.310},
+      {"ydx-porno-hosts-top-shavar", 99990, 0.016, 0.002, 0.114, 0.557},
+      {"ydx-sms-fraud-shavar", 10609, 0.006, 0.0001, 0.002, 0.097},
+      {"ydx-adult-shavar", 434, 0.066, 0.002, 0.076, 0.463},
+  };
+  struct DatasetSetup {
+    const char* name;
+    std::size_t paper_size;
+  };
+  const DatasetSetup datasets[] = {
+      {"Malware list", 1240300},
+      {"Phishing list", 151331},
+      {"BigBlackList", 2488828},
+      {"DNS Census-13", 106923807},
+  };
+
+  sb::Server server;
+  sb::BlacklistFactory factory(7777);
+  util::Rng rng(8888);
+
+  std::printf("\n[Table 9] datasets (scaled)\n");
+  for (const auto& d : datasets) {
+    std::printf("  %-16s paper=%zu scaled=%zu\n", d.name, d.paper_size,
+                static_cast<std::size_t>(d.paper_size * scale));
+  }
+
+  std::printf("\n[Table 10] matches (%% of list prefixes inverted)\n");
+  std::printf("%-28s %-16s %10s %10s\n", "list", "dataset", "paper%",
+              "measured%");
+  for (const auto& setup : lists) {
+    const auto list_size =
+        std::max<std::size_t>(50, static_cast<std::size_t>(
+                                      setup.prefixes * scale));
+    const auto truth =
+        factory.populate(server, {setup.name, list_size, 0.0, 0, 0});
+    const auto prefixes = server.prefixes(setup.name);
+
+    const double paper_rates[] = {setup.malware, setup.phishing,
+                                  setup.bigblacklist, setup.dns_census};
+    for (int d = 0; d < 4; ++d) {
+      const auto dataset_size = std::max<std::size_t>(
+          10, static_cast<std::size_t>(datasets[d].paper_size * scale));
+      // Overlap chosen to hit the paper's rate at this scale.
+      const auto overlap = static_cast<std::size_t>(
+          paper_rates[d] * static_cast<double>(list_size));
+      const auto dataset = analysis::make_dataset(
+          datasets[d].name, dataset_size, overlap, truth, rng);
+      const auto result =
+          analysis::run_inversion(setup.name, prefixes, dataset);
+      std::printf("%-28s %-16s %9.1f%% %9.1f%%\n", setup.name,
+                  datasets[d].name, paper_rates[d] * 100.0,
+                  result.match_fraction * 100.0);
+    }
+  }
+
+  // Section 7.1: fraction of malware-list prefixes that are SLDs.
+  std::printf("\n[Section 7.1] SLD share of goog-malware-shavar: paper 20%%"
+              " -- SLD prefixes re-identify with near certainty (Table 5 "
+              "domain column).\n");
+  bench::note("the BPjM comparison: hackers recovered 99% of the static "
+              "3000-entry BPjM hash list; the SB lists resist bulk "
+              "inversion (<= 55%) only because they are vastly larger, "
+              "dynamic, and need web-scale crawl capability.");
+  return 0;
+}

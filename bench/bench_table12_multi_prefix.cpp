@@ -1,0 +1,120 @@
+// Reproduces Table 12: URLs with multiple matching prefixes in the Google
+// and Yandex databases, including the paper's exact example rows (verified
+// against the published prefix values) and a corpus-scale scan.
+//
+// Paper: 26 Alexa URLs on 2 domains hit twice in Google's malware list +
+// wps3b.17buddies.net in phishing; 1352 URLs on 26 domains for Yandex.
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/multi_prefix.hpp"
+#include "bench_util.hpp"
+#include "sb/blacklist_factory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbp;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+  bench::header("Table 12", "URLs with multiple matching prefixes");
+  bench::scale_note(scale);
+
+  // 1. The paper's exact example rows, reconstructed byte-for-byte.
+  sb::Server exact(sb::Provider::kGoogle);
+  struct PaperExample {
+    const char* url;
+    const char* expr1;
+    crypto::Prefix32 p1;
+    const char* expr2;
+    crypto::Prefix32 p2;
+  };
+  const PaperExample examples[] = {
+      {"http://wps3b.17buddies.net/wp/cs_sub_7-2.pwf",
+       "17buddies.net/wp/cs_sub_7-2.pwf", 0x18366658, "17buddies.net/wp/",
+       0x77c1098b},
+      {"http://www.1001cartes.org/tag/emergency-issues",
+       "1001cartes.org/tag/emergency-issues", 0xab5140c7,
+       "1001cartes.org/tag/", 0xc73e0d7b},
+      {"http://fr.xhamster.com/user/video", "fr.xhamster.com/", 0xe4fdd86c,
+       "xhamster.com/", 0x3074e021},
+      {"http://m.wickedpictures.com/user/login", "m.wickedpictures.com/",
+       0x7ee8c0cc, "wickedpictures.com/", 0xa7962038},
+      {"http://mobile.teenslovehugecocks.com/user/join",
+       "mobile.teenslovehugecocks.com/", 0x585667a5,
+       "teenslovehugecocks.com/", 0x92824b5c},
+  };
+  std::printf("\n[paper rows] decomposition prefixes (paper vs measured)\n");
+  for (const auto& e : examples) {
+    exact.add_expression("table12", e.expr1);
+    exact.add_expression("table12", e.expr2);
+    const auto m1 = crypto::prefix32_of(e.expr1);
+    const auto m2 = crypto::prefix32_of(e.expr2);
+    std::printf("%-48s\n   %-38s paper=%s measured=%s %s\n   %-38s paper=%s "
+                "measured=%s %s\n",
+                e.url, e.expr1, crypto::prefix32_hex(e.p1).c_str(),
+                crypto::prefix32_hex(m1).c_str(),
+                m1 == e.p1 ? "ok" : "MISMATCH", e.expr2,
+                crypto::prefix32_hex(e.p2).c_str(),
+                crypto::prefix32_hex(m2).c_str(),
+                m2 == e.p2 ? "ok" : "MISMATCH");
+  }
+  exact.seal_chunk("table12");
+
+  std::vector<std::string> example_urls;
+  for (const auto& e : examples) example_urls.push_back(e.url);
+  const auto exact_scan =
+      analysis::scan_urls(exact, "table12", example_urls);
+  std::printf("\nscan of the 5 paper URLs: %llu create >= 2 hits on %llu "
+              "domains (paper: all of them)\n",
+              static_cast<unsigned long long>(exact_scan.urls_with_multi_hits),
+              static_cast<unsigned long long>(exact_scan.distinct_domains));
+
+  // 2. Corpus-scale scan against factory-built lists with Table 12's
+  //    multi-prefix group counts.
+  sb::Server google(sb::Provider::kGoogle);
+  sb::Server yandex(sb::Provider::kYandex);
+  sb::BlacklistFactory factory(3333);
+  for (const auto& plan : sb::BlacklistFactory::google_plans(scale)) {
+    factory.populate(google, plan);
+  }
+  std::vector<analysis::MultiPrefixUrl> yandex_examples;
+  std::vector<std::string> deployed_targets;
+  for (const auto& plan : sb::BlacklistFactory::yandex_plans(scale)) {
+    const auto truth = factory.populate(yandex, plan);
+    for (const auto& group : truth.multi_groups) {
+      deployed_targets.push_back(group.target_url);
+    }
+  }
+
+  const auto yandex_scan =
+      analysis::scan_urls(yandex, "ydx-malware-shavar", deployed_targets, 4);
+  std::printf("\n[Yandex scan] deployed multi-prefix targets detected: "
+              "%llu/%zu on %llu domains (paper: 1352 URLs on 26 domains)\n",
+              static_cast<unsigned long long>(
+                  yandex_scan.urls_with_multi_hits),
+              deployed_targets.size(),
+              static_cast<unsigned long long>(yandex_scan.distinct_domains));
+  for (const auto& hit : yandex_scan.examples) {
+    std::printf("  %-44s on %s:", hit.url.c_str(), hit.domain.c_str());
+    for (std::size_t i = 0; i < hit.matching_expressions.size(); ++i) {
+      std::printf(" %s->%s", hit.matching_expressions[i].c_str(),
+                  crypto::prefix32_hex(hit.matching_prefixes[i]).c_str());
+    }
+    std::printf("\n");
+  }
+
+  // 3. Benign corpus scan: the false-alarm rate of multi-hits on innocent
+  //    traffic is what makes the tracker's >= 2 rule precise.
+  const corpus::WebCorpus benign(corpus::CorpusConfig::alexa_like(500, 17));
+  const auto benign_scan =
+      analysis::scan_corpus(google, "goog-malware-shavar", benign, 2);
+  std::printf("\n[benign corpus] %llu/%llu benign URLs create multi-hits in "
+              "goog-malware-shavar\n",
+              static_cast<unsigned long long>(
+                  benign_scan.urls_with_multi_hits),
+              static_cast<unsigned long long>(benign_scan.urls_scanned));
+
+  bench::note("re-identified examples let Yandex learn a user's porn-site "
+              "preference, nationality (xhamster locale) or pedophilic "
+              "traits (paper Section 7.3) -- domain-level re-identification "
+              "is certain once two prefixes arrive.");
+  return 0;
+}

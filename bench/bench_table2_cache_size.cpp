@@ -1,0 +1,80 @@
+// Reproduces Table 2: client cache size for raw, delta-coded and Bloom
+// storage across prefix widths 32..256 bits.
+//
+// Paper row (32 bits): raw 2.5 MB, delta-coded 1.3 MB (ratio 1.9), Bloom a
+// constant 3 MB; delta-coding loses to Bloom from 64 bits on. The workload
+// is the paper's database size: 630,428 prefixes (goog-malware-shavar
+// 317,807 + googpub-phish-shavar 312,621) of truncated SHA-256 digests.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.hpp"
+#include "crypto/digest.hpp"
+#include "storage/bloom_filter.hpp"
+#include "storage/delta_table.hpp"
+#include "storage/prefix_store.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbp;
+  const std::size_t entries =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 630428;
+  bench::header("Table 2", "client cache size per prefix width and store");
+  std::printf("entries: %zu (paper: 630,428 = malware + phishing lists)\n",
+              entries);
+
+  struct PaperRow {
+    unsigned bits;
+    double raw_mb;
+    double delta_mb;
+  };
+  // Paper's Table 2 (Bloom constant at 3 MB).
+  const PaperRow paper_rows[] = {
+      {32, 2.5, 1.3}, {64, 5.1, 3.9}, {80, 6.4, 5.1},
+      {128, 10.2, 8.9}, {256, 20.3, 19.1},
+  };
+
+  std::printf("\n%-6s | %-18s | %-24s | %-10s\n", "bits",
+              "raw MB (paper)", "delta MB payload/total (paper)",
+              "bloom MB");
+  for (const auto& row : paper_rows) {
+    // Build the batch of `entries` truncated digests of synthetic URLs.
+    storage::PrefixBatch batch(row.bits / 8);
+    for (std::size_t i = 0; i < entries; ++i) {
+      const auto digest =
+          crypto::Digest256::of("malware-url-" + std::to_string(i) + "/");
+      batch.add_digest(digest);
+    }
+    batch.sort_unique();
+
+    const storage::RawSortedStore raw(batch);
+    const storage::DeltaCodedTable delta(batch);
+    const storage::BloomFilter bloom(batch,
+                                     storage::BloomFilter::kChromiumDefaultBits);
+
+    std::printf("%-6u | %6s (%4.1f)      | %6s/%6s (%4.1f)          | %6s\n",
+                row.bits, bench::mb(raw.memory_bytes()).c_str(), row.raw_mb,
+                bench::mb(delta.payload_bytes()).c_str(),
+                bench::mb(delta.memory_bytes()).c_str(), row.delta_mb,
+                bench::mb(bloom.memory_bytes()).c_str());
+  }
+
+  std::printf("\n[check] compression ratio at 32 bits: paper 1.9, measured "
+              "%.2f\n",
+              [&] {
+                storage::PrefixBatch batch(4);
+                for (std::size_t i = 0; i < entries; ++i) {
+                  batch.add_digest(crypto::Digest256::of(
+                      "malware-url-" + std::to_string(i) + "/"));
+                }
+                batch.sort_unique();
+                const storage::RawSortedStore raw(batch);
+                const storage::DeltaCodedTable delta(batch);
+                return static_cast<double>(raw.memory_bytes()) /
+                       static_cast<double>(delta.memory_bytes());
+              }());
+  bench::note("Bloom is width-independent (3 MB) but static with intrinsic "
+              "false positives; delta-coded wins at 32 bits, loses beyond "
+              "64 bits -- the paper's justification for Google's choices.");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces Table 6: the Type I / II / III collision taxonomy, with live
+// demonstrations.
+//
+// Type I is shown at the protocol's real 32-bit width (it needs no hash
+// collision). Types II and III require truncated-digest collisions: mining
+// one specific 32-bit collision costs ~2^32 hashes, so the demonstrations
+// run at a reduced width (default 16 bits, argv[1] to change) -- the
+// taxonomy and the probability ordering P[I] > P[II] > P[III] = 2^-2l are
+// width-independent.
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/collision.hpp"
+#include "bench_util.hpp"
+#include "url/decompose.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbp;
+  const unsigned bits = argc > 1 ? std::atoi(argv[1]) : 16;
+  bench::header("Table 6", "Type I/II/III collision examples");
+  std::printf("demonstration width: %u bits (paper taxonomy at 32 bits; "
+              "Type II/III need mined digest collisions, feasible at "
+              "reduced width)\n\n",
+              bits);
+
+  const auto target = url::decompose_expressions("http://a.b.c/");
+  const auto a = crypto::Digest256::of("a.b.c/").prefix_bits64(bits);
+  const auto b = crypto::Digest256::of("b.c/").prefix_bits64(bits);
+  std::printf("target URL a.b.c -> prefixes A=%llx (a.b.c/), B=%llx (b.c/)\n",
+              static_cast<unsigned long long>(a),
+              static_cast<unsigned long long>(b));
+
+  // Type I: g.a.b.c shares both decompositions.
+  {
+    const auto candidate = url::decompose_expressions("http://g.a.b.c/");
+    const auto type = analysis::classify_collision(target, candidate, a, b,
+                                                   bits);
+    std::printf("\n[Type I]   candidate g.a.b.c: %s (paper: Type I)\n",
+                analysis::collision_type_name(type));
+  }
+
+  // Type II: g.b.c shares b.c/; mine a page whose prefix equals A.
+  {
+    const std::uint64_t budget = 1ULL << (bits + 6);
+    const auto mined =
+        analysis::mine_colliding_expression(a, bits, "g.b.c/page", budget);
+    if (mined) {
+      auto candidate = url::decompose_expressions(
+          ("http://" + *mined).c_str());
+      const auto type = analysis::classify_collision(target, candidate, a, b,
+                                                     bits);
+      std::printf("[Type II]  candidate %s: %s (paper: Type II)\n",
+                  mined->c_str(), analysis::collision_type_name(type));
+    } else {
+      std::printf("[Type II]  mining failed within %llu tries\n",
+                  static_cast<unsigned long long>(budget));
+    }
+  }
+
+  // Type III: unrelated d.e.f with two mined collisions.
+  {
+    const std::uint64_t budget = 1ULL << (bits + 6);
+    const auto hit_a =
+        analysis::mine_colliding_expression(a, bits, "d.e.f/x", budget);
+    const auto hit_b =
+        analysis::mine_colliding_expression(b, bits, "d.e.f/y", budget);
+    if (hit_a && hit_b) {
+      const std::vector<std::string> candidate = {*hit_a, *hit_b, "d.e.f/",
+                                                  "e.f/"};
+      const auto type = analysis::classify_collision(target, candidate, a, b,
+                                                     bits);
+      std::printf("[Type III] candidate d.e.f {%s, %s}: %s (paper: Type "
+                  "III)\n",
+                  hit_a->c_str(), hit_b->c_str(),
+                  analysis::collision_type_name(type));
+    } else {
+      std::printf("[Type III] mining failed\n");
+    }
+  }
+
+  std::printf("\n[probabilities] P[Type III] at l=32: %.3g (paper: 2^-64 = "
+              "5.4e-20); at l=%u: %.3g\n",
+              analysis::type3_probability(32), bits,
+              analysis::type3_probability(bits));
+  bench::note("Type II requires > 2^l decompositions on one domain; Section "
+              "6.2's crawl maxes at ~1e7 << 2^32, so Type II never occurs "
+              "at the real width -- only Type I drives re-identification "
+              "ambiguity.");
+  return 0;
+}

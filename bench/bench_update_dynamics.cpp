@@ -1,0 +1,62 @@
+// Ablation (DESIGN.md, Sections 2.2.2 / 7.1 claims): blacklist churn.
+// Quantifies WHY the dynamic lists forced delta-coded tables over Bloom
+// filters (incremental diffs vs full re-ships) and how quickly a
+// day-zero crawl's inversion knowledge decays.
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/update_dynamics.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbp;
+  const std::size_t entries =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 20000;
+  bench::header("Update dynamics",
+                "incremental vs full sync; day-0 inversion decay");
+  // Paper context: Google reported ~9500 new malicious sites/day against
+  // a ~630k-prefix database (~1.5%/day churn).
+  analysis::ChurnConfig config;
+  config.initial_entries = entries;
+  config.adds_per_round =
+      static_cast<std::size_t>(static_cast<double>(entries) * 0.015);
+  config.removals_per_round =
+      static_cast<std::size_t>(static_cast<double>(entries) * 0.015);
+  config.rounds = 14;  // two weeks of daily updates
+  config.seed = 7;
+
+  std::printf("database: %zu prefixes; churn: %zu adds + %zu removals per "
+              "round (paper: ~9500 new sites/day on ~630k prefixes)\n\n",
+              config.initial_entries, config.adds_per_round,
+              config.removals_per_round);
+
+  const auto report = analysis::simulate_churn(config);
+  std::printf("%6s %16s %16s %14s %12s\n", "round", "incr. bytes",
+              "full-dl bytes", "client size", "day0 valid");
+  for (const auto& row : report.rounds) {
+    std::printf("%6zu %16llu %16llu %14zu %11.1f%%\n", row.round,
+                static_cast<unsigned long long>(row.incremental_bytes),
+                static_cast<unsigned long long>(row.full_download_bytes),
+                row.client_prefixes,
+                row.day0_knowledge_fraction * 100.0);
+  }
+  std::printf("\ntotals over %zu rounds: incremental %llu B, full-download "
+              "%llu B (%.1fx more), Bloom re-ship %llu B (%.0fx more)\n",
+              config.rounds,
+              static_cast<unsigned long long>(
+                  report.total_incremental_bytes),
+              static_cast<unsigned long long>(
+                  report.total_full_download_bytes),
+              static_cast<double>(report.total_full_download_bytes) /
+                  static_cast<double>(report.total_incremental_bytes),
+              static_cast<unsigned long long>(
+                  report.total_bloom_reship_bytes),
+              static_cast<double>(report.total_bloom_reship_bytes) /
+                  static_cast<double>(report.total_incremental_bytes));
+  bench::note("the chunked protocol ships ~2 orders of magnitude less than "
+              "full re-downloads and ~3-4 orders less than Bloom re-ships "
+              "(Section 2.2.2's rationale); day-0 inversion knowledge "
+              "decays ~1.5%/round (Section 7.1: reconstruction requires "
+              "CONTINUOUS crawling).");
+  return 0;
+}

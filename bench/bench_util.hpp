@@ -1,0 +1,41 @@
+// Shared formatting helpers for the table/figure reproduction benches.
+//
+// Every bench prints a self-describing report: the experiment id, the
+// workload parameters (including any scale factor relative to the paper),
+// and rows with paper= / measured= columns where the paper gives numbers.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace sbp::bench {
+
+inline void header(const char* experiment, const char* description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s -- %s\n", experiment, description);
+  std::printf("================================================================\n");
+}
+
+inline void note(const char* text) { std::printf("note: %s\n", text); }
+
+inline void scale_note(double scale) {
+  std::printf("scale: %.4g x the paper's workload (shapes, not absolute "
+              "counts, are the reproduction target)\n",
+              scale);
+}
+
+inline std::string mb(std::size_t bytes) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buffer;
+}
+
+inline std::string pct(double fraction) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f%%", fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace sbp::bench

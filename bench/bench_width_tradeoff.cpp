@@ -1,0 +1,41 @@
+// Ablation (DESIGN.md #5): the prefix-width design space. Sweeps l and
+// prints, per width: expected k-anonymity for URLs and domains (privacy),
+// benign false-hit probability and leaking contacts per 1000 page loads
+// (traffic/privacy cost of false positives), and raw client memory --
+// showing WHY 32 bits: the narrowest width whose false-positive traffic is
+// negligible, maximizing what anonymity the scheme can offer at all.
+#include <cstdio>
+
+#include "analysis/width_tradeoff.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace sbp;
+  bench::header("Width ablation",
+                "privacy vs false-hit traffic vs memory per prefix width");
+
+  analysis::WidthTradeoffConfig config;  // paper's 2013 web, Table 2 list
+  std::printf("web: %.3g URLs, %.3g domains; blacklist: %llu prefixes; "
+              "%.1f decompositions tested per page load\n\n",
+              config.web_urls, config.web_domains,
+              static_cast<unsigned long long>(config.blacklist_size),
+              config.decompositions_per_url);
+
+  std::printf("%6s %16s %16s %14s %16s %12s\n", "bits", "E[k] URLs",
+              "E[k] domains", "P[false hit]", "leaks/1k loads", "store MB");
+  const std::vector<unsigned> widths = {16, 24, 32, 40, 48, 64, 80, 128,
+                                        256};
+  for (const auto& point : analysis::sweep_widths(config, widths)) {
+    std::printf("%6u %16.4g %16.4g %14.3g %16.4g %12s\n", point.bits,
+                point.expected_k_urls, point.expected_k_domains,
+                point.false_hit_probability, point.leaks_per_1000_loads,
+                bench::mb(point.raw_store_bytes).c_str());
+  }
+
+  bench::note("at 32 bits: E[k]~1.4e4 URLs (Table 5's 14757 is the max "
+              "load) but 0.06 domains -- domains are ALREADY unique; "
+              "below 32 bits false hits flood the server (and each false "
+              "hit leaks a prefix+cookie); above 48 bits even URLs become "
+              "unique and the scheme is a URL tracker outright.");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// The Section 8 mitigations in action: Firefox-style dummy requests and
+// the paper's one-prefix-at-a-time proposal, measured against the same
+// tracking attack as examples/tracking_demo.
+//
+// Build & run:  ./build/examples/mitigation_demo
+#include <cstdio>
+
+#include "crypto/digest.hpp"
+#include "mitigation/dummy_requests.hpp"
+#include "mitigation/one_prefix.hpp"
+#include "tracking/shadow_db.hpp"
+
+int main() {
+  using namespace sbp;
+
+  // A tracked URL: its own digest is real; the domain root is published as
+  // an orphan prefix (no digest) -- Algorithm 1's 2-prefix shape.
+  sb::Server server(sb::Provider::kGoogle);
+  sb::SimClock clock;
+  sb::Transport transport(server, clock);
+  server.add_expression("list", "tracked.example/dir/page.html");
+  server.add_orphan_prefix("list", crypto::prefix32_of("tracked.example/"));
+  server.seal_chunk("list");
+
+  const corpus::DomainHierarchy site({
+      "http://tracked.example/dir/page.html",
+      "http://tracked.example/dir/other.html",
+  });
+  const auto plan = tracking::plan_tracking(
+      "http://tracked.example/dir/page.html", site, 2);
+  tracking::ShadowDatabase shadow;
+  shadow.add_plan(plan);
+
+  // --- Baseline: stock client ---------------------------------------------
+  sb::ClientConfig stock_config;
+  stock_config.cookie = 0xA11CE;
+  sb::Client stock(transport, stock_config);
+  stock.subscribe("list");
+  stock.update();
+  const auto stock_result =
+      stock.lookup("http://tracked.example/dir/page.html");
+  std::printf("[stock client]   sent %zu prefixes; tracker detections: %zu\n",
+              stock_result.sent_prefixes.size(),
+              shadow.detect(server.query_log()).size());
+
+  // --- Mitigation 1: dummy requests ---------------------------------------
+  server.clear_query_log();
+  const mitigation::DummyPolicy dummies(4);
+  const auto padded = dummies.pad_request(stock_result.local_hits);
+  (void)transport.get_full_hashes(padded, 0xB0B);
+  const auto padded_detections = shadow.detect(server.query_log());
+  std::printf("[dummy queries]  request grew to %zu prefixes; single-prefix "
+              "k-anonymity x%zu; tracker detections: %zu (attack %s)\n",
+              padded.size(), padded.size(),
+              padded_detections.size(),
+              padded_detections.empty() ? "broken" : "SURVIVES");
+
+  // --- Mitigation 2: one-prefix-at-a-time ---------------------------------
+  server.clear_query_log();
+  sb::ClientConfig mitigated_config;
+  mitigated_config.cookie = 0xCAFE;
+  mitigation::OnePrefixClient mitigated(transport, mitigated_config);
+  mitigated.subscribe("list");
+  // The pre-fetch crawl of the site finds no Type I cover for the target:
+  // escalation is suppressed and only the root prefix leaves the machine.
+  const auto result = mitigated.lookup(
+      "http://tracked.example/dir/page.html",
+      {"http://tracked.example/dir/page.html"});
+  std::printf("[one-prefix]     sent %zu prefix(es); escalation suppressed: "
+              "%s; tracker detections: %zu\n",
+              result.sent_prefixes.size(),
+              result.escalation_suppressed ? "yes" : "no",
+              shadow.detect(server.query_log()).size());
+
+  std::printf("\nsummary (paper Section 8): dummies help the single-prefix "
+              "case only; one-prefix-at-a-time actually starves the "
+              "multi-prefix re-identification -- at the cost of an extra "
+              "crawl and delayed warnings.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Privacy audit of a Safe Browsing deployment -- the Section 7 forensics
+// as a reusable tool: crawl the provider's lists, census orphans, find
+// multi-prefix URLs and estimate the k-anonymity a user actually gets.
+//
+// Build & run:  ./build/examples/privacy_audit
+#include <cstdio>
+
+#include "analysis/kanonymity.hpp"
+#include "analysis/multi_prefix.hpp"
+#include "analysis/orphans.hpp"
+#include "analysis/reidentify.hpp"
+#include "sb/blacklist_factory.hpp"
+#include "url/decompose.hpp"
+
+int main() {
+  using namespace sbp;
+
+  // A provider whose lists contain honest entries, orphans and multi-prefix
+  // groups (the composition Section 7 measured at Yandex).
+  sb::Server server(sb::Provider::kYandex);
+  sb::BlacklistFactory factory(777);
+  factory.populate(server, {"ydx-malware-shavar", 3000, 0.02, 5, 8});
+  factory.populate(server, {"ydx-phish-shavar", 500, 0.99, 0, 0});
+  factory.populate(server, {"ydx-yellow-shavar", 50, 1.0, 0, 0});
+
+  // --- Audit 1: orphan census (Table 11's method) -------------------------
+  std::printf("[audit 1] orphan census\n");
+  std::printf("%-22s %8s %8s %9s\n", "list", "total", "orphans", "orphan%%");
+  for (const auto& census : analysis::census_all(server)) {
+    std::printf("%-22s %8zu %8zu %8.1f%%\n", census.list_name.c_str(),
+                census.total_prefixes, census.orphans,
+                census.orphan_fraction() * 100.0);
+  }
+  std::printf("verdict: ydx-phish-shavar and ydx-yellow-shavar are mostly "
+              "orphans -- these prefixes can only serve tracking, not "
+              "protection.\n\n");
+
+  // --- Audit 2: multi-prefix URLs (Table 12's method) ---------------------
+  const corpus::WebCorpus web(corpus::CorpusConfig::alexa_like(400, 3));
+  const auto scan =
+      analysis::scan_corpus(server, "ydx-malware-shavar", web, 4);
+  std::printf("[audit 2] multi-prefix scan over %llu benign URLs: %llu "
+              "multi-hits\n",
+              static_cast<unsigned long long>(scan.urls_scanned),
+              static_cast<unsigned long long>(scan.urls_with_multi_hits));
+
+  // --- Audit 3: k-anonymity really obtained -------------------------------
+  analysis::KAnonymityIndex index(32);
+  index.add_corpus(web);
+  const auto stats = index.stats();
+  std::printf("\n[audit 3] empirical k-anonymity of hashing+truncation over "
+              "the indexed web (%llu expressions):\n",
+              static_cast<unsigned long long>(stats.total_expressions));
+  std::printf("  mean k = %.3f, min k = %llu, unique prefixes = %.1f%%\n",
+              stats.mean_k,
+              static_cast<unsigned long long>(stats.min_k),
+              stats.unique_fraction * 100.0);
+  std::printf("  (the 'k-anonymity' of a prefix is vacuous when the "
+              "adversary indexes the web: most prefixes have k = 1)\n");
+
+  // --- Audit 4: what one prefix pair reveals ------------------------------
+  analysis::ReidentificationIndex reid;
+  reid.add_corpus(web);
+  const auto site = web.site(0);
+  if (!site.pages.empty()) {
+    const auto prefixes = sbp::url::decompose_prefixes(site.pages[0].url());
+    if (prefixes.size() >= 2) {
+      const std::vector<crypto::Prefix32> pair = {prefixes[0], prefixes[1]};
+      const auto result = reid.reidentify(pair);
+      std::printf("\n[audit 4] a 2-prefix query for %s leaves %zu candidate "
+                  "URL(s)%s\n",
+                  site.pages[0].expression().c_str(),
+                  result.candidate_urls.size(),
+                  result.unique() ? " -- uniquely re-identified" : "");
+    }
+  }
+
+  std::printf("\naudit conclusion (paper Section 9): hashing and truncation "
+              "fail as anonymization once multiple prefixes reach the "
+              "server.\n");
+  return 0;
+}

@@ -1,0 +1,179 @@
+#include "analysis/balls_into_bins.hpp"
+
+#include <cmath>
+
+namespace sbp::analysis {
+
+namespace {
+
+double log_b(double x, double base) { return std::log(x) / std::log(base); }
+
+/// P(X >= k) by CDF summation from zero -- only valid while e^-lambda does
+/// not underflow (lambda <= ~600).
+double poisson_tail_by_cdf(double lambda, std::uint64_t k) {
+  double term = std::exp(-lambda);
+  double cdf = term;
+  for (std::uint64_t i = 1; i < k; ++i) {
+    term *= lambda / static_cast<double>(i);
+    cdf += term;
+  }
+  return cdf >= 1.0 ? 0.0 : 1.0 - cdf;
+}
+
+/// P(X >= k) by upward summation from i = k, with the leading term computed
+/// in log space (stable for lambda up to ~1e5 and far-tail k).
+double poisson_tail_upward(double lambda, double k) {
+  const double log_term =
+      -lambda + k * std::log(lambda) - std::lgamma(k + 1.0);
+  double term = std::exp(log_term);
+  if (term == 0.0) return 0.0;  // below ~1e-308: smaller than any 1/n we use
+  double sum = 0.0;
+  double i = k;
+  while (term > 0.0) {
+    sum += term;
+    i += 1.0;
+    term *= lambda / i;
+    if (term < sum * 1e-18) break;
+  }
+  return sum;
+}
+
+double normal_tail(double z) {
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+}  // namespace
+
+double poisson_tail(double lambda, double k) {
+  if (k <= 0) return 1.0;
+  if (lambda <= 0) return 0.0;
+  // Huge lambda: k*log(lambda) loses absolute precision in the log-space
+  // path, but the normal approximation is excellent there.
+  if (lambda > 1e5) {
+    const double z = (k - 0.5 - lambda) / std::sqrt(lambda);
+    return normal_tail(z);
+  }
+  if (k > lambda) {
+    return poisson_tail_upward(lambda, k);
+  }
+  // Left-of-mean region: tail is large; CDF summation when e^-lambda is
+  // representable, else the (accurate here) normal approximation.
+  if (lambda <= 600.0) {
+    return poisson_tail_by_cdf(lambda, static_cast<std::uint64_t>(k));
+  }
+  const double z = (k - 0.5 - lambda) / std::sqrt(lambda);
+  return normal_tail(z);
+}
+
+LoadRegime classify_regime(double m, double n, double log_base) {
+  // The theorem's regimes overlap up to constants; these thresholds keep
+  // each formula inside its regime of validity. The kVeryDense boundary is
+  // set a factor 8 above n log^3 n so that Table 5's densest reproducible
+  // cell (m = 6e13, l = 32) is still evaluated with the kDense formula the
+  // paper used.
+  const double log_n = log_b(n, log_base);
+  if (m > 8.0 * n * log_n * log_n * log_n) return LoadRegime::kVeryDense;
+  if (m > 32.0 * n * log_n) return LoadRegime::kDense;
+  if (m >= n * log_n / 32.0) return LoadRegime::kNearNLogN;
+  return LoadRegime::kSparse;
+}
+
+double solve_dc(double c) {
+  // f(x) = 1 + x (ln c - ln x + 1) - c is strictly decreasing for x > c
+  // (f'(x) = ln(c/x) < 0) with f(c) = 1 > 0: bisect on [c, upper].
+  const double ln_c = std::log(c);
+  auto f = [c, ln_c](double x) {
+    return 1.0 + x * (ln_c - std::log(x) + 1.0) - c;
+  };
+  double lo = c;
+  double hi = c + 2.0;
+  while (f(hi) > 0) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid) > 0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+MaxLoadEstimate raab_steger_max_load(double m, unsigned prefix_bits,
+                                     double alpha, double log_base) {
+  const double n = std::pow(2.0, static_cast<double>(prefix_bits));
+  const double log_n = log_b(n, log_base);
+  const double loglog_n = log_b(log_n, log_base);
+
+  MaxLoadEstimate out;
+  out.regime = classify_regime(m, n, log_base);
+
+  switch (out.regime) {
+    case LoadRegime::kSparse: {
+      // k = (log n / log(n log n / m)) * (1 + alpha * log^(2)(n log n / m)
+      //                                        / log(n log n / m))
+      const double ratio = n * log_n / m;
+      const double log_ratio = log_b(ratio, log_base);
+      const double loglog_ratio =
+          log_ratio > 1.0 ? log_b(log_ratio, log_base) : 0.0;
+      out.value =
+          (log_n / log_ratio) * (1.0 + alpha * loglog_ratio / log_ratio);
+      break;
+    }
+    case LoadRegime::kNearNLogN: {
+      // m = c n log n: k = (d_c - 1 + alpha) log n.
+      const double c = m / (n * log_n);
+      out.value = (solve_dc(c) - 1.0 + alpha) * log_n;
+      break;
+    }
+    case LoadRegime::kDense: {
+      // k = m/n + alpha sqrt(2 (m/n) log n).
+      out.value = m / n + alpha * std::sqrt(2.0 * (m / n) * log_n);
+      break;
+    }
+    case LoadRegime::kVeryDense: {
+      // k = m/n + sqrt(2 (m/n) log n (1 - (1/alpha) loglog n / (2 log n))).
+      const double correction = 1.0 - (1.0 / alpha) * loglog_n / (2.0 * log_n);
+      out.value = m / n + std::sqrt(2.0 * (m / n) * log_n * correction);
+      break;
+    }
+  }
+  if (out.value < 1.0) out.value = 1.0;
+  return out;
+}
+
+std::uint64_t exact_max_load(double m, unsigned prefix_bits) {
+  const double n = std::pow(2.0, static_cast<double>(prefix_bits));
+  const double lambda = m / n;
+  // Largest k with n * P(Poisson(lambda) >= k) >= 1. Monotone in k: binary
+  // search over a generous range.
+  std::uint64_t lo = 1;
+  std::uint64_t hi =
+      static_cast<std::uint64_t>(lambda + 20.0 * std::sqrt(lambda + 1.0)) +
+      64;
+  auto expected_at_least = [&](std::uint64_t k) {
+    return n * poisson_tail(lambda, static_cast<double>(k));
+  };
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+    if (expected_at_least(mid) >= 1.0) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+std::uint64_t exact_min_load(double m, unsigned prefix_bits) {
+  const double n = std::pow(2.0, static_cast<double>(prefix_bits));
+  const double lambda = m / n;
+  // Smallest k with n * P(Poisson(lambda) <= k) >= 1.
+  for (std::uint64_t k = 0;; ++k) {
+    const double p_le = 1.0 - poisson_tail(lambda, static_cast<double>(k + 1));
+    if (n * p_le >= 1.0) return k;
+    if (k > static_cast<std::uint64_t>(lambda) + 100) return k;  // safety
+  }
+}
+
+}  // namespace sbp::analysis

@@ -1,0 +1,67 @@
+// Balls-into-bins analytics for prefix anonymity (paper Section 5, Table 5).
+//
+// The paper quantifies single-prefix privacy by the maximum number M of URLs
+// (balls) sharing one l-bit prefix (bin), invoking Raab & Steger's Theorem 1
+// and, for the client-side view, Ercal-Ozkaya's Theta(m/n) minimum load.
+//
+// Two estimators are provided:
+//  * raab_steger_max_load: the asymptotic formulas of Theorem 1, all four
+//    density regimes, with configurable alpha and logarithm base. Table 5's
+//    2012/2013 URL cells reproduce EXACTLY with natural log (7541, 14757)
+//    and its 2012/2013 domain cells with log base 2 (4196, 4498) -- see
+//    EXPERIMENTS.md for this reproduction finding.
+//  * exact_max_load / exact_min_load: distribution-based estimates using the
+//    Poisson approximation of bin loads (the standard occupancy argument):
+//    the largest k whose expected number of bins holding >= k balls is >= 1.
+//    Robust in the sparse regimes (the M = 1 and 2 cells of Table 5).
+#pragma once
+
+#include <cstdint>
+
+namespace sbp::analysis {
+
+/// Density regime of (m balls, n bins) per Raab-Steger Theorem 1.
+enum class LoadRegime {
+  kSparse,     ///< m well below n*log n (polylog regime)
+  kNearNLogN,  ///< m = c * n log n for moderate c
+  kDense,      ///< n log n << m <= n polylog(n)
+  kVeryDense,  ///< m >> n (log n)^3
+};
+
+[[nodiscard]] LoadRegime classify_regime(double m, double n,
+                                         double log_base = 2.718281828459045);
+
+struct MaxLoadEstimate {
+  double value = 0.0;      ///< k_alpha, the w.h.p. max-load bound
+  LoadRegime regime = LoadRegime::kSparse;
+};
+
+/// Raab-Steger Theorem 1 k_alpha for m balls in n = 2^l bins.
+/// `alpha` is the theorem's slack parameter (> 1 gives the o(1) upper
+/// bound; the paper's exactly-reproducible cells use alpha -> 1).
+/// `log_base` selects the logarithm (e = natural, 2 = binary).
+[[nodiscard]] MaxLoadEstimate raab_steger_max_load(
+    double m, unsigned prefix_bits, double alpha = 1.0,
+    double log_base = 2.718281828459045);
+
+/// Solves Raab-Steger's d_c: the unique x > c with
+///   1 + x (ln c - ln x + 1) - c = 0
+/// (used by the m = c n log n regime). Exposed for tests.
+[[nodiscard]] double solve_dc(double c);
+
+/// Occupancy-based estimate: the largest k such that the expected number of
+/// bins with >= k balls is >= 1 under the Poisson(m/n) approximation.
+/// Matches the asymptotics and behaves correctly in sparse regimes
+/// (returns 1 when even pairs are unlikely, 2 in the birthday regime, ...).
+[[nodiscard]] std::uint64_t exact_max_load(double m, unsigned prefix_bits);
+
+/// Occupancy-based minimum load: the smallest k such that the expected
+/// number of bins with <= k balls is >= 1. Ercal-Ozkaya: Theta(m/n) for
+/// m >= c n log n.
+[[nodiscard]] std::uint64_t exact_min_load(double m, unsigned prefix_bits);
+
+/// Poisson tail P(X >= k) for X ~ Poisson(lambda), with a normal
+/// approximation for large lambda. Exposed for tests.
+[[nodiscard]] double poisson_tail(double lambda, double k);
+
+}  // namespace sbp::analysis

@@ -1,0 +1,40 @@
+#include "analysis/bpjm.hpp"
+
+#include "crypto/md5.hpp"
+#include "crypto/sha1.hpp"
+#include "util/hex.hpp"
+
+namespace sbp::analysis {
+
+std::string BpjmList::digest_of(std::string_view expression) const {
+  if (hash_ == BpjmHash::kMd5) {
+    return util::hex_encode(crypto::Md5::hash(expression));
+  }
+  return util::hex_encode(crypto::Sha1::hash(expression));
+}
+
+void BpjmList::add_entry(std::string_view expression) {
+  digests_[digest_of(expression)] = true;
+}
+
+bool BpjmList::matches(std::string_view expression) const {
+  return digests_.count(digest_of(expression)) > 0;
+}
+
+DictionaryAttackResult dictionary_attack(
+    const BpjmList& list, const std::vector<std::string>& dictionary) {
+  DictionaryAttackResult result;
+  result.list_size = list.size();
+  result.dictionary_size = dictionary.size();
+  // Count distinct recovered digests (a dictionary may contain duplicates).
+  std::unordered_map<std::string, bool> seen;
+  for (const std::string& candidate : dictionary) {
+    if (list.matches(candidate) && !seen.count(candidate)) {
+      seen[candidate] = true;
+      ++result.recovered;
+    }
+  }
+  return result;
+}
+
+}  // namespace sbp::analysis

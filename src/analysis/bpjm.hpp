@@ -1,0 +1,68 @@
+// BPjM-Modul reconstruction experiment (paper Section 7.1).
+//
+// The German BPjM agency distributes a secret blocklist of ~3000 URLs as
+// *untruncated* MD5 or SHA-1 hashes of domains/paths. Hackers recovered
+// ~99% of the cleartext by dictionary attack -- the paper contrasts this
+// with its own <= 55% reconstruction of the GSB/YSB prefix lists and
+// credits the difference to list size, dynamism and the need for crawl
+// capability (NOT to the hashing, which protects nothing against a
+// dictionary).
+//
+// This module reproduces the comparison: build a BPjM-style static hashed
+// list and measure dictionary-attack recovery, side by side with a
+// prefix-list reconstruction using the same dictionary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sbp::analysis {
+
+enum class BpjmHash { kMd5, kSha1 };
+
+/// A BPjM-style anonymized blocklist: full (untruncated) digests of
+/// canonical host[/path] expressions.
+class BpjmList {
+ public:
+  explicit BpjmList(BpjmHash hash_kind = BpjmHash::kMd5)
+      : hash_(hash_kind) {}
+
+  /// Hashes and stores one blocklist entry.
+  void add_entry(std::string_view expression);
+
+  [[nodiscard]] std::size_t size() const noexcept { return digests_.size(); }
+  [[nodiscard]] BpjmHash hash_kind() const noexcept { return hash_; }
+
+  /// True if `expression` hashes to a listed digest.
+  [[nodiscard]] bool matches(std::string_view expression) const;
+
+ private:
+  [[nodiscard]] std::string digest_of(std::string_view expression) const;
+
+  BpjmHash hash_;
+  std::unordered_map<std::string, bool> digests_;  // hex digest -> present
+};
+
+/// Result of a dictionary attack against a hashed blocklist.
+struct DictionaryAttackResult {
+  std::size_t list_size = 0;
+  std::size_t recovered = 0;       ///< digests matched by the dictionary
+  std::size_t dictionary_size = 0;
+  [[nodiscard]] double recovery_rate() const noexcept {
+    return list_size == 0
+               ? 0.0
+               : static_cast<double>(recovered) /
+                     static_cast<double>(list_size);
+  }
+};
+
+/// Runs the dictionary attack: counts list entries recovered by hashing
+/// every dictionary candidate.
+[[nodiscard]] DictionaryAttackResult dictionary_attack(
+    const BpjmList& list, const std::vector<std::string>& dictionary);
+
+}  // namespace sbp::analysis

@@ -1,0 +1,80 @@
+#include "analysis/collision.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sbp::analysis {
+
+const char* collision_type_name(CollisionType type) noexcept {
+  switch (type) {
+    case CollisionType::kNone:
+      return "None";
+    case CollisionType::kTypeI:
+      return "Type I";
+    case CollisionType::kTypeII:
+      return "Type II";
+    case CollisionType::kTypeIII:
+      return "Type III";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t prefix_of(const std::string& expression, unsigned bits) {
+  return crypto::Digest256::of(expression).prefix_bits64(bits);
+}
+
+}  // namespace
+
+CollisionType classify_collision(
+    const std::vector<std::string>& target_decompositions,
+    const std::vector<std::string>& candidate_decompositions,
+    std::uint64_t prefix_a, std::uint64_t prefix_b, unsigned prefix_bits) {
+  // For each observed prefix, find whether the candidate covers it, and if
+  // so whether via a decomposition string shared with the target (genuine)
+  // or via a digest collision (hash artifact).
+  auto coverage = [&](std::uint64_t observed_prefix, bool& via_shared) {
+    via_shared = false;
+    bool covered = false;
+    for (const std::string& expr : candidate_decompositions) {
+      if (prefix_of(expr, prefix_bits) != observed_prefix) continue;
+      covered = true;
+      if (std::find(target_decompositions.begin(),
+                    target_decompositions.end(),
+                    expr) != target_decompositions.end()) {
+        via_shared = true;
+        return true;  // shared coverage dominates
+      }
+    }
+    return covered;
+  };
+
+  bool a_shared = false, b_shared = false;
+  const bool a_covered = coverage(prefix_a, a_shared);
+  const bool b_covered = coverage(prefix_b, b_shared);
+  if (!a_covered || !b_covered) return CollisionType::kNone;
+
+  const int shared = (a_shared ? 1 : 0) + (b_shared ? 1 : 0);
+  if (shared == 2) return CollisionType::kTypeI;
+  if (shared == 1) return CollisionType::kTypeII;
+  return CollisionType::kTypeIII;
+}
+
+double type3_probability(unsigned prefix_bits) noexcept {
+  return std::pow(2.0, -2.0 * static_cast<double>(prefix_bits));
+}
+
+std::optional<std::string> mine_colliding_expression(
+    std::uint64_t target_prefix, unsigned prefix_bits,
+    const std::string& expression_stem, std::uint64_t max_tries) {
+  for (std::uint64_t i = 0; i < max_tries; ++i) {
+    std::string candidate = expression_stem + std::to_string(i);
+    if (prefix_of(candidate, prefix_bits) == target_prefix) {
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sbp::analysis

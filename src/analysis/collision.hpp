@@ -1,0 +1,55 @@
+// Type I / II / III collision taxonomy (paper Section 6.1, Table 6).
+//
+// When the server receives two prefixes (A, B) for a visited URL, other
+// URLs could have produced the same pair, in three ways:
+//   Type I   -- a related URL shares both decompositions (string equality);
+//   Type II  -- shares one decomposition; the other prefix matches through
+//               a truncated-digest collision;
+//   Type III -- unrelated URL; both prefixes match through digest
+//               collisions.
+// P[I] > P[II] > P[III] = 2^-2l for l-bit prefixes; Type II needs more than
+// 2^l decompositions on one domain, which Section 6.2 shows never happens
+// at l = 32 (max observed ~1e7 << 2^32).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/digest.hpp"
+
+namespace sbp::analysis {
+
+enum class CollisionType {
+  kNone,     ///< the candidate cannot produce the observed prefix pair
+  kTypeI,    ///< both prefixes arise from shared decomposition strings
+  kTypeII,   ///< one shared string + one digest collision
+  kTypeIII,  ///< two digest collisions (unrelated URL)
+};
+
+[[nodiscard]] const char* collision_type_name(CollisionType type) noexcept;
+
+/// Classifies how `candidate_decompositions` (expressions of a candidate
+/// URL) can produce both observed prefixes, given the target URL's
+/// decomposition expressions. `prefix_bits` <= 64 selects the truncation
+/// width (Table 6's examples are demonstrated at reduced width where real
+/// digest collisions are minable).
+[[nodiscard]] CollisionType classify_collision(
+    const std::vector<std::string>& target_decompositions,
+    const std::vector<std::string>& candidate_decompositions,
+    std::uint64_t prefix_a, std::uint64_t prefix_b, unsigned prefix_bits);
+
+/// Theoretical probability that a random unrelated URL yields both prefixes
+/// (Type III): 2^(-2 * prefix_bits) -- the paper's 1/2^64 for l = 32.
+[[nodiscard]] double type3_probability(unsigned prefix_bits) noexcept;
+
+/// Searches for an expression of the form `prefix_hint + counter` whose
+/// l-bit digest prefix equals `target`. Used by the Table 6 bench to mine
+/// real Type II/III colliding URLs at small l (l <= 24 recommended: the
+/// expected search cost is 2^l hashes). Returns nullopt after `max_tries`.
+[[nodiscard]] std::optional<std::string> mine_colliding_expression(
+    std::uint64_t target_prefix, unsigned prefix_bits,
+    const std::string& expression_stem, std::uint64_t max_tries);
+
+}  // namespace sbp::analysis

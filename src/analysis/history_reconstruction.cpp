@@ -1,0 +1,49 @@
+#include "analysis/history_reconstruction.hpp"
+
+namespace sbp::analysis {
+
+std::vector<ReconstructedHistory> reconstruct_histories(
+    const std::vector<sb::QueryLogEntry>& log,
+    const ReidentificationIndex& index) {
+  std::map<sb::Cookie, ReconstructedHistory> by_cookie;
+  for (const auto& entry : log) {
+    ReconstructedHistory& history = by_cookie[entry.cookie];
+    history.cookie = entry.cookie;
+    HistoryEvent event;
+    event.tick = entry.tick;
+    event.candidates = index.reidentify(entry.prefixes).candidate_urls;
+    if (event.unique()) ++history.unique_events;
+    history.events.push_back(std::move(event));
+  }
+  std::vector<ReconstructedHistory> out;
+  out.reserve(by_cookie.size());
+  for (auto& [cookie, history] : by_cookie) {
+    out.push_back(std::move(history));
+  }
+  return out;
+}
+
+ReconstructionStats summarize_reconstruction(
+    const std::vector<ReconstructedHistory>& histories) {
+  ReconstructionStats stats;
+  stats.users = histories.size();
+  std::size_t candidate_sum = 0;
+  std::size_t nonempty = 0;
+  for (const auto& history : histories) {
+    stats.events += history.events.size();
+    stats.unique_events += history.unique_events;
+    for (const auto& event : history.events) {
+      if (!event.candidates.empty()) {
+        ++nonempty;
+        candidate_sum += event.candidates.size();
+      }
+    }
+  }
+  stats.mean_candidates =
+      nonempty == 0 ? 0.0
+                    : static_cast<double>(candidate_sum) /
+                          static_cast<double>(nonempty);
+  return stats;
+}
+
+}  // namespace sbp::analysis

@@ -1,0 +1,61 @@
+// Browsing-history reconstruction from the server query log
+// (paper Section 4's threat statement: "An honest-but-curious SB provider
+// can reconstruct completely or partly the browsing history of a client
+// from the data sent to the servers.")
+//
+// Composes the pieces the paper builds: the query log (cookie, tick,
+// prefixes) from src/sb, and the web-index inversion from
+// analysis/reidentify. For every query, the provider computes the
+// candidate URL set; unique candidates are *recovered visits*. The
+// experiment's quality metrics -- what fraction of a user's SB-visible
+// visits are recovered, and with what candidate-set sizes -- quantify
+// Section 4 end to end and power `bench_history_reconstruction`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/reidentify.hpp"
+#include "sb/server.hpp"
+
+namespace sbp::analysis {
+
+/// One reconstructed history event.
+struct HistoryEvent {
+  std::uint64_t tick = 0;
+  /// Candidate URLs for this query (empty = prefixes unknown to the index).
+  std::vector<std::string> candidates;
+  [[nodiscard]] bool unique() const noexcept { return candidates.size() == 1; }
+};
+
+/// Everything the provider can say about one cookie.
+struct ReconstructedHistory {
+  sb::Cookie cookie = 0;
+  std::vector<HistoryEvent> events;
+  std::size_t unique_events = 0;  ///< events with exactly one candidate
+};
+
+/// Aggregate quality of a reconstruction run.
+struct ReconstructionStats {
+  std::size_t users = 0;
+  std::size_t events = 0;          ///< total queries inverted
+  std::size_t unique_events = 0;   ///< uniquely re-identified queries
+  double mean_candidates = 0.0;    ///< mean candidate-set size (non-empty)
+  [[nodiscard]] double unique_fraction() const noexcept {
+    return events == 0 ? 0.0
+                       : static_cast<double>(unique_events) /
+                             static_cast<double>(events);
+  }
+};
+
+/// Inverts every query-log entry through the index, grouped by cookie.
+[[nodiscard]] std::vector<ReconstructedHistory> reconstruct_histories(
+    const std::vector<sb::QueryLogEntry>& log,
+    const ReidentificationIndex& index);
+
+[[nodiscard]] ReconstructionStats summarize_reconstruction(
+    const std::vector<ReconstructedHistory>& histories);
+
+}  // namespace sbp::analysis

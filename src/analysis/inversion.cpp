@@ -1,0 +1,70 @@
+#include "analysis/inversion.hpp"
+
+#include <algorithm>
+
+namespace sbp::analysis {
+
+InversionDataset make_dataset(std::string name, std::size_t size,
+                              std::size_t overlap,
+                              const sb::GeneratedList& truth,
+                              util::Rng& rng) {
+  InversionDataset dataset;
+  dataset.name = std::move(name);
+  overlap = std::min({overlap, size, truth.expressions.size()});
+
+  // Sample `overlap` distinct ground-truth expressions.
+  std::vector<std::size_t> indices(truth.expressions.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  for (std::size_t i = 0; i < overlap; ++i) {
+    const std::size_t j = i + rng.next_below(indices.size() - i);
+    std::swap(indices[i], indices[j]);
+    dataset.expressions.push_back(truth.expressions[indices[i]]);
+  }
+  // Fill with fresh non-member lookalikes.
+  while (dataset.expressions.size() < size) {
+    dataset.expressions.push_back(
+        "harvested" + std::to_string(rng.next()) + ".example/");
+  }
+  return dataset;
+}
+
+InversionResult run_inversion(
+    const std::string& list_name,
+    const std::vector<crypto::Prefix32>& list_prefixes,
+    const InversionDataset& dataset) {
+  InversionResult result;
+  result.list_name = list_name;
+  result.dataset_name = dataset.name;
+  result.dataset_size = dataset.expressions.size();
+
+  const std::unordered_set<crypto::Prefix32> prefix_set(list_prefixes.begin(),
+                                                        list_prefixes.end());
+  std::unordered_set<crypto::Prefix32> inverted;
+  for (const std::string& expression : dataset.expressions) {
+    const crypto::Prefix32 prefix = crypto::prefix32_of(expression);
+    if (prefix_set.count(prefix) > 0) inverted.insert(prefix);
+  }
+  result.matches = inverted.size();
+  result.match_fraction =
+      list_prefixes.empty()
+          ? 0.0
+          : static_cast<double>(result.matches) /
+                static_cast<double>(list_prefixes.size());
+  return result;
+}
+
+double sld_fraction(const std::vector<crypto::Prefix32>& list_prefixes,
+                    const std::vector<std::string>& sld_expressions) {
+  if (list_prefixes.empty()) return 0.0;
+  const std::unordered_set<crypto::Prefix32> prefix_set(list_prefixes.begin(),
+                                                        list_prefixes.end());
+  std::unordered_set<crypto::Prefix32> matched;
+  for (const std::string& sld : sld_expressions) {
+    const crypto::Prefix32 prefix = crypto::prefix32_of(sld);
+    if (prefix_set.count(prefix) > 0) matched.insert(prefix);
+  }
+  return static_cast<double>(matched.size()) /
+         static_cast<double>(list_prefixes.size());
+}
+
+}  // namespace sbp::analysis

@@ -1,0 +1,65 @@
+// Blacklist inversion -- reconstructing prefix databases in cleartext
+// (paper Section 7.1, Tables 9 and 10).
+//
+// The paper crawls the GSB/YSB prefix lists, then tests harvested datasets
+// (malware feeds, phishing feeds, BigBlackList, DNS Census 2013 SLDs)
+// against them: a dataset entry whose expression prefix appears in a list
+// "inverts" that prefix. Table 10 reports match counts and percentages per
+// (list, dataset); DNS Census achieves up to 55% reconstruction for some
+// Yandex lists, and ~20-31% of malware-list prefixes turn out to be SLDs --
+// re-identifiable with very high certainty.
+//
+// Datasets are synthesized with a controlled overlap against the generated
+// ground truth (see DESIGN.md's substitution table): the match *rates* are
+// then measured by the same pipeline that would process the real feeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/digest.hpp"
+#include "sb/blacklist_factory.hpp"
+#include "util/rng.hpp"
+
+namespace sbp::analysis {
+
+/// A harvested dataset: named collection of candidate expressions.
+struct InversionDataset {
+  std::string name;         ///< e.g. "Malware list", "DNS Census-13"
+  std::vector<std::string> expressions;
+};
+
+/// Synthesizes a dataset of `size` expressions of which `overlap` are drawn
+/// from `truth` (the blacklist's real content) and the rest are fresh
+/// lookalikes. Deterministic in `rng`.
+[[nodiscard]] InversionDataset make_dataset(std::string name,
+                                            std::size_t size,
+                                            std::size_t overlap,
+                                            const sb::GeneratedList& truth,
+                                            util::Rng& rng);
+
+/// Result of testing one dataset against one prefix list.
+struct InversionResult {
+  std::string list_name;
+  std::string dataset_name;
+  std::size_t matches = 0;          ///< prefixes inverted by the dataset
+  std::size_t dataset_size = 0;
+  double match_fraction = 0.0;      ///< matches / list prefix count
+};
+
+/// Tests `dataset` against the prefixes of `list_prefixes`: counts distinct
+/// list prefixes hit by the SHA-256 prefix of any dataset expression.
+[[nodiscard]] InversionResult run_inversion(
+    const std::string& list_name,
+    const std::vector<crypto::Prefix32>& list_prefixes,
+    const InversionDataset& dataset);
+
+/// Fraction of list prefixes matched by a set of SLD-only expressions --
+/// the paper's "20% of the Google malware list represents SLDs" finding.
+[[nodiscard]] double sld_fraction(
+    const std::vector<crypto::Prefix32>& list_prefixes,
+    const std::vector<std::string>& sld_expressions);
+
+}  // namespace sbp::analysis

@@ -1,0 +1,74 @@
+#include "analysis/kanonymity.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "url/decompose.hpp"
+
+namespace sbp::analysis {
+
+KAnonymityIndex::KAnonymityIndex(unsigned prefix_bits) : bits_(prefix_bits) {
+  if (prefix_bits == 0 || prefix_bits > 64 || prefix_bits % 8 != 0) {
+    throw std::invalid_argument(
+        "KAnonymityIndex: prefix_bits must be a multiple of 8 in [8, 64]");
+  }
+}
+
+void KAnonymityIndex::add_expression(std::string_view expression) {
+  const crypto::Digest256 digest = crypto::Digest256::of(expression);
+  ++counts_[digest.prefix_bits64(bits_)];
+}
+
+void KAnonymityIndex::add_corpus(const corpus::WebCorpus& corpus) {
+  corpus.for_each_site([this](const corpus::Site& site) {
+    std::unordered_set<std::string> seen;
+    for (const corpus::Page& page : site.pages) {
+      const auto hosts = url::host_suffixes(page.host, false);
+      const auto paths =
+          url::path_prefixes(page.path, page.query, page.has_query);
+      for (const auto& host : hosts) {
+        for (const auto& path : paths) {
+          std::string expression = host + path;
+          if (seen.insert(expression).second) {
+            add_expression(expression);
+          }
+        }
+      }
+    }
+  });
+}
+
+std::uint64_t KAnonymityIndex::k_of(std::uint64_t prefix) const {
+  const auto it = counts_.find(prefix);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t KAnonymityIndex::k_of_expression(
+    std::string_view expression) const {
+  const crypto::Digest256 digest = crypto::Digest256::of(expression);
+  return k_of(digest.prefix_bits64(bits_));
+}
+
+KAnonymityStats KAnonymityIndex::stats() const {
+  KAnonymityStats out;
+  out.distinct_prefixes = counts_.size();
+  if (counts_.empty()) return out;
+  std::uint64_t unique = 0;
+  std::uint64_t min_k = UINT64_MAX, max_k = 0, total = 0;
+  for (const auto& [prefix, count] : counts_) {
+    total += count;
+    if (count == 1) ++unique;
+    if (count < min_k) min_k = count;
+    if (count > max_k) max_k = count;
+  }
+  out.total_expressions = total;
+  out.min_k = min_k;
+  out.max_k = max_k;
+  out.mean_k =
+      static_cast<double>(total) / static_cast<double>(counts_.size());
+  out.unique_fraction =
+      static_cast<double>(unique) / static_cast<double>(counts_.size());
+  return out;
+}
+
+}  // namespace sbp::analysis

@@ -1,0 +1,61 @@
+// Empirical k-anonymity of hashing-and-truncation (paper Sections 1, 5, 8).
+//
+// The paper's privacy metric for a single transmitted prefix is the number
+// of URLs sharing that prefix (a k-anonymity argument, Sweeney 2002): the
+// server's uncertainty set. Table 5 bounds it analytically; this module
+// measures it empirically over a corpus -- build an index prefix -> number
+// of distinct decomposition expressions, then query anonymity set sizes.
+// The mitigation bench also uses it to quantify the k gained by dummy
+// requests (Section 8).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/web_corpus.hpp"
+#include "crypto/digest.hpp"
+
+namespace sbp::analysis {
+
+struct KAnonymityStats {
+  std::uint64_t distinct_prefixes = 0;
+  std::uint64_t total_expressions = 0;
+  std::uint64_t min_k = 0;   ///< smallest anonymity set (worst case)
+  std::uint64_t max_k = 0;   ///< largest anonymity set
+  double mean_k = 0.0;
+  /// Fraction of prefixes with k == 1: uniquely re-identifiable.
+  double unique_fraction = 0.0;
+};
+
+/// Index of prefix -> anonymity set size over a set of expressions.
+class KAnonymityIndex {
+ public:
+  /// `prefix_bits` must be a multiple of 8 in [8, 64] (head-packed).
+  explicit KAnonymityIndex(unsigned prefix_bits = 32);
+
+  /// Adds one canonical expression (deduplication is the caller's concern;
+  /// feed unique expressions for URL-level anonymity).
+  void add_expression(std::string_view expression);
+
+  /// Adds every decomposition of every page of the corpus (deduplicated
+  /// globally).
+  void add_corpus(const corpus::WebCorpus& corpus);
+
+  /// Anonymity set size of one prefix (0 if never seen).
+  [[nodiscard]] std::uint64_t k_of(std::uint64_t prefix) const;
+
+  /// k for the prefix of a given expression.
+  [[nodiscard]] std::uint64_t k_of_expression(
+      std::string_view expression) const;
+
+  [[nodiscard]] KAnonymityStats stats() const;
+
+  [[nodiscard]] unsigned prefix_bits() const noexcept { return bits_; }
+
+ private:
+  unsigned bits_;
+  std::unordered_map<std::uint64_t, std::uint32_t> counts_;
+};
+
+}  // namespace sbp::analysis

@@ -1,0 +1,88 @@
+#include "analysis/multi_prefix.hpp"
+
+#include <unordered_set>
+
+#include "url/decompose.hpp"
+#include "url/domain.hpp"
+
+namespace sbp::analysis {
+
+namespace {
+
+class Scanner {
+ public:
+  Scanner(const sb::Server& server, std::string list_name,
+          std::size_t max_examples)
+      : list_name_(std::move(list_name)), max_examples_(max_examples) {
+    for (const auto prefix : server.prefixes(list_name_)) {
+      prefixes_.insert(prefix);
+    }
+    scan_.list_name = list_name_;
+  }
+
+  void scan_one(const std::string& url_string) {
+    ++scan_.urls_scanned;
+    const auto decompositions = url::decompose(url_string);
+    if (decompositions.empty()) return;
+
+    MultiPrefixUrl hit;
+    std::unordered_set<crypto::Prefix32> seen;
+    for (const auto& d : decompositions) {
+      const crypto::Prefix32 prefix = crypto::prefix32_of(d.expression);
+      if (prefixes_.count(prefix) == 0 || !seen.insert(prefix).second) {
+        continue;
+      }
+      hit.matching_expressions.push_back(d.expression);
+      hit.matching_prefixes.push_back(prefix);
+    }
+    if (hit.matching_prefixes.size() < 2) return;
+
+    ++scan_.urls_with_multi_hits;
+    hit.url = url_string;
+    hit.domain = url::registrable_domain(decompositions.front().host);
+    domains_.insert(hit.domain);
+    if (scan_.examples.size() < max_examples_) {
+      scan_.examples.push_back(std::move(hit));
+    }
+  }
+
+  MultiPrefixScan finish() {
+    scan_.distinct_domains = domains_.size();
+    return std::move(scan_);
+  }
+
+ private:
+  std::string list_name_;
+  std::size_t max_examples_;
+  std::unordered_set<crypto::Prefix32> prefixes_;
+  std::unordered_set<std::string> domains_;
+  MultiPrefixScan scan_;
+};
+
+}  // namespace
+
+MultiPrefixScan scan_corpus(const sb::Server& server,
+                            const std::string& list_name,
+                            const corpus::WebCorpus& corpus,
+                            std::size_t max_examples) {
+  Scanner scanner(server, list_name, max_examples);
+  corpus.for_each_site([&scanner](const corpus::Site& site) {
+    for (const corpus::Page& page : site.pages) {
+      scanner.scan_one(page.url());
+    }
+  });
+  return scanner.finish();
+}
+
+MultiPrefixScan scan_urls(const sb::Server& server,
+                          const std::string& list_name,
+                          const std::vector<std::string>& urls,
+                          std::size_t max_examples) {
+  Scanner scanner(server, list_name, max_examples);
+  for (const auto& url_string : urls) {
+    scanner.scan_one(url_string);
+  }
+  return scanner.finish();
+}
+
+}  // namespace sbp::analysis

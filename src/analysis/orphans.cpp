@@ -1,0 +1,79 @@
+#include "analysis/orphans.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "crypto/digest.hpp"
+#include "url/decompose.hpp"
+
+namespace sbp::analysis {
+
+OrphanCensus census_list(const sb::Server& server,
+                         const std::string& list_name) {
+  OrphanCensus census;
+  census.list_name = list_name;
+  for (const auto prefix : server.prefixes(list_name)) {
+    ++census.total_prefixes;
+    const std::size_t digests = server.digests_for(list_name, prefix).size();
+    if (digests == 0) {
+      ++census.orphans;
+    } else if (digests == 1) {
+      ++census.one_digest;
+    } else if (digests == 2) {
+      ++census.two_digest;
+    } else {
+      ++census.more_digest;
+    }
+  }
+  return census;
+}
+
+std::vector<OrphanCensus> census_all(const sb::Server& server) {
+  std::vector<OrphanCensus> out;
+  for (const auto& name : server.list_names()) {
+    out.push_back(census_list(server, name));
+  }
+  return out;
+}
+
+CorpusCollision corpus_collisions(const sb::Server& server,
+                                  const std::string& list_name,
+                                  const corpus::WebCorpus& corpus) {
+  CorpusCollision result;
+  result.list_name = list_name;
+
+  // Classify the list's prefixes once.
+  std::unordered_map<crypto::Prefix32, std::size_t> digest_count;
+  for (const auto prefix : server.prefixes(list_name)) {
+    digest_count[prefix] = server.digests_for(list_name, prefix).size();
+  }
+
+  corpus.for_each_site([&](const corpus::Site& site) {
+    for (const corpus::Page& page : site.pages) {
+      const auto hosts = url::host_suffixes(page.host, false);
+      const auto paths =
+          url::path_prefixes(page.path, page.query, page.has_query);
+      bool hit_orphan = false, hit_one = false, hit_multi = false;
+      for (const auto& host : hosts) {
+        for (const auto& path : paths) {
+          const auto it =
+              digest_count.find(crypto::prefix32_of(host + path));
+          if (it == digest_count.end()) continue;
+          if (it->second == 0) {
+            hit_orphan = true;
+          } else if (it->second == 1) {
+            hit_one = true;
+          } else {
+            hit_multi = true;
+          }
+        }
+      }
+      if (hit_orphan) ++result.urls_hitting_orphans;
+      if (hit_one) ++result.urls_hitting_one_parent;
+      if (hit_multi) ++result.urls_hitting_multi_parent;
+    }
+  });
+  return result;
+}
+
+}  // namespace sbp::analysis

@@ -1,0 +1,62 @@
+// Orphan-prefix forensics (paper Section 7.2, Table 11).
+//
+// An "orphan" is a published prefix with no full digest behind it: querying
+// it triggers the full-hash round trip (leaking the prefix + cookie) yet
+// can never label anything malicious. The paper found 159 orphans at Google
+// but up to 100% of some Yandex lists (ydx-yellow-shavar,
+// ydx-mitb-masks-shavar), proving prefix injection is possible -- the
+// tracking enabler of Section 6.3.
+//
+// This module crawls a Server the way the paper crawled the real services:
+// enumerate the prefix list, request full hashes for each prefix, classify
+// by digests-per-prefix (0 = orphan, 1, 2, ...), and cross-check a URL
+// corpus for pages whose decompositions hit orphan or single-parent
+// prefixes (Table 11's "collisions with the Alexa list").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/web_corpus.hpp"
+#include "sb/server.hpp"
+
+namespace sbp::analysis {
+
+struct OrphanCensus {
+  std::string list_name;
+  std::size_t total_prefixes = 0;
+  std::size_t orphans = 0;          ///< 0 full hashes
+  std::size_t one_digest = 0;       ///< exactly 1
+  std::size_t two_digest = 0;       ///< exactly 2
+  std::size_t more_digest = 0;      ///< > 2
+  [[nodiscard]] double orphan_fraction() const noexcept {
+    return total_prefixes == 0
+               ? 0.0
+               : static_cast<double>(orphans) /
+                     static_cast<double>(total_prefixes);
+  }
+};
+
+/// Crawls one list of `server` (prefix enumeration + full-hash resolution).
+[[nodiscard]] OrphanCensus census_list(const sb::Server& server,
+                                       const std::string& list_name);
+
+/// Crawls every list.
+[[nodiscard]] std::vector<OrphanCensus> census_all(const sb::Server& server);
+
+/// Collisions between a URL corpus and a list's prefixes, bucketed by how
+/// many full digests stand behind the hit prefix (Table 11, right half):
+/// index 0 = URLs hitting an orphan, 1 = hitting a one-parent prefix, ...
+struct CorpusCollision {
+  std::string list_name;
+  std::uint64_t urls_hitting_orphans = 0;
+  std::uint64_t urls_hitting_one_parent = 0;
+  std::uint64_t urls_hitting_multi_parent = 0;
+};
+
+[[nodiscard]] CorpusCollision corpus_collisions(
+    const sb::Server& server, const std::string& list_name,
+    const corpus::WebCorpus& corpus);
+
+}  // namespace sbp::analysis

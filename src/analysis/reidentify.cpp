@@ -1,0 +1,95 @@
+#include "analysis/reidentify.hpp"
+
+#include <algorithm>
+
+#include "url/decompose.hpp"
+
+namespace sbp::analysis {
+
+void ReidentificationIndex::add_url(std::string_view raw_url) {
+  const auto decompositions = url::decompose(raw_url);
+  if (decompositions.empty()) return;
+
+  UrlEntry entry;
+  const auto index = static_cast<std::uint32_t>(urls_.size());
+  for (const auto& d : decompositions) {
+    const crypto::Prefix32 prefix = crypto::prefix32_of(d.expression);
+    if (d.is_exact) entry.exact = d.expression;
+    if (std::find(entry.prefixes.begin(), entry.prefixes.end(), prefix) ==
+        entry.prefixes.end()) {
+      entry.prefixes.push_back(prefix);
+      urls_by_prefix_[prefix].push_back(index);
+    }
+    auto& expressions = by_prefix_[prefix];
+    if (std::find(expressions.begin(), expressions.end(), d.expression) ==
+        expressions.end()) {
+      expressions.push_back(d.expression);
+    }
+  }
+  if (entry.exact.empty()) entry.exact = decompositions.front().expression;
+  urls_.push_back(std::move(entry));
+}
+
+void ReidentificationIndex::add_corpus(const corpus::WebCorpus& corpus) {
+  corpus.for_each_site([this](const corpus::Site& site) {
+    for (const corpus::Page& page : site.pages) {
+      add_url(page.url());
+    }
+  });
+}
+
+std::vector<std::string> ReidentificationIndex::invert_prefix(
+    crypto::Prefix32 prefix) const {
+  const auto it = by_prefix_.find(prefix);
+  return it == by_prefix_.end() ? std::vector<std::string>{} : it->second;
+}
+
+ReidentificationResult ReidentificationIndex::reidentify(
+    const std::vector<crypto::Prefix32>& prefixes) const {
+  ReidentificationResult result;
+  if (prefixes.empty()) return result;
+
+  // Union of expressions per prefix (diagnostic).
+  for (const auto prefix : prefixes) {
+    for (const auto& expression : invert_prefix(prefix)) {
+      result.matching_expressions.push_back(expression);
+    }
+  }
+  std::sort(result.matching_expressions.begin(),
+            result.matching_expressions.end());
+  result.matching_expressions.erase(
+      std::unique(result.matching_expressions.begin(),
+                  result.matching_expressions.end()),
+      result.matching_expressions.end());
+
+  // Intersect URL posting lists across prefixes.
+  const auto first = urls_by_prefix_.find(prefixes[0]);
+  if (first == urls_by_prefix_.end()) return result;
+  std::vector<std::uint32_t> survivors = first->second;
+  for (std::size_t i = 1; i < prefixes.size() && !survivors.empty(); ++i) {
+    const auto it = urls_by_prefix_.find(prefixes[i]);
+    if (it == urls_by_prefix_.end()) {
+      survivors.clear();
+      break;
+    }
+    const std::vector<std::uint32_t>& other = it->second;
+    std::vector<std::uint32_t> next;
+    for (const auto url_index : survivors) {
+      if (std::find(other.begin(), other.end(), url_index) != other.end()) {
+        next.push_back(url_index);
+      }
+    }
+    survivors = std::move(next);
+  }
+
+  for (const auto url_index : survivors) {
+    result.candidate_urls.push_back(urls_[url_index].exact);
+  }
+  std::sort(result.candidate_urls.begin(), result.candidate_urls.end());
+  result.candidate_urls.erase(
+      std::unique(result.candidate_urls.begin(), result.candidate_urls.end()),
+      result.candidate_urls.end());
+  return result;
+}
+
+}  // namespace sbp::analysis

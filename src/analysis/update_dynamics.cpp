@@ -1,0 +1,81 @@
+#include "analysis/update_dynamics.hpp"
+
+#include <string>
+#include <unordered_set>
+
+#include "crypto/digest.hpp"
+#include "sb/client.hpp"
+#include "sb/transport.hpp"
+#include "storage/bloom_filter.hpp"
+#include "util/rng.hpp"
+
+namespace sbp::analysis {
+
+ChurnReport simulate_churn(const ChurnConfig& config) {
+  sb::Server server;
+  sb::SimClock clock;
+  sb::Transport transport(server, clock);
+  util::Rng rng(config.seed);
+
+  auto fresh_expression = [&rng]() {
+    return "churn" + std::to_string(rng.next()) + ".example/";
+  };
+
+  // Round 0: initial database + initial full sync.
+  std::vector<std::string> live;
+  for (std::size_t i = 0; i < config.initial_entries; ++i) {
+    live.push_back(fresh_expression());
+    server.add_expression("list", live.back());
+  }
+  server.seal_chunk("list");
+  const std::unordered_set<std::string> day0(live.begin(), live.end());
+
+  sb::ClientConfig client_config;
+  sb::Client client(transport, client_config);
+  client.subscribe("list");
+  (void)client.update();
+
+  ChurnReport report;
+  std::uint64_t bytes_before = transport.stats().bytes_down;
+
+  for (std::size_t round = 1; round <= config.rounds; ++round) {
+    // Churn: remove the oldest entries, add fresh ones.
+    for (std::size_t i = 0; i < config.removals_per_round && !live.empty();
+         ++i) {
+      server.remove_expression("list", live.front());
+      live.erase(live.begin());
+    }
+    for (std::size_t i = 0; i < config.adds_per_round; ++i) {
+      live.push_back(fresh_expression());
+      server.add_expression("list", live.back());
+    }
+    server.seal_chunk("list");
+    (void)client.update();
+
+    ChurnRound row;
+    row.round = round;
+    row.incremental_bytes = transport.stats().bytes_down - bytes_before;
+    bytes_before = transport.stats().bytes_down;
+    row.client_prefixes = client.local_prefix_count();
+    row.full_download_bytes =
+        static_cast<std::uint64_t>(row.client_prefixes) * 4;
+    row.bloom_reship_bytes = storage::BloomFilter::kChromiumDefaultBits / 8;
+
+    std::size_t still_live = 0;
+    for (const auto& expression : live) {
+      if (day0.count(expression) > 0) ++still_live;
+    }
+    row.day0_knowledge_fraction =
+        day0.empty() ? 0.0
+                     : static_cast<double>(still_live) /
+                           static_cast<double>(day0.size());
+
+    report.total_incremental_bytes += row.incremental_bytes;
+    report.total_full_download_bytes += row.full_download_bytes;
+    report.total_bloom_reship_bytes += row.bloom_reship_bytes;
+    report.rounds.push_back(row);
+  }
+  return report;
+}
+
+}  // namespace sbp::analysis

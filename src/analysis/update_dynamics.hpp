@@ -1,0 +1,50 @@
+// Blacklist churn dynamics (paper Sections 2.2.2 and 7.1).
+//
+// Two of the paper's arguments rest on the lists being "highly dynamic":
+//   * Google abandoned the Bloom filter because it cannot be updated
+//     incrementally -- every change re-ships ~3 MB, while the delta-coded
+//     table syncs with small chunk diffs;
+//   * reconstruction-by-crawling stays hard because "the blacklists
+//     provided by GSB and YSB are extremely dynamic. This requires a user
+//     to regularly crawl web pages", invalidating yesterday's inversion.
+// This module drives a real Server/Client pair through add/remove rounds
+// and measures, per round: incremental update bytes vs a full re-download,
+// the client's prefix count, and how much of a day-零 crawl's knowledge
+// remains valid ("inversion decay").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sbp::analysis {
+
+struct ChurnConfig {
+  std::size_t initial_entries = 1000;
+  std::size_t adds_per_round = 50;
+  std::size_t removals_per_round = 30;
+  std::size_t rounds = 10;
+  std::uint64_t seed = 1;
+};
+
+struct ChurnRound {
+  std::size_t round = 0;
+  std::uint64_t incremental_bytes = 0;   ///< chunk diff shipped this round
+  std::uint64_t full_download_bytes = 0; ///< 4 B x current prefix count
+  std::uint64_t bloom_reship_bytes = 0;  ///< constant full filter re-ship
+  std::size_t client_prefixes = 0;       ///< client DB size after sync
+  /// Fraction of the round-0 ground truth still present in the list --
+  /// what a day-zero crawl can still invert (Section 7.1's decay).
+  double day0_knowledge_fraction = 0.0;
+};
+
+struct ChurnReport {
+  std::vector<ChurnRound> rounds;
+  std::uint64_t total_incremental_bytes = 0;
+  std::uint64_t total_full_download_bytes = 0;
+  std::uint64_t total_bloom_reship_bytes = 0;
+};
+
+/// Runs the churn simulation end to end over the real protocol stack.
+[[nodiscard]] ChurnReport simulate_churn(const ChurnConfig& config);
+
+}  // namespace sbp::analysis

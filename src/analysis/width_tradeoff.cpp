@@ -1,0 +1,29 @@
+#include "analysis/width_tradeoff.hpp"
+
+#include <cmath>
+
+namespace sbp::analysis {
+
+std::vector<WidthPoint> sweep_widths(const WidthTradeoffConfig& config,
+                                     const std::vector<unsigned>& widths) {
+  std::vector<WidthPoint> out;
+  out.reserve(widths.size());
+  for (const unsigned bits : widths) {
+    WidthPoint point;
+    point.bits = bits;
+    const double bins = std::pow(2.0, static_cast<double>(bits));
+    point.expected_k_urls = config.web_urls / bins;
+    point.expected_k_domains = config.web_domains / bins;
+    point.false_hit_probability =
+        static_cast<double>(config.blacklist_size) / bins;
+    // One benign page load tests `decompositions_per_url` decompositions;
+    // each false hit triggers one leaking request.
+    point.leaks_per_1000_loads = 1000.0 * config.decompositions_per_url *
+                                 point.false_hit_probability;
+    point.raw_store_bytes = config.blacklist_size * (bits / 8);
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace sbp::analysis

@@ -1,0 +1,46 @@
+// Prefix-width design-space sweep (DESIGN.md ablation #5).
+//
+// The protocol's 32-bit width is a three-way trade-off the paper touches
+// repeatedly but never tabulates in one place:
+//   * privacy: expected k-anonymity of one prefix = #web-expressions / 2^l
+//     (Table 5's M is its max-load sharpening);
+//   * client false-positive traffic: a benign decomposition hits the local
+//     database w.p. |blacklist| / 2^l, each hit costing a full-hash round
+//     trip that leaks the prefix + cookie;
+//   * memory: the Table 2 store sizes grow linearly in l.
+// This module computes all three per width, producing the ablation table
+// `bench_width_tradeoff` prints.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sbp::analysis {
+
+struct WidthPoint {
+  unsigned bits = 0;
+  /// Expected URLs per prefix: web_size / 2^bits (mean anonymity set).
+  double expected_k_urls = 0.0;
+  /// Expected registrable domains per prefix.
+  double expected_k_domains = 0.0;
+  /// Probability a benign decomposition hits the local DB by chance.
+  double false_hit_probability = 0.0;
+  /// Expected privacy-leaking server contacts per 1000 benign page loads
+  /// (assuming `decompositions_per_url` tested decompositions each).
+  double leaks_per_1000_loads = 0.0;
+  /// Raw client store bytes (blacklist_size * bits/8).
+  std::uint64_t raw_store_bytes = 0;
+};
+
+struct WidthTradeoffConfig {
+  double web_urls = 60e12;        ///< paper's 2013 URL count
+  double web_domains = 271e6;     ///< paper's 2013 domain count
+  std::uint64_t blacklist_size = 630428;  ///< Table 2's workload
+  double decompositions_per_url = 3.0;    ///< Section 6.2 typical mean
+};
+
+/// Computes the trade-off at each width (multiples of 8 in [8, 256]).
+[[nodiscard]] std::vector<WidthPoint> sweep_widths(
+    const WidthTradeoffConfig& config, const std::vector<unsigned>& widths);
+
+}  // namespace sbp::analysis

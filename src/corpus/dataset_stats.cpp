@@ -1,0 +1,91 @@
+#include "corpus/dataset_stats.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "crypto/digest.hpp"
+#include "url/decompose.hpp"
+
+namespace sbp::corpus {
+
+SiteStats compute_site_stats(const Site& site) {
+  SiteStats stats;
+  stats.urls = site.pages.size();
+  if (site.pages.empty()) return stats;
+
+  // decomposition expression -> number of distinct pages producing it.
+  std::unordered_map<std::string, std::uint32_t> owners;
+  owners.reserve(site.pages.size() * 4);
+
+  std::uint64_t total_decomps = 0;
+  std::uint32_t min_d = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t max_d = 0;
+
+  for (const Page& page : site.pages) {
+    const auto hosts = url::host_suffixes(page.host, /*host_is_ip=*/false);
+    const auto paths =
+        url::path_prefixes(page.path, page.query, page.has_query);
+    const auto count = static_cast<std::uint32_t>(hosts.size() * paths.size());
+    total_decomps += count;
+    min_d = std::min(min_d, count);
+    max_d = std::max(max_d, count);
+    for (const auto& host : hosts) {
+      for (const auto& path : paths) {
+        ++owners[host + path];
+      }
+    }
+  }
+
+  stats.unique_decompositions = owners.size();
+  stats.mean_decompositions_per_url =
+      static_cast<double>(total_decomps) / static_cast<double>(stats.urls);
+  stats.min_decompositions_per_url = min_d;
+  stats.max_decompositions_per_url = max_d;
+
+  // Type I nodes + 32-bit prefix collisions among unique decompositions.
+  std::unordered_map<crypto::Prefix32, std::uint32_t> prefix_counts;
+  prefix_counts.reserve(owners.size());
+  for (const auto& [expression, owner_count] : owners) {
+    if (owner_count >= 2) ++stats.type1_collision_nodes;
+    ++prefix_counts[crypto::prefix32_of(expression)];
+  }
+  for (const auto& [prefix, count] : prefix_counts) {
+    if (count >= 2) {
+      stats.prefix_collisions +=
+          static_cast<std::uint64_t>(count) * (count - 1) / 2;
+    }
+  }
+  return stats;
+}
+
+DatasetStats compute_dataset_stats(const WebCorpus& corpus) {
+  DatasetStats out;
+  out.hosts = corpus.num_hosts();
+  out.urls_per_host.reserve(out.hosts);
+  out.decompositions_per_host.reserve(out.hosts);
+
+  corpus.for_each_site([&out](const Site& site) {
+    const SiteStats stats = compute_site_stats(site);
+    out.urls += stats.urls;
+    out.unique_decompositions += stats.unique_decompositions;
+    if (stats.urls == 1) ++out.single_page_hosts;
+    if (stats.prefix_collisions > 0) ++out.hosts_with_prefix_collisions;
+    if (stats.type1_collision_nodes == 0) ++out.hosts_without_type1;
+    out.max_urls_on_host = std::max(out.max_urls_on_host, stats.urls);
+
+    out.urls_per_host.push_back(stats.urls);
+    out.decompositions_per_host.push_back(stats.unique_decompositions);
+    out.mean_decomps_per_host.push_back(stats.mean_decompositions_per_url);
+    out.min_decomps_per_host.push_back(stats.min_decompositions_per_url);
+    out.max_decomps_per_host.push_back(stats.max_decompositions_per_url);
+    out.collisions_per_host.push_back(stats.prefix_collisions);
+  });
+
+  out.pages_fit = util::fit_power_law(out.urls_per_host, 1);
+  return out;
+}
+
+}  // namespace sbp::corpus

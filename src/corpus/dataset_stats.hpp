@@ -1,0 +1,62 @@
+// Per-host and dataset-level statistics (paper Section 6.2, Table 8,
+// Figures 5a-5f and 6).
+//
+// For each host the paper measures: number of URLs, number of unique
+// decompositions, the mean/min/max number of decompositions per URL, and
+// the number of 32-bit prefix collisions among the host's decompositions
+// (Figure 6, a birthday-paradox effect visible from ~2^16 decompositions).
+// Dataset-level aggregates: total URLs/decompositions (Table 8), cumulative
+// URL coverage ("19000 hosts cover 80% of Alexa URLs"), the fraction of
+// single-page hosts, the fraction of hosts without Type I collisions, and
+// the power-law fit of pages-per-host.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/web_corpus.hpp"
+#include "util/power_law.hpp"
+
+namespace sbp::corpus {
+
+/// Statistics of a single host (one Site).
+struct SiteStats {
+  std::uint64_t urls = 0;
+  std::uint64_t unique_decompositions = 0;
+  double mean_decompositions_per_url = 0.0;
+  std::uint32_t min_decompositions_per_url = 0;
+  std::uint32_t max_decompositions_per_url = 0;
+  /// Figure 6: sum over 32-bit prefix buckets of C(count, 2) across the
+  /// host's unique decomposition expressions.
+  std::uint64_t prefix_collisions = 0;
+  /// Section 6.2: decomposition expressions shared by >= 2 URLs.
+  std::uint64_t type1_collision_nodes = 0;
+};
+
+/// Computes SiteStats for one generated site. Pages are already canonical,
+/// so decompositions are taken directly from (host, path, query).
+[[nodiscard]] SiteStats compute_site_stats(const Site& site);
+
+/// Dataset-level aggregation across all hosts of a corpus.
+struct DatasetStats {
+  std::uint64_t hosts = 0;
+  std::uint64_t urls = 0;                      // Table 8 column 2
+  std::uint64_t unique_decompositions = 0;     // Table 8 column 3 (summed per host)
+  std::uint64_t single_page_hosts = 0;         // "61% of random hosts"
+  std::uint64_t hosts_with_prefix_collisions = 0;   // "0.48% / 0.26%"
+  std::uint64_t hosts_without_type1 = 0;       // "56% / 60%"
+  std::uint64_t max_urls_on_host = 0;          // Figure 5a peak
+  util::PowerLawFit pages_fit;                 // alpha-hat (paper: 1.312)
+
+  std::vector<std::uint64_t> urls_per_host;            // Fig 5a series
+  std::vector<std::uint64_t> decompositions_per_host;  // Fig 5c series
+  std::vector<double> mean_decomps_per_host;           // Fig 5d
+  std::vector<std::uint32_t> min_decomps_per_host;     // Fig 5e
+  std::vector<std::uint32_t> max_decomps_per_host;     // Fig 5f
+  std::vector<std::uint64_t> collisions_per_host;      // Fig 6
+};
+
+/// Runs compute_site_stats over every site of the corpus and aggregates.
+[[nodiscard]] DatasetStats compute_dataset_stats(const WebCorpus& corpus);
+
+}  // namespace sbp::corpus

@@ -1,0 +1,103 @@
+#include "corpus/domain_hierarchy.hpp"
+
+#include <algorithm>
+
+namespace sbp::corpus {
+
+namespace {
+
+/// |A /\ B| for small string vectors (decomposition host/path sets have at
+/// most 5 and 6 elements respectively).
+std::size_t intersection_size(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  std::size_t count = 0;
+  for (const auto& x : a) {
+    if (std::find(b.begin(), b.end(), x) != b.end()) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+DomainHierarchy::DomainHierarchy(const std::vector<std::string>& urls) {
+  urls_.reserve(urls.size());
+  for (const std::string& raw : urls) {
+    const auto canonical = url::canonicalize(raw);
+    if (!canonical) continue;
+    UrlEntry entry;
+    entry.exact = canonical->expression();
+    if (index_by_exact_.count(entry.exact) > 0) continue;  // duplicate URL
+    entry.hosts = url::host_suffixes(canonical->host, canonical->host_is_ip);
+    entry.paths = url::path_prefixes(canonical->path, canonical->query,
+                                     canonical->has_query);
+    index_by_exact_[entry.exact] = urls_.size();
+    urls_.push_back(std::move(entry));
+  }
+
+  // Count distinct URLs per decomposition expression.
+  for (const UrlEntry& entry : urls_) {
+    for (const auto& host : entry.hosts) {
+      for (const auto& path : entry.paths) {
+        ++decomposition_owners_[host + path];
+      }
+    }
+  }
+  decomposition_count_ = decomposition_owners_.size();
+  for (const auto& [expr, owners] : decomposition_owners_) {
+    if (owners >= 2) ++type1_nodes_;
+  }
+}
+
+std::size_t DomainHierarchy::find_url(
+    std::string_view exact_expression) const {
+  const auto it = index_by_exact_.find(std::string(exact_expression));
+  return it == index_by_exact_.end() ? npos : it->second;
+}
+
+bool DomainHierarchy::is_leaf(std::string_view exact_expression) const {
+  const std::size_t self = find_url(exact_expression);
+  const auto it = decomposition_owners_.find(std::string(exact_expression));
+  if (it == decomposition_owners_.end()) {
+    // Not even a decomposition of itself: unknown URL. Treat as leaf only if
+    // it is a known URL (it is not), so return false.
+    return false;
+  }
+  // The expression is a decomposition of its own URL; it is a leaf iff no
+  // *other* URL produces it.
+  const std::uint32_t owners = it->second;
+  if (self == npos) return false;
+  return owners == 1;
+}
+
+std::vector<std::string> DomainHierarchy::type1_colliders(
+    std::string_view exact_expression) const {
+  std::vector<std::string> out;
+  const std::size_t self = find_url(exact_expression);
+  if (self == npos) return out;
+  const UrlEntry& u = urls_[self];
+  for (std::size_t i = 0; i < urls_.size(); ++i) {
+    if (i == self) continue;
+    const UrlEntry& v = urls_[i];
+    // |D(u) /\ D(v)| = |H /\| * |P /\| by the product structure.
+    const std::size_t h = intersection_size(u.hosts, v.hosts);
+    if (h == 0) continue;
+    const std::size_t p = intersection_size(u.paths, v.paths);
+    if (h * p >= 2) out.push_back(v.exact);
+  }
+  return out;
+}
+
+std::vector<std::string> DomainHierarchy::decompositions_of(
+    std::size_t i) const {
+  std::vector<std::string> out;
+  const UrlEntry& entry = urls_.at(i);
+  out.reserve(entry.hosts.size() * entry.paths.size());
+  for (const auto& host : entry.hosts) {
+    for (const auto& path : entry.paths) {
+      out.push_back(host + path);
+    }
+  }
+  return out;
+}
+
+}  // namespace sbp::corpus

@@ -1,0 +1,196 @@
+#include "corpus/web_corpus.hpp"
+
+#include <array>
+#include <unordered_set>
+
+namespace sbp::corpus {
+
+namespace {
+
+constexpr std::array<const char*, 8> kTlds = {
+    "com", "net", "org", "ru", "info", "biz", "co.uk", "com.au"};
+
+constexpr std::array<const char*, 10> kSubdomains = {
+    "www", "m", "fr", "nl", "blog", "shop", "mail", "mobile", "en", "cdn"};
+
+constexpr std::array<const char*, 8> kDirWords = {
+    "tag", "user", "wp", "menu", "2016", "cat", "img", "data"};
+
+constexpr std::array<const char*, 6> kFileExts = {".html", ".php",  ".pwf",
+                                                  ".asp",  ".aspx", ""};
+
+}  // namespace
+
+CorpusConfig CorpusConfig::alexa_like(std::size_t hosts, std::uint64_t seed) {
+  CorpusConfig config;
+  config.num_hosts = hosts;
+  config.seed = seed;
+  config.single_page_fraction = 0.0;
+  // Popular hosts host more pages: raise the floor so the Alexa curve sits
+  // above the random curve in Figure 5a, as in the paper.
+  config.min_pages = 4;
+  config.subdomain_probability = 0.25;
+  return config;
+}
+
+CorpusConfig CorpusConfig::random_like(std::size_t hosts,
+                                       std::uint64_t seed) {
+  CorpusConfig config;
+  config.num_hosts = hosts;
+  config.seed = seed ^ 0x9d2c5680aad2f1ULL;  // distinct stream from Alexa
+  config.single_page_fraction = 0.61;        // paper Section 6.2
+  // Non-forced hosts draw from X >= 2 so the overall single-page mass is
+  // exactly the forced fraction.
+  config.min_pages = 2;
+  config.subdomain_probability = 0.12;
+  return config;
+}
+
+std::string Page::expression() const {
+  std::string out = host + path;
+  if (has_query) {
+    out += '?';
+    out += query;
+  }
+  return out;
+}
+
+std::string Page::url() const { return "http://" + expression(); }
+
+WebCorpus::WebCorpus(CorpusConfig config)
+    : config_(config),
+      page_sampler_(config.alpha, std::max<std::uint64_t>(1, config.min_pages),
+                    std::max<std::uint64_t>(config.min_pages,
+                                            config.max_pages)) {}
+
+util::Rng WebCorpus::site_rng(std::size_t index) const {
+  // Mix the seed and index through splitmix so neighbouring sites get
+  // uncorrelated streams.
+  std::uint64_t state = config_.seed;
+  (void)util::splitmix64(state);
+  state ^= 0x1234567 + static_cast<std::uint64_t>(index) * 0x9E3779B97F4A7C15ULL;
+  return util::Rng(util::splitmix64(state));
+}
+
+std::string WebCorpus::site_domain(std::size_t index) const {
+  util::Rng rng = site_rng(index);
+  const char* tld = kTlds[rng.next_below(kTlds.size())];
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "site%06zu", index);
+  return std::string(buffer) + "." + tld;
+}
+
+std::uint64_t WebCorpus::site_page_count(std::size_t index) const {
+  util::Rng rng = site_rng(index);
+  (void)rng.next();  // burn the TLD draw so counts match site()
+  if (config_.single_page_fraction > 0.0 &&
+      rng.next_bool(config_.single_page_fraction)) {
+    return 1;
+  }
+  return page_sampler_.sample(rng);
+}
+
+Site WebCorpus::site(std::size_t index) const {
+  util::Rng rng = site_rng(index);
+  const char* tld = kTlds[rng.next_below(kTlds.size())];
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "site%06zu", index);
+  const std::string domain = std::string(buffer) + "." + tld;
+
+  std::uint64_t pages;
+  if (config_.single_page_fraction > 0.0 &&
+      rng.next_bool(config_.single_page_fraction)) {
+    pages = 1;
+  } else {
+    pages = page_sampler_.sample(rng);
+  }
+
+  Site site;
+  site.domain = domain;
+  site.pages.reserve(pages);
+
+  // Directory pool: grown as pages are placed; "/" is always present.
+  std::vector<std::string> directories = {"/"};
+  // Guard against duplicate pages (two index pages of the same directory):
+  // crawl data has unique URLs per host, and the experiments' ground truth
+  // relies on it.
+  std::unordered_set<std::string> emitted;
+
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    Page page;
+
+    // Host: registrable domain or one of its subdomains.
+    if (rng.next_bool(config_.subdomain_probability)) {
+      page.host =
+          std::string(kSubdomains[rng.next_below(kSubdomains.size())]) + "." +
+          domain;
+    } else {
+      page.host = domain;
+    }
+
+    // Depth draw per the shallow-heavy distribution.
+    double draw = rng.next_double();
+    std::size_t depth = 1;
+    for (double weight : CorpusConfig::kDepthWeights) {
+      if (draw < weight) break;
+      draw -= weight;
+      ++depth;
+    }
+    if (depth > 6) depth = 6;
+
+    // Build (or reuse) a directory of depth-1 components.
+    std::string dir = "/";
+    if (depth > 1) {
+      // Reuse an existing directory 70% of the time to create the shared
+      // path prefixes that drive Type I collisions.
+      if (!directories.empty() && rng.next_bool(0.7)) {
+        dir = directories[rng.next_below(directories.size())];
+      }
+      // Extend to the target depth.
+      std::size_t current_depth = 1;
+      for (char c : dir) {
+        if (c == '/') ++current_depth;
+      }
+      // current_depth counts segments + 1; normalize: "/" -> 1, "/a/" -> 2.
+      current_depth = (dir == "/") ? 1 : current_depth - 1;
+      while (current_depth < depth) {
+        dir += kDirWords[rng.next_below(kDirWords.size())];
+        dir += std::to_string(rng.next_below(10));
+        dir += '/';
+        ++current_depth;
+        if (directories.size() < 64) directories.push_back(dir);
+      }
+    }
+
+    if (rng.next_bool(config_.directory_page_probability)) {
+      page.path = dir;  // directory index page
+    } else {
+      page.path = dir + "p" + std::to_string(p) +
+                  kFileExts[rng.next_below(kFileExts.size())];
+    }
+
+    if (rng.next_bool(config_.query_probability)) {
+      page.has_query = true;
+      page.query = "id=" + std::to_string(rng.next_below(1000));
+    }
+
+    if (!emitted.insert(page.expression()).second) {
+      // Duplicate (a directory index drawn twice): fall back to a file page
+      // named by the page index, which is unique by construction.
+      page.path = dir + "p" + std::to_string(p) + ".html";
+      emitted.insert(page.expression());
+    }
+    site.pages.push_back(std::move(page));
+  }
+  return site;
+}
+
+void WebCorpus::for_each_site(
+    const std::function<void(const Site&)>& fn) const {
+  for (std::size_t i = 0; i < config_.num_hosts; ++i) {
+    const Site s = site(i);
+    fn(s);
+  }
+}
+
+}  // namespace sbp::corpus

@@ -1,0 +1,84 @@
+#include "crypto/digest.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/hex.hpp"
+
+namespace sbp::crypto {
+
+Digest256 Digest256::of(std::string_view canonical_expression) {
+  return Digest256(Sha256::hash(canonical_expression));
+}
+
+Prefix32 Digest256::prefix32() const noexcept {
+  return (static_cast<std::uint32_t>(bytes_[0]) << 24) |
+         (static_cast<std::uint32_t>(bytes_[1]) << 16) |
+         (static_cast<std::uint32_t>(bytes_[2]) << 8) |
+         static_cast<std::uint32_t>(bytes_[3]);
+}
+
+std::uint64_t Digest256::prefix_bits64(unsigned bits) const noexcept {
+  const unsigned effective = std::min(bits, 64u);
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    value = (value << 8) | bytes_[i];
+  }
+  if (effective < 64) {
+    value >>= (64 - effective);
+  }
+  return value;
+}
+
+std::string Digest256::hex() const { return util::hex_encode(bytes_); }
+
+WidePrefix::WidePrefix(const Digest256& digest, unsigned bits)
+    : bytes_{}, bits_(bits) {
+  if (bits == 0 || bits > 256 || bits % 8 != 0) {
+    throw std::invalid_argument(
+        "WidePrefix: width must be a multiple of 8 in [8, 256]");
+  }
+  std::memcpy(bytes_.data(), digest.bytes().data(), bits / 8);
+}
+
+std::uint64_t WidePrefix::head64() const noexcept {
+  std::uint64_t value = 0;
+  const std::size_t n = std::min<std::size_t>(8, byte_size());
+  for (std::size_t i = 0; i < n; ++i) value = (value << 8) | bytes_[i];
+  // Left-align narrow prefixes are NOT wanted here: head64 is a sort key, so
+  // packing the available bytes into the low end keeps ordering consistent
+  // for a fixed width. Widths are uniform within one table.
+  return value;
+}
+
+std::basic_string_view<std::uint8_t> WidePrefix::tail() const noexcept {
+  if (byte_size() <= 8) return {};
+  return {bytes_.data() + 8, byte_size() - 8};
+}
+
+std::string WidePrefix::hex() const {
+  return util::hex_encode(
+      std::span<const std::uint8_t>(bytes_.data(), byte_size()));
+}
+
+std::strong_ordering operator<=>(const WidePrefix& a,
+                                 const WidePrefix& b) noexcept {
+  if (auto cmp = a.bits_ <=> b.bits_; cmp != 0) return cmp;
+  const int c = std::memcmp(a.bytes_.data(), b.bytes_.data(), a.byte_size());
+  if (c < 0) return std::strong_ordering::less;
+  if (c > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+bool operator==(const WidePrefix& a, const WidePrefix& b) noexcept {
+  return (a <=> b) == std::strong_ordering::equal;
+}
+
+Prefix32 prefix32_of(std::string_view canonical_expression) {
+  return Digest256::of(canonical_expression).prefix32();
+}
+
+std::string prefix32_hex(Prefix32 prefix) { return util::hex_u32(prefix); }
+
+}  // namespace sbp::crypto

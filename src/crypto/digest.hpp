@@ -1,0 +1,101 @@
+// Digest and truncated-prefix types for the Safe Browsing data model.
+//
+// Safe Browsing anonymizes URLs by hashing (SHA-256) and truncation to
+// a 32-bit prefix (paper Sections 2.2.1 and 5). The privacy analysis also
+// sweeps other prefix widths (Table 2: 32..256 bits; Table 5: 16..96 bits),
+// so alongside the protocol's canonical 32-bit prefix we provide a
+// variable-width `WidePrefix`.
+//
+// Conventions:
+//  * A digest is the 32-byte SHA-256 output.
+//  * prefix32() interprets the first 4 digest bytes big-endian, so its hex
+//    form equals the first 8 hex chars of `sha256sum` output -- and matches
+//    the paper's published values (0xe70ee6d1 for
+//    "petsymposium.org/2016/cfp.php").
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+
+namespace sbp::crypto {
+
+/// The Safe Browsing wire prefix: leading 32 bits of a SHA-256 digest,
+/// big-endian. This is what the client sends to the server on a local hit.
+using Prefix32 = std::uint32_t;
+
+/// A full 256-bit URL digest, as stored in the server's full-hash lists.
+class Digest256 {
+ public:
+  Digest256() noexcept : bytes_{} {}
+  explicit Digest256(const Sha256::DigestBytes& bytes) noexcept
+      : bytes_(bytes) {}
+
+  /// Digest of a canonicalized URL decomposition (the SB hash function).
+  [[nodiscard]] static Digest256 of(std::string_view canonical_expression);
+
+  [[nodiscard]] const Sha256::DigestBytes& bytes() const noexcept {
+    return bytes_;
+  }
+
+  /// Leading 32 bits, big-endian (the protocol prefix).
+  [[nodiscard]] Prefix32 prefix32() const noexcept;
+
+  /// Leading `bits` (<= 64) as a big-endian-packed integer, zero-padded in
+  /// the low positions. Used by the variable-width analyses.
+  [[nodiscard]] std::uint64_t prefix_bits64(unsigned bits) const noexcept;
+
+  /// Lowercase hex of the full digest.
+  [[nodiscard]] std::string hex() const;
+
+  friend auto operator<=>(const Digest256& a, const Digest256& b) noexcept {
+    return a.bytes_ <=> b.bytes_;
+  }
+  friend bool operator==(const Digest256& a, const Digest256& b) noexcept {
+    return a.bytes_ == b.bytes_;
+  }
+
+ private:
+  Sha256::DigestBytes bytes_;
+};
+
+/// A truncated digest of configurable width (multiple of 8 bits, 8..256).
+/// Table 2 of the paper evaluates client stores at 32/64/80/128/256 bits;
+/// Table 5 additionally uses 16 and 96 bits.
+class WidePrefix {
+ public:
+  WidePrefix() noexcept : bytes_{}, bits_(0) {}
+  WidePrefix(const Digest256& digest, unsigned bits);
+
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+  [[nodiscard]] std::size_t byte_size() const noexcept { return bits_ / 8; }
+
+  /// Leading min(bits, 64) bits packed big-endian into a uint64 (the
+  /// delta-coded table sorts/deltas on this key).
+  [[nodiscard]] std::uint64_t head64() const noexcept;
+
+  /// Bytes after the first 8 (empty for widths <= 64 bits).
+  [[nodiscard]] std::basic_string_view<std::uint8_t> tail() const noexcept;
+
+  [[nodiscard]] std::string hex() const;
+
+  friend std::strong_ordering operator<=>(const WidePrefix& a,
+                                          const WidePrefix& b) noexcept;
+  friend bool operator==(const WidePrefix& a, const WidePrefix& b) noexcept;
+
+ private:
+  std::array<std::uint8_t, 32> bytes_;  // truncated digest, zero tail
+  unsigned bits_;
+};
+
+/// Convenience: 32-bit prefix of the SHA-256 of `canonical_expression`.
+[[nodiscard]] Prefix32 prefix32_of(std::string_view canonical_expression);
+
+/// Formats a Prefix32 in the paper's "0xe70ee6d1" notation.
+[[nodiscard]] std::string prefix32_hex(Prefix32 prefix);
+
+}  // namespace sbp::crypto

@@ -1,0 +1,37 @@
+// MD5 (RFC 1321), implemented from scratch.
+//
+// Provided only for the BPjM-Modul reconstruction comparison of Section 7.1
+// (the BPjM blocklist ships as MD5/SHA-1 hashes). MD5 is cryptographically
+// broken; do not use it for anything but that experiment.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace sbp::crypto {
+
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestSize = 16;
+  using DigestBytes = std::array<std::uint8_t, kDigestSize>;
+
+  Md5() noexcept;
+
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view data) noexcept;
+  [[nodiscard]] DigestBytes finalize() noexcept;
+
+  [[nodiscard]] static DigestBytes hash(std::string_view data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 4> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace sbp::crypto

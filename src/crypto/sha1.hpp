@@ -1,0 +1,39 @@
+// SHA-1 (FIPS PUB 180-4), implemented from scratch.
+//
+// Not used by Safe Browsing itself; needed for the BPjM-Modul comparison in
+// Section 7.1 of the paper (the German BPjM blocklist is distributed as MD5
+// or SHA-1 hashes, and the paper compares its reconstruction rate with the
+// GSB/YSB prefix lists). SHA-1 is cryptographically broken; it is provided
+// here only to reproduce that experiment.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace sbp::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  using DigestBytes = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1() noexcept;
+
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view data) noexcept;
+  [[nodiscard]] DigestBytes finalize() noexcept;
+
+  [[nodiscard]] static DigestBytes hash(std::string_view data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 5> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace sbp::crypto

@@ -1,0 +1,46 @@
+// SHA-256 (FIPS PUB 180-4), implemented from scratch.
+//
+// Safe Browsing v3 hashes every canonicalized URL decomposition with SHA-256
+// and truncates the digest to a 32-bit prefix (paper Section 2.2.1). This is
+// a streaming implementation so large inputs need not be buffered.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace sbp::crypto {
+
+/// Streaming SHA-256. Usage:
+///   Sha256 h; h.update(a); h.update(b); auto digest = h.finalize();
+/// finalize() may be called exactly once; the object is then exhausted.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using DigestBytes = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() noexcept;
+
+  /// Absorbs more input.
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view data) noexcept;
+
+  /// Pads, finishes and returns the 256-bit digest.
+  [[nodiscard]] DigestBytes finalize() noexcept;
+
+  /// One-shot convenience.
+  [[nodiscard]] static DigestBytes hash(std::string_view data) noexcept;
+  [[nodiscard]] static DigestBytes hash(
+      std::span<const std::uint8_t> data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace sbp::crypto

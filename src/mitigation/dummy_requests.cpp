@@ -1,0 +1,43 @@
+#include "mitigation/dummy_requests.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace sbp::mitigation {
+
+std::vector<crypto::Prefix32> DummyPolicy::dummies_for(
+    crypto::Prefix32 real) const {
+  // Hash-chain derivation: dummy_i = prefix32(SHA-256("dummy:" || real || i)).
+  // Deterministic in `real` so repeated queries are indistinguishable.
+  std::vector<crypto::Prefix32> out;
+  out.reserve(count_);
+  for (unsigned i = 0; i < count_; ++i) {
+    const std::string seed =
+        "dummy:" + std::to_string(real) + ":" + std::to_string(i);
+    out.push_back(crypto::prefix32_of(seed));
+  }
+  return out;
+}
+
+std::vector<crypto::Prefix32> DummyPolicy::pad_request(
+    const std::vector<crypto::Prefix32>& real) const {
+  std::vector<crypto::Prefix32> padded = real;
+  for (const auto prefix : real) {
+    const auto dummies = dummies_for(prefix);
+    padded.insert(padded.end(), dummies.begin(), dummies.end());
+  }
+  std::sort(padded.begin(), padded.end());
+  padded.erase(std::unique(padded.begin(), padded.end()), padded.end());
+  return padded;
+}
+
+double accidental_pair_probability(unsigned dummies_per_prefix) noexcept {
+  // P[a specific prefix appears as a dummy] ~= count / 2^32; two specific
+  // prefixes both appearing as dummies of one request is the square.
+  const double single =
+      static_cast<double>(dummies_per_prefix) / std::pow(2.0, 32.0);
+  return single * single;
+}
+
+}  // namespace sbp::mitigation

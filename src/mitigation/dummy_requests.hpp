@@ -1,0 +1,54 @@
+// Firefox-style dummy requests (paper Section 8).
+//
+// "Each time Firefox makes a query to GSB, some dummy queries are also
+// performed to hide the real one. The dummy requests are deterministically
+// determined with respect to the real request to avoid differential
+// analysis. This countermeasure can improve the level of k-anonymity for a
+// single prefix match. However, re-identification is still possible in the
+// case of multiple prefix match because the probability that two given
+// prefixes are included in the same request as dummies is negligible."
+//
+// DummyPolicy derives `count` dummy prefixes deterministically from the
+// real prefix (hash chain), so the same real prefix always produces the
+// same request set -- exactly the differential-analysis defence the paper
+// describes. The mitigation bench quantifies both effects: the k gain for
+// single-prefix queries and the unchanged multi-prefix re-identification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/digest.hpp"
+
+namespace sbp::mitigation {
+
+class DummyPolicy {
+ public:
+  /// `dummies_per_prefix`: how many dummy prefixes accompany each real one.
+  explicit DummyPolicy(unsigned dummies_per_prefix = 4)
+      : count_(dummies_per_prefix) {}
+
+  /// The deterministic dummy prefixes for one real prefix.
+  [[nodiscard]] std::vector<crypto::Prefix32> dummies_for(
+      crypto::Prefix32 real) const;
+
+  /// Builds the padded request: real prefixes + their dummies, sorted (so
+  /// position leaks nothing), deduplicated.
+  [[nodiscard]] std::vector<crypto::Prefix32> pad_request(
+      const std::vector<crypto::Prefix32>& real) const;
+
+  [[nodiscard]] unsigned dummies_per_prefix() const noexcept { return count_; }
+
+ private:
+  unsigned count_;
+};
+
+/// Server-side view: given a padded request, the candidate set of "possibly
+/// real" prefixes is the whole request -- the k-anonymity gain is the
+/// request-size factor. But for a rule needing >= 2 specific prefixes, a
+/// padded request matches only if BOTH are present, which for dummies
+/// happens with probability ~ (count/2^32)^2: compute that.
+[[nodiscard]] double accidental_pair_probability(
+    unsigned dummies_per_prefix) noexcept;
+
+}  // namespace sbp::mitigation

@@ -1,0 +1,32 @@
+#include "sb/backoff.hpp"
+
+#include "util/rng.hpp"
+
+namespace sbp::sb {
+
+void BackoffState::on_success(std::uint64_t now,
+                              std::uint64_t server_min_gap) noexcept {
+  errors_ = 0;
+  const std::uint64_t gap =
+      server_min_gap > config_.min_update_gap ? server_min_gap
+                                              : config_.min_update_gap;
+  next_allowed_ = now + gap;
+}
+
+void BackoffState::on_error(std::uint64_t now) noexcept {
+  if (errors_ < 31) ++errors_;
+  // delay = base * 2^(errors-1), capped; plus deterministic jitter in
+  // [0, delay/4) derived from (seed, errors) so retries spread out.
+  std::uint64_t delay = config_.base_delay;
+  for (unsigned i = 1; i < errors_ && delay < config_.max_delay; ++i) {
+    delay *= 2;
+  }
+  if (delay > config_.max_delay) delay = config_.max_delay;
+  std::uint64_t state = jitter_seed_ ^ (static_cast<std::uint64_t>(errors_)
+                                        << 32);
+  const std::uint64_t jitter =
+      delay >= 4 ? util::splitmix64(state) % (delay / 4) : 0;
+  next_allowed_ = now + delay + jitter;
+}
+
+}  // namespace sbp::sb

@@ -1,0 +1,63 @@
+// Client request-frequency limits and error backoff (paper Section 2.2.1:
+// "To maintain the quality of service and limiting the amount of resources
+// needed to run the API, Google has defined for each type of requests the
+// frequency of queries that clients must restrain to.")
+//
+// Models the GSB v3 client-side policy:
+//  * updates: wait the server-provided `next_update_after`, and on repeated
+//    update errors back off exponentially (base doubles per failure up to a
+//    cap, with deterministic jitter derived from the cookie);
+//  * full-hash requests: after consecutive errors, enter backoff mode with
+//    the same doubling schedule.
+// Time is the simulation tick clock.
+#pragma once
+
+#include <cstdint>
+
+namespace sbp::sb {
+
+struct BackoffConfig {
+  std::uint64_t base_delay = 60;    ///< first retry delay (ticks)
+  std::uint64_t max_delay = 28800;  ///< cap (GSB: 8 hours, scaled to ticks)
+  std::uint64_t min_update_gap = 100;  ///< polite minimum between updates
+};
+
+/// Exponential-backoff state machine for one request class.
+class BackoffState {
+ public:
+  explicit BackoffState(BackoffConfig config = {},
+                        std::uint64_t jitter_seed = 0) noexcept
+      : config_(config), jitter_seed_(jitter_seed) {}
+
+  /// May a request be issued at `now`?
+  [[nodiscard]] bool can_request(std::uint64_t now) const noexcept {
+    return now >= next_allowed_;
+  }
+
+  /// Ticks remaining until the next permitted request (0 if allowed now).
+  [[nodiscard]] std::uint64_t wait_time(std::uint64_t now) const noexcept {
+    return now >= next_allowed_ ? 0 : next_allowed_ - now;
+  }
+
+  /// Records a successful request: clears error state; next request is
+  /// allowed after `server_min_gap` (or the polite minimum).
+  void on_success(std::uint64_t now,
+                  std::uint64_t server_min_gap = 0) noexcept;
+
+  /// Records a failed request: doubles the delay (capped), with a small
+  /// deterministic jitter so fleets do not synchronize.
+  void on_error(std::uint64_t now) noexcept;
+
+  [[nodiscard]] unsigned consecutive_errors() const noexcept {
+    return errors_;
+  }
+  [[nodiscard]] bool in_backoff() const noexcept { return errors_ > 0; }
+
+ private:
+  BackoffConfig config_;
+  std::uint64_t jitter_seed_;
+  std::uint64_t next_allowed_ = 0;
+  unsigned errors_ = 0;
+};
+
+}  // namespace sbp::sb

@@ -1,0 +1,198 @@
+#include "sb/blacklist_factory.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "url/decompose.hpp"
+
+namespace sbp::sb {
+
+namespace {
+
+constexpr std::array<const char*, 6> kTlds = {"com", "net",  "org",
+                                              "ru",  "info", "biz"};
+constexpr std::array<const char*, 6> kPathWords = {"wp",   "login", "update",
+                                                   "bank", "free",  "dl"};
+
+std::size_t scaled(std::size_t value, double scale) {
+  if (value == 0) return 0;
+  const auto s = static_cast<std::size_t>(std::llround(value * scale));
+  return std::max<std::size_t>(1, s);
+}
+
+}  // namespace
+
+std::string BlacklistFactory::fresh_domain() {
+  std::string out = "malsite";
+  out += std::to_string(counter_++);
+  out += '.';
+  out += kTlds[rng_.next_below(kTlds.size())];
+  return out;
+}
+
+std::string BlacklistFactory::fresh_expression() {
+  // A malicious URL expression "host/path" in canonical form.
+  std::string out = fresh_domain();
+  out += '/';
+  const std::size_t depth = rng_.next_below(3);
+  for (std::size_t i = 0; i < depth; ++i) {
+    out += kPathWords[rng_.next_below(kPathWords.size())];
+    out += std::to_string(rng_.next_below(100));
+    out += '/';
+  }
+  out += 'f';
+  out += std::to_string(rng_.next_below(10000));
+  out += rng_.next_bool(0.5) ? ".php" : ".html";
+  return out;
+}
+
+GeneratedList BlacklistFactory::populate(Server& server,
+                                         const ListPlan& plan) {
+  GeneratedList truth;
+  truth.name = plan.name;
+  server.create_list(plan.name);
+
+  const auto orphan_count = static_cast<std::size_t>(
+      std::llround(plan.orphan_fraction * static_cast<double>(plan.total_prefixes)));
+
+  // 1. Multi-prefix groups: a target URL whose own prefix AND (some of) its
+  //    decomposition prefixes are all published (Algorithm 1's output shape).
+  std::size_t prefixes_used = 0;
+  for (std::size_t g = 0;
+       g < plan.multi_prefix_groups && prefixes_used + 2 <= plan.total_prefixes;
+       ++g) {
+    const std::string domain = fresh_domain();
+    const std::string leaf =
+        domain + "/user/f" + std::to_string(rng_.next_below(10000)) + ".php";
+    MultiPrefixGroup group;
+    group.target_url = "http://" + leaf;
+    group.expressions = {leaf, domain + "/"};
+    for (const auto& expression : group.expressions) {
+      server.add_expression(plan.name, expression);
+      truth.expressions.push_back(expression);
+      ++prefixes_used;
+    }
+    truth.multi_groups.push_back(std::move(group));
+  }
+
+  // 2. Orphans: prefixes with no corresponding full digest.
+  for (std::size_t i = 0; i < orphan_count && prefixes_used < plan.total_prefixes;
+       ++i) {
+    const auto prefix = static_cast<crypto::Prefix32>(rng_.next());
+    server.add_orphan_prefix(plan.name, prefix);
+    truth.orphans.push_back(prefix);
+    ++prefixes_used;
+  }
+
+  // 3. Prefixes carrying two full digests (Table 11's "2" column): insert a
+  //    second digest whose expression differs but shares the prefix. True
+  //    32-bit collisions are too costly to mine, so the second entry is a
+  //    direct digest injection sharing the first digest's prefix -- the
+  //    server-visible distribution is identical.
+  for (std::size_t i = 0;
+       i < plan.two_digest_prefixes && prefixes_used < plan.total_prefixes;
+       ++i) {
+    const std::string expression = fresh_expression();
+    server.add_expression(plan.name, expression);
+    truth.expressions.push_back(expression);
+    const crypto::Prefix32 prefix = crypto::prefix32_of(expression);
+    // Forge a sibling digest with the same 32-bit prefix.
+    auto bytes = crypto::Digest256::of(expression + "#sibling").bytes();
+    bytes[0] = static_cast<std::uint8_t>(prefix >> 24);
+    bytes[1] = static_cast<std::uint8_t>(prefix >> 16);
+    bytes[2] = static_cast<std::uint8_t>(prefix >> 8);
+    bytes[3] = static_cast<std::uint8_t>(prefix);
+    server.add_digest(plan.name, crypto::Digest256(bytes));
+    ++prefixes_used;
+  }
+
+  // 4. Ordinary single-digest entries up to the target cardinality.
+  while (prefixes_used < plan.total_prefixes) {
+    const std::string expression = fresh_expression();
+    server.add_expression(plan.name, expression);
+    truth.expressions.push_back(expression);
+    ++prefixes_used;
+  }
+
+  server.seal_chunk(plan.name);
+  return truth;
+}
+
+GeneratedList BlacklistFactory::populate_shared(
+    Server& server, const ListPlan& plan, const GeneratedList& google_truth,
+    std::size_t shared) {
+  GeneratedList truth;
+  truth.name = plan.name;
+  server.create_list(plan.name);
+
+  shared = std::min(shared, google_truth.expressions.size());
+  shared = std::min(shared, plan.total_prefixes);
+  for (std::size_t i = 0; i < shared; ++i) {
+    const std::string& expression = google_truth.expressions[i];
+    server.add_expression(plan.name, expression);
+    truth.expressions.push_back(expression);
+  }
+
+  ListPlan remainder = plan;
+  remainder.total_prefixes =
+      plan.total_prefixes > shared ? plan.total_prefixes - shared : 0;
+  // Populate the rest (orphans, multi-prefix groups, fresh entries) into the
+  // same list.
+  GeneratedList rest = populate(server, remainder);
+  truth.expressions.insert(truth.expressions.end(), rest.expressions.begin(),
+                           rest.expressions.end());
+  truth.orphans = std::move(rest.orphans);
+  truth.multi_groups = std::move(rest.multi_groups);
+  return truth;
+}
+
+std::vector<ListPlan> BlacklistFactory::google_plans(double scale) {
+  // Cardinalities from Table 1; orphan counts and two-digest counts from
+  // Table 11 (36 orphans + 12 two-digest in goog-malware-shavar; 123 + 4 in
+  // googpub-phish-shavar); multi-prefix groups from Table 12 (2 domains in
+  // malware, 1 in phishing).
+  std::vector<ListPlan> plans;
+  plans.push_back({"goog-malware-shavar", scaled(317807, scale),
+                   36.0 / 317807.0, scaled(12, scale), scaled(2, scale)});
+  plans.push_back({"goog-regtest-shavar", scaled(29667, scale), 0.0, 0, 0});
+  plans.push_back({"goog-whitedomain-shavar", 1, 0.0, 0, 0});
+  plans.push_back({"googpub-phish-shavar", scaled(312621, scale),
+                   123.0 / 312621.0, scaled(4, scale), scaled(1, scale)});
+  return plans;
+}
+
+std::vector<ListPlan> BlacklistFactory::yandex_plans(double scale) {
+  // Cardinalities from Table 3, orphan fractions from Table 11, multi-prefix
+  // groups from Table 12 (26 domains: 24 in ydx-malware-shavar counted from
+  // 1158 URLs, 2 in ydx-porno-hosts-top-shavar from 194 URLs -- we model the
+  // domain counts).
+  std::vector<ListPlan> plans;
+  plans.push_back({"goog-malware-shavar", scaled(283211, scale),
+                   4184.0 / 283211.0, scaled(12, scale), 0});
+  plans.push_back({"goog-mobile-only-malware-shavar", scaled(2107, scale),
+                   130.0 / 2107.0, 0, 0});
+  plans.push_back({"goog-phish-shavar", scaled(31593, scale),
+                   31325.0 / 31593.0, 0, 0});
+  plans.push_back({"ydx-adult-shavar", scaled(434, scale), 184.0 / 434.0, 0,
+                   0});
+  plans.push_back({"ydx-adult-testing-shavar", scaled(535, scale), 0.0, 0,
+                   0});
+  plans.push_back({"ydx-malware-shavar", scaled(283211, scale),
+                   4184.0 / 283211.0, scaled(12, scale), scaled(24, scale)});
+  plans.push_back({"ydx-mitb-masks-shavar", scaled(87, scale), 1.0, 0, 0});
+  plans.push_back({"ydx-mobile-only-malware-shavar", scaled(2107, scale),
+                   130.0 / 2107.0, 0, 0});
+  plans.push_back({"ydx-phish-shavar", scaled(31593, scale),
+                   31325.0 / 31593.0, 0, 0});
+  plans.push_back({"ydx-porno-hosts-top-shavar", scaled(99990, scale),
+                   240.0 / 99990.0, 0, scaled(2, scale)});
+  plans.push_back({"ydx-sms-fraud-shavar", scaled(10609, scale),
+                   10162.0 / 10609.0, 0, 0});
+  plans.push_back({"ydx-yellow-shavar", scaled(209, scale), 1.0, 0, 0});
+  plans.push_back({"ydx-yellow-testing-shavar", scaled(370, scale), 0.0, 0,
+                   0});
+  return plans;
+}
+
+}  // namespace sbp::sb

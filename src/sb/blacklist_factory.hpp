@@ -1,0 +1,82 @@
+// Synthetic blacklist construction (substitute for the real GSB/YSB
+// databases, paper Sections 2.2, 3 and 7).
+//
+// We cannot download Google's and Yandex's 2015 prefix lists, but every
+// forensic experiment in Section 7 depends only on measurable composition
+// statistics that the paper reports:
+//   * list cardinalities (Tables 1 and 3);
+//   * the orphan-prefix fractions and the full-hash-per-prefix distribution
+//     (Table 11), e.g. 99% of ydx-phish-shavar prefixes are orphans;
+//   * the number of URLs hitting >= 2 prefixes and their domains (Table 12);
+//   * the shared-prefix anomalies between Yandex's goog-* copies and
+//     Google's own lists (Section 3: 36547 / 195 shared prefixes).
+// The factory synthesizes malicious expressions deterministically from a
+// seed, injects orphans/multi-prefix groups at the reported rates, and
+// returns the ground truth so experiments can score reconstruction and
+// re-identification exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/digest.hpp"
+#include "sb/server.hpp"
+#include "util/rng.hpp"
+
+namespace sbp::sb {
+
+/// Construction plan for one list.
+struct ListPlan {
+  std::string name;
+  std::size_t total_prefixes = 0;   ///< target cardinality (possibly scaled)
+  double orphan_fraction = 0.0;     ///< fraction published without digests
+  std::size_t two_digest_prefixes = 0;  ///< prefixes carrying 2 full hashes
+  std::size_t multi_prefix_groups = 0;  ///< tracked URLs with >= 2 prefixes
+};
+
+/// A URL blacklisted together with some of its decompositions -- the
+/// Table 12 situation that enables re-identification.
+struct MultiPrefixGroup {
+  std::string target_url;                 ///< e.g. http://wps3b.17buddies.net/wp/cs_sub_7-2.pwf
+  std::vector<std::string> expressions;   ///< blacklisted decompositions
+};
+
+/// Ground truth for one generated list.
+struct GeneratedList {
+  std::string name;
+  std::vector<std::string> expressions;        ///< all blacklisted expressions
+  std::vector<crypto::Prefix32> orphans;       ///< injected orphan prefixes
+  std::vector<MultiPrefixGroup> multi_groups;  ///< injected multi-prefix URLs
+};
+
+class BlacklistFactory {
+ public:
+  explicit BlacklistFactory(std::uint64_t seed) : rng_(seed) {}
+
+  /// Builds one list into `server` per `plan`; returns its ground truth.
+  GeneratedList populate(Server& server, const ListPlan& plan);
+
+  /// Builds a Yandex copy of a Google list: exactly `shared` expressions
+  /// are reused from `google_truth` (the Section 3 anomaly), the rest are
+  /// fresh, to `plan.total_prefixes` total.
+  GeneratedList populate_shared(Server& server, const ListPlan& plan,
+                                const GeneratedList& google_truth,
+                                std::size_t shared);
+
+  /// Plans for Tables 1 and 3 at `scale` (1.0 = the paper's cardinalities;
+  /// benches typically use <= 1.0 and print the factor). Orphan fractions
+  /// and two-digest counts follow Table 11; multi-prefix groups follow
+  /// Table 12.
+  [[nodiscard]] static std::vector<ListPlan> google_plans(double scale);
+  [[nodiscard]] static std::vector<ListPlan> yandex_plans(double scale);
+
+ private:
+  std::string fresh_domain();
+  std::string fresh_expression();
+
+  util::Rng rng_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace sbp::sb

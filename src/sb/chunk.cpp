@@ -1,0 +1,139 @@
+#include "sb/chunk.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace sbp::sb {
+
+namespace {
+
+void put_be32(std::uint32_t value, std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::optional<std::uint32_t> get_be32(std::span<const std::uint8_t> data,
+                                      std::size_t& offset) {
+  if (offset + 4 > data.size()) return std::nullopt;
+  const std::uint32_t value = (static_cast<std::uint32_t>(data[offset]) << 24) |
+                              (static_cast<std::uint32_t>(data[offset + 1]) << 16) |
+                              (static_cast<std::uint32_t>(data[offset + 2]) << 8) |
+                              static_cast<std::uint32_t>(data[offset + 3]);
+  offset += 4;
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_chunk(const Chunk& chunk) {
+  std::vector<std::uint8_t> out;
+  out.reserve(9 + 4 * chunk.prefixes.size());
+  out.push_back(static_cast<std::uint8_t>(chunk.type));
+  put_be32(chunk.number, out);
+  put_be32(static_cast<std::uint32_t>(chunk.prefixes.size()), out);
+  for (const auto prefix : chunk.prefixes) put_be32(prefix, out);
+  return out;
+}
+
+std::optional<Chunk> deserialize_chunk(std::span<const std::uint8_t> data,
+                                       std::size_t& offset) {
+  if (offset >= data.size()) return std::nullopt;
+  const std::uint8_t type_byte = data[offset];
+  if (type_byte > 1) return std::nullopt;
+  std::size_t cursor = offset + 1;
+  const auto number = get_be32(data, cursor);
+  const auto count = get_be32(data, cursor);
+  if (!number || !count) return std::nullopt;
+  Chunk chunk;
+  chunk.type = static_cast<ChunkType>(type_byte);
+  chunk.number = *number;
+  // Validate the advertised count against the remaining bytes BEFORE
+  // allocating: a corrupted count must not trigger a giant reserve
+  // (found by the bit-flip fuzzer).
+  if (*count > (data.size() - cursor) / 4) return std::nullopt;
+  chunk.prefixes.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto prefix = get_be32(data, cursor);
+    if (!prefix) return std::nullopt;
+    chunk.prefixes.push_back(*prefix);
+  }
+  offset = cursor;
+  return chunk;
+}
+
+bool ChunkStore::apply(const Chunk& chunk) {
+  if (has_chunk(chunk.number, chunk.type)) return false;
+  auto& target = (chunk.type == ChunkType::kAdd) ? adds_ : subs_;
+  const auto pos = std::lower_bound(
+      target.begin(), target.end(), chunk,
+      [](const Chunk& a, const Chunk& b) { return a.number < b.number; });
+  target.insert(pos, chunk);
+  return true;
+}
+
+bool ChunkStore::has_chunk(std::uint32_t number,
+                           ChunkType type) const noexcept {
+  return find_chunk(number, type) != nullptr;
+}
+
+const Chunk* ChunkStore::find_chunk(std::uint32_t number,
+                                    ChunkType type) const noexcept {
+  const auto& target = (type == ChunkType::kAdd) ? adds_ : subs_;
+  const auto it = std::lower_bound(
+      target.begin(), target.end(), number,
+      [](const Chunk& c, std::uint32_t n) { return c.number < n; });
+  return (it != target.end() && it->number == number) ? &*it : nullptr;
+}
+
+std::vector<crypto::Prefix32> ChunkStore::effective_prefixes() const {
+  std::set<crypto::Prefix32> prefixes;
+  for (const Chunk& chunk : adds_) {
+    prefixes.insert(chunk.prefixes.begin(), chunk.prefixes.end());
+  }
+  for (const Chunk& chunk : subs_) {
+    for (const auto prefix : chunk.prefixes) prefixes.erase(prefix);
+  }
+  return {prefixes.begin(), prefixes.end()};
+}
+
+std::string ChunkStore::format_ranges(
+    const std::vector<std::uint32_t>& sorted_numbers) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < sorted_numbers.size()) {
+    std::size_t j = i;
+    while (j + 1 < sorted_numbers.size() &&
+           sorted_numbers[j + 1] == sorted_numbers[j] + 1) {
+      ++j;
+    }
+    if (!out.empty()) out += ',';
+    out += std::to_string(sorted_numbers[i]);
+    if (j > i) {
+      out += '-';
+      out += std::to_string(sorted_numbers[j]);
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+namespace {
+std::vector<std::uint32_t> numbers_of(const std::vector<Chunk>& chunks) {
+  std::vector<std::uint32_t> out;
+  out.reserve(chunks.size());
+  for (const Chunk& c : chunks) out.push_back(c.number);
+  return out;
+}
+}  // namespace
+
+std::string ChunkStore::add_ranges() const {
+  return format_ranges(numbers_of(adds_));
+}
+
+std::string ChunkStore::sub_ranges() const {
+  return format_ranges(numbers_of(subs_));
+}
+
+}  // namespace sbp::sb

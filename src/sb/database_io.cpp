@@ -1,0 +1,150 @@
+#include "sb/database_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace sbp::sb {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'B', 'P', 'D'};
+constexpr std::uint8_t kVersion = 1;
+
+void put_u16(std::uint16_t value, std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+void put_u32(std::uint32_t value, std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+bool get_bytes(std::span<const std::uint8_t> data, std::size_t& offset,
+               void* dest, std::size_t n) {
+  if (offset + n > data.size()) return false;
+  std::memcpy(dest, data.data() + offset, n);
+  offset += n;
+  return true;
+}
+
+bool get_u16(std::span<const std::uint8_t> data, std::size_t& offset,
+             std::uint16_t& value) {
+  std::uint8_t raw[2];
+  if (!get_bytes(data, offset, raw, 2)) return false;
+  value = static_cast<std::uint16_t>((raw[0] << 8) | raw[1]);
+  return true;
+}
+
+bool get_u32(std::span<const std::uint8_t> data, std::size_t& offset,
+             std::uint32_t& value) {
+  std::uint8_t raw[4];
+  if (!get_bytes(data, offset, raw, 4)) return false;
+  value = (static_cast<std::uint32_t>(raw[0]) << 24) |
+          (static_cast<std::uint32_t>(raw[1]) << 16) |
+          (static_cast<std::uint32_t>(raw[2]) << 8) |
+          static_cast<std::uint32_t>(raw[3]);
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> dump_database(const Server& server) {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  out.push_back(kVersion);
+
+  const auto names = server.list_names();
+  put_u32(static_cast<std::uint32_t>(names.size()), out);
+  for (const auto& name : names) {
+    put_u16(static_cast<std::uint16_t>(name.size()), out);
+    for (const char c : name) {
+      out.push_back(static_cast<std::uint8_t>(c));
+    }
+    const auto prefixes = server.prefixes(name);
+    put_u32(static_cast<std::uint32_t>(prefixes.size()), out);
+    for (const auto prefix : prefixes) {
+      put_u32(prefix, out);
+      const auto digests = server.digests_for(name, prefix);
+      put_u16(static_cast<std::uint16_t>(digests.size()), out);
+      for (const auto& digest : digests) {
+        out.insert(out.end(), digest.bytes().begin(), digest.bytes().end());
+      }
+    }
+  }
+  return out;
+}
+
+bool load_database(std::span<const std::uint8_t> data, Server& server) {
+  std::size_t offset = 0;
+  char magic[4];
+  if (!get_bytes(data, offset, magic, 4) ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return false;
+  }
+  std::uint8_t version = 0;
+  if (!get_bytes(data, offset, &version, 1) || version != kVersion) {
+    return false;
+  }
+  std::uint32_t list_count = 0;
+  if (!get_u32(data, offset, list_count)) return false;
+
+  for (std::uint32_t l = 0; l < list_count; ++l) {
+    std::uint16_t name_len = 0;
+    if (!get_u16(data, offset, name_len)) return false;
+    if (offset + name_len > data.size()) return false;
+    std::string name(reinterpret_cast<const char*>(data.data() + offset),
+                     name_len);
+    offset += name_len;
+    server.create_list(name);
+
+    std::uint32_t prefix_count = 0;
+    if (!get_u32(data, offset, prefix_count)) return false;
+    for (std::uint32_t p = 0; p < prefix_count; ++p) {
+      std::uint32_t prefix = 0;
+      if (!get_u32(data, offset, prefix)) return false;
+      std::uint16_t digest_count = 0;
+      if (!get_u16(data, offset, digest_count)) return false;
+      if (digest_count == 0) {
+        server.add_orphan_prefix(name, prefix);
+        continue;
+      }
+      for (std::uint16_t d = 0; d < digest_count; ++d) {
+        crypto::Sha256::DigestBytes bytes;
+        if (!get_bytes(data, offset, bytes.data(), bytes.size())) {
+          return false;
+        }
+        server.add_digest(name, crypto::Digest256(bytes));
+      }
+    }
+    server.seal_chunk(name);
+  }
+  return offset == data.size();
+}
+
+bool dump_database_to_file(const Server& server, const std::string& path) {
+  const auto bytes = dump_database(server);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const std::size_t written =
+      std::fwrite(bytes.data(), 1, bytes.size(), file);
+  std::fclose(file);
+  return written == bytes.size();
+}
+
+bool load_database_from_file(const std::string& path, Server& server) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buffer[4096];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  std::fclose(file);
+  return load_database(bytes, server);
+}
+
+}  // namespace sbp::sb

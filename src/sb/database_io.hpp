@@ -1,0 +1,41 @@
+// Server-database serialization.
+//
+// The paper's Section 7 methodology starts by *crawling and saving* the
+// providers' databases ("As a first step in our analysis, we recover the
+// prefix lists of Google and Yandex... This allows us to obtain the lists
+// of full digests"). This module gives the same workflow a stable on-disk
+// format: dump a Server's lists (prefixes + full digests, including
+// orphans) to a byte buffer or file, and load them back into a fresh
+// Server for offline forensics.
+//
+// Format (little is needed; all integers big-endian):
+//   magic "SBPD" | version u8 | list_count u32
+//   per list: name_len u16 | name | prefix_count u32
+//     per prefix: prefix u32 | digest_count u16 | digest[32] * count
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sb/server.hpp"
+
+namespace sbp::sb {
+
+/// Serializes every list of `server` (prefixes, digests, orphans).
+[[nodiscard]] std::vector<std::uint8_t> dump_database(const Server& server);
+
+/// Reconstructs lists into `server` (which should be empty). Returns false
+/// on malformed input; `server` may then be partially populated.
+[[nodiscard]] bool load_database(std::span<const std::uint8_t> data,
+                                 Server& server);
+
+/// File convenience wrappers. Return false on I/O errors.
+[[nodiscard]] bool dump_database_to_file(const Server& server,
+                                         const std::string& path);
+[[nodiscard]] bool load_database_from_file(const std::string& path,
+                                           Server& server);
+
+}  // namespace sbp::sb

@@ -1,0 +1,27 @@
+#include "sb/lookup_api.hpp"
+
+#include <algorithm>
+
+#include "crypto/digest.hpp"
+#include "url/decompose.hpp"
+
+namespace sbp::sb {
+
+bool LookupV1Service::lookup(std::string_view url, Cookie cookie) {
+  clock_.advance(50);  // every v1 request pays a round trip (Section 2.2)
+  log_.push_back({clock_.now(), cookie, std::string(url)});
+
+  for (const auto& d : url::decompose(url)) {
+    const crypto::Digest256 digest = crypto::Digest256::of(d.expression);
+    for (const auto& list : server_.list_names()) {
+      const auto digests = server_.digests_for(list, digest.prefix32());
+      if (std::find(digests.begin(), digests.end(), digest) !=
+          digests.end()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace sbp::sb

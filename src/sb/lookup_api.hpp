@@ -1,0 +1,48 @@
+// The deprecated Lookup API (Safe Browsing v1).
+//
+// "Using this API, a client could send the URL to check using HTTP GET or
+// POST requests ... the API was soon declared deprecated for privacy and
+// efficiency considerations. This was mainly because URLs were sent in
+// clear to the servers and each request implied latency due to the network
+// round-trip." (paper Section 2.2)
+//
+// Implemented as the privacy baseline: examples and benches contrast the
+// server's view under v1 (full URLs) with v3 (32-bit prefixes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sb/transport.hpp"
+
+namespace sbp::sb {
+
+/// What the server logs per v1 request: the URL in clear.
+struct LookupV1LogEntry {
+  std::uint64_t tick = 0;
+  Cookie cookie = 0;
+  std::string url;
+};
+
+class LookupV1Service {
+ public:
+  explicit LookupV1Service(Server& server, SimClock& clock)
+      : server_(server), clock_(clock) {}
+
+  /// v1 lookup: ships the raw URL; the server checks every decomposition's
+  /// full digest directly. Returns true if malicious.
+  bool lookup(std::string_view url, Cookie cookie);
+
+  [[nodiscard]] const std::vector<LookupV1LogEntry>& log() const noexcept {
+    return log_;
+  }
+
+ private:
+  Server& server_;
+  SimClock& clock_;
+  std::vector<LookupV1LogEntry> log_;
+};
+
+}  // namespace sbp::sb

@@ -1,0 +1,166 @@
+#include "sb/server.hpp"
+
+#include <algorithm>
+
+namespace sbp::sb {
+
+Server::ListData& Server::list(std::string_view name) {
+  const auto it = lists_.find(name);
+  if (it != lists_.end()) return it->second;
+  return lists_.emplace(std::string(name), ListData{}).first->second;
+}
+
+const Server::ListData* Server::find(std::string_view name) const {
+  const auto it = lists_.find(name);
+  return it == lists_.end() ? nullptr : &it->second;
+}
+
+void Server::create_list(std::string_view name) { (void)list(name); }
+
+void Server::add_digest(std::string_view list_name,
+                        const crypto::Digest256& digest) {
+  ListData& data = list(list_name);
+  const crypto::Prefix32 prefix = digest.prefix32();
+  auto& bucket = data.digests_by_prefix[prefix];
+  if (std::find(bucket.begin(), bucket.end(), digest) == bucket.end()) {
+    bucket.push_back(digest);
+  }
+  data.open_chunk.prefixes.push_back(prefix);
+}
+
+void Server::add_expression(std::string_view list_name,
+                            std::string_view expression) {
+  add_digest(list_name, crypto::Digest256::of(expression));
+}
+
+void Server::add_orphan_prefix(std::string_view list_name,
+                               crypto::Prefix32 prefix) {
+  ListData& data = list(list_name);
+  data.digests_by_prefix.try_emplace(prefix);  // empty digest vector
+  data.open_chunk.prefixes.push_back(prefix);
+}
+
+void Server::remove_expression(std::string_view list_name,
+                               std::string_view expression) {
+  ListData& data = list(list_name);
+  const crypto::Digest256 digest = crypto::Digest256::of(expression);
+  const crypto::Prefix32 prefix = digest.prefix32();
+  const auto it = data.digests_by_prefix.find(prefix);
+  if (it == data.digests_by_prefix.end()) return;
+  auto& bucket = it->second;
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), digest),
+               bucket.end());
+  if (bucket.empty()) {
+    data.digests_by_prefix.erase(it);
+    // Revoke via a dedicated sub chunk (sealed immediately).
+    seal(data);
+    Chunk sub;
+    sub.type = ChunkType::kSub;
+    sub.number = data.next_chunk_number++;
+    sub.prefixes.push_back(prefix);
+    data.chunks.apply(sub);
+  }
+  // If other digests share the prefix, the prefix must stay published.
+}
+
+void Server::seal(ListData& data) {
+  if (data.open_chunk.prefixes.empty()) return;
+  Chunk chunk = std::move(data.open_chunk);
+  chunk.type = ChunkType::kAdd;
+  chunk.number = data.next_chunk_number++;
+  // Deduplicate within the chunk.
+  std::sort(chunk.prefixes.begin(), chunk.prefixes.end());
+  chunk.prefixes.erase(
+      std::unique(chunk.prefixes.begin(), chunk.prefixes.end()),
+      chunk.prefixes.end());
+  data.chunks.apply(chunk);
+  data.open_chunk = Chunk{};
+}
+
+void Server::seal_chunk(std::string_view list_name) { seal(list(list_name)); }
+
+UpdateResponse Server::fetch_update(const UpdateRequest& request) {
+  UpdateResponse response;
+  for (const auto& state : request.lists) {
+    const auto it = lists_.find(state.list_name);
+    if (it == lists_.end()) continue;
+    ListData& data = it->second;
+    seal(data);
+
+    UpdateResponse::ListUpdate update;
+    update.list_name = state.list_name;
+    // Send every sealed chunk the client does not advertise. The client
+    // state vectors are small in practice (tens of chunks).
+    auto missing = [](const std::vector<std::uint32_t>& have,
+                      std::uint32_t number) {
+      return std::find(have.begin(), have.end(), number) == have.end();
+    };
+    for (std::uint32_t n = 1; n < data.next_chunk_number; ++n) {
+      for (const ChunkType type : {ChunkType::kAdd, ChunkType::kSub}) {
+        const Chunk* chunk = data.chunks.find_chunk(n, type);
+        if (chunk == nullptr) continue;
+        const auto& have = (type == ChunkType::kAdd) ? state.add_chunks
+                                                     : state.sub_chunks;
+        if (!missing(have, n)) continue;
+        update.chunks.push_back(*chunk);
+      }
+    }
+    if (!update.chunks.empty()) {
+      response.lists.push_back(std::move(update));
+    }
+  }
+  return response;
+}
+
+FullHashResponse Server::get_full_hashes(
+    const std::vector<crypto::Prefix32>& prefixes, Cookie cookie,
+    std::uint64_t tick) {
+  query_log_.push_back({tick, cookie, prefixes});
+  FullHashResponse response;
+  for (const auto prefix : prefixes) {
+    auto& matches = response.matches[prefix];
+    for (const auto& [list_name, data] : lists_) {
+      const auto it = data.digests_by_prefix.find(prefix);
+      if (it == data.digests_by_prefix.end()) continue;
+      for (const auto& digest : it->second) {
+        matches.push_back({list_name, digest});
+      }
+    }
+  }
+  return response;
+}
+
+std::vector<std::string> Server::list_names() const {
+  std::vector<std::string> out;
+  out.reserve(lists_.size());
+  for (const auto& [name, data] : lists_) out.push_back(name);
+  return out;
+}
+
+std::size_t Server::prefix_count(std::string_view name) const {
+  const ListData* data = find(name);
+  return data ? data->digests_by_prefix.size() : 0;
+}
+
+std::vector<crypto::Prefix32> Server::prefixes(std::string_view name) const {
+  std::vector<crypto::Prefix32> out;
+  const ListData* data = find(name);
+  if (!data) return out;
+  out.reserve(data->digests_by_prefix.size());
+  for (const auto& [prefix, digests] : data->digests_by_prefix) {
+    out.push_back(prefix);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<crypto::Digest256> Server::digests_for(
+    std::string_view name, crypto::Prefix32 prefix) const {
+  const ListData* data = find(name);
+  if (!data) return {};
+  const auto it = data->digests_by_prefix.find(prefix);
+  return it == data->digests_by_prefix.end() ? std::vector<crypto::Digest256>{}
+                                             : it->second;
+}
+
+}  // namespace sbp::sb

@@ -1,0 +1,149 @@
+// The Safe Browsing server (paper Figure 2, Sections 2, 4, 7).
+//
+// Holds the blacklists (prefix -> full digests), serves the two protocol
+// endpoints -- chunked list updates and full-hash lookups -- and records a
+// query log with (tick, cookie, prefixes). The query log is the adversarial
+// observation point of the paper's threat model (Section 4): an
+// honest-but-curious-to-malicious provider sees exactly these triples, and
+// every re-identification / tracking experiment in src/analysis and
+// src/tracking consumes this log.
+//
+// Tampering hooks (add_orphan_prefix, add_prefix_only) model Section 7's
+// findings: prefixes present in the lists with no corresponding full digest
+// ("orphans"), which the paper shows Yandex ships in bulk and which prove
+// arbitrary prefix injection is possible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/digest.hpp"
+#include "sb/chunk.hpp"
+#include "sb/list_spec.hpp"
+
+namespace sbp::sb {
+
+/// An opaque client identifier -- the "SB cookie" of Section 2.2.3.
+using Cookie = std::uint64_t;
+
+/// One full-hash endpoint hit as the server sees it.
+struct QueryLogEntry {
+  std::uint64_t tick = 0;
+  Cookie cookie = 0;
+  std::vector<crypto::Prefix32> prefixes;
+};
+
+/// One matching full digest, tagged with its list.
+struct FullHashMatch {
+  std::string list_name;
+  crypto::Digest256 digest;
+};
+
+/// Server reply to a full-hash request: for each queried prefix, all full
+/// digests beginning with it (empty vector = orphan prefix).
+struct FullHashResponse {
+  std::map<crypto::Prefix32, std::vector<FullHashMatch>> matches;
+};
+
+/// Client -> server update request: per list, the chunk ranges it has.
+struct UpdateRequest {
+  struct ListState {
+    std::string list_name;
+    std::vector<std::uint32_t> add_chunks;  // numbers already applied
+    std::vector<std::uint32_t> sub_chunks;
+  };
+  std::vector<ListState> lists;
+};
+
+/// Server -> client: the chunks the client is missing.
+struct UpdateResponse {
+  struct ListUpdate {
+    std::string list_name;
+    std::vector<Chunk> chunks;
+  };
+  std::vector<ListUpdate> lists;
+  /// Minimum ticks before the next update (the paper notes Google imposes
+  /// request-frequency limits to protect the service).
+  std::uint64_t next_update_after = 0;
+};
+
+class Server {
+ public:
+  explicit Server(Provider provider = Provider::kGoogle)
+      : provider_(provider) {}
+
+  [[nodiscard]] Provider provider() const noexcept { return provider_; }
+
+  // -- database construction ------------------------------------------------
+
+  /// Creates an empty list (idempotent).
+  void create_list(std::string_view name);
+
+  /// Blacklists the SB expression: stores its full digest (and prefix) in
+  /// `list`. Entries accumulate into the currently open chunk.
+  void add_expression(std::string_view list, std::string_view expression);
+
+  /// Adds a full digest directly.
+  void add_digest(std::string_view list, const crypto::Digest256& digest);
+
+  /// Adds a bare prefix with NO full digest: an orphan (Section 7.2).
+  void add_orphan_prefix(std::string_view list, crypto::Prefix32 prefix);
+
+  /// Removes an expression via a sub chunk.
+  void remove_expression(std::string_view list, std::string_view expression);
+
+  /// Closes the open chunk of `list` so subsequent adds start a new one.
+  void seal_chunk(std::string_view list);
+
+  // -- protocol endpoints ---------------------------------------------------
+
+  /// Chunked update: returns every sealed chunk the client is missing.
+  [[nodiscard]] UpdateResponse fetch_update(const UpdateRequest& request);
+
+  /// Full-hash lookup. Logs (tick, cookie, prefixes) -- the privacy-critical
+  /// observation. Unknown prefixes yield empty match vectors.
+  [[nodiscard]] FullHashResponse get_full_hashes(
+      const std::vector<crypto::Prefix32>& prefixes, Cookie cookie,
+      std::uint64_t tick);
+
+  // -- introspection (forensics & experiments) ------------------------------
+
+  [[nodiscard]] std::vector<std::string> list_names() const;
+  [[nodiscard]] std::size_t prefix_count(std::string_view list) const;
+  /// All prefixes of a list (sorted) -- what a crawler of the database sees.
+  [[nodiscard]] std::vector<crypto::Prefix32> prefixes(
+      std::string_view list) const;
+  /// Full digests stored for a prefix in a list.
+  [[nodiscard]] std::vector<crypto::Digest256> digests_for(
+      std::string_view list, crypto::Prefix32 prefix) const;
+
+  [[nodiscard]] const std::vector<QueryLogEntry>& query_log() const noexcept {
+    return query_log_;
+  }
+  void clear_query_log() { query_log_.clear(); }
+
+ private:
+  struct ListData {
+    ChunkStore chunks;
+    Chunk open_chunk;               // accumulating adds
+    std::uint32_t next_chunk_number = 1;
+    /// prefix -> full digests (empty vector = orphan prefix).
+    std::unordered_map<crypto::Prefix32, std::vector<crypto::Digest256>>
+        digests_by_prefix;
+  };
+
+  ListData& list(std::string_view name);
+  [[nodiscard]] const ListData* find(std::string_view name) const;
+  void seal(ListData& data);
+
+  Provider provider_;
+  std::map<std::string, ListData, std::less<>> lists_;
+  std::vector<QueryLogEntry> query_log_;
+};
+
+}  // namespace sbp::sb

@@ -1,0 +1,57 @@
+#include "sb/transport.hpp"
+
+namespace sbp::sb {
+
+std::optional<FullHashResponse> Transport::get_full_hashes_or_error(
+    const std::vector<crypto::Prefix32>& prefixes, Cookie cookie) {
+  clock_.advance(round_trip_);
+  if (fail_full_hashes_ > 0) {
+    --fail_full_hashes_;
+    ++stats_.failed_requests;
+    return std::nullopt;  // dropped before reaching the server
+  }
+  if (tap_) tap_(cookie, prefixes);
+  ++stats_.full_hash_requests;
+  stats_.bytes_up += 8 /*cookie*/ + 4 * prefixes.size();
+  FullHashResponse response =
+      server_.get_full_hashes(prefixes, cookie, clock_.now());
+  for (const auto& [prefix, matches] : response.matches) {
+    stats_.bytes_down += 4 + 32 * matches.size();
+  }
+  return response;
+}
+
+FullHashResponse Transport::get_full_hashes(
+    const std::vector<crypto::Prefix32>& prefixes, Cookie cookie) {
+  auto response = get_full_hashes_or_error(prefixes, cookie);
+  return response ? std::move(*response) : FullHashResponse{};
+}
+
+std::optional<UpdateResponse> Transport::fetch_update_or_error(
+    const UpdateRequest& request) {
+  clock_.advance(round_trip_);
+  if (fail_updates_ > 0) {
+    --fail_updates_;
+    ++stats_.failed_requests;
+    return std::nullopt;
+  }
+  ++stats_.update_requests;
+  for (const auto& state : request.lists) {
+    stats_.bytes_up += state.list_name.size() + 4 * state.add_chunks.size() +
+                       4 * state.sub_chunks.size();
+  }
+  UpdateResponse response = server_.fetch_update(request);
+  for (const auto& update : response.lists) {
+    for (const Chunk& chunk : update.chunks) {
+      stats_.bytes_down += serialize_chunk(chunk).size();
+    }
+  }
+  return response;
+}
+
+UpdateResponse Transport::fetch_update(const UpdateRequest& request) {
+  auto response = fetch_update_or_error(request);
+  return response ? std::move(*response) : UpdateResponse{};
+}
+
+}  // namespace sbp::sb

@@ -1,0 +1,89 @@
+// Simulated client<->server transport and clock.
+//
+// Substitution note (DESIGN.md): the paper's clients speak HTTPS to Google
+// and Yandex; every privacy result depends only on what reaches the server
+// -- prefixes, the SB cookie and timing. This in-process transport carries
+// exactly those, advances a deterministic tick clock to model network
+// latency (the Lookup API was deprecated partly for its per-request
+// round-trip, Section 2.2), counts bytes, and offers a wire tap so
+// experiments can observe traffic like a network-level eavesdropper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sb/server.hpp"
+
+namespace sbp::sb {
+
+/// Deterministic simulation clock (1 tick ~ 1 ms at the default latencies).
+class SimClock {
+ public:
+  [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
+  void advance(std::uint64_t ticks) noexcept { now_ += ticks; }
+
+ private:
+  std::uint64_t now_ = 0;
+};
+
+/// Byte/request counters per endpoint.
+struct TransportStats {
+  std::uint64_t full_hash_requests = 0;
+  std::uint64_t update_requests = 0;
+  std::uint64_t failed_requests = 0;  ///< injected failures delivered
+  std::uint64_t bytes_up = 0;    ///< client -> server
+  std::uint64_t bytes_down = 0;  ///< server -> client
+};
+
+class Transport {
+ public:
+  /// Latencies are in clock ticks per round trip.
+  Transport(Server& server, SimClock& clock,
+            std::uint64_t round_trip_ticks = 50)
+      : server_(server), clock_(clock), round_trip_(round_trip_ticks) {}
+
+  /// Full-hash endpoint. Advances the clock by one round trip. Returns
+  /// nullopt when an injected failure fires (the request never reaches the
+  /// server and nothing is logged -- a network-level error).
+  [[nodiscard]] std::optional<FullHashResponse> get_full_hashes_or_error(
+      const std::vector<crypto::Prefix32>& prefixes, Cookie cookie);
+
+  /// Convenience for tests/benches that never inject failures.
+  [[nodiscard]] FullHashResponse get_full_hashes(
+      const std::vector<crypto::Prefix32>& prefixes, Cookie cookie);
+
+  /// Update endpoint. Advances the clock by one round trip; nullopt on an
+  /// injected failure.
+  [[nodiscard]] std::optional<UpdateResponse> fetch_update_or_error(
+      const UpdateRequest& request);
+  [[nodiscard]] UpdateResponse fetch_update(const UpdateRequest& request);
+
+  /// Failure injection: the next `n` requests of each kind fail at the
+  /// network level. Used to exercise the client's backoff (Section 2.2.1's
+  /// request-frequency discipline).
+  void inject_full_hash_failures(unsigned n) { fail_full_hashes_ = n; }
+  void inject_update_failures(unsigned n) { fail_updates_ = n; }
+
+  [[nodiscard]] SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] Server& server() noexcept { return server_; }
+  [[nodiscard]] const TransportStats& stats() const noexcept { return stats_; }
+
+  /// Wire tap invoked with every full-hash request (prefix list + cookie),
+  /// before the server processes it.
+  using FullHashTap =
+      std::function<void(Cookie, const std::vector<crypto::Prefix32>&)>;
+  void set_full_hash_tap(FullHashTap tap) { tap_ = std::move(tap); }
+
+ private:
+  Server& server_;
+  SimClock& clock_;
+  std::uint64_t round_trip_;
+  TransportStats stats_;
+  FullHashTap tap_;
+  unsigned fail_full_hashes_ = 0;
+  unsigned fail_updates_ = 0;
+};
+
+}  // namespace sbp::sb

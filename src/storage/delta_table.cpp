@@ -1,0 +1,91 @@
+#include "storage/delta_table.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/varint.hpp"
+
+namespace sbp::storage {
+
+namespace {
+
+std::uint32_t head32_of(std::span<const std::uint8_t> entry) noexcept {
+  std::uint32_t value = 0;
+  const std::size_t n = std::min<std::size_t>(4, entry.size());
+  for (std::size_t i = 0; i < n; ++i) value = (value << 8) | entry[i];
+  // Narrow (<4 byte) prefixes occupy the low bits; widths are uniform within
+  // a table so ordering is unaffected.
+  return value;
+}
+
+}  // namespace
+
+DeltaCodedTable::DeltaCodedTable(const PrefixBatch& batch)
+    : stride_(batch.prefix_bytes()), count_(batch.size()) {
+  const std::size_t tail_len = stride_ > 4 ? stride_ - 4 : 0;
+  std::uint32_t previous_head = 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const auto entry = batch.entry(i);
+    const std::uint32_t head = head32_of(entry);
+    if (i % kIndexStride == 0) {
+      index_.push_back({head, static_cast<std::uint32_t>(deltas_.size()),
+                        static_cast<std::uint32_t>(i)});
+      // Index entries restart delta coding so decoding can begin anywhere.
+      util::varint_encode(0, deltas_);
+    } else {
+      util::varint_encode(head - previous_head, deltas_);
+    }
+    previous_head = head;
+    if (tail_len > 0) {
+      deltas_.insert(deltas_.end(), entry.data() + 4,
+                     entry.data() + 4 + tail_len);
+    }
+  }
+}
+
+bool DeltaCodedTable::contains(
+    std::span<const std::uint8_t> prefix) const noexcept {
+  if (prefix.size() != stride_ || count_ == 0) return false;
+  const std::uint32_t target_head = head32_of(prefix);
+  const std::size_t tail_len = stride_ > 4 ? stride_ - 4 : 0;
+
+  // Find the last index block whose head <= target, then back up over any
+  // blocks sharing the target head: entries with equal heads but different
+  // tails (widths > 32 bits) can straddle block boundaries.
+  auto it = std::upper_bound(
+      index_.begin(), index_.end(), target_head,
+      [](std::uint32_t value, const IndexEntry& e) { return value < e.head; });
+  if (it == index_.begin()) return false;
+  --it;
+  while (it != index_.begin() && it->head == target_head) --it;
+
+  std::size_t offset = it->byte_offset;
+  std::size_t ordinal = it->ordinal;
+  std::uint32_t head = 0;
+  while (ordinal < count_) {
+    const auto gap = util::varint_decode(deltas_, offset);
+    if (!gap) return false;  // corrupt table
+    if (ordinal % kIndexStride == 0) {
+      // Restart entry: gap is 0, absolute head comes from the index.
+      head = index_[ordinal / kIndexStride].head;
+    } else {
+      head += static_cast<std::uint32_t>(*gap);
+    }
+    const std::uint8_t* tail = deltas_.data() + offset;
+    offset += tail_len;
+    if (head > target_head) return false;
+    if (head == target_head &&
+        (tail_len == 0 ||
+         std::memcmp(tail, prefix.data() + 4, tail_len) == 0)) {
+      return true;
+    }
+    ++ordinal;
+  }
+  return false;
+}
+
+std::size_t DeltaCodedTable::memory_bytes() const noexcept {
+  return deltas_.size() + index_.size() * sizeof(IndexEntry);
+}
+
+}  // namespace sbp::storage

@@ -1,0 +1,31 @@
+#include "storage/full_hash_cache.hpp"
+
+namespace sbp::storage {
+
+void FullHashCache::put(crypto::Prefix32 prefix,
+                        std::vector<crypto::Digest256> digests,
+                        std::uint64_t now) {
+  entries_[prefix] = Entry{std::move(digests), now};
+}
+
+std::optional<std::vector<crypto::Digest256>> FullHashCache::get(
+    crypto::Prefix32 prefix, std::uint64_t now) const {
+  const auto it = entries_.find(prefix);
+  if (it == entries_.end() || !fresh(it->second, now)) return std::nullopt;
+  return it->second.digests;
+}
+
+std::size_t FullHashCache::evict_expired(std::uint64_t now) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (!fresh(it->second, now)) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace sbp::storage

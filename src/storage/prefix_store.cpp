@@ -1,0 +1,114 @@
+#include "storage/prefix_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "storage/bloom_filter.hpp"
+#include "storage/delta_table.hpp"
+
+namespace sbp::storage {
+
+bool PrefixStore::contains32(crypto::Prefix32 prefix) const noexcept {
+  const std::uint8_t bytes[4] = {
+      static_cast<std::uint8_t>(prefix >> 24),
+      static_cast<std::uint8_t>(prefix >> 16),
+      static_cast<std::uint8_t>(prefix >> 8),
+      static_cast<std::uint8_t>(prefix),
+  };
+  return contains(std::span<const std::uint8_t>(bytes, 4));
+}
+
+PrefixBatch::PrefixBatch(std::size_t prefix_bytes) : stride_(prefix_bytes) {
+  if (prefix_bytes == 0 || prefix_bytes > 32) {
+    throw std::invalid_argument("PrefixBatch: stride must be in [1, 32]");
+  }
+}
+
+void PrefixBatch::add(std::span<const std::uint8_t> prefix) {
+  if (prefix.size() != stride_) {
+    throw std::invalid_argument("PrefixBatch::add: wrong prefix width");
+  }
+  data_.insert(data_.end(), prefix.begin(), prefix.end());
+}
+
+void PrefixBatch::add32(crypto::Prefix32 prefix) {
+  const std::uint8_t bytes[4] = {
+      static_cast<std::uint8_t>(prefix >> 24),
+      static_cast<std::uint8_t>(prefix >> 16),
+      static_cast<std::uint8_t>(prefix >> 8),
+      static_cast<std::uint8_t>(prefix),
+  };
+  add(std::span<const std::uint8_t>(bytes, 4));
+}
+
+void PrefixBatch::add_digest(const crypto::Digest256& digest) {
+  add(std::span<const std::uint8_t>(digest.bytes().data(), stride_));
+}
+
+void PrefixBatch::sort_unique() {
+  const std::size_t n = size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  const std::uint8_t* base = data_.data();
+  const std::size_t stride = stride_;
+  std::sort(order.begin(), order.end(),
+            [base, stride](std::size_t a, std::size_t b) {
+              return std::memcmp(base + a * stride, base + b * stride,
+                                 stride) < 0;
+            });
+  std::vector<std::uint8_t> sorted;
+  sorted.reserve(data_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t* entry = base + order[i] * stride;
+    if (!sorted.empty() &&
+        std::memcmp(sorted.data() + sorted.size() - stride, entry, stride) ==
+            0) {
+      continue;  // duplicate
+    }
+    sorted.insert(sorted.end(), entry, entry + stride);
+  }
+  data_ = std::move(sorted);
+}
+
+RawSortedStore::RawSortedStore(const PrefixBatch& batch)
+    : stride_(batch.prefix_bytes()),
+      data_(batch.flat().begin(), batch.flat().end()) {}
+
+bool RawSortedStore::contains(
+    std::span<const std::uint8_t> prefix) const noexcept {
+  if (prefix.size() != stride_) return false;
+  std::size_t lo = 0;
+  std::size_t hi = data_.size() / stride_;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const int cmp =
+        std::memcmp(data_.data() + mid * stride_, prefix.data(), stride_);
+    if (cmp == 0) return true;
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<PrefixStore> make_store(StoreKind kind,
+                                        const PrefixBatch& sorted_batch,
+                                        std::size_t bloom_bits) {
+  switch (kind) {
+    case StoreKind::kRawSorted:
+      return std::make_unique<RawSortedStore>(sorted_batch);
+    case StoreKind::kDeltaCoded:
+      return std::make_unique<DeltaCodedTable>(sorted_batch);
+    case StoreKind::kBloom: {
+      const std::size_t bits =
+          bloom_bits != 0 ? bloom_bits : BloomFilter::kChromiumDefaultBits;
+      return std::make_unique<BloomFilter>(sorted_batch, bits);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace sbp::storage

@@ -1,0 +1,113 @@
+// Client-side prefix storage (paper Section 2.2.2).
+//
+// Chromium stored the blacklist prefixes first in a Bloom filter
+// (discontinued September 2012), then in a delta-coded table. Table 2 of the
+// paper compares raw, delta-coded and Bloom representations across prefix
+// widths (32..256 bits); this header defines the common interface plus the
+// raw baseline.
+//
+// All stores hold fixed-width truncated digests ("prefixes"). Entries are
+// passed as raw big-endian byte strings of exactly `prefix_bytes()` bytes;
+// convenience overloads exist for the protocol's 32-bit prefixes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "crypto/digest.hpp"
+
+namespace sbp::storage {
+
+/// Which concrete representation a Safe Browsing client uses locally.
+enum class StoreKind {
+  kRawSorted,   ///< sorted flat array (baseline, "Raw data" in Table 2)
+  kDeltaCoded,  ///< Chromium's current choice (paper: 1.3 MB at 32 bits)
+  kBloom,       ///< Chromium pre-2012 (paper: constant 3 MB)
+};
+
+/// Abstract prefix membership store.
+class PrefixStore {
+ public:
+  virtual ~PrefixStore() = default;
+
+  /// Width of stored prefixes in bytes (4 for the wire protocol).
+  [[nodiscard]] virtual std::size_t prefix_bytes() const noexcept = 0;
+
+  /// Membership test. `prefix` must have exactly prefix_bytes() bytes.
+  /// Bloom filters may return false positives; exact stores never do.
+  [[nodiscard]] virtual bool contains(
+      std::span<const std::uint8_t> prefix) const noexcept = 0;
+
+  /// Number of entries inserted at build time.
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+
+  /// Total bytes of the in-memory representation (payload + indexes),
+  /// the quantity reported in Table 2.
+  [[nodiscard]] virtual std::size_t memory_bytes() const noexcept = 0;
+
+  /// Convenience for the protocol's 32-bit prefixes (requires
+  /// prefix_bytes() == 4).
+  [[nodiscard]] bool contains32(crypto::Prefix32 prefix) const noexcept;
+};
+
+/// Builder input: fixed-stride concatenated big-endian prefix bytes.
+/// Helper to collect and sort them before handing to a store.
+class PrefixBatch {
+ public:
+  explicit PrefixBatch(std::size_t prefix_bytes);
+
+  void add(std::span<const std::uint8_t> prefix);
+  void add32(crypto::Prefix32 prefix);
+  void add_digest(const crypto::Digest256& digest);
+
+  /// Sorts lexicographically and removes duplicates.
+  void sort_unique();
+
+  [[nodiscard]] std::size_t prefix_bytes() const noexcept { return stride_; }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return data_.size() / stride_;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> flat() const noexcept {
+    return data_;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> entry(
+      std::size_t i) const noexcept {
+    return {data_.data() + i * stride_, stride_};
+  }
+
+ private:
+  std::size_t stride_;
+  std::vector<std::uint8_t> data_;
+};
+
+/// Sorted flat-array store: n * prefix_bytes() payload, binary search.
+class RawSortedStore final : public PrefixStore {
+ public:
+  /// `batch` must already be sort_unique()'d.
+  explicit RawSortedStore(const PrefixBatch& batch);
+
+  [[nodiscard]] std::size_t prefix_bytes() const noexcept override {
+    return stride_;
+  }
+  [[nodiscard]] bool contains(
+      std::span<const std::uint8_t> prefix) const noexcept override;
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return data_.size() / stride_;
+  }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept override {
+    return data_.size();
+  }
+
+ private:
+  std::size_t stride_;
+  std::vector<std::uint8_t> data_;
+};
+
+/// Factory covering all three kinds (Bloom sized per `bloom_bits` total).
+[[nodiscard]] std::unique_ptr<PrefixStore> make_store(
+    StoreKind kind, const PrefixBatch& sorted_batch,
+    std::size_t bloom_bits = 0);
+
+}  // namespace sbp::storage

@@ -1,0 +1,93 @@
+#include "tracking/aggregator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
+
+namespace sbp::tracking {
+
+namespace {
+
+struct Sighting {
+  std::uint64_t tick;
+  crypto::Prefix32 prefix;
+};
+
+/// Checks one user's time-ordered sightings against a rule; returns the
+/// first hit window if any.
+std::optional<std::pair<std::uint64_t, std::uint64_t>> match_rule(
+    const std::vector<Sighting>& sightings, const CorrelationRule& rule) {
+  if (rule.prefixes.empty()) return std::nullopt;
+
+  for (std::size_t start = 0; start < sightings.size(); ++start) {
+    const std::uint64_t window_end =
+        sightings[start].tick + rule.window_ticks;
+    if (rule.ordered) {
+      std::size_t need = 0;
+      std::uint64_t last_tick = 0;
+      for (std::size_t i = start;
+           i < sightings.size() && sightings[i].tick <= window_end; ++i) {
+        if (sightings[i].prefix == rule.prefixes[need]) {
+          last_tick = sightings[i].tick;
+          if (++need == rule.prefixes.size()) {
+            return std::make_pair(sightings[start].tick, last_tick);
+          }
+        }
+      }
+    } else {
+      std::vector<bool> seen(rule.prefixes.size(), false);
+      std::size_t found = 0;
+      std::uint64_t last_tick = 0;
+      for (std::size_t i = start;
+           i < sightings.size() && sightings[i].tick <= window_end; ++i) {
+        const auto it = std::find(rule.prefixes.begin(), rule.prefixes.end(),
+                                  sightings[i].prefix);
+        if (it == rule.prefixes.end()) continue;
+        const std::size_t slot =
+            static_cast<std::size_t>(it - rule.prefixes.begin());
+        if (seen[slot]) continue;
+        seen[slot] = true;
+        last_tick = sightings[i].tick;
+        if (++found == rule.prefixes.size()) {
+          return std::make_pair(sightings[start].tick, last_tick);
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<CorrelationHit> correlate(
+    const std::vector<sb::QueryLogEntry>& log,
+    const std::vector<CorrelationRule>& rules) {
+  // Group sightings by cookie, keeping log order (ticks are monotone in the
+  // simulation; sort defensively anyway).
+  std::map<sb::Cookie, std::vector<Sighting>> by_cookie;
+  for (const auto& entry : log) {
+    auto& sightings = by_cookie[entry.cookie];
+    for (const auto prefix : entry.prefixes) {
+      sightings.push_back({entry.tick, prefix});
+    }
+  }
+  for (auto& [cookie, sightings] : by_cookie) {
+    std::stable_sort(sightings.begin(), sightings.end(),
+                     [](const Sighting& a, const Sighting& b) {
+                       return a.tick < b.tick;
+                     });
+  }
+
+  std::vector<CorrelationHit> hits;
+  for (const auto& rule : rules) {
+    for (const auto& [cookie, sightings] : by_cookie) {
+      if (const auto window = match_rule(sightings, rule)) {
+        hits.push_back({rule.label, cookie, window->first, window->second});
+      }
+    }
+  }
+  return hits;
+}
+
+}  // namespace sbp::tracking

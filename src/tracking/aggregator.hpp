@@ -1,0 +1,43 @@
+// Temporal correlation of queries (paper Section 6.3, last paragraph).
+//
+// "A user visiting petsymposium.org/2016/cfp.php (prefix 0xe70ee6d1) is
+// very likely to visit the submission website (prefix 0x716703db).
+// Instead of looking at a single query, the SB server now needs to
+// correlate two queries. A user making two queries for [both prefixes] in a
+// short period of time is planning to submit a paper."
+//
+// The aggregator groups the server query log by cookie and slides a window
+// over each user's stream: a correlation rule (an ordered or unordered set
+// of prefixes + max window) fires when all its prefixes appear within the
+// window, even though no single query carried >= 2 of them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sb/server.hpp"
+
+namespace sbp::tracking {
+
+/// A behavioural inference rule over prefixes.
+struct CorrelationRule {
+  std::string label;  ///< e.g. "plans to submit a paper to PETS"
+  std::vector<crypto::Prefix32> prefixes;
+  std::uint64_t window_ticks = 1000;
+  bool ordered = false;  ///< prefixes must appear in the given order
+};
+
+struct CorrelationHit {
+  std::string label;
+  sb::Cookie cookie = 0;
+  std::uint64_t first_tick = 0;
+  std::uint64_t last_tick = 0;
+};
+
+/// Runs all rules over the query log (grouped by cookie, time-ordered).
+[[nodiscard]] std::vector<CorrelationHit> correlate(
+    const std::vector<sb::QueryLogEntry>& log,
+    const std::vector<CorrelationRule>& rules);
+
+}  // namespace sbp::tracking

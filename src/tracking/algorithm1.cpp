@@ -1,0 +1,89 @@
+#include "tracking/algorithm1.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "url/canonicalize.hpp"
+#include "url/domain.hpp"
+
+namespace sbp::tracking {
+
+namespace {
+
+void push_prefix(TrackingPlan& plan, const std::string& expression) {
+  if (std::find(plan.tracked_expressions.begin(),
+                plan.tracked_expressions.end(),
+                expression) != plan.tracked_expressions.end()) {
+    return;
+  }
+  plan.tracked_expressions.push_back(expression);
+  plan.track_prefixes.push_back(crypto::prefix32_of(expression));
+}
+
+}  // namespace
+
+TrackingPlan plan_tracking(const std::string& target_url,
+                           const corpus::DomainHierarchy& hierarchy,
+                           std::size_t delta) {
+  TrackingPlan plan;
+  plan.target_url = target_url;
+
+  const auto canonical = url::canonicalize(target_url);
+  if (!canonical) return plan;
+  plan.target_expression = canonical->expression();
+
+  // Line 1-2: dom <- get_domain(link). "In most cases an SLD" -- we track
+  // at the registrable domain, expressed as its root decomposition "dom/".
+  const std::string domain = url::registrable_domain(canonical->host);
+  plan.domain_expression = domain + "/";
+
+  // Line 3-7: decomps <- union of decompositions of all URLs on dom
+  // (the hierarchy holds them).
+  const std::size_t num_decomps = hierarchy.unique_decompositions();
+
+  // Line 8-10: tiny domains -- blacklist every decomposition.
+  if (num_decomps <= 2) {
+    const std::size_t self = hierarchy.find_url(plan.target_expression);
+    if (self != corpus::DomainHierarchy::npos) {
+      for (const auto& expr : hierarchy.decompositions_of(self)) {
+        push_prefix(plan, expr);
+      }
+    } else {
+      push_prefix(plan, plan.target_expression);
+      push_prefix(plan, plan.domain_expression);
+    }
+    plan.precision = TrackingPrecision::kExactUrl;
+    return plan;
+  }
+
+  // Line 12: Type I collisions for the target.
+  plan.type1_collisions = hierarchy.type1_colliders(plan.target_expression);
+
+  // Line 13: common-prefixes <- {prefix(dom), prefix(link)}.
+  push_prefix(plan, plan.domain_expression);
+  push_prefix(plan, plan.target_expression);
+
+  const bool is_leaf = hierarchy.is_leaf(plan.target_expression);
+  if (is_leaf || plan.type1_collisions.empty()) {
+    // Line 14-15: two prefixes suffice.
+    plan.precision = TrackingPrecision::kExactUrl;
+    return plan;
+  }
+  if (plan.type1_collisions.size() <= delta) {
+    // Line 17-20: include each Type I collider's prefix.
+    for (const auto& collider : plan.type1_collisions) {
+      push_prefix(plan, collider);
+    }
+    plan.precision = TrackingPrecision::kExactUrl;
+    return plan;
+  }
+  // Line 21-22: only the SLD is precisely trackable.
+  plan.precision = TrackingPrecision::kSldOnly;
+  return plan;
+}
+
+double failure_probability(std::size_t delta) noexcept {
+  return std::pow(std::pow(2.0, -32.0), static_cast<double>(delta));
+}
+
+}  // namespace sbp::tracking

@@ -1,0 +1,58 @@
+// Algorithm 1: "Prefixes to track a URL" (paper Section 6.3).
+//
+// Faithful implementation of the paper's pseudo-code. Given a target URL, a
+// bound delta on the number of prefixes, and the provider's knowledge of
+// every URL on the target's domain (get_urls -- here, the corpus or an
+// explicit URL list):
+//   1. dom <- get_domain(link); urls <- get_urls(dom);
+//   2. collect the unique decompositions of all urls;
+//   3. if there are <= 2 decompositions, include them all;
+//   4. else compute the target's Type I collisions:
+//      - leaf or collision-free: {prefix(dom), prefix(link)} suffice;
+//      - 0 < |collisions| <= delta: also include each collider's prefix;
+//      - |collisions| > delta: only the SLD is trackable; include
+//        {prefix(dom), prefix(link)}.
+// Re-identification failure probability: (1/2^32)^delta.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/domain_hierarchy.hpp"
+#include "crypto/digest.hpp"
+
+namespace sbp::tracking {
+
+/// What Algorithm 1 decided for a target.
+enum class TrackingPrecision {
+  kExactUrl,    ///< the URL itself is re-identifiable
+  kSldOnly,     ///< too many Type I collisions: only the SLD is trackable
+};
+
+struct TrackingPlan {
+  std::string target_url;            ///< the link to track (raw URL)
+  std::string target_expression;     ///< canonical expression
+  std::string domain_expression;     ///< "dom/" expression
+  TrackingPrecision precision = TrackingPrecision::kExactUrl;
+  /// Expressions whose prefixes go into the shadow database.
+  std::vector<std::string> tracked_expressions;
+  /// The prefixes to insert into the client database ("track-prefixes").
+  std::vector<crypto::Prefix32> track_prefixes;
+  /// Type I colliders of the target (informational; also tracked when
+  /// |colliders| <= delta).
+  std::vector<std::string> type1_collisions;
+};
+
+/// Runs Algorithm 1. `hierarchy` must be built from get_urls(get_domain(
+/// link)) -- every known URL on the target's domain. `delta` >= 2 is the
+/// paper's bound on prefixes per URL.
+[[nodiscard]] TrackingPlan plan_tracking(
+    const std::string& target_url,
+    const corpus::DomainHierarchy& hierarchy, std::size_t delta);
+
+/// Probability that re-identification through `delta` prefixes fails
+/// by accident (the paper's (1/2^32)^delta).
+[[nodiscard]] double failure_probability(std::size_t delta) noexcept;
+
+}  // namespace sbp::tracking

@@ -1,0 +1,61 @@
+#include "tracking/profile.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sbp::tracking {
+
+std::vector<UserProfileSummary> build_profiles(const sb::Server& server) {
+  // Precompute prefix -> lists membership once.
+  std::unordered_map<crypto::Prefix32, std::vector<std::string>> membership;
+  for (const auto& name : server.list_names()) {
+    for (const auto prefix : server.prefixes(name)) {
+      membership[prefix].push_back(name);
+    }
+  }
+
+  std::map<sb::Cookie, UserProfileSummary> by_cookie;
+  for (const auto& entry : server.query_log()) {
+    UserProfileSummary& profile = by_cookie[entry.cookie];
+    profile.cookie = entry.cookie;
+    ++profile.total_queries;
+    std::unordered_set<crypto::Prefix32> seen;
+    for (const auto prefix : entry.prefixes) {
+      if (!seen.insert(prefix).second) continue;
+      const auto it = membership.find(prefix);
+      if (it == membership.end()) continue;
+      for (const auto& list : it->second) {
+        ++profile.list_hits[list];
+      }
+    }
+  }
+
+  std::vector<UserProfileSummary> out;
+  out.reserve(by_cookie.size());
+  for (auto& [cookie, profile] : by_cookie) {
+    std::uint64_t best = 0;
+    for (const auto& [list, hits] : profile.list_hits) {
+      if (hits > best) {
+        best = hits;
+        profile.dominant_list = list;
+      }
+    }
+    out.push_back(std::move(profile));
+  }
+  return out;
+}
+
+std::vector<sb::Cookie> users_with_trait(
+    const std::vector<UserProfileSummary>& profiles,
+    const std::string& list_name, std::uint64_t min_hits) {
+  std::vector<sb::Cookie> out;
+  for (const auto& profile : profiles) {
+    const auto it = profile.list_hits.find(list_name);
+    if (it != profile.list_hits.end() && it->second >= min_hits) {
+      out.push_back(profile.cookie);
+    }
+  }
+  return out;
+}
+
+}  // namespace sbp::tracking

@@ -1,0 +1,43 @@
+// Behavioural profiling from the server query log (paper Section 4).
+//
+// "By associating traits to pages, the ultimate goal of the provider is to
+// detect users' behavior such as political opinions, sexual orientation or
+// terrorism." Yandex's categorized lists make this concrete: a full-hash
+// query that matches ydx-porno-hosts-top-shavar reveals the *category* of
+// the visited page even when the exact URL stays ambiguous, because the
+// server knows which list each prefix belongs to.
+//
+// ProfileBuilder joins the query log against the server's lists and
+// accumulates, per cookie, how often each list was hit -- the provider's
+// "trait vector" for every user.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sb/server.hpp"
+
+namespace sbp::tracking {
+
+struct UserProfileSummary {
+  sb::Cookie cookie = 0;
+  std::uint64_t total_queries = 0;
+  /// list name -> number of queried prefixes present in that list.
+  std::map<std::string, std::uint64_t> list_hits;
+  /// The list with the most hits ("dominant trait"); empty if none.
+  std::string dominant_list;
+};
+
+/// Builds per-cookie profiles from the server's query log and databases.
+[[nodiscard]] std::vector<UserProfileSummary> build_profiles(
+    const sb::Server& server);
+
+/// Cookies whose queries hit `list_name` at least `min_hits` times --
+/// e.g. every user the provider can tag with the "pornography" trait.
+[[nodiscard]] std::vector<sb::Cookie> users_with_trait(
+    const std::vector<UserProfileSummary>& profiles,
+    const std::string& list_name, std::uint64_t min_hits = 1);
+
+}  // namespace sbp::tracking

@@ -1,0 +1,49 @@
+#include "tracking/shadow_db.hpp"
+
+#include <unordered_set>
+
+namespace sbp::tracking {
+
+void ShadowDatabase::add_plan(const TrackingPlan& plan) {
+  const auto index = static_cast<std::uint32_t>(plans_.size());
+  plans_.push_back(plan);
+  for (const auto prefix : plan.track_prefixes) {
+    index_[prefix].push_back(index);
+  }
+}
+
+void ShadowDatabase::deploy(const TrackingPlan& plan, sb::Server& server,
+                            const std::string& list_name) {
+  add_plan(plan);
+  for (const auto& expression : plan.tracked_expressions) {
+    server.add_expression(list_name, expression);
+  }
+  server.seal_chunk(list_name);
+}
+
+std::vector<Detection> ShadowDatabase::detect(
+    const std::vector<sb::QueryLogEntry>& log) const {
+  std::vector<Detection> detections;
+  for (const auto& entry : log) {
+    // Count, per plan, how many of this query's prefixes it owns.
+    std::unordered_map<std::uint32_t, std::size_t> per_plan;
+    std::unordered_set<crypto::Prefix32> seen;
+    for (const auto prefix : entry.prefixes) {
+      if (!seen.insert(prefix).second) continue;
+      const auto it = index_.find(prefix);
+      if (it == index_.end()) continue;
+      for (const auto plan_index : it->second) {
+        ++per_plan[plan_index];
+      }
+    }
+    for (const auto& [plan_index, matched] : per_plan) {
+      if (matched < 2) continue;  // the paper's >= 2 rule
+      const TrackingPlan& plan = plans_[plan_index];
+      detections.push_back({entry.tick, entry.cookie, plan.target_url,
+                            plan.precision, matched});
+    }
+  }
+  return detections;
+}
+
+}  // namespace sbp::tracking

@@ -1,0 +1,65 @@
+#include "tracking/user_population.hpp"
+
+namespace sbp::tracking {
+
+std::vector<UserProfile> make_population(
+    const PopulationConfig& config, const std::vector<std::string>& targets,
+    const std::vector<std::string>& background_urls) {
+  util::Rng rng(config.seed);
+  std::vector<UserProfile> users;
+  users.reserve(config.num_users);
+
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    UserProfile user;
+    user.cookie = 0xC000000000000000ULL | u;  // stable, distinct cookies
+    user.interested = rng.next_bool(config.interested_fraction);
+
+    util::Rng user_rng = rng.fork();
+    for (std::size_t v = 0; v < config.background_visits_per_user; ++v) {
+      if (background_urls.empty()) break;
+      user.visit_plan.push_back(
+          background_urls[user_rng.next_below(background_urls.size())]);
+    }
+    if (user.interested) {
+      // Interleave each target at a deterministic position.
+      for (const auto& target : targets) {
+        const std::size_t pos =
+            user.visit_plan.empty()
+                ? 0
+                : user_rng.next_below(user.visit_plan.size() + 1);
+        user.visit_plan.insert(user.visit_plan.begin() + pos, target);
+      }
+    }
+    users.push_back(std::move(user));
+  }
+  return users;
+}
+
+ReplayOutcome replay_population(
+    const std::vector<UserProfile>& users, sb::Transport& transport,
+    const std::vector<std::string>& subscribed_lists,
+    std::uint64_t ticks_between_visits) {
+  ReplayOutcome outcome;
+  for (const UserProfile& user : users) {
+    sb::ClientConfig config;
+    config.cookie = user.cookie;
+    sb::Client client(transport, config);
+    for (const auto& list : subscribed_lists) {
+      client.subscribe(list);
+    }
+    client.update();
+    if (user.interested) outcome.interested_cookies.push_back(user.cookie);
+
+    for (const auto& url : user.visit_plan) {
+      transport.clock().advance(ticks_between_visits);
+      const auto result = client.lookup(url);
+      ++outcome.total_lookups;
+      if (!result.sent_prefixes.empty()) {
+        ++outcome.lookups_contacting_server;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace sbp::tracking

@@ -1,0 +1,62 @@
+// Simulated browsing population (substrate for the Section 6.3 experiments).
+//
+// The paper's tracking system observes real users through their SB cookies;
+// we simulate a population where each user has a cookie, an SB client and
+// an interest profile: "interested" users visit the target URLs (e.g. the
+// PETS CFP page) mixed into background traffic, others only browse
+// background pages. Running the population against a tampered server
+// produces the query log the ShadowDatabase detector consumes, giving
+// ground truth for precision/recall of the tracking attack.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sb/client.hpp"
+#include "sb/transport.hpp"
+#include "util/rng.hpp"
+
+namespace sbp::tracking {
+
+struct UserProfile {
+  sb::Cookie cookie = 0;
+  bool interested = false;  ///< visits the target URLs
+  /// URLs this user will visit, in order (targets interleaved for
+  /// interested users).
+  std::vector<std::string> visit_plan;
+};
+
+struct PopulationConfig {
+  std::size_t num_users = 50;
+  double interested_fraction = 0.2;
+  std::size_t background_visits_per_user = 20;
+  std::uint64_t seed = 1;
+  /// Gap in clock ticks between consecutive visits of one user.
+  std::uint64_t ticks_between_visits = 10;
+};
+
+/// Builds user profiles: interested users get every target URL inserted at
+/// deterministic positions in their background browsing.
+[[nodiscard]] std::vector<UserProfile> make_population(
+    const PopulationConfig& config, const std::vector<std::string>& targets,
+    const std::vector<std::string>& background_urls);
+
+/// Result of replaying the population against a server.
+struct ReplayOutcome {
+  std::size_t total_lookups = 0;
+  std::size_t lookups_contacting_server = 0;
+  /// Cookies of users who actually visited each target (ground truth).
+  std::vector<sb::Cookie> interested_cookies;
+};
+
+/// Replays every user's visit plan through its own SB client (fresh client
+/// per user, shared transport/server). The server's query log then contains
+/// the attack's observable.
+[[nodiscard]] ReplayOutcome replay_population(
+    const std::vector<UserProfile>& users, sb::Transport& transport,
+    const std::vector<std::string>& subscribed_lists,
+    std::uint64_t ticks_between_visits = 10);
+
+}  // namespace sbp::tracking

@@ -1,0 +1,246 @@
+#include "url/canonicalize.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "url/url.hpp"
+#include "util/hex.hpp"
+#include "util/strings.hpp"
+
+namespace sbp::url {
+
+namespace {
+
+/// Parses one host component as an IP-address number: "0x1a" (hex),
+/// "012" (octal), "26" (decimal). Returns nullopt if non-numeric or > 2^32.
+std::optional<std::uint64_t> parse_ip_component(std::string_view comp) {
+  if (comp.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  std::size_t i = 0;
+  int base = 10;
+  if (comp.size() >= 2 && comp[0] == '0' &&
+      (comp[1] == 'x' || comp[1] == 'X')) {
+    base = 16;
+    i = 2;
+    if (i == comp.size()) return std::nullopt;  // bare "0x"
+  } else if (comp.size() >= 2 && comp[0] == '0') {
+    base = 8;
+    i = 1;
+  }
+  for (; i < comp.size(); ++i) {
+    const int digit = util::hex_digit_value(comp[i]);
+    if (digit < 0 || digit >= base) return std::nullopt;
+    value = value * static_cast<std::uint64_t>(base) +
+            static_cast<std::uint64_t>(digit);
+    if (value > 0xFFFFFFFFULL) return std::nullopt;
+  }
+  return value;
+}
+
+/// inet_aton-style IP normalization. Returns the dotted-decimal form if
+/// `host` is a legal 1-4 component numeric IP, else nullopt.
+std::optional<std::string> normalize_ip(std::string_view host) {
+  if (host.empty()) return std::nullopt;
+  const std::vector<std::string_view> comps = util::split(host, '.');
+  if (comps.empty() || comps.size() > 4) return std::nullopt;
+
+  std::vector<std::uint64_t> values;
+  values.reserve(comps.size());
+  for (std::string_view comp : comps) {
+    const auto value = parse_ip_component(comp);
+    if (!value) return std::nullopt;
+    values.push_back(*value);
+  }
+
+  // inet_aton semantics: the first n-1 components are single bytes; the last
+  // component fills the remaining 5-n bytes.
+  std::uint32_t ip = 0;
+  const std::size_t n = values.size();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (values[i] > 0xFF) return std::nullopt;
+    ip = (ip << 8) | static_cast<std::uint32_t>(values[i]);
+  }
+  const unsigned remaining_bytes = static_cast<unsigned>(5 - n);
+  const std::uint64_t last_max =
+      (remaining_bytes >= 4) ? 0xFFFFFFFFULL
+                             : ((1ULL << (8 * remaining_bytes)) - 1);
+  if (values[n - 1] > last_max) return std::nullopt;
+  ip = (ip << (8 * remaining_bytes)) |
+       static_cast<std::uint32_t>(values[n - 1]);
+
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out.push_back('.');
+    out += std::to_string((ip >> shift) & 0xFF);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string percent_unescape_once(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  for (std::size_t i = 0; i < input.size();) {
+    if (input[i] == '%' && i + 2 < input.size() &&
+        util::hex_digit_value(input[i + 1]) >= 0 &&
+        util::hex_digit_value(input[i + 2]) >= 0) {
+      const int hi = util::hex_digit_value(input[i + 1]);
+      const int lo = util::hex_digit_value(input[i + 2]);
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 3;
+    } else {
+      out.push_back(input[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string percent_escape(std::string_view input) {
+  static constexpr char kHexUpper[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(input.size());
+  for (char c : input) {
+    const auto byte = static_cast<unsigned char>(c);
+    if (byte <= 0x20 || byte >= 0x7F || byte == '#' || byte == '%') {
+      out.push_back('%');
+      out.push_back(kHexUpper[byte >> 4]);
+      out.push_back(kHexUpper[byte & 0x0F]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+CanonicalHost canonicalize_host(std::string_view host) {
+  CanonicalHost out;
+  std::string h = util::to_lower(host);
+
+  // Remove leading/trailing dots, collapse consecutive dots.
+  std::string collapsed;
+  collapsed.reserve(h.size());
+  for (char c : h) {
+    if (c == '.' && (collapsed.empty() || collapsed.back() == '.')) continue;
+    collapsed.push_back(c);
+  }
+  while (!collapsed.empty() && collapsed.back() == '.') collapsed.pop_back();
+
+  if (auto ip = normalize_ip(collapsed)) {
+    out.host = std::move(*ip);
+    out.is_ip = true;
+  } else {
+    out.host = std::move(collapsed);
+  }
+  return out;
+}
+
+std::string canonicalize_path(std::string_view path) {
+  // Split on '/', resolve "." and "..", and collapse empty segments (runs of
+  // slashes). The result keeps a trailing slash when the input semantically
+  // names a directory ("/a/", "/a/.", "/a/b/..").
+  std::vector<std::string_view> kept;
+  bool trailing_slash = path.empty() || path.back() == '/';
+  const std::vector<std::string_view> segments = util::split(path, '/');
+  for (std::string_view seg : segments) {
+    if (seg.empty() || seg == ".") continue;
+    if (seg == "..") {
+      if (!kept.empty()) kept.pop_back();
+      continue;
+    }
+    kept.push_back(seg);
+  }
+  if (!path.empty()) {
+    const std::string_view last = segments.back();
+    if (last == "." || last == "..") trailing_slash = true;
+  }
+
+  std::string out = "/";
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    out.append(kept[i]);
+    if (i + 1 < kept.size()) out.push_back('/');
+  }
+  if (!kept.empty() && trailing_slash) out.push_back('/');
+  return out;
+}
+
+std::optional<CanonicalUrl> canonicalize(std::string_view raw) {
+  // 1. Trim surrounding whitespace, drop TAB/CR/LF anywhere.
+  std::string cleaned =
+      util::remove_chars(util::trim(raw, " \t\r\n"), "\t\r\n");
+
+  // 2-3. Parse (which strips the fragment), then repeatedly unescape the
+  // remaining components until a fixpoint.
+  UrlParts parts = parse(cleaned);
+
+  std::string scheme = parts.scheme.empty() ? "http" : parts.scheme;
+
+  auto unescape_fully = [](std::string value) {
+    while (true) {
+      std::string next = percent_unescape_once(value);
+      if (next == value) return value;
+      value = std::move(next);
+    }
+  };
+
+  // Userinfo and port are dropped: SB expressions never contain them (paper
+  // Section 2.2.1's generic URL usr:pwd@a.b.c:port loses usr/pwd/port).
+  std::string raw_host = unescape_fully(parts.host);
+  std::string raw_path = unescape_fully(parts.path);
+  std::string raw_query = unescape_fully(parts.query);
+
+  // Unescaping can surface authority delimiters that were hidden as %xx
+  // ("a%40b" -> "a@b", "a%3A99" -> "a:99", "a%2Fb" -> "a/b"). Re-apply the
+  // authority splitting so the output is a fixpoint of canonicalization.
+  if (const std::size_t at = raw_host.rfind('@'); at != std::string::npos) {
+    raw_host.erase(0, at + 1);
+  }
+  if (const std::size_t cut = raw_host.find_first_of("/?");
+      cut != std::string::npos) {
+    raw_host.resize(cut);  // spilled path/query bytes are dropped
+  }
+  if (const std::size_t colon = raw_host.find(':');
+      colon != std::string::npos) {
+    raw_host.resize(colon);  // port (or junk after any ':') is dropped
+  }
+
+  const CanonicalHost canonical_host = canonicalize_host(raw_host);
+  if (canonical_host.host.empty()) return std::nullopt;
+
+  CanonicalUrl url;
+  url.scheme = std::move(scheme);
+  url.host = percent_escape(canonical_host.host);
+  url.host_is_ip = canonical_host.is_ip;
+  url.path = percent_escape(canonicalize_path(raw_path));
+  url.has_query = parts.has_query;
+  if (parts.has_query) url.query = percent_escape(raw_query);
+  return url;
+}
+
+std::optional<std::string> canonical_spec(std::string_view raw) {
+  const auto url = canonicalize(raw);
+  if (!url) return std::nullopt;
+  return url->spec();
+}
+
+std::string CanonicalUrl::spec() const {
+  std::string out = scheme + "://" + host + path;
+  if (has_query) {
+    out += '?';
+    out += query;
+  }
+  return out;
+}
+
+std::string CanonicalUrl::expression() const {
+  std::string out = host + path;
+  if (has_query) {
+    out += '?';
+    out += query;
+  }
+  return out;
+}
+
+}  // namespace sbp::url

@@ -1,0 +1,70 @@
+// Google Safe Browsing URL canonicalization (paper Section 2.2.1).
+//
+// Implements the canonicalization algorithm from the Safe Browsing v2/v3
+// developer guide, which the paper's clients run before hashing:
+//   1. strip leading/trailing whitespace; remove TAB/CR/LF anywhere;
+//   2. remove the fragment;
+//   3. repeatedly percent-unescape until a fixpoint;
+//   4. hostname: drop userinfo & port, remove leading/trailing dots,
+//      collapse consecutive dots, lowercase, and normalize any legal IP
+//      encoding (decimal/octal/hex, 1-4 components) to dotted decimal;
+//   5. path: resolve "/./" and "/../", collapse runs of '/'; query untouched;
+//      empty path becomes "/";
+//   6. re-escape bytes <= 0x20, >= 0x7f, '#' and '%'.
+//
+// The unit tests reproduce Google's published canonicalization test vectors
+// verbatim.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sbp::url {
+
+/// A canonicalized URL, ready for decomposition + hashing.
+struct CanonicalUrl {
+  std::string scheme;  ///< "http" if the input had none
+  std::string host;    ///< canonical hostname or dotted-decimal IP
+  std::string path;    ///< canonical path, always starts with '/'
+  std::string query;   ///< canonical query (no '?'), valid iff has_query
+  bool has_query = false;
+  bool host_is_ip = false;
+
+  /// Full canonical URL, e.g. "http://www.google.com/q?r".
+  [[nodiscard]] std::string spec() const;
+
+  /// Canonical expression without the scheme ("host/path?query"), the form
+  /// Safe Browsing hashes (and the form whose SHA-256 prefixes the paper
+  /// publishes, e.g. "petsymposium.org/2016/cfp.php" -> 0xe70ee6d1).
+  [[nodiscard]] std::string expression() const;
+};
+
+/// Canonicalizes `raw`. Returns std::nullopt only when no host can be
+/// extracted at all (e.g. empty input); Safe Browsing treats such inputs as
+/// unverifiable rather than malicious.
+[[nodiscard]] std::optional<CanonicalUrl> canonicalize(std::string_view raw);
+
+/// Convenience: canonical spec string, or nullopt.
+[[nodiscard]] std::optional<std::string> canonical_spec(std::string_view raw);
+
+/// One pass of percent-unescaping; invalid escapes are copied through.
+/// Exposed for tests.
+[[nodiscard]] std::string percent_unescape_once(std::string_view input);
+
+/// Final escaping pass: bytes <= 0x20, >= 0x7f, '#', '%' become %XX
+/// (uppercase hex). Exposed for tests.
+[[nodiscard]] std::string percent_escape(std::string_view input);
+
+/// Canonicalizes just a hostname (steps 4 above). Exposed for tests and for
+/// the corpus generator. Returns the canonical host and whether it is an IP.
+struct CanonicalHost {
+  std::string host;
+  bool is_ip = false;
+};
+[[nodiscard]] CanonicalHost canonicalize_host(std::string_view host);
+
+/// Canonicalizes just a path (step 5). Exposed for tests.
+[[nodiscard]] std::string canonicalize_path(std::string_view path);
+
+}  // namespace sbp::url

@@ -1,0 +1,121 @@
+#include "url/decompose.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace sbp::url {
+
+namespace {
+constexpr std::size_t kMaxHostSuffixes = 5;
+constexpr std::size_t kMaxRootPrefixes = 4;  // "/", "/a/", "/a/b/", "/a/b/c/"
+}  // namespace
+
+std::vector<std::string> host_suffixes(std::string_view host,
+                                       bool host_is_ip) {
+  std::vector<std::string> out;
+  out.emplace_back(host);
+  if (host_is_ip) return out;
+
+  const std::vector<std::string_view> comps = util::split(host, '.');
+  if (comps.size() <= 2) return out;
+
+  // Start from the last min(5, n) components; drop leading components one at
+  // a time, stopping at 2 components; skip a duplicate of the exact host.
+  const std::size_t start =
+      comps.size() > kMaxHostSuffixes ? comps.size() - kMaxHostSuffixes : 0;
+  for (std::size_t i = start; i + 2 <= comps.size() &&
+                              out.size() < kMaxHostSuffixes;
+       ++i) {
+    std::string suffix;
+    for (std::size_t j = i; j < comps.size(); ++j) {
+      if (j != i) suffix.push_back('.');
+      suffix.append(comps[j]);
+    }
+    if (suffix == host) continue;  // the exact host is already first
+    out.push_back(std::move(suffix));
+  }
+  return out;
+}
+
+std::vector<std::string> path_prefixes(std::string_view path,
+                                       std::string_view query,
+                                       bool has_query) {
+  std::vector<std::string> out;
+  auto push_unique = [&out](std::string candidate) {
+    if (std::find(out.begin(), out.end(), candidate) == out.end()) {
+      out.push_back(std::move(candidate));
+    }
+  };
+
+  if (has_query) {
+    std::string with_query(path);
+    with_query.push_back('?');
+    with_query.append(query);
+    push_unique(std::move(with_query));
+  }
+  push_unique(std::string(path));
+
+  // Root-anchored directory prefixes: "/", "/c1/", "/c1/c2/", ...
+  push_unique("/");
+  const std::vector<std::string_view> segments = util::split(path, '/');
+  std::string prefix = "/";
+  std::size_t root_prefixes = 1;
+  // The final segment is the file part (or empty for directory paths); only
+  // intermediate components become directory prefixes.
+  for (std::size_t i = 1;
+       i + 1 < segments.size() && root_prefixes < kMaxRootPrefixes; ++i) {
+    if (segments[i].empty()) continue;
+    prefix.append(segments[i]);
+    prefix.push_back('/');
+    push_unique(prefix);
+    ++root_prefixes;
+  }
+  return out;
+}
+
+std::vector<Decomposition> decompose(const CanonicalUrl& url) {
+  std::vector<Decomposition> out;
+  const std::vector<std::string> hosts =
+      host_suffixes(url.host, url.host_is_ip);
+  const std::vector<std::string> paths =
+      path_prefixes(url.path, url.query, url.has_query);
+
+  const std::string exact_path =
+      url.has_query ? url.path + "?" + url.query : url.path;
+
+  out.reserve(hosts.size() * paths.size());
+  for (const std::string& host : hosts) {
+    for (const std::string& path : paths) {
+      Decomposition d;
+      d.expression = host + path;
+      d.host = host;
+      d.path = path;
+      d.is_exact = (host == url.host && path == exact_path);
+      out.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+std::vector<Decomposition> decompose(std::string_view raw_url) {
+  const auto canonical = canonicalize(raw_url);
+  if (!canonical) return {};
+  return decompose(*canonical);
+}
+
+std::vector<std::string> decompose_expressions(std::string_view raw_url) {
+  std::vector<std::string> out;
+  for (auto& d : decompose(raw_url)) out.push_back(std::move(d.expression));
+  return out;
+}
+
+std::vector<crypto::Prefix32> decompose_prefixes(std::string_view raw_url) {
+  std::vector<crypto::Prefix32> out;
+  for (const auto& d : decompose(raw_url)) {
+    out.push_back(crypto::prefix32_of(d.expression));
+  }
+  return out;
+}
+
+}  // namespace sbp::url

@@ -1,0 +1,86 @@
+#include "url/domain.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/strings.hpp"
+
+namespace sbp::url {
+
+namespace {
+
+// Common two-label public suffixes. A full public-suffix-list integration is
+// unnecessary: the paper's examples and the synthetic corpus only use these.
+constexpr std::array<std::string_view, 24> kTwoLabelSuffixes = {
+    "co.uk",  "org.uk", "ac.uk",  "gov.uk", "co.jp",  "ne.jp",
+    "or.jp",  "com.au", "net.au", "org.au", "co.nz",  "com.br",
+    "com.cn", "com.mx", "co.in",  "co.kr",  "com.tr", "com.ar",
+    "co.za",  "com.sg", "com.hk", "com.tw", "in.ua",  "com.ua"};
+
+}  // namespace
+
+std::vector<std::string> host_labels(std::string_view host) {
+  std::vector<std::string> out;
+  for (std::string_view label : util::split(host, '.')) {
+    out.emplace_back(label);
+  }
+  return out;
+}
+
+bool is_ipv4_literal(std::string_view host) noexcept {
+  int dots = 0;
+  int run = 0;
+  for (char c : host) {
+    if (c == '.') {
+      if (run == 0 || run > 3) return false;
+      ++dots;
+      run = 0;
+    } else if (c >= '0' && c <= '9') {
+      ++run;
+    } else {
+      return false;
+    }
+  }
+  return dots == 3 && run >= 1 && run <= 3;
+}
+
+bool is_domain_suffix(std::string_view host, std::string_view suffix) noexcept {
+  if (suffix.empty() || suffix.size() > host.size()) return false;
+  if (host == suffix) return true;
+  if (!util::ends_with(host, suffix)) return false;
+  return host[host.size() - suffix.size() - 1] == '.';
+}
+
+std::size_t public_suffix_labels(std::string_view host) {
+  for (std::string_view two : kTwoLabelSuffixes) {
+    if (is_domain_suffix(host, two)) return 2;
+  }
+  return 1;
+}
+
+std::string registrable_domain(std::string_view host) {
+  if (is_ipv4_literal(host)) return std::string(host);
+  const std::vector<std::string> labels = host_labels(host);
+  const std::size_t suffix_len = public_suffix_labels(host);
+  if (labels.size() <= suffix_len + 1) return std::string(host);
+  std::string out;
+  for (std::size_t i = labels.size() - suffix_len - 1; i < labels.size();
+       ++i) {
+    if (!out.empty()) out.push_back('.');
+    out += labels[i];
+  }
+  return out;
+}
+
+std::string parent_host(std::string_view host) {
+  const std::vector<std::string> labels = host_labels(host);
+  if (labels.size() <= 2) return {};
+  std::string out;
+  for (std::size_t i = 1; i < labels.size(); ++i) {
+    if (!out.empty()) out.push_back('.');
+    out += labels[i];
+  }
+  return out;
+}
+
+}  // namespace sbp::url

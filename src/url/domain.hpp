@@ -1,0 +1,42 @@
+// Hostname component utilities and second-level-domain (SLD) extraction.
+//
+// Algorithm 1 of the paper starts with get_domain(link), "which in most
+// cases will be a Second-Level Domain (SLD)" (Section 6.3), and the DNS
+// Census comparison of Section 7.1 is keyed by SLDs. Real SLD extraction
+// needs the public-suffix list; we embed the common multi-level suffixes so
+// that e.g. "foo.co.uk" resolves to its registrable domain, and fall back to
+// the last two labels otherwise -- sufficient for both the paper's examples
+// and our synthetic corpus (which only uses suffixes from this set).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbp::url {
+
+/// Splits a canonical host into dot-separated labels.
+[[nodiscard]] std::vector<std::string> host_labels(std::string_view host);
+
+/// True if `host` is a dotted-decimal IPv4 literal (canonical form).
+[[nodiscard]] bool is_ipv4_literal(std::string_view host) noexcept;
+
+/// True if `suffix` equals `host` or is a dot-boundary suffix of it
+/// ("b.c" is a domain-suffix of "a.b.c" but not of "ab.c").
+[[nodiscard]] bool is_domain_suffix(std::string_view host,
+                                    std::string_view suffix) noexcept;
+
+/// Registrable domain (the paper's "SLD"): one label plus the public suffix.
+/// For IPs and single-label hosts, returns the host unchanged.
+/// registrable_domain("wps3b.17buddies.net") == "17buddies.net"
+/// registrable_domain("www.foo.co.uk")       == "foo.co.uk"
+[[nodiscard]] std::string registrable_domain(std::string_view host);
+
+/// The parent host (one label removed), or "" when <= 2 labels remain.
+[[nodiscard]] std::string parent_host(std::string_view host);
+
+/// Number of labels in the public suffix of `host` (1 for ".net",
+/// 2 for ".co.uk", ...). Exposed for tests.
+[[nodiscard]] std::size_t public_suffix_labels(std::string_view host);
+
+}  // namespace sbp::url

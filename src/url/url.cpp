@@ -1,0 +1,115 @@
+#include "url/url.hpp"
+
+#include "util/strings.hpp"
+
+namespace sbp::url {
+
+namespace {
+
+bool is_scheme_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.';
+}
+
+}  // namespace
+
+UrlParts parse(std::string_view raw) {
+  UrlParts parts;
+  std::string_view rest = raw;
+
+  // Scheme: "name://" with name = ALPHA *(scheme-char). We only treat it as
+  // a scheme when followed by "//", matching Safe Browsing's behaviour of
+  // defaulting bare hosts ("www.google.com/") to http.
+  if (!rest.empty() &&
+      ((rest[0] >= 'a' && rest[0] <= 'z') ||
+       (rest[0] >= 'A' && rest[0] <= 'Z'))) {
+    std::size_t i = 1;
+    while (i < rest.size() && is_scheme_char(rest[i])) ++i;
+    if (i + 2 < rest.size() && rest[i] == ':' && rest[i + 1] == '/' &&
+        rest[i + 2] == '/') {
+      parts.scheme = util::to_lower(rest.substr(0, i));
+      rest.remove_prefix(i + 3);
+    }
+  }
+
+  // Fragment: everything after the FIRST '#'.
+  if (const std::size_t hash = rest.find('#');
+      hash != std::string_view::npos) {
+    parts.fragment = std::string(rest.substr(hash + 1));
+    parts.has_fragment = true;
+    rest = rest.substr(0, hash);
+  }
+
+  // Authority ends at the first '/' or '?'.
+  std::size_t authority_end = rest.find_first_of("/?");
+  std::string_view authority = (authority_end == std::string_view::npos)
+                                   ? rest
+                                   : rest.substr(0, authority_end);
+  std::string_view after = (authority_end == std::string_view::npos)
+                               ? std::string_view{}
+                               : rest.substr(authority_end);
+
+  // Userinfo: up to the LAST '@' in the authority (matching browser/Chromium
+  // behaviour for phishing URLs like http://google.com@evil.com/).
+  if (const std::size_t at = authority.rfind('@');
+      at != std::string_view::npos) {
+    parts.userinfo = std::string(authority.substr(0, at));
+    authority = authority.substr(at + 1);
+  }
+
+  // Port: after the last ':' (no IPv6 bracket support; the GSB spec predates
+  // bracketed literals and the paper's analysis is IPv4/hostname only).
+  if (const std::size_t colon = authority.rfind(':');
+      colon != std::string_view::npos) {
+    parts.port = std::string(authority.substr(colon + 1));
+    authority = authority.substr(0, colon);
+  }
+  parts.host = std::string(authority);
+
+  // Path / query.
+  if (!after.empty()) {
+    if (after[0] == '?') {
+      parts.has_query = true;
+      parts.query = std::string(after.substr(1));
+    } else {
+      const std::size_t q = after.find('?');
+      if (q == std::string_view::npos) {
+        parts.path = std::string(after);
+      } else {
+        parts.path = std::string(after.substr(0, q));
+        parts.has_query = true;
+        parts.query = std::string(after.substr(q + 1));
+      }
+    }
+  }
+  return parts;
+}
+
+std::string to_string(const UrlParts& parts) {
+  std::string out;
+  if (!parts.scheme.empty()) {
+    out += parts.scheme;
+    out += "://";
+  }
+  if (!parts.userinfo.empty()) {
+    out += parts.userinfo;
+    out += '@';
+  }
+  out += parts.host;
+  if (!parts.port.empty()) {
+    out += ':';
+    out += parts.port;
+  }
+  out += parts.path;
+  if (parts.has_query) {
+    out += '?';
+    out += parts.query;
+  }
+  if (parts.has_fragment) {
+    out += '#';
+    out += parts.fragment;
+  }
+  return out;
+}
+
+}  // namespace sbp::url

@@ -1,0 +1,54 @@
+#include "util/hex.hpp"
+
+#include <array>
+
+namespace sbp::util {
+
+namespace {
+constexpr std::array<char, 16> kHexDigits = {'0', '1', '2', '3', '4', '5',
+                                             '6', '7', '8', '9', 'a', 'b',
+                                             'c', 'd', 'e', 'f'};
+}  // namespace
+
+std::string hex_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t byte : data) {
+    out.push_back(kHexDigits[byte >> 4]);
+    out.push_back(kHexDigits[byte & 0x0F]);
+  }
+  return out;
+}
+
+std::string hex_u32(std::uint32_t value) {
+  std::string out = "0x";
+  for (int shift = 28; shift >= 0; shift -= 4) {
+    out.push_back(kHexDigits[(value >> shift) & 0xF]);
+  }
+  return out;
+}
+
+int hex_digit_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::optional<std::vector<std::uint8_t>> hex_decode(std::string_view hex) {
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    hex.remove_prefix(2);
+  }
+  if (hex.size() % 2 != 0) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_digit_value(hex[i]);
+    const int lo = hex_digit_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace sbp::util

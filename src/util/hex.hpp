@@ -1,0 +1,31 @@
+// Hex encoding/decoding helpers.
+//
+// Digest prefixes in the paper are printed as "0xe70ee6d1"-style strings;
+// these helpers provide the byte<->hex conversions used across the library.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbp::util {
+
+/// Encodes `data` as lowercase hex (two characters per byte).
+[[nodiscard]] std::string hex_encode(std::span<const std::uint8_t> data);
+
+/// Encodes a 32-bit value as "0x"-prefixed, zero-padded lowercase hex,
+/// matching the notation used in the paper's tables (e.g. "0xe70ee6d1").
+[[nodiscard]] std::string hex_u32(std::uint32_t value);
+
+/// Decodes a hex string (with or without a "0x" prefix) into bytes.
+/// Returns std::nullopt on odd length or non-hex characters.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>>
+hex_decode(std::string_view hex);
+
+/// Returns the numeric value of a single hex digit, or -1 if invalid.
+[[nodiscard]] int hex_digit_value(char c) noexcept;
+
+}  // namespace sbp::util

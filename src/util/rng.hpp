@@ -1,0 +1,54 @@
+// Deterministic random number generation.
+//
+// Every experiment in this repository must be reproducible from a seed: the
+// corpus generator, the blacklist factory and the user-population simulator
+// all take an explicit Rng. We use xoshiro256** (public domain, Blackman &
+// Vigna) seeded through SplitMix64, which is fast, high-quality and -- unlike
+// std::mt19937_64 -- has a trivially portable, documented state layout.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sbp::util {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into generator state.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** 1.0 generator. Satisfies std::uniform_random_bit_generator
+/// so it can be used with <random> distributions when convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  /// Next 64 random bits.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool next_bool(double p) noexcept;
+
+  /// Forks an independent stream (seeded from this stream's output). Useful
+  /// for giving each simulated user / domain its own generator.
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sbp::util

@@ -1,0 +1,90 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sbp::util {
+
+namespace {
+SummaryStats summarize_sorted(std::vector<double> sorted) {
+  SummaryStats out;
+  if (sorted.empty()) return out;
+  out.count = sorted.size();
+  out.min = sorted.front();
+  out.max = sorted.back();
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  out.mean = sum / static_cast<double>(sorted.size());
+  const std::size_t mid = sorted.size() / 2;
+  out.median = (sorted.size() % 2 == 1)
+                   ? sorted[mid]
+                   : (sorted[mid - 1] + sorted[mid]) / 2.0;
+  return out;
+}
+}  // namespace
+
+SummaryStats summarize(std::span<const double> values) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return summarize_sorted(std::move(sorted));
+}
+
+SummaryStats summarize_u64(std::span<const std::uint64_t> values) {
+  std::vector<double> sorted;
+  sorted.reserve(values.size());
+  for (std::uint64_t v : values) sorted.push_back(static_cast<double>(v));
+  std::sort(sorted.begin(), sorted.end());
+  return summarize_sorted(std::move(sorted));
+}
+
+std::vector<std::uint64_t> rank_descending(
+    std::span<const std::uint64_t> values) {
+  std::vector<std::uint64_t> out(values.begin(), values.end());
+  std::sort(out.begin(), out.end(), std::greater<>());
+  return out;
+}
+
+std::vector<double> cumulative_fraction(
+    std::span<const std::uint64_t> ranked_descending) {
+  std::vector<double> out;
+  out.reserve(ranked_descending.size());
+  double total = 0.0;
+  for (std::uint64_t v : ranked_descending) total += static_cast<double>(v);
+  if (total == 0.0) {
+    out.assign(ranked_descending.size(), 0.0);
+    return out;
+  }
+  double running = 0.0;
+  for (std::uint64_t v : ranked_descending) {
+    running += static_cast<double>(v);
+    out.push_back(running / total);
+  }
+  return out;
+}
+
+std::vector<std::size_t> log_spaced_indices(std::size_t size,
+                                            int points_per_decade) {
+  std::vector<std::size_t> out;
+  if (size == 0) return out;
+  out.push_back(0);
+  if (size == 1) return out;
+  const double max_log = std::log10(static_cast<double>(size - 1));
+  const int total_points =
+      std::max(1, static_cast<int>(std::ceil(max_log * points_per_decade)));
+  for (int i = 1; i <= total_points; ++i) {
+    const double exp = max_log * static_cast<double>(i) / total_points;
+    const auto idx = static_cast<std::size_t>(std::llround(std::pow(10, exp)));
+    if (idx > out.back() && idx < size) out.push_back(idx);
+  }
+  if (out.back() != size - 1) out.push_back(size - 1);
+  return out;
+}
+
+std::size_t hosts_to_cover(std::span<const double> fraction, double target) {
+  for (std::size_t i = 0; i < fraction.size(); ++i) {
+    if (fraction[i] >= target) return i + 1;
+  }
+  return fraction.size();
+}
+
+}  // namespace sbp::util

@@ -1,0 +1,50 @@
+// Descriptive-statistics helpers used by the figure benches.
+//
+// Figure 5 of the paper plots per-host series (URLs per host, cumulative URL
+// fraction, decompositions per host, mean/min/max decompositions) on log-log
+// axes; Figure 6 plots per-host collision counts. These helpers compute the
+// sorted series, cumulative fractions and log-spaced sample points that the
+// bench binaries print.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sbp::util {
+
+struct SummaryStats {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  std::size_t count = 0;
+};
+
+/// Mean/min/max/median of a sample (empty input -> zeroed result).
+[[nodiscard]] SummaryStats summarize(std::span<const double> values);
+[[nodiscard]] SummaryStats summarize_u64(std::span<const std::uint64_t> values);
+
+/// Sorts a copy of `values` in descending order (rank-ordered series, as in
+/// Figure 5a where hosts are ranked by URL count).
+[[nodiscard]] std::vector<std::uint64_t> rank_descending(
+    std::span<const std::uint64_t> values);
+
+/// Cumulative fraction series of a descending-ranked vector:
+/// out[i] = sum(values[0..i]) / sum(values). Empty input -> empty output.
+[[nodiscard]] std::vector<double> cumulative_fraction(
+    std::span<const std::uint64_t> ranked_descending);
+
+/// Returns ~points_per_decade log-spaced indices into [0, size), always
+/// including 0 and size-1; deduplicated and sorted. Used so the benches print
+/// a readable subsample of million-point series.
+[[nodiscard]] std::vector<std::size_t> log_spaced_indices(
+    std::size_t size, int points_per_decade = 4);
+
+/// Smallest index i in the ranked cumulative-fraction series with
+/// fraction[i] >= target (e.g. "19000 hosts cover 80% of URLs").
+/// Returns fraction.size() if never reached.
+[[nodiscard]] std::size_t hosts_to_cover(std::span<const double> fraction,
+                                         double target);
+
+}  // namespace sbp::util

@@ -1,0 +1,51 @@
+// Small string utilities shared across the library.
+//
+// The URL canonicalizer (src/url) relies heavily on these; they are kept
+// allocation-conscious and locale-independent (ASCII-only semantics, which is
+// what the Safe Browsing canonicalization spec requires).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbp::util {
+
+/// Splits `input` on `sep`, keeping empty fields.
+/// split("a..b", '.') -> {"a", "", "b"}.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view input,
+                                                  char sep);
+
+/// Joins the pieces with `sep` between them.
+[[nodiscard]] std::string join(const std::vector<std::string_view>& pieces,
+                               std::string_view sep);
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces,
+                               std::string_view sep);
+
+/// ASCII lowercase (locale-independent).
+[[nodiscard]] std::string to_lower(std::string_view input);
+
+/// Removes leading and trailing characters contained in `chars`.
+[[nodiscard]] std::string_view trim(std::string_view input,
+                                    std::string_view chars = " \t\r\n");
+
+/// True if `value` starts with / ends with the given affix.
+[[nodiscard]] bool starts_with(std::string_view value,
+                               std::string_view prefix) noexcept;
+[[nodiscard]] bool ends_with(std::string_view value,
+                             std::string_view suffix) noexcept;
+
+/// Removes every occurrence of any character in `chars`.
+[[nodiscard]] std::string remove_chars(std::string_view input,
+                                       std::string_view chars);
+
+/// Replaces all occurrences of `from` with `to` (non-overlapping, left to
+/// right). `from` must be non-empty.
+[[nodiscard]] std::string replace_all(std::string_view input,
+                                      std::string_view from,
+                                      std::string_view to);
+
+/// Parses a non-negative decimal integer; returns -1 on failure/overflow.
+[[nodiscard]] long long parse_decimal(std::string_view input) noexcept;
+
+}  // namespace sbp::util

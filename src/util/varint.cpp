@@ -1,0 +1,38 @@
+#include "util/varint.hpp"
+
+namespace sbp::util {
+
+void varint_encode(std::uint64_t value, std::vector<std::uint8_t>& out) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::size_t varint_size(std::uint64_t value) noexcept {
+  std::size_t size = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++size;
+  }
+  return size;
+}
+
+std::optional<std::uint64_t> varint_decode(std::span<const std::uint8_t> data,
+                                           std::size_t& offset) noexcept {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (std::size_t i = offset; i < data.size() && shift < 64; ++i) {
+    const std::uint8_t byte = data[i];
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      offset = i + 1;
+      return value;
+    }
+    shift += 7;
+  }
+  return std::nullopt;  // truncated or over-long
+}
+
+}  // namespace sbp::util

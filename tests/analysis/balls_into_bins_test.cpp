@@ -1,0 +1,150 @@
+#include "analysis/balls_into_bins.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sbp::analysis {
+namespace {
+
+constexpr double kE = 2.718281828459045;
+
+TEST(BallsIntoBinsTest, PaperTable5UrlCellsReproduceExactly) {
+  // Reproduction finding (EXPERIMENTS.md): Table 5's 2012/2013 URL cells at
+  // l = 32 equal floor(m/n + sqrt(2 (m/n) ln n)) with the NATURAL log.
+  const auto m2012 = raab_steger_max_load(30e12, 32, 1.0, kE);
+  EXPECT_EQ(static_cast<long long>(m2012.value), 7541);  // paper: 7541
+  const auto m2013 = raab_steger_max_load(60e12, 32, 1.0, kE);
+  EXPECT_EQ(static_cast<long long>(m2013.value), 14757);  // paper: 14757
+}
+
+TEST(BallsIntoBinsTest, PaperTable5DomainCellsReproduceWithLog2) {
+  // The 2012/2013 domain cells at l = 16 match the same formula with LOG
+  // BASE 2 (the paper evidently mixed bases; see EXPERIMENTS.md). The 2012
+  // cell computes to 4195.996: the paper's printed 4196 vs our floor differ
+  // only in the final rounding, so both cells are asserted within +-1.
+  const auto d2012 = raab_steger_max_load(252e6, 16, 1.0, 2.0);
+  EXPECT_NEAR(d2012.value, 4196.0, 1.0);  // paper: 4196
+  const auto d2013 = raab_steger_max_load(271e6, 16, 1.0, 2.0);
+  EXPECT_NEAR(d2013.value, 4498.0, 1.0);  // paper: 4498
+}
+
+TEST(BallsIntoBinsTest, RegimeClassification) {
+  // m far below n log n -> sparse.
+  EXPECT_EQ(classify_regime(1e3, std::pow(2.0, 32), kE),
+            LoadRegime::kSparse);
+  // m ~ n log n -> near.
+  EXPECT_EQ(classify_regime(9.5e10, std::pow(2.0, 32), kE),
+            LoadRegime::kNearNLogN);
+  // Table 5's dense cells.
+  EXPECT_EQ(classify_regime(30e12, std::pow(2.0, 32), kE),
+            LoadRegime::kDense);
+  EXPECT_EQ(classify_regime(60e12, std::pow(2.0, 32), kE),
+            LoadRegime::kDense);
+  // Extremely dense.
+  EXPECT_EQ(classify_regime(1e18, std::pow(2.0, 16), kE),
+            LoadRegime::kVeryDense);
+}
+
+TEST(BallsIntoBinsTest, SolveDcProperties) {
+  // f(d_c) = 0 and d_c > c.
+  for (const double c : {0.5, 1.0, 2.0, 10.497, 100.0}) {
+    const double dc = solve_dc(c);
+    EXPECT_GT(dc, c);
+    const double f = 1.0 + dc * (std::log(c) - std::log(dc) + 1.0) - c;
+    EXPECT_NEAR(f, 0.0, 1e-9) << "c=" << c;
+  }
+  // Large c: d_c -> c + sqrt(2c) asymptotically (within ~15%).
+  const double dc100 = solve_dc(100.0);
+  EXPECT_NEAR(dc100, 100.0 + std::sqrt(200.0), 3.0);
+}
+
+TEST(BallsIntoBinsTest, MaxLoadMonotoneInBalls) {
+  double previous = 0.0;
+  for (double m = 1e9; m <= 1e14; m *= 10.0) {
+    const auto estimate = raab_steger_max_load(m, 32, 1.0, kE);
+    EXPECT_GT(estimate.value, previous);
+    previous = estimate.value;
+  }
+}
+
+TEST(BallsIntoBinsTest, MaxLoadDecreasesWithPrefixBits) {
+  const double m = 1e12;
+  double previous = 1e300;
+  for (unsigned bits : {16u, 32u, 48u}) {
+    const auto estimate = raab_steger_max_load(m, bits, 1.0, kE);
+    EXPECT_LT(estimate.value, previous) << bits;
+    previous = estimate.value;
+  }
+}
+
+TEST(BallsIntoBinsTest, AlphaIncreasesBound) {
+  const auto a1 = raab_steger_max_load(30e12, 32, 1.0, kE);
+  const auto a2 = raab_steger_max_load(30e12, 32, 2.0, kE);
+  EXPECT_GT(a2.value, a1.value);
+}
+
+TEST(BallsIntoBinsTest, ExactMaxLoadSparseCells) {
+  // Table 5's sparse cells. At 1e12 URLs / l = 64, birthday pairs exist but
+  // no triples (M = 2, matching the paper). At 60e12 the occupancy estimate
+  // is 3 (E[#bins with 3] ~ 100) -- the paper's printed "2" comes from its
+  // asymptotic formula, not an exact computation; see EXPERIMENTS.md.
+  EXPECT_EQ(exact_max_load(1e12, 64), 2u);
+  EXPECT_EQ(exact_max_load(60e12, 64), 3u);
+  EXPECT_EQ(exact_max_load(1e12, 96), 1u);
+  EXPECT_EQ(exact_max_load(60e12, 96), 1u);
+}
+
+TEST(BallsIntoBinsTest, ExactMaxLoadDomainCells) {
+  // Domains at l = 32 (m ~ 2.5e8, n = 2^32): pairs and triples exist.
+  const auto m = exact_max_load(252e6, 32);
+  EXPECT_GE(m, 3u);
+  EXPECT_LE(m, 5u);
+  // Domains at l = 64/96: everything unique.
+  EXPECT_EQ(exact_max_load(271e6, 64), 1u);
+  EXPECT_EQ(exact_max_load(271e6, 96), 1u);
+}
+
+TEST(BallsIntoBinsTest, ExactMaxLoadDenseMatchesAsymptotic) {
+  // In the dense regime the occupancy estimate and Raab-Steger agree to a
+  // few percent.
+  const double m = 30e12;
+  const auto exact = static_cast<double>(exact_max_load(m, 32));
+  const auto asymptotic = raab_steger_max_load(m, 32, 1.0, kE).value;
+  EXPECT_NEAR(exact / asymptotic, 1.0, 0.05);
+}
+
+TEST(BallsIntoBinsTest, ExactMinLoad) {
+  // Ercal-Ozkaya: min load Theta(m/n) for dense loads; ~0 for sparse.
+  EXPECT_EQ(exact_min_load(1e12, 64), 0u);  // most bins empty
+  const auto min_load = exact_min_load(30e12, 32);
+  const double ratio = 30e12 / std::pow(2.0, 32);
+  EXPECT_GT(static_cast<double>(min_load), ratio * 0.8);
+  EXPECT_LT(static_cast<double>(min_load), ratio);
+}
+
+TEST(BallsIntoBinsTest, PoissonTailBasics) {
+  EXPECT_DOUBLE_EQ(poisson_tail(1.0, 0.0), 1.0);
+  EXPECT_NEAR(poisson_tail(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_LT(poisson_tail(1.0, 10.0), 1e-6);
+  EXPECT_GT(poisson_tail(1.0, 10.0), 0.0);
+  // Large lambda falls back to the normal approximation smoothly.
+  EXPECT_NEAR(poisson_tail(1e6, 1e6), 0.5, 0.01);
+}
+
+class Table5UrlSweep
+    : public ::testing::TestWithParam<std::pair<double, long long>> {};
+
+TEST_P(Table5UrlSweep, DenseFormulaMatches) {
+  const auto& [m, expected] = GetParam();
+  const auto estimate = raab_steger_max_load(m, 32, 1.0, kE);
+  EXPECT_EQ(static_cast<long long>(estimate.value), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperCells, Table5UrlSweep,
+    ::testing::Values(std::make_pair(30e12, 7541LL),
+                      std::make_pair(60e12, 14757LL)));
+
+}  // namespace
+}  // namespace sbp::analysis

@@ -1,0 +1,85 @@
+#include "analysis/bpjm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sbp::analysis {
+namespace {
+
+std::vector<std::string> make_entries(std::size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back("blocked" + std::to_string(i) + ".example/");
+  }
+  return out;
+}
+
+TEST(BpjmTest, MatchesOwnEntries) {
+  BpjmList list(BpjmHash::kMd5);
+  list.add_entry("secret.example/");
+  EXPECT_TRUE(list.matches("secret.example/"));
+  EXPECT_FALSE(list.matches("other.example/"));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(BpjmTest, Md5AndSha1Independent) {
+  BpjmList md5(BpjmHash::kMd5);
+  BpjmList sha1(BpjmHash::kSha1);
+  md5.add_entry("x.example/");
+  sha1.add_entry("x.example/");
+  EXPECT_TRUE(md5.matches("x.example/"));
+  EXPECT_TRUE(sha1.matches("x.example/"));
+  EXPECT_EQ(md5.hash_kind(), BpjmHash::kMd5);
+  EXPECT_EQ(sha1.hash_kind(), BpjmHash::kSha1);
+}
+
+TEST(BpjmTest, FullDictionaryRecovers100Percent) {
+  // With a dictionary superset, the static hashed list gives up everything:
+  // hashing without truncation or salting is no anonymization at all.
+  BpjmList list(BpjmHash::kMd5);
+  const auto entries = make_entries(3000);  // the BPjM list's real size
+  for (const auto& e : entries) list.add_entry(e);
+
+  std::vector<std::string> dictionary = entries;
+  for (int i = 0; i < 5000; ++i) {
+    dictionary.push_back("innocent" + std::to_string(i) + ".example/");
+  }
+  const auto result = dictionary_attack(list, dictionary);
+  EXPECT_EQ(result.recovered, 3000u);
+  EXPECT_DOUBLE_EQ(result.recovery_rate(), 1.0);
+}
+
+TEST(BpjmTest, PartialDictionaryRecoversProportionally) {
+  // The paper's 99% BPjM recovery corresponds to a dictionary covering 99%
+  // of entries.
+  BpjmList list(BpjmHash::kSha1);
+  const auto entries = make_entries(1000);
+  for (const auto& e : entries) list.add_entry(e);
+  std::vector<std::string> dictionary(entries.begin(),
+                                      entries.begin() + 990);
+  const auto result = dictionary_attack(list, dictionary);
+  EXPECT_EQ(result.recovered, 990u);
+  EXPECT_NEAR(result.recovery_rate(), 0.99, 1e-9);
+}
+
+TEST(BpjmTest, DuplicateDictionaryEntriesCountOnce) {
+  BpjmList list;
+  list.add_entry("a.example/");
+  const std::vector<std::string> dictionary = {"a.example/", "a.example/",
+                                               "a.example/"};
+  const auto result = dictionary_attack(list, dictionary);
+  EXPECT_EQ(result.recovered, 1u);
+}
+
+TEST(BpjmTest, EmptyList) {
+  const BpjmList list;
+  const auto result = dictionary_attack(list, {"anything.example/"});
+  EXPECT_EQ(result.recovered, 0u);
+  EXPECT_DOUBLE_EQ(result.recovery_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace sbp::analysis

@@ -1,0 +1,124 @@
+#include "analysis/collision.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "url/decompose.hpp"
+
+namespace sbp::analysis {
+namespace {
+
+std::vector<std::string> decomps(const char* url) {
+  return url::decompose_expressions(url);
+}
+
+std::uint64_t prefix(const std::string& expression, unsigned bits = 32) {
+  return crypto::Digest256::of(expression).prefix_bits64(bits);
+}
+
+TEST(CollisionTest, Table6TypeI) {
+  // Target a.b.c with prefixes A = prefix(a.b.c/), B = prefix(b.c/).
+  // Candidate g.a.b.c shares both decompositions -> Type I.
+  const auto target = decomps("http://a.b.c/");
+  const auto candidate = decomps("http://g.a.b.c/");
+  const auto a = prefix("a.b.c/");
+  const auto b = prefix("b.c/");
+  EXPECT_EQ(classify_collision(target, candidate, a, b, 32),
+            CollisionType::kTypeI);
+}
+
+TEST(CollisionTest, UnrelatedCandidateIsNone) {
+  const auto target = decomps("http://a.b.c/");
+  const auto candidate = decomps("http://d.e.f/");
+  const auto a = prefix("a.b.c/");
+  const auto b = prefix("b.c/");
+  EXPECT_EQ(classify_collision(target, candidate, a, b, 32),
+            CollisionType::kNone);
+}
+
+TEST(CollisionTest, TypeIIAtReducedWidth) {
+  // Type II: candidate g.b.c shares b.c/ (string) and must cover prefix(A)
+  // via a digest collision. Real 32-bit collisions are unminable in tests;
+  // at 8 bits we mine one deterministically.
+  const unsigned bits = 8;
+  const auto target = decomps("http://a.b.c/");
+  const auto a = prefix("a.b.c/", bits);
+  const auto b = prefix("b.c/", bits);
+
+  // Mine a path under g.b.c whose 8-bit prefix equals a.
+  const auto mined =
+      mine_colliding_expression(a, bits, "g.b.c/page", 100000);
+  ASSERT_TRUE(mined.has_value());
+  // Candidate URL: http://g.b.c/<mined-path-part>. Its decompositions
+  // include the mined expression and b.c/ (shared with the target).
+  std::string mined_path = mined->substr(std::string("g.b.c").size());
+  const auto candidate = decomps(("http://g.b.c" + mined_path).c_str());
+  EXPECT_EQ(classify_collision(target, candidate, a, b, bits),
+            CollisionType::kTypeII);
+}
+
+TEST(CollisionTest, TypeIIIAtReducedWidth) {
+  // Completely unrelated d.e.f covering both prefixes by digest collisions.
+  const unsigned bits = 8;
+  const auto target = decomps("http://a.b.c/");
+  const auto a = prefix("a.b.c/", bits);
+  const auto b = prefix("b.c/", bits);
+
+  const auto hit_a = mine_colliding_expression(a, bits, "d.e.f/x", 100000);
+  const auto hit_b = mine_colliding_expression(b, bits, "d.e.f/y", 100000);
+  ASSERT_TRUE(hit_a.has_value());
+  ASSERT_TRUE(hit_b.has_value());
+  const std::vector<std::string> candidate = {*hit_a, *hit_b, "d.e.f/",
+                                              "e.f/"};
+  EXPECT_EQ(classify_collision(target, candidate, a, b, bits),
+            CollisionType::kTypeIII);
+}
+
+TEST(CollisionTest, SharedCoverageDominates) {
+  // If a candidate covers a prefix both via a shared string and via a
+  // collision, it is classified by the shared string (Type I ordering).
+  const auto target = decomps("http://a.b.c/1/2.ext?param=1");
+  // Candidate = the target itself: trivially shares everything.
+  EXPECT_EQ(classify_collision(target, target,
+                               prefix("a.b.c/1/2.ext?param=1"),
+                               prefix("a.b.c/"), 32),
+            CollisionType::kTypeI);
+}
+
+TEST(CollisionTest, Type3Probability) {
+  EXPECT_DOUBLE_EQ(type3_probability(32), std::pow(2.0, -64.0));
+  EXPECT_DOUBLE_EQ(type3_probability(16), std::pow(2.0, -32.0));
+  EXPECT_GT(type3_probability(8), type3_probability(16));
+}
+
+TEST(CollisionTest, MineFailsGracefully) {
+  // Mining an 8-bit target with 1 try almost surely fails.
+  std::size_t failures = 0;
+  for (int t = 0; t < 8; ++t) {
+    if (!mine_colliding_expression(static_cast<std::uint64_t>(t), 8,
+                                   "stem" + std::to_string(t) + "/", 1)) {
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, 4u);
+}
+
+TEST(CollisionTest, MinedExpressionActuallyCollides) {
+  const auto target = prefix("victim.example/", 16);
+  const auto mined =
+      mine_colliding_expression(target, 16, "attacker.example/p", 1u << 20);
+  ASSERT_TRUE(mined.has_value());
+  EXPECT_EQ(prefix(*mined, 16), target);
+  EXPECT_NE(*mined, "victim.example/");
+}
+
+TEST(CollisionTest, CollisionTypeNames) {
+  EXPECT_STREQ(collision_type_name(CollisionType::kTypeI), "Type I");
+  EXPECT_STREQ(collision_type_name(CollisionType::kTypeII), "Type II");
+  EXPECT_STREQ(collision_type_name(CollisionType::kTypeIII), "Type III");
+  EXPECT_STREQ(collision_type_name(CollisionType::kNone), "None");
+}
+
+}  // namespace
+}  // namespace sbp::analysis

@@ -1,0 +1,187 @@
+// Tests for inversion (Table 10), orphan census (Table 11) and multi-prefix
+// scanning (Table 12).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/inversion.hpp"
+#include "analysis/multi_prefix.hpp"
+#include "analysis/orphans.hpp"
+#include "sb/blacklist_factory.hpp"
+
+namespace sbp::analysis {
+namespace {
+
+TEST(InversionTest, DatasetOverlapControlsMatches) {
+  sb::Server server;
+  sb::BlacklistFactory factory(1);
+  const auto truth =
+      factory.populate(server, {"list", 1000, 0.0, 0, 0});
+
+  util::Rng rng(2);
+  const auto dataset = make_dataset("Malware list", 500, 200, truth, rng);
+  EXPECT_EQ(dataset.expressions.size(), 500u);
+
+  const auto result =
+      run_inversion("list", server.prefixes("list"), dataset);
+  EXPECT_EQ(result.matches, 200u);
+  EXPECT_NEAR(result.match_fraction, 0.2, 0.001);
+}
+
+TEST(InversionTest, ZeroOverlapMatchesNothing) {
+  sb::Server server;
+  sb::BlacklistFactory factory(3);
+  const auto truth = factory.populate(server, {"list", 300, 0.0, 0, 0});
+  util::Rng rng(4);
+  const auto dataset = make_dataset("Phishing list", 300, 0, truth, rng);
+  const auto result =
+      run_inversion("list", server.prefixes("list"), dataset);
+  EXPECT_EQ(result.matches, 0u);
+}
+
+TEST(InversionTest, OverlapCappedByTruthSize) {
+  sb::Server server;
+  sb::BlacklistFactory factory(5);
+  const auto truth = factory.populate(server, {"list", 50, 0.0, 0, 0});
+  util::Rng rng(6);
+  const auto dataset = make_dataset("BigBlackList", 100, 500, truth, rng);
+  const auto result =
+      run_inversion("list", server.prefixes("list"), dataset);
+  EXPECT_EQ(result.matches, 50u);  // all of the truth, no more
+}
+
+TEST(InversionTest, SldFraction) {
+  sb::Server server;
+  server.add_expression("list", "sld-one.example/");
+  server.add_expression("list", "sld-two.example/");
+  server.add_expression("list", "deep.example/path/file.html");
+  const std::vector<std::string> slds = {"sld-one.example/",
+                                         "sld-two.example/",
+                                         "unrelated.example/"};
+  const double fraction = sld_fraction(server.prefixes("list"), slds);
+  EXPECT_NEAR(fraction, 2.0 / 3.0, 1e-9);
+}
+
+TEST(OrphanCensusTest, CountsDigestBuckets) {
+  sb::Server server;
+  sb::BlacklistFactory factory(7);
+  const auto truth =
+      factory.populate(server, {"list", 1000, 0.25, 10, 0});
+  const OrphanCensus census = census_list(server, "list");
+  EXPECT_EQ(census.total_prefixes, 1000u);
+  EXPECT_EQ(census.orphans, truth.orphans.size());
+  EXPECT_EQ(census.two_digest, 10u);
+  EXPECT_EQ(census.orphans + census.one_digest + census.two_digest +
+                census.more_digest,
+            census.total_prefixes);
+  EXPECT_NEAR(census.orphan_fraction(), 0.25, 0.01);
+}
+
+TEST(OrphanCensusTest, FullyOrphanListLikeYandexYellow) {
+  sb::Server server;
+  sb::BlacklistFactory factory(8);
+  factory.populate(server, {"ydx-yellow-shavar", 209, 1.0, 0, 0});
+  const OrphanCensus census = census_list(server, "ydx-yellow-shavar");
+  EXPECT_EQ(census.total_prefixes, 209u);
+  EXPECT_EQ(census.orphans, 209u);
+  EXPECT_DOUBLE_EQ(census.orphan_fraction(), 1.0);
+}
+
+TEST(OrphanCensusTest, CensusAllCoversEveryList) {
+  sb::Server server;
+  sb::BlacklistFactory factory(9);
+  factory.populate(server, {"a", 10, 0.0, 0, 0});
+  factory.populate(server, {"b", 20, 0.5, 0, 0});
+  const auto censuses = census_all(server);
+  EXPECT_EQ(censuses.size(), 2u);
+}
+
+TEST(OrphanCensusTest, CorpusCollisions) {
+  // Blacklist an orphan prefix equal to a real corpus page's decomposition:
+  // the page must be counted as hitting an orphan.
+  const corpus::WebCorpus corpus(corpus::CorpusConfig::random_like(20, 31));
+  const auto site = corpus.site(0);
+  ASSERT_FALSE(site.pages.empty());
+  const std::string expression = site.pages[0].expression();
+
+  sb::Server server;
+  server.add_orphan_prefix("list", crypto::prefix32_of(expression));
+  server.add_expression("list", site.domain + "/");  // one-parent prefix
+  server.seal_chunk("list");
+
+  const CorpusCollision collisions =
+      corpus_collisions(server, "list", corpus);
+  EXPECT_GE(collisions.urls_hitting_orphans, 1u);
+  EXPECT_GE(collisions.urls_hitting_one_parent, 1u);
+}
+
+TEST(MultiPrefixScanTest, DetectsDeployedGroups) {
+  sb::Server server;
+  sb::BlacklistFactory factory(11);
+  const auto truth = factory.populate(server, {"list", 200, 0.0, 0, 4});
+  ASSERT_EQ(truth.multi_groups.size(), 4u);
+
+  std::vector<std::string> urls;
+  for (const auto& group : truth.multi_groups) {
+    urls.push_back(group.target_url);
+  }
+  urls.push_back("http://innocent.example/nothing.html");
+
+  const MultiPrefixScan scan = scan_urls(server, "list", urls);
+  EXPECT_EQ(scan.urls_scanned, 5u);
+  EXPECT_EQ(scan.urls_with_multi_hits, 4u);
+  EXPECT_EQ(scan.distinct_domains, 4u);
+  ASSERT_FALSE(scan.examples.empty());
+  EXPECT_GE(scan.examples[0].matching_prefixes.size(), 2u);
+}
+
+TEST(MultiPrefixScanTest, PaperTable12Shape) {
+  // Reconstruct the wps3b.17buddies.net row: blacklisting the URL and its
+  // directory yields exactly the two prefixes of Table 12.
+  sb::Server server;
+  server.add_expression("goog-malware-shavar",
+                        "17buddies.net/wp/cs_sub_7-2.pwf");
+  server.add_expression("goog-malware-shavar", "17buddies.net/wp/");
+  server.seal_chunk("goog-malware-shavar");
+
+  const MultiPrefixScan scan =
+      scan_urls(server, "goog-malware-shavar",
+                {"http://wps3b.17buddies.net/wp/cs_sub_7-2.pwf"});
+  ASSERT_EQ(scan.urls_with_multi_hits, 1u);
+  ASSERT_EQ(scan.examples.size(), 1u);
+  const auto& example = scan.examples[0];
+  EXPECT_EQ(example.domain, "17buddies.net");
+  ASSERT_EQ(example.matching_prefixes.size(), 2u);
+  // The paper's published prefixes.
+  EXPECT_TRUE(std::find(example.matching_prefixes.begin(),
+                        example.matching_prefixes.end(),
+                        0x18366658u) != example.matching_prefixes.end());
+  EXPECT_TRUE(std::find(example.matching_prefixes.begin(),
+                        example.matching_prefixes.end(),
+                        0x77c1098bu) != example.matching_prefixes.end());
+}
+
+TEST(MultiPrefixScanTest, SingleHitNotCounted) {
+  sb::Server server;
+  server.add_expression("list", "single.example/page.html");
+  server.seal_chunk("list");
+  const MultiPrefixScan scan =
+      scan_urls(server, "list", {"http://single.example/page.html"});
+  EXPECT_EQ(scan.urls_with_multi_hits, 0u);
+}
+
+TEST(MultiPrefixScanTest, ExampleCapRespected) {
+  sb::Server server;
+  sb::BlacklistFactory factory(13);
+  const auto truth = factory.populate(server, {"list", 100, 0.0, 0, 10});
+  std::vector<std::string> urls;
+  for (const auto& group : truth.multi_groups) {
+    urls.push_back(group.target_url);
+  }
+  const MultiPrefixScan scan = scan_urls(server, "list", urls, 3);
+  EXPECT_EQ(scan.urls_with_multi_hits, 10u);
+  EXPECT_EQ(scan.examples.size(), 3u);
+}
+
+}  // namespace
+}  // namespace sbp::analysis

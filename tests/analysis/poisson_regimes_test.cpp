@@ -1,0 +1,82 @@
+// Numerical-regime tests for the Poisson tail used by the occupancy
+// estimates: each code path (CDF summation, log-space upward summation,
+// normal approximation) is exercised at its boundaries. The original
+// implementation underflowed e^-lambda for lambda > ~700, which silently
+// broke Table 5's occupancy column -- these tests pin the fix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/balls_into_bins.hpp"
+
+namespace sbp::analysis {
+namespace {
+
+TEST(PoissonRegimesTest, SmallLambdaExactValues) {
+  // lambda = 2: P(X >= 1) = 1 - e^-2; P(X >= 3) known closed form.
+  EXPECT_NEAR(poisson_tail(2.0, 1.0), 1.0 - std::exp(-2.0), 1e-12);
+  const double p_ge3 = 1.0 - std::exp(-2.0) * (1.0 + 2.0 + 2.0);
+  EXPECT_NEAR(poisson_tail(2.0, 3.0), p_ge3, 1e-12);
+}
+
+TEST(PoissonRegimesTest, TinyLambdaFarTail) {
+  // lambda = 1e-6: P(X >= 2) ~= lambda^2 / 2; P(X >= 3) ~= lambda^3 / 6.
+  EXPECT_NEAR(poisson_tail(1e-6, 2.0) / (0.5e-12), 1.0, 1e-3);
+  EXPECT_NEAR(poisson_tail(1e-6, 3.0) / (1e-18 / 6.0), 1.0, 1e-3);
+}
+
+TEST(PoissonRegimesTest, LargeLambdaNoUnderflow) {
+  // lambda = 2700 (the Table 5 domain regime that used to underflow).
+  // Median: tail at k = lambda is ~0.5.
+  EXPECT_NEAR(poisson_tail(2700.0, 2700.0), 0.5, 0.02);
+  // Far tail must be small but strictly positive and decreasing.
+  const double t4 = poisson_tail(2700.0, 2700.0 + 4.0 * 52.0);
+  const double t6 = poisson_tail(2700.0, 2700.0 + 6.0 * 52.0);
+  EXPECT_GT(t4, t6);
+  EXPECT_GT(t6, 0.0);
+  EXPECT_LT(t4, 1e-3);
+}
+
+TEST(PoissonRegimesTest, HugeLambdaNormalPath) {
+  // lambda = 1.5e7 (Table 5's l=16 URL cells): normal approximation.
+  const double lambda = 1.5e7;
+  EXPECT_NEAR(poisson_tail(lambda, lambda), 0.5, 0.01);
+  const double sigma = std::sqrt(lambda);
+  EXPECT_NEAR(poisson_tail(lambda, lambda + 2.0 * sigma), 0.0228, 0.005);
+}
+
+TEST(PoissonRegimesTest, MonotoneInK) {
+  for (const double lambda : {0.001, 1.0, 50.0, 700.0, 5000.0, 2e5}) {
+    double previous = 1.1;
+    for (double k = 0; k <= lambda + 10.0 * std::sqrt(lambda + 1.0);
+         k += std::max(1.0, lambda / 7.0)) {
+      const double tail = poisson_tail(lambda, k);
+      EXPECT_LE(tail, previous + 1e-9) << "lambda=" << lambda << " k=" << k;
+      previous = tail;
+    }
+  }
+}
+
+TEST(PoissonRegimesTest, CrossRegimeContinuity) {
+  // Values just below/above the lambda = 600 CDF/normal switch and the
+  // k <=> lambda branch switch must agree reasonably.
+  const double below = poisson_tail(599.0, 580.0);
+  const double above = poisson_tail(601.0, 582.0);  // analogous point
+  EXPECT_NEAR(below, above, 0.05);
+  // k just below vs just above lambda (branch switch).
+  const double left = poisson_tail(100.0, 99.0);
+  const double right = poisson_tail(100.0, 101.0);
+  EXPECT_GT(left, right);
+  EXPECT_LT(left - right, 0.1);
+}
+
+TEST(PoissonRegimesTest, OccupancyUsesCorrectRegimes) {
+  // End-to-end: the Table 5 occupancy cells that span all three paths.
+  EXPECT_EQ(exact_max_load(1e12, 96), 1u);          // far-sparse upward path
+  EXPECT_GE(exact_max_load(252e6, 16), 4000u);      // lambda ~ 3845 normal+upward
+  EXPECT_LE(exact_max_load(252e6, 16), 4200u);
+  EXPECT_GE(exact_max_load(1e12, 16), 15000000u);   // huge-lambda normal path
+}
+
+}  // namespace
+}  // namespace sbp::analysis

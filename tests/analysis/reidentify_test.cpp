@@ -1,0 +1,137 @@
+#include "analysis/reidentify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "url/decompose.hpp"
+
+namespace sbp::analysis {
+namespace {
+
+TEST(ReidentifyTest, SinglePrefixInversion) {
+  ReidentificationIndex index;
+  index.add_url("https://petsymposium.org/2016/cfp.php");
+  const auto expressions = index.invert_prefix(0xe70ee6d1);
+  ASSERT_EQ(expressions.size(), 1u);
+  EXPECT_EQ(expressions[0], "petsymposium.org/2016/cfp.php");
+}
+
+TEST(ReidentifyTest, TwoPrefixesUniquelyIdentifyLeaf) {
+  // Section 6.1: a leaf URL re-identifies from (own prefix, domain prefix).
+  ReidentificationIndex index;
+  index.add_url("https://petsymposium.org/2016/cfp.php");
+  index.add_url("https://petsymposium.org/2016/links.php");
+  index.add_url("https://petsymposium.org/2016/faqs.php");
+
+  const auto result = index.reidentify(
+      {crypto::prefix32_of("petsymposium.org/2016/cfp.php"),
+       crypto::prefix32_of("petsymposium.org/")});
+  ASSERT_TRUE(result.unique());
+  EXPECT_EQ(result.candidate_urls[0], "petsymposium.org/2016/cfp.php");
+}
+
+TEST(ReidentifyTest, SharedDecompositionIsAmbiguous) {
+  // Receiving only (domain, directory) prefixes cannot distinguish pages in
+  // the same directory: all of them remain candidates.
+  ReidentificationIndex index;
+  index.add_url("https://petsymposium.org/2016/cfp.php");
+  index.add_url("https://petsymposium.org/2016/links.php");
+
+  const auto result =
+      index.reidentify({crypto::prefix32_of("petsymposium.org/"),
+                        crypto::prefix32_of("petsymposium.org/2016/")});
+  EXPECT_EQ(result.candidate_urls.size(), 2u);
+  EXPECT_FALSE(result.unique());
+}
+
+TEST(ReidentifyTest, Table7CaseAnalysis) {
+  // Table 7: a.b.c/1 with decompositions A = a.b.c/1, B = a.b.c/,
+  // C = b.c/1, D = b.c/. The domain b.c also hosts those decompositions as
+  // URLs.
+  ReidentificationIndex index;
+  index.add_url("http://a.b.c/1");
+  index.add_url("http://a.b.c/");
+  index.add_url("http://b.c/1");
+  index.add_url("http://b.c/");
+
+  const auto a = crypto::prefix32_of("a.b.c/1");
+  const auto b = crypto::prefix32_of("a.b.c/");
+  const auto c = crypto::prefix32_of("b.c/1");
+  const auto d = crypto::prefix32_of("b.c/");
+
+  // Case 1: (A, B) -> the client surely visited a.b.c/1.
+  const auto case1 = index.reidentify({a, b});
+  ASSERT_TRUE(case1.unique());
+  EXPECT_EQ(case1.candidate_urls[0], "a.b.c/1");
+
+  // Case 2: (C, D) -> ambiguous among a.b.c/1, a.b.c/, b.c/1 (every URL
+  // whose decompositions include both C and D... b.c/ has only D).
+  const auto case2 = index.reidentify({c, d});
+  EXPECT_EQ(case2.candidate_urls.size(), 2u);  // a.b.c/1 and b.c/1
+  EXPECT_TRUE(std::find(case2.candidate_urls.begin(),
+                        case2.candidate_urls.end(),
+                        "a.b.c/1") != case2.candidate_urls.end());
+  EXPECT_TRUE(std::find(case2.candidate_urls.begin(),
+                        case2.candidate_urls.end(),
+                        "b.c/1") != case2.candidate_urls.end());
+
+  // Case 2 disambiguated: adding A isolates a.b.c/1 (the paper's fix).
+  const auto case2_fixed = index.reidentify({a, c, d});
+  ASSERT_TRUE(case2_fixed.unique());
+  EXPECT_EQ(case2_fixed.candidate_urls[0], "a.b.c/1");
+
+  // Case 3: (A, D): a.b.c/1 is the only URL covering both.
+  const auto case3 = index.reidentify({a, d});
+  ASSERT_TRUE(case3.unique());
+  EXPECT_EQ(case3.candidate_urls[0], "a.b.c/1");
+}
+
+TEST(ReidentifyTest, UnknownPrefixGivesNoCandidates) {
+  ReidentificationIndex index;
+  index.add_url("http://x.example/");
+  const auto result = index.reidentify({0xDEADBEEF, 0x12345678});
+  EXPECT_TRUE(result.candidate_urls.empty());
+  EXPECT_FALSE(result.unique());
+}
+
+TEST(ReidentifyTest, EmptyPrefixListGivesNothing) {
+  ReidentificationIndex index;
+  index.add_url("http://x.example/");
+  EXPECT_TRUE(index.reidentify({}).candidate_urls.empty());
+}
+
+TEST(ReidentifyTest, CorpusScaleKAnonymity) {
+  // Index a small corpus; single-prefix inversion should almost always be
+  // unique (the paper's small-domain re-identification result).
+  const corpus::WebCorpus corpus(corpus::CorpusConfig::random_like(50, 7));
+  ReidentificationIndex index;
+  index.add_corpus(corpus);
+  EXPECT_GT(index.num_urls(), 50u);
+
+  // Probe with the first site's first page.
+  const auto site = corpus.site(0);
+  ASSERT_FALSE(site.pages.empty());
+  const auto prefixes =
+      url::decompose_prefixes(site.pages[0].url());
+  ASSERT_FALSE(prefixes.empty());
+  const auto result = index.reidentify(prefixes);
+  // The true URL must always be among the candidates.
+  EXPECT_TRUE(std::find(result.candidate_urls.begin(),
+                        result.candidate_urls.end(),
+                        site.pages[0].expression()) !=
+              result.candidate_urls.end());
+}
+
+TEST(ReidentifyTest, DuplicateUrlsDoNotDuplicateCandidates) {
+  ReidentificationIndex index;
+  index.add_url("http://dup.example/page.html");
+  index.add_url("http://dup.example/page.html");
+  const auto result = index.reidentify(
+      {crypto::prefix32_of("dup.example/page.html"),
+       crypto::prefix32_of("dup.example/")});
+  EXPECT_EQ(result.candidate_urls.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sbp::analysis

@@ -1,0 +1,80 @@
+#include "analysis/update_dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sbp::analysis {
+namespace {
+
+TEST(UpdateDynamicsTest, IncrementalBeatsFullDownload) {
+  ChurnConfig config;
+  config.initial_entries = 2000;
+  config.adds_per_round = 40;
+  config.removals_per_round = 20;
+  config.rounds = 5;
+  const ChurnReport report = simulate_churn(config);
+  ASSERT_EQ(report.rounds.size(), 5u);
+  // Small churn: the diff is a small fraction of re-downloading the list.
+  EXPECT_LT(report.total_incremental_bytes,
+            report.total_full_download_bytes / 5);
+  // ...and both are minuscule next to re-shipping a Bloom filter.
+  EXPECT_LT(report.total_full_download_bytes,
+            report.total_bloom_reship_bytes / 10);
+}
+
+TEST(UpdateDynamicsTest, ClientTracksListSize) {
+  ChurnConfig config;
+  config.initial_entries = 500;
+  config.adds_per_round = 30;
+  config.removals_per_round = 10;
+  config.rounds = 4;
+  const ChurnReport report = simulate_churn(config);
+  // Net +20 entries per round.
+  std::size_t expected = 500;
+  for (const auto& row : report.rounds) {
+    expected += 20;
+    EXPECT_EQ(row.client_prefixes, expected) << "round " << row.round;
+  }
+}
+
+TEST(UpdateDynamicsTest, Day0KnowledgeDecays) {
+  ChurnConfig config;
+  config.initial_entries = 300;
+  config.adds_per_round = 30;
+  config.removals_per_round = 30;  // pure replacement
+  config.rounds = 6;
+  const ChurnReport report = simulate_churn(config);
+  double previous = 1.0;
+  for (const auto& row : report.rounds) {
+    EXPECT_LE(row.day0_knowledge_fraction, previous);
+    previous = row.day0_knowledge_fraction;
+  }
+  // After 6 rounds of 10% replacement, day-0 knowledge dropped 60%.
+  EXPECT_NEAR(report.rounds.back().day0_knowledge_fraction, 0.4, 1e-9);
+}
+
+TEST(UpdateDynamicsTest, Deterministic) {
+  ChurnConfig config;
+  config.seed = 42;
+  config.rounds = 3;
+  const ChurnReport a = simulate_churn(config);
+  const ChurnReport b = simulate_churn(config);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].incremental_bytes, b.rounds[i].incremental_bytes);
+    EXPECT_EQ(a.rounds[i].client_prefixes, b.rounds[i].client_prefixes);
+  }
+}
+
+TEST(UpdateDynamicsTest, ZeroChurnCostsAlmostNothing) {
+  ChurnConfig config;
+  config.initial_entries = 100;
+  config.adds_per_round = 0;
+  config.removals_per_round = 0;
+  config.rounds = 3;
+  const ChurnReport report = simulate_churn(config);
+  EXPECT_EQ(report.total_incremental_bytes, 0u);
+  EXPECT_DOUBLE_EQ(report.rounds.back().day0_knowledge_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace sbp::analysis

@@ -1,0 +1,57 @@
+#include "analysis/width_tradeoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sbp::analysis {
+namespace {
+
+TEST(WidthTradeoffTest, ThirtyTwoBitPoint) {
+  WidthTradeoffConfig config;  // paper's 2013 values
+  const auto points = sweep_widths(config, {32});
+  ASSERT_EQ(points.size(), 1u);
+  const WidthPoint& p = points[0];
+  // 60e12 / 2^32 ~= 13970 expected URLs per prefix (Table 5's mean load).
+  EXPECT_NEAR(p.expected_k_urls, 13969.8, 1.0);
+  // 271e6 / 2^32 ~= 0.063: domains essentially unique.
+  EXPECT_LT(p.expected_k_domains, 0.1);
+  // False hit probability: 630428 / 2^32 ~= 1.47e-4.
+  EXPECT_NEAR(p.false_hit_probability, 1.47e-4, 1e-5);
+  EXPECT_EQ(p.raw_store_bytes, 630428u * 4);
+}
+
+TEST(WidthTradeoffTest, MonotonicityAcrossWidths) {
+  WidthTradeoffConfig config;
+  const auto points = sweep_widths(config, {16, 24, 32, 48, 64});
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    // Privacy (k) falls, leakage falls, memory rises as width grows.
+    EXPECT_LT(points[i].expected_k_urls, points[i - 1].expected_k_urls);
+    EXPECT_LT(points[i].false_hit_probability,
+              points[i - 1].false_hit_probability);
+    EXPECT_GT(points[i].raw_store_bytes, points[i - 1].raw_store_bytes);
+  }
+}
+
+TEST(WidthTradeoffTest, LeaksScaleWithDecompositions) {
+  WidthTradeoffConfig few;
+  few.decompositions_per_url = 1.0;
+  WidthTradeoffConfig many = few;
+  many.decompositions_per_url = 8.0;
+  const auto point_few = sweep_widths(few, {32})[0];
+  const auto point_many = sweep_widths(many, {32})[0];
+  EXPECT_NEAR(point_many.leaks_per_1000_loads,
+              8.0 * point_few.leaks_per_1000_loads, 1e-12);
+}
+
+TEST(WidthTradeoffTest, SixteenBitsWouldFloodTheServer) {
+  // The design rationale: at 16 bits nearly every page load leaks.
+  WidthTradeoffConfig config;
+  const auto p16 = sweep_widths(config, {16})[0];
+  EXPECT_GT(p16.false_hit_probability, 1.0);  // more entries than bins
+  const auto p32 = sweep_widths(config, {32})[0];
+  EXPECT_LT(p32.leaks_per_1000_loads, 1.0);  // <0.1% of loads leak
+}
+
+}  // namespace
+}  // namespace sbp::analysis

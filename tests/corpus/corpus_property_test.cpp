@@ -1,0 +1,109 @@
+// Property sweeps over corpus configurations: the generator's statistical
+// contracts must hold across parameter ranges, not just the two presets.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "corpus/dataset_stats.hpp"
+#include "corpus/web_corpus.hpp"
+#include "url/decompose.hpp"
+
+namespace sbp::corpus {
+namespace {
+
+struct SweepParam {
+  double single_page_fraction;
+  double subdomain_probability;
+  std::uint64_t max_pages;
+  std::uint64_t seed;
+};
+
+class CorpusSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(CorpusSweep, PageCountsWithinBounds) {
+  const SweepParam& param = GetParam();
+  CorpusConfig config;
+  config.num_hosts = 200;
+  config.seed = param.seed;
+  config.single_page_fraction = param.single_page_fraction;
+  config.subdomain_probability = param.subdomain_probability;
+  config.max_pages = param.max_pages;
+  config.min_pages = param.single_page_fraction > 0 ? 2 : 1;
+  const WebCorpus corpus(config);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const auto pages = corpus.site_page_count(i);
+    EXPECT_GE(pages, 1u);
+    EXPECT_LE(pages, param.max_pages);
+  }
+}
+
+TEST_P(CorpusSweep, DecompositionCountsWithinSpecLimits) {
+  const SweepParam& param = GetParam();
+  CorpusConfig config;
+  config.num_hosts = 30;
+  config.seed = param.seed;
+  config.single_page_fraction = param.single_page_fraction;
+  config.subdomain_probability = param.subdomain_probability;
+  config.max_pages = std::min<std::uint64_t>(param.max_pages, 200);
+  const WebCorpus corpus(config);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const Site site = corpus.site(i);
+    for (const Page& page : site.pages) {
+      const auto decomps = url::decompose(page.url());
+      ASSERT_FALSE(decomps.empty()) << page.url();
+      EXPECT_LE(decomps.size(), 30u) << page.url();
+    }
+  }
+}
+
+TEST_P(CorpusSweep, SiteStatsInternallyConsistent) {
+  const SweepParam& param = GetParam();
+  CorpusConfig config;
+  config.num_hosts = 20;
+  config.seed = param.seed ^ 0xABCD;
+  config.single_page_fraction = param.single_page_fraction;
+  config.max_pages = std::min<std::uint64_t>(param.max_pages, 500);
+  const WebCorpus corpus(config);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const SiteStats stats = compute_site_stats(corpus.site(i));
+    if (stats.urls == 0) continue;
+    EXPECT_GE(stats.unique_decompositions, 1u);
+    EXPECT_GE(stats.mean_decompositions_per_url, 1.0);
+    EXPECT_LE(stats.min_decompositions_per_url,
+              stats.max_decompositions_per_url);
+    EXPECT_LE(stats.mean_decompositions_per_url,
+              static_cast<double>(stats.max_decompositions_per_url));
+    EXPECT_GE(stats.mean_decompositions_per_url,
+              static_cast<double>(stats.min_decompositions_per_url));
+    // Unique decompositions cannot exceed urls x max-decomps-per-url.
+    EXPECT_LE(stats.unique_decompositions,
+              stats.urls * stats.max_decompositions_per_url);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CorpusSweep,
+    ::testing::Values(SweepParam{0.0, 0.0, 100, 1},
+                      SweepParam{0.0, 0.5, 1000, 2},
+                      SweepParam{0.3, 0.2, 5000, 3},
+                      SweepParam{0.61, 0.12, 30000, 4},
+                      SweepParam{0.9, 0.9, 50, 5}));
+
+TEST(CorpusDistinctness, ExpressionsAreGloballyDistinctAcrossSites) {
+  // Different sites must never emit the same expression (domains are
+  // distinct by construction) -- required for clean ground truth.
+  const WebCorpus corpus(CorpusConfig::random_like(100, 919));
+  std::unordered_set<std::string> seen;
+  std::size_t total = 0;
+  corpus.for_each_site([&](const Site& site) {
+    for (const Page& page : site.pages) {
+      EXPECT_TRUE(seen.insert(page.expression()).second)
+          << page.expression();
+      ++total;
+    }
+  });
+  EXPECT_EQ(seen.size(), total);
+}
+
+}  // namespace
+}  // namespace sbp::corpus

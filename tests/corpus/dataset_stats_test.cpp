@@ -1,0 +1,98 @@
+#include "corpus/dataset_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sbp::corpus {
+namespace {
+
+Site tiny_site() {
+  Site site;
+  site.domain = "x.example";
+  Page a;
+  a.host = "x.example";
+  a.path = "/dir/a.html";
+  Page b;
+  b.host = "x.example";
+  b.path = "/dir/b.html";
+  site.pages = {a, b};
+  return site;
+}
+
+TEST(SiteStatsTest, CountsUrlsAndDecompositions) {
+  const SiteStats stats = compute_site_stats(tiny_site());
+  EXPECT_EQ(stats.urls, 2u);
+  // Each page: paths {exact, "/", "/dir/"} x host {x.example} = 3 decomps.
+  EXPECT_EQ(stats.min_decompositions_per_url, 3u);
+  EXPECT_EQ(stats.max_decompositions_per_url, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_decompositions_per_url, 3.0);
+  // Unique: a, b, "/", "/dir/" under one host = 4.
+  EXPECT_EQ(stats.unique_decompositions, 4u);
+  // Shared nodes: "x.example/" and "x.example/dir/".
+  EXPECT_EQ(stats.type1_collision_nodes, 2u);
+}
+
+TEST(SiteStatsTest, EmptySite) {
+  Site site;
+  site.domain = "empty.example";
+  const SiteStats stats = compute_site_stats(site);
+  EXPECT_EQ(stats.urls, 0u);
+  EXPECT_EQ(stats.unique_decompositions, 0u);
+}
+
+TEST(SiteStatsTest, PrefixCollisionsAreRareOnSmallSites) {
+  // 32-bit collisions need ~2^16 decompositions (birthday bound, Section
+  // 6.2); a small site must see none.
+  const SiteStats stats = compute_site_stats(tiny_site());
+  EXPECT_EQ(stats.prefix_collisions, 0u);
+}
+
+TEST(DatasetStatsTest, AggregatesAcrossHosts) {
+  const WebCorpus corpus(CorpusConfig::random_like(200, 33));
+  const DatasetStats stats = compute_dataset_stats(corpus);
+  EXPECT_EQ(stats.hosts, 200u);
+  EXPECT_EQ(stats.urls_per_host.size(), 200u);
+  EXPECT_EQ(stats.collisions_per_host.size(), 200u);
+  EXPECT_GT(stats.urls, 200u);  // more URLs than hosts
+  EXPECT_GT(stats.unique_decompositions, 0u);
+  // Single-page fraction ~61% for the random preset.
+  const double single =
+      static_cast<double>(stats.single_page_hosts) / 200.0;
+  EXPECT_NEAR(single, 0.61, 0.12);
+}
+
+TEST(DatasetStatsTest, PowerLawFitIsReasonable) {
+  const WebCorpus corpus(CorpusConfig::random_like(3000, 55));
+  const DatasetStats stats = compute_dataset_stats(corpus);
+  // The generator mixes a 61% point mass at 1 with a truncated power law,
+  // as the paper's random dataset does. The paper's estimator applied to
+  // this truncated mixture lands above the paper's 1.312 (their crawl had a
+  // 270k-page cap; ours is scaled down) -- shape test only, the Table 8
+  // bench reports the exact fitted value. See EXPERIMENTS.md.
+  EXPECT_GT(stats.pages_fit.alpha, 1.2);
+  EXPECT_LT(stats.pages_fit.alpha, 2.0);
+  // Every host has >= 1 page, so all hosts enter the fit.
+  EXPECT_EQ(stats.pages_fit.n, 3000u);
+}
+
+TEST(DatasetStatsTest, MostHostsLackType1OnRandomPreset) {
+  const WebCorpus corpus(CorpusConfig::random_like(500, 77));
+  const DatasetStats stats = compute_dataset_stats(corpus);
+  // Paper: 56% of random hosts have no Type I collisions; single-page hosts
+  // (61%) trivially qualify. Require a majority.
+  EXPECT_GT(stats.hosts_without_type1, 250u);
+}
+
+TEST(DatasetStatsTest, MeanDecompositionsMostlySmall) {
+  // Paper: the average number of decompositions lies in [1,5] for ~46% of
+  // hosts. Check the generated corpus keeps means small.
+  const WebCorpus corpus(CorpusConfig::random_like(300, 88));
+  const DatasetStats stats = compute_dataset_stats(corpus);
+  std::size_t in_range = 0;
+  for (const double mean : stats.mean_decomps_per_host) {
+    if (mean >= 1.0 && mean <= 5.0) ++in_range;
+  }
+  EXPECT_GT(in_range, 100u);
+}
+
+}  // namespace
+}  // namespace sbp::corpus

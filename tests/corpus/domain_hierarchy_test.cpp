@@ -1,0 +1,153 @@
+#include "corpus/domain_hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sbp::corpus {
+namespace {
+
+// The paper's Figure 4 domain: b.c hosting a.b.c, a.b.c/1, a.b.c/2,
+// a.b.c/3, a.b.c/3/3.1, a.b.c/3/3.2, d.b.c. Leaves (blue): a.b.c/1,
+// a.b.c/2, a.b.c/3/3.1, a.b.c/3/3.2, d.b.c.
+DomainHierarchy figure4() {
+  return DomainHierarchy({
+      "http://a.b.c/",
+      "http://a.b.c/1",
+      "http://a.b.c/2",
+      "http://a.b.c/3/",
+      "http://a.b.c/3/3.1",
+      "http://a.b.c/3/3.2",
+      "http://d.b.c/",
+  });
+}
+
+TEST(DomainHierarchyTest, Figure4Leaves) {
+  const DomainHierarchy h = figure4();
+  EXPECT_TRUE(h.is_leaf("a.b.c/1"));
+  EXPECT_TRUE(h.is_leaf("a.b.c/2"));
+  EXPECT_TRUE(h.is_leaf("a.b.c/3/3.1"));
+  EXPECT_TRUE(h.is_leaf("a.b.c/3/3.2"));
+  EXPECT_TRUE(h.is_leaf("d.b.c/"));
+}
+
+TEST(DomainHierarchyTest, Figure4NonLeaves) {
+  const DomainHierarchy h = figure4();
+  // a.b.c/ is a decomposition of every a.b.c URL; a.b.c/3/ of 3.1 and 3.2.
+  EXPECT_FALSE(h.is_leaf("a.b.c/"));
+  EXPECT_FALSE(h.is_leaf("a.b.c/3/"));
+}
+
+TEST(DomainHierarchyTest, UnknownUrlIsNotLeaf) {
+  const DomainHierarchy h = figure4();
+  EXPECT_FALSE(h.is_leaf("a.b.c/404"));
+  EXPECT_FALSE(h.is_leaf("other.example/"));
+}
+
+TEST(DomainHierarchyTest, PaperTable7Example) {
+  // Table 7: the host b.c carries only a.b.c/1 and its decompositions
+  // (a.b.c/, b.c/1, b.c/). a.b.c/1 generates 4 decompositions.
+  const DomainHierarchy h({
+      "http://a.b.c/1",
+      "http://a.b.c/",
+      "http://b.c/1",
+      "http://b.c/",
+  });
+  // a.b.c/1 is a leaf (it is no other URL's decomposition).
+  EXPECT_TRUE(h.is_leaf("a.b.c/1"));
+  // The others are decompositions of a.b.c/1, hence non-leaves.
+  EXPECT_FALSE(h.is_leaf("a.b.c/"));
+  EXPECT_FALSE(h.is_leaf("b.c/1"));
+  EXPECT_FALSE(h.is_leaf("b.c/"));
+}
+
+TEST(DomainHierarchyTest, Type1CollidersShareTwoDecompositions) {
+  // PETS example, Section 6.3: petsymposium.org/2016/ collides Type I with
+  // links.php and faqs.php (they share petsymposium.org/ and /2016/).
+  const DomainHierarchy h({
+      "https://petsymposium.org/2016/",
+      "https://petsymposium.org/2016/links.php",
+      "https://petsymposium.org/2016/faqs.php",
+      "https://petsymposium.org/2016/cfp.php",
+  });
+  const auto colliders = h.type1_colliders("petsymposium.org/2016/");
+  // links/faqs/cfp all share {petsymposium.org/, petsymposium.org/2016/}.
+  EXPECT_EQ(colliders.size(), 3u);
+  EXPECT_NE(std::find(colliders.begin(), colliders.end(),
+                      "petsymposium.org/2016/links.php"),
+            colliders.end());
+}
+
+TEST(DomainHierarchyTest, SingleUrlHasNoColliders) {
+  const DomainHierarchy h({"http://x.example/only.html"});
+  EXPECT_TRUE(h.type1_colliders("x.example/only.html").empty());
+  EXPECT_TRUE(h.is_leaf("x.example/only.html"));
+}
+
+TEST(DomainHierarchyTest, UrlsOnDifferentPathsShareOnlyRoot) {
+  // Sharing only the root "/" (one decomposition) is not Type I.
+  const DomainHierarchy h({
+      "http://x.example/a.html",
+      "http://x.example/b.html",
+  });
+  EXPECT_TRUE(h.type1_colliders("x.example/a.html").empty());
+}
+
+TEST(DomainHierarchyTest, SameDirectoryIsTypeI) {
+  // Sharing "/" and "/dir/" (two decompositions) is Type I.
+  const DomainHierarchy h({
+      "http://x.example/dir/a.html",
+      "http://x.example/dir/b.html",
+  });
+  const auto colliders = h.type1_colliders("x.example/dir/a.html");
+  ASSERT_EQ(colliders.size(), 1u);
+  EXPECT_EQ(colliders[0], "x.example/dir/b.html");
+}
+
+TEST(DomainHierarchyTest, SubdomainHostsAreTypeI) {
+  // Same multi-label host => >= 2 shared host suffixes x shared "/" => Type I
+  // (the Table 6 g.a.b.c situation).
+  const DomainHierarchy h({
+      "http://g.a.b.c/x.html",
+      "http://g.a.b.c/y.html",
+  });
+  EXPECT_EQ(h.type1_colliders("g.a.b.c/x.html").size(), 1u);
+}
+
+TEST(DomainHierarchyTest, CollisionNodesCount) {
+  const DomainHierarchy h({
+      "http://x.example/dir/a.html",
+      "http://x.example/dir/b.html",
+  });
+  // Shared decompositions: "x.example/" and "x.example/dir/" -> 2 nodes.
+  EXPECT_EQ(h.type1_collision_nodes(), 2u);
+}
+
+TEST(DomainHierarchyTest, DuplicateAndInvalidInputsSkipped) {
+  const DomainHierarchy h({
+      "http://x.example/a.html",
+      "http://x.example/a.html",  // duplicate
+      "",                          // invalid
+  });
+  EXPECT_EQ(h.num_urls(), 1u);
+}
+
+TEST(DomainHierarchyTest, DecompositionsOfMatchesDecomposeApi) {
+  const DomainHierarchy h({"http://a.b.c/1/2.ext?param=1"});
+  const auto decomps = h.decompositions_of(0);
+  EXPECT_EQ(decomps.size(), 8u);  // the paper's example count
+  EXPECT_NE(std::find(decomps.begin(), decomps.end(), "b.c/1/"),
+            decomps.end());
+}
+
+TEST(DomainHierarchyTest, UniqueDecompositionCounting) {
+  const DomainHierarchy h({
+      "http://a.b.c/1",   // decomps: a.b.c/1, a.b.c/, b.c/1, b.c/
+      "http://a.b.c/2",   // decomps: a.b.c/2, a.b.c/, b.c/2, b.c/
+  });
+  // Union: a.b.c/1, a.b.c/2, a.b.c/, b.c/1, b.c/2, b.c/ = 6.
+  EXPECT_EQ(h.unique_decompositions(), 6u);
+}
+
+}  // namespace
+}  // namespace sbp::corpus

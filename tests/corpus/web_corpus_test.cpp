@@ -1,0 +1,128 @@
+#include "corpus/web_corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "url/canonicalize.hpp"
+
+namespace sbp::corpus {
+namespace {
+
+TEST(WebCorpusTest, DeterministicAcrossInstances) {
+  const CorpusConfig config = CorpusConfig::random_like(50, 42);
+  const WebCorpus a(config), b(config);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const Site sa = a.site(i);
+    const Site sb = b.site(i);
+    ASSERT_EQ(sa.domain, sb.domain);
+    ASSERT_EQ(sa.pages.size(), sb.pages.size());
+    for (std::size_t p = 0; p < sa.pages.size(); ++p) {
+      EXPECT_EQ(sa.pages[p].expression(), sb.pages[p].expression());
+    }
+  }
+}
+
+TEST(WebCorpusTest, SeedChangesContent) {
+  const WebCorpus a(CorpusConfig::random_like(20, 1));
+  const WebCorpus b(CorpusConfig::random_like(20, 2));
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    if (a.site(i).pages.size() != b.site(i).pages.size()) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(WebCorpusTest, PageCountMatchesSite) {
+  const WebCorpus corpus(CorpusConfig::random_like(100, 7));
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(corpus.site(i).pages.size(), corpus.site_page_count(i)) << i;
+  }
+}
+
+TEST(WebCorpusTest, DomainMatchesSite) {
+  const WebCorpus corpus(CorpusConfig::alexa_like(50, 9));
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(corpus.site(i).domain, corpus.site_domain(i));
+  }
+}
+
+TEST(WebCorpusTest, RandomPresetSinglePageFraction) {
+  // Paper Section 6.2: ~61% of random hosts are single-page.
+  const WebCorpus corpus(CorpusConfig::random_like(2000, 11));
+  std::size_t single = 0;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    if (corpus.site_page_count(i) == 1) ++single;
+  }
+  const double fraction = single / 2000.0;
+  EXPECT_NEAR(fraction, 0.61, 0.04);
+}
+
+TEST(WebCorpusTest, AlexaHostsHostMorePages) {
+  const WebCorpus alexa(CorpusConfig::alexa_like(500, 3));
+  const WebCorpus random(CorpusConfig::random_like(500, 3));
+  std::uint64_t alexa_pages = 0, random_pages = 0;
+  for (std::size_t i = 0; i < 500; ++i) {
+    alexa_pages += alexa.site_page_count(i);
+    random_pages += random.site_page_count(i);
+  }
+  EXPECT_GT(alexa_pages, random_pages);
+}
+
+TEST(WebCorpusTest, PagesAreAlreadyCanonical) {
+  // The generator promises canonical output; verify against the real
+  // canonicalizer.
+  const WebCorpus corpus(CorpusConfig::alexa_like(30, 5));
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < 30 && checked < 500; ++i) {
+    const Site site = corpus.site(i);
+    for (const Page& page : site.pages) {
+      const auto canonical = url::canonicalize(page.url());
+      ASSERT_TRUE(canonical.has_value()) << page.url();
+      EXPECT_EQ(canonical->expression(), page.expression()) << page.url();
+      if (++checked >= 500) break;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(WebCorpusTest, PagesStayOnTheirSite) {
+  const WebCorpus corpus(CorpusConfig::random_like(40, 13));
+  for (std::size_t i = 0; i < 40; ++i) {
+    const Site site = corpus.site(i);
+    for (const Page& page : site.pages) {
+      // host == domain or subdomain.domain
+      const bool on_site =
+          page.host == site.domain ||
+          (page.host.size() > site.domain.size() &&
+           page.host.compare(page.host.size() - site.domain.size(),
+                             site.domain.size(), site.domain) == 0 &&
+           page.host[page.host.size() - site.domain.size() - 1] == '.');
+      EXPECT_TRUE(on_site) << page.host << " vs " << site.domain;
+    }
+  }
+}
+
+TEST(WebCorpusTest, MaxPagesRespected) {
+  CorpusConfig config = CorpusConfig::alexa_like(300, 21);
+  config.max_pages = 50;
+  const WebCorpus corpus(config);
+  for (std::size_t i = 0; i < 300; ++i) {
+    EXPECT_LE(corpus.site_page_count(i), 50u);
+  }
+}
+
+TEST(WebCorpusTest, ForEachSiteVisitsAll) {
+  const WebCorpus corpus(CorpusConfig::random_like(25, 17));
+  std::size_t visits = 0;
+  std::set<std::string> domains;
+  corpus.for_each_site([&](const Site& site) {
+    ++visits;
+    domains.insert(site.domain);
+  });
+  EXPECT_EQ(visits, 25u);
+  EXPECT_EQ(domains.size(), 25u);  // unique domains
+}
+
+}  // namespace
+}  // namespace sbp::corpus

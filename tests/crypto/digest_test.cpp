@@ -1,0 +1,113 @@
+#include "crypto/digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sbp::crypto {
+namespace {
+
+// The paper's published prefixes (Tables 4 and 12) as ground truth.
+struct PaperVector {
+  const char* expression;
+  Prefix32 prefix;
+};
+
+constexpr PaperVector kPaperVectors[] = {
+    {"petsymposium.org/2016/cfp.php", 0xe70ee6d1},
+    {"petsymposium.org/2016/", 0x1d13ba6a},
+    {"petsymposium.org/", 0x33a02ef5},
+    {"17buddies.net/wp/cs_sub_7-2.pwf", 0x18366658},
+    {"17buddies.net/wp/", 0x77c1098b},
+    {"1001cartes.org/tag/emergency-issues", 0xab5140c7},
+    {"1001cartes.org/tag/", 0xc73e0d7b},
+    {"www.1ptv.ru/", 0xf90449d7},
+    {"1ptv.ru/menu/", 0xb15dbc15},
+    {"fr.xhamster.com/", 0xe4fdd86c},
+    {"nl.xhamster.com/", 0xa95055ff},
+    {"xhamster.com/", 0x3074e021},
+    {"m.wickedpictures.com/", 0x7ee8c0cc},
+    {"wickedpictures.com/", 0xa7962038},
+    {"m.mofos.com/", 0x6e961650},
+    {"mofos.com/", 0x00354501},
+    {"mobile.teenslovehugecocks.com/", 0x585667a5},
+    {"teenslovehugecocks.com/", 0x92824b5c},
+    // Section 6.3 hashed the submission URL with its scheme (paper quirk).
+    {"https://petsymposium.org/2016/submission/", 0x716703db},
+};
+
+class PaperPrefixTest : public ::testing::TestWithParam<PaperVector> {};
+
+TEST_P(PaperPrefixTest, Prefix32MatchesPaper) {
+  const PaperVector& v = GetParam();
+  EXPECT_EQ(prefix32_of(v.expression), v.prefix) << v.expression;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperGroundTruth, PaperPrefixTest,
+                         ::testing::ValuesIn(kPaperVectors));
+
+TEST(Digest256Test, Prefix32IsBigEndianHead) {
+  // First 8 hex chars of the full digest == hex of prefix32.
+  const Digest256 d = Digest256::of("petsymposium.org/2016/cfp.php");
+  EXPECT_EQ(d.hex().substr(0, 8), "e70ee6d1");
+  EXPECT_EQ(prefix32_hex(d.prefix32()), "0xe70ee6d1");
+}
+
+TEST(Digest256Test, PrefixBits64Truncation) {
+  const Digest256 d = Digest256::of("abc");
+  // SHA-256("abc") = ba7816bf 8f01cfea ...
+  EXPECT_EQ(d.prefix_bits64(32), 0xba7816bfULL);
+  EXPECT_EQ(d.prefix_bits64(16), 0xba78ULL);
+  EXPECT_EQ(d.prefix_bits64(8), 0xbaULL);
+  EXPECT_EQ(d.prefix_bits64(64), 0xba7816bf8f01cfeaULL);
+  // Requests beyond 64 clamp to 64.
+  EXPECT_EQ(d.prefix_bits64(96), 0xba7816bf8f01cfeaULL);
+}
+
+TEST(Digest256Test, OrderingIsLexicographic) {
+  Digest256 a = Digest256::of("aaa");
+  Digest256 b = Digest256::of("bbb");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE((a < b) != (b < a));
+}
+
+TEST(WidePrefixTest, RejectsBadWidths) {
+  const Digest256 d = Digest256::of("x");
+  EXPECT_THROW(WidePrefix(d, 0), std::invalid_argument);
+  EXPECT_THROW(WidePrefix(d, 33), std::invalid_argument);
+  EXPECT_THROW(WidePrefix(d, 257), std::invalid_argument);
+}
+
+TEST(WidePrefixTest, WidthsAndTails) {
+  const Digest256 d = Digest256::of("abc");
+  const WidePrefix p32(d, 32);
+  EXPECT_EQ(p32.bits(), 32u);
+  EXPECT_EQ(p32.byte_size(), 4u);
+  EXPECT_TRUE(p32.tail().empty());
+  EXPECT_EQ(p32.hex(), "ba7816bf");
+
+  const WidePrefix p128(d, 128);
+  EXPECT_EQ(p128.byte_size(), 16u);
+  EXPECT_EQ(p128.tail().size(), 8u);
+
+  const WidePrefix p256(d, 256);
+  EXPECT_EQ(p256.hex(), d.hex());
+}
+
+TEST(WidePrefixTest, EqualityAndOrdering) {
+  const Digest256 a = Digest256::of("abc");
+  const Digest256 b = Digest256::of("abd");
+  EXPECT_EQ(WidePrefix(a, 32), WidePrefix(a, 32));
+  EXPECT_NE(WidePrefix(a, 32), WidePrefix(a, 64));  // width differs
+  EXPECT_NE(WidePrefix(a, 256), WidePrefix(b, 256));
+}
+
+TEST(WidePrefixTest, TruncationsOfSameDigestSharePrefix) {
+  const Digest256 d = Digest256::of("some/url/");
+  const WidePrefix p64(d, 64);
+  const WidePrefix p32(d, 32);
+  EXPECT_EQ(p64.hex().substr(0, 8), p32.hex());
+}
+
+}  // namespace
+}  // namespace sbp::crypto

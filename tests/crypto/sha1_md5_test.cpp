@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/md5.hpp"
+#include "crypto/sha1.hpp"
+#include "util/hex.hpp"
+
+namespace sbp::crypto {
+namespace {
+
+// RFC 3174 / FIPS 180 test vectors.
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(util::hex_encode(Sha1::hash("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(util::hex_encode(Sha1::hash("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(util::hex_encode(Sha1::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionA) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(util::hex_encode(h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, SplitUpdateEqualsOneShot) {
+  for (std::size_t n : {1u, 55u, 56u, 63u, 64u, 65u, 200u}) {
+    const std::string input(n, 'z');
+    Sha1 split;
+    split.update(input.substr(0, n / 3));
+    split.update(input.substr(n / 3));
+    EXPECT_EQ(util::hex_encode(split.finalize()),
+              util::hex_encode(Sha1::hash(input)))
+        << "length " << n;
+  }
+}
+
+// RFC 1321 appendix test suite.
+TEST(Md5Test, EmptyString) {
+  EXPECT_EQ(util::hex_encode(Md5::hash("")),
+            "d41d8cd98f00b204e9800998ecf8427e");
+}
+
+TEST(Md5Test, A) {
+  EXPECT_EQ(util::hex_encode(Md5::hash("a")),
+            "0cc175b9c0f1b6a831c399e269772661");
+}
+
+TEST(Md5Test, Abc) {
+  EXPECT_EQ(util::hex_encode(Md5::hash("abc")),
+            "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5Test, MessageDigest) {
+  EXPECT_EQ(util::hex_encode(Md5::hash("message digest")),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+}
+
+TEST(Md5Test, Alphabet) {
+  EXPECT_EQ(util::hex_encode(Md5::hash("abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+}
+
+TEST(Md5Test, AlphaNumeric) {
+  EXPECT_EQ(util::hex_encode(Md5::hash(
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456"
+                "789")),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+}
+
+TEST(Md5Test, EightyDigits) {
+  EXPECT_EQ(util::hex_encode(Md5::hash(
+                "1234567890123456789012345678901234567890123456789012345678"
+                "9012345678901234567890")),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, SplitUpdateEqualsOneShot) {
+  for (std::size_t n : {1u, 55u, 56u, 63u, 64u, 65u, 200u}) {
+    const std::string input(n, 'k');
+    Md5 split;
+    split.update(input.substr(0, n / 2));
+    split.update(input.substr(n / 2));
+    EXPECT_EQ(util::hex_encode(split.finalize()),
+              util::hex_encode(Md5::hash(input)))
+        << "length " << n;
+  }
+}
+
+}  // namespace
+}  // namespace sbp::crypto

@@ -1,0 +1,141 @@
+#include "sb/blacklist_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sb/list_spec.hpp"
+
+namespace sbp::sb {
+namespace {
+
+TEST(BlacklistFactoryTest, PopulatesToCardinality) {
+  Server server;
+  BlacklistFactory factory(1);
+  ListPlan plan{"test-list", 500, 0.0, 0, 0};
+  const GeneratedList truth = factory.populate(server, plan);
+  EXPECT_EQ(server.prefix_count("test-list"), 500u);
+  EXPECT_EQ(truth.expressions.size(), 500u);
+  EXPECT_TRUE(truth.orphans.empty());
+}
+
+TEST(BlacklistFactoryTest, OrphanFractionRespected) {
+  Server server;
+  BlacklistFactory factory(2);
+  ListPlan plan{"orphan-list", 1000, 0.3, 0, 0};
+  const GeneratedList truth = factory.populate(server, plan);
+  EXPECT_NEAR(static_cast<double>(truth.orphans.size()), 300.0, 2.0);
+  // Orphans resolve to zero digests on the server.
+  for (const auto prefix : truth.orphans) {
+    EXPECT_TRUE(server.digests_for("orphan-list", prefix).empty());
+  }
+}
+
+TEST(BlacklistFactoryTest, FullyOrphanList) {
+  // ydx-yellow-shavar / ydx-mitb-masks-shavar: 100% orphans (Table 11).
+  Server server;
+  BlacklistFactory factory(3);
+  ListPlan plan{"all-orphans", 200, 1.0, 0, 0};
+  const GeneratedList truth = factory.populate(server, plan);
+  EXPECT_EQ(truth.orphans.size(), 200u);
+  EXPECT_TRUE(truth.expressions.empty());
+}
+
+TEST(BlacklistFactoryTest, MultiPrefixGroupsAreTrackable) {
+  Server server;
+  BlacklistFactory factory(4);
+  ListPlan plan{"multi", 100, 0.0, 0, 5};
+  const GeneratedList truth = factory.populate(server, plan);
+  ASSERT_EQ(truth.multi_groups.size(), 5u);
+  for (const auto& group : truth.multi_groups) {
+    EXPECT_GE(group.expressions.size(), 2u);
+    // Every blacklisted expression of the group is resolvable on the server.
+    for (const auto& expression : group.expressions) {
+      const auto digests = server.digests_for(
+          "multi", crypto::prefix32_of(expression));
+      EXPECT_EQ(digests.size(), 1u) << expression;
+    }
+  }
+}
+
+TEST(BlacklistFactoryTest, TwoDigestPrefixes) {
+  Server server;
+  BlacklistFactory factory(5);
+  ListPlan plan{"two-digest", 100, 0.0, 10, 0};
+  const GeneratedList truth = factory.populate(server, plan);
+  std::size_t with_two = 0;
+  for (const auto prefix : server.prefixes("two-digest")) {
+    if (server.digests_for("two-digest", prefix).size() == 2) ++with_two;
+  }
+  EXPECT_EQ(with_two, 10u);
+  (void)truth;
+}
+
+TEST(BlacklistFactoryTest, DeterministicAcrossRuns) {
+  Server s1, s2;
+  BlacklistFactory f1(77), f2(77);
+  ListPlan plan{"det", 300, 0.1, 5, 2};
+  const GeneratedList t1 = f1.populate(s1, plan);
+  const GeneratedList t2 = f2.populate(s2, plan);
+  EXPECT_EQ(t1.expressions, t2.expressions);
+  EXPECT_EQ(t1.orphans, t2.orphans);
+  EXPECT_EQ(s1.prefixes("det"), s2.prefixes("det"));
+}
+
+TEST(BlacklistFactoryTest, SharedPopulationOverlap) {
+  // Section 3 anomaly: Yandex's goog-malware copy shares only a fraction of
+  // prefixes with Google's list.
+  Server google, yandex;
+  BlacklistFactory factory(9);
+  const GeneratedList google_truth =
+      factory.populate(google, {"goog-malware-shavar", 1000, 0.0, 0, 0});
+  const GeneratedList yandex_truth = factory.populate_shared(
+      yandex, {"goog-malware-shavar", 900, 0.0, 0, 0}, google_truth, 120);
+
+  const auto gp = google.prefixes("goog-malware-shavar");
+  const auto yp = yandex.prefixes("goog-malware-shavar");
+  std::set<crypto::Prefix32> google_set(gp.begin(), gp.end());
+  std::size_t shared = 0;
+  for (const auto prefix : yp) {
+    if (google_set.count(prefix) > 0) ++shared;
+  }
+  EXPECT_EQ(shared, 120u);
+  EXPECT_EQ(yp.size(), 900u);
+  (void)yandex_truth;
+}
+
+TEST(BlacklistFactoryTest, PaperPlansMatchTableCardinalities) {
+  const auto google = BlacklistFactory::google_plans(1.0);
+  const auto yandex = BlacklistFactory::yandex_plans(1.0);
+  auto count_of = [](const std::vector<ListPlan>& plans,
+                     std::string_view name) -> std::size_t {
+    for (const auto& plan : plans) {
+      if (plan.name == name) return plan.total_prefixes;
+    }
+    return 0;
+  };
+  // Table 1.
+  EXPECT_EQ(count_of(google, "goog-malware-shavar"), 317807u);
+  EXPECT_EQ(count_of(google, "googpub-phish-shavar"), 312621u);
+  EXPECT_EQ(count_of(google, "goog-regtest-shavar"), 29667u);
+  // Table 3.
+  EXPECT_EQ(count_of(yandex, "ydx-malware-shavar"), 283211u);
+  EXPECT_EQ(count_of(yandex, "ydx-porno-hosts-top-shavar"), 99990u);
+  EXPECT_EQ(count_of(yandex, "ydx-sms-fraud-shavar"), 10609u);
+  EXPECT_EQ(count_of(yandex, "ydx-yellow-shavar"), 209u);
+}
+
+TEST(ListSpecTest, TablesOneAndThree) {
+  EXPECT_EQ(google_lists().size(), 5u);
+  EXPECT_EQ(yandex_lists().size(), 19u);  // 17 + the goog copies listed
+  const auto malware = find_list("goog-malware-shavar");
+  ASSERT_TRUE(malware.has_value());
+  EXPECT_EQ(malware->paper_prefix_count, 317807u);
+  EXPECT_FALSE(find_list("no-such-list").has_value());
+  ASSERT_EQ(paper_anomalies().size(), 2u);
+  EXPECT_EQ(paper_anomalies()[0].shared_prefixes, 36547u);
+}
+
+}  // namespace
+}  // namespace sbp::sb

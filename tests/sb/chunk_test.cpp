@@ -1,0 +1,107 @@
+#include "sb/chunk.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sbp::sb {
+namespace {
+
+TEST(ChunkTest, SerializeRoundTrip) {
+  Chunk chunk;
+  chunk.number = 42;
+  chunk.type = ChunkType::kAdd;
+  chunk.prefixes = {0xe70ee6d1, 0x00000000, 0xffffffff};
+  const auto bytes = serialize_chunk(chunk);
+  EXPECT_EQ(bytes.size(), 9u + 12u);
+  std::size_t offset = 0;
+  const auto decoded = deserialize_chunk(bytes, offset);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, chunk);
+  EXPECT_EQ(offset, bytes.size());
+}
+
+TEST(ChunkTest, SerializeMultipleSequential) {
+  Chunk a{1, ChunkType::kAdd, {0x11111111}};
+  Chunk b{2, ChunkType::kSub, {0x22222222, 0x33333333}};
+  auto bytes = serialize_chunk(a);
+  const auto more = serialize_chunk(b);
+  bytes.insert(bytes.end(), more.begin(), more.end());
+  std::size_t offset = 0;
+  EXPECT_EQ(*deserialize_chunk(bytes, offset), a);
+  EXPECT_EQ(*deserialize_chunk(bytes, offset), b);
+  EXPECT_FALSE(deserialize_chunk(bytes, offset).has_value());  // exhausted
+}
+
+TEST(ChunkTest, DeserializeTruncatedFails) {
+  Chunk chunk{7, ChunkType::kAdd, {0xAABBCCDD}};
+  auto bytes = serialize_chunk(chunk);
+  bytes.pop_back();
+  std::size_t offset = 0;
+  EXPECT_FALSE(deserialize_chunk(bytes, offset).has_value());
+  EXPECT_EQ(offset, 0u);  // offset untouched on failure
+}
+
+TEST(ChunkTest, DeserializeBadTypeFails) {
+  std::vector<std::uint8_t> bytes = {9, 0, 0, 0, 1, 0, 0, 0, 0};
+  std::size_t offset = 0;
+  EXPECT_FALSE(deserialize_chunk(bytes, offset).has_value());
+}
+
+TEST(ChunkStoreTest, ApplyIsIdempotent) {
+  ChunkStore store;
+  Chunk chunk{1, ChunkType::kAdd, {0xAA}};
+  EXPECT_TRUE(store.apply(chunk));
+  EXPECT_FALSE(store.apply(chunk));  // same number ignored
+  EXPECT_EQ(store.num_chunks(), 1u);
+}
+
+TEST(ChunkStoreTest, EffectivePrefixesUnionOfAdds) {
+  ChunkStore store;
+  store.apply({1, ChunkType::kAdd, {3, 1}});
+  store.apply({2, ChunkType::kAdd, {2, 3}});
+  EXPECT_EQ(store.effective_prefixes(),
+            (std::vector<crypto::Prefix32>{1, 2, 3}));
+}
+
+TEST(ChunkStoreTest, SubChunksRevoke) {
+  ChunkStore store;
+  store.apply({1, ChunkType::kAdd, {1, 2, 3}});
+  store.apply({2, ChunkType::kSub, {2}});
+  EXPECT_EQ(store.effective_prefixes(),
+            (std::vector<crypto::Prefix32>{1, 3}));
+}
+
+TEST(ChunkStoreTest, AddAndSubNumbersAreIndependent) {
+  ChunkStore store;
+  EXPECT_TRUE(store.apply({1, ChunkType::kAdd, {1}}));
+  EXPECT_TRUE(store.apply({1, ChunkType::kSub, {1}}));  // same number, ok
+  EXPECT_TRUE(store.effective_prefixes().empty());
+}
+
+TEST(ChunkStoreTest, FindChunk) {
+  ChunkStore store;
+  store.apply({5, ChunkType::kAdd, {0xAB}});
+  ASSERT_NE(store.find_chunk(5, ChunkType::kAdd), nullptr);
+  EXPECT_EQ(store.find_chunk(5, ChunkType::kAdd)->prefixes[0], 0xABu);
+  EXPECT_EQ(store.find_chunk(5, ChunkType::kSub), nullptr);
+  EXPECT_EQ(store.find_chunk(6, ChunkType::kAdd), nullptr);
+}
+
+TEST(ChunkStoreTest, RangeFormatting) {
+  EXPECT_EQ(ChunkStore::format_ranges({}), "");
+  EXPECT_EQ(ChunkStore::format_ranges({1}), "1");
+  EXPECT_EQ(ChunkStore::format_ranges({1, 2, 3}), "1-3");
+  EXPECT_EQ(ChunkStore::format_ranges({1, 2, 3, 7, 9, 10}), "1-3,7,9-10");
+}
+
+TEST(ChunkStoreTest, AdvertisedRanges) {
+  ChunkStore store;
+  store.apply({1, ChunkType::kAdd, {1}});
+  store.apply({2, ChunkType::kAdd, {2}});
+  store.apply({4, ChunkType::kAdd, {4}});
+  store.apply({3, ChunkType::kSub, {1}});
+  EXPECT_EQ(store.add_ranges(), "1-2,4");
+  EXPECT_EQ(store.sub_ranges(), "3");
+}
+
+}  // namespace
+}  // namespace sbp::sb

@@ -1,0 +1,77 @@
+// Full-hash cache TTL semantics against the simulation clock (paper
+// Section 2.2.1: cached digests bound the frequency of server contacts --
+// and thereby the tracker's temporal resolution).
+#include <gtest/gtest.h>
+
+#include "sb/client.hpp"
+
+namespace sbp::sb {
+namespace {
+
+class ClientCacheTtlTest : public ::testing::Test {
+ protected:
+  ClientCacheTtlTest() : transport_(server_, clock_, /*rtt=*/10) {
+    server_.add_expression("list", "evil.example/page.html");
+    server_.seal_chunk("list");
+  }
+
+  Client make_client(std::uint64_t ttl) {
+    ClientConfig config;
+    config.cookie = 3;
+    config.full_hash_ttl = ttl;
+    Client client(transport_, config);
+    client.subscribe("list");
+    client.update();
+    return client;
+  }
+
+  Server server_;
+  SimClock clock_;
+  Transport transport_;
+};
+
+TEST_F(ClientCacheTtlTest, FreshCacheAnswersWithoutTraffic) {
+  Client client = make_client(/*ttl=*/1000);
+  (void)client.lookup("http://evil.example/page.html");
+  const auto queries = server_.query_log().size();
+  clock_.advance(500);  // still fresh
+  const auto result = client.lookup("http://evil.example/page.html");
+  EXPECT_TRUE(result.answered_from_cache);
+  EXPECT_EQ(server_.query_log().size(), queries);
+}
+
+TEST_F(ClientCacheTtlTest, ExpiredCacheRequeries) {
+  Client client = make_client(/*ttl=*/100);
+  (void)client.lookup("http://evil.example/page.html");
+  const auto queries = server_.query_log().size();
+  clock_.advance(200);  // expired
+  const auto result = client.lookup("http://evil.example/page.html");
+  EXPECT_FALSE(result.answered_from_cache);
+  EXPECT_EQ(result.verdict, Verdict::kMalicious);
+  EXPECT_EQ(server_.query_log().size(), queries + 1);
+}
+
+TEST_F(ClientCacheTtlTest, TtlBoundsTrackerTemporalResolution) {
+  // The server observes one query per TTL window at most, however often
+  // the user revisits -- the cache's privacy side-effect.
+  Client client = make_client(/*ttl=*/1000);
+  for (int visit = 0; visit < 20; ++visit) {
+    clock_.advance(30);
+    (void)client.lookup("http://evil.example/page.html");
+  }
+  EXPECT_EQ(server_.query_log().size(), 1u);
+}
+
+TEST_F(ClientCacheTtlTest, ZeroTtlCachesUntilUpdate) {
+  Client client = make_client(/*ttl=*/0);
+  (void)client.lookup("http://evil.example/page.html");
+  clock_.advance(1u << 20);
+  EXPECT_TRUE(
+      client.lookup("http://evil.example/page.html").answered_from_cache);
+  client.update();  // invalidates
+  const auto result = client.lookup("http://evil.example/page.html");
+  EXPECT_FALSE(result.answered_from_cache);
+}
+
+}  // namespace
+}  // namespace sbp::sb

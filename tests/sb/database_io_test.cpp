@@ -1,0 +1,123 @@
+#include "sb/database_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sb/blacklist_factory.hpp"
+
+namespace sbp::sb {
+namespace {
+
+TEST(DatabaseIoTest, RoundTripPreservesEverything) {
+  Server original;
+  BlacklistFactory factory(55);
+  factory.populate(original, {"goog-malware-shavar", 300, 0.1, 5, 3});
+  factory.populate(original, {"ydx-yellow-shavar", 40, 1.0, 0, 0});
+
+  const auto bytes = dump_database(original);
+  Server restored;
+  ASSERT_TRUE(load_database(bytes, restored));
+
+  ASSERT_EQ(restored.list_names(), original.list_names());
+  for (const auto& name : original.list_names()) {
+    EXPECT_EQ(restored.prefixes(name), original.prefixes(name)) << name;
+    for (const auto prefix : original.prefixes(name)) {
+      EXPECT_EQ(restored.digests_for(name, prefix),
+                original.digests_for(name, prefix));
+    }
+  }
+}
+
+TEST(DatabaseIoTest, OrphansSurviveRoundTrip) {
+  Server original;
+  original.add_orphan_prefix("list", 0xDEAD0001);
+  original.add_expression("list", "real.example/");
+  const auto bytes = dump_database(original);
+  Server restored;
+  ASSERT_TRUE(load_database(bytes, restored));
+  EXPECT_TRUE(restored.digests_for("list", 0xDEAD0001).empty());
+  EXPECT_EQ(restored.prefix_count("list"), 2u);
+}
+
+TEST(DatabaseIoTest, EmptyServerRoundTrip) {
+  Server original;
+  const auto bytes = dump_database(original);
+  Server restored;
+  EXPECT_TRUE(load_database(bytes, restored));
+  EXPECT_TRUE(restored.list_names().empty());
+}
+
+TEST(DatabaseIoTest, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes = {'X', 'X', 'X', 'X', 1, 0, 0, 0, 0};
+  Server server;
+  EXPECT_FALSE(load_database(bytes, server));
+}
+
+TEST(DatabaseIoTest, RejectsBadVersion) {
+  Server original;
+  original.add_expression("l", "x.example/");
+  auto bytes = dump_database(original);
+  bytes[4] = 99;  // version byte
+  Server server;
+  EXPECT_FALSE(load_database(bytes, server));
+}
+
+TEST(DatabaseIoTest, RejectsTruncation) {
+  Server original;
+  BlacklistFactory factory(5);
+  factory.populate(original, {"l", 50, 0.0, 0, 0});
+  auto bytes = dump_database(original);
+  for (const std::size_t cut : {bytes.size() - 1, bytes.size() / 2,
+                                std::size_t{6}}) {
+    std::vector<std::uint8_t> truncated(bytes.begin(),
+                                        bytes.begin() + cut);
+    Server server;
+    EXPECT_FALSE(load_database(truncated, server)) << "cut=" << cut;
+  }
+}
+
+TEST(DatabaseIoTest, RejectsTrailingGarbage) {
+  Server original;
+  original.add_expression("l", "x.example/");
+  auto bytes = dump_database(original);
+  bytes.push_back(0xFF);
+  Server server;
+  EXPECT_FALSE(load_database(bytes, server));
+}
+
+TEST(DatabaseIoTest, FileRoundTrip) {
+  Server original;
+  BlacklistFactory factory(77);
+  factory.populate(original, {"file-list", 100, 0.2, 0, 1});
+  const std::string path = "/tmp/sbp_database_io_test.bin";
+  ASSERT_TRUE(dump_database_to_file(original, path));
+  Server restored;
+  ASSERT_TRUE(load_database_from_file(path, restored));
+  EXPECT_EQ(restored.prefixes("file-list"), original.prefixes("file-list"));
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseIoTest, MissingFileFails) {
+  Server server;
+  EXPECT_FALSE(load_database_from_file("/tmp/definitely-missing-sbp.bin",
+                                       server));
+}
+
+TEST(DatabaseIoTest, RestoredServerServesClients) {
+  // The forensic workflow: crawl -> dump -> load -> analyze/serve.
+  Server original;
+  original.add_expression("l", "evil.example/bad.html");
+  const auto bytes = dump_database(original);
+  Server restored;
+  ASSERT_TRUE(load_database(bytes, restored));
+
+  const auto prefix = crypto::prefix32_of("evil.example/bad.html");
+  const auto response = restored.get_full_hashes({prefix}, 1, 0);
+  ASSERT_EQ(response.matches.at(prefix).size(), 1u);
+  EXPECT_EQ(response.matches.at(prefix)[0].digest,
+            crypto::Digest256::of("evil.example/bad.html"));
+}
+
+}  // namespace
+}  // namespace sbp::sb

@@ -1,0 +1,68 @@
+// Dedicated tests of the deprecated v1 Lookup API (the paper's privacy
+// baseline, Section 2.2).
+#include "sb/lookup_api.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sbp::sb {
+namespace {
+
+class LookupApiTest : public ::testing::Test {
+ protected:
+  LookupApiTest() : v1_(server_, clock_) {
+    server_.add_expression("list", "evil.example/attack.html");
+    server_.add_expression("list", "bad-domain.example/");
+  }
+
+  Server server_;
+  SimClock clock_;
+  LookupV1Service v1_;
+};
+
+TEST_F(LookupApiTest, DetectsExactUrl) {
+  EXPECT_TRUE(v1_.lookup("http://evil.example/attack.html", 1));
+}
+
+TEST_F(LookupApiTest, DetectsViaDomainDecomposition) {
+  // Any page on a blacklisted domain is flagged (decompositions include
+  // the domain root).
+  EXPECT_TRUE(v1_.lookup("http://bad-domain.example/any/path?q=1", 1));
+}
+
+TEST_F(LookupApiTest, CleanUrlNotFlagged) {
+  EXPECT_FALSE(v1_.lookup("http://clean.example/", 1));
+}
+
+TEST_F(LookupApiTest, EveryRequestLoggedInClear) {
+  (void)v1_.lookup("http://clean.example/private?token=s3cret", 77);
+  (void)v1_.lookup("http://evil.example/attack.html", 77);
+  ASSERT_EQ(v1_.log().size(), 2u);
+  // The complete URL -- including query parameters -- is in the log.
+  EXPECT_EQ(v1_.log()[0].url, "http://clean.example/private?token=s3cret");
+  EXPECT_EQ(v1_.log()[0].cookie, 77u);
+}
+
+TEST_F(LookupApiTest, EveryRequestCostsARoundTrip) {
+  const auto before = clock_.now();
+  (void)v1_.lookup("http://a.example/", 1);
+  (void)v1_.lookup("http://b.example/", 1);
+  EXPECT_EQ(clock_.now(), before + 100);  // 2 x 50-tick round trips
+}
+
+TEST_F(LookupApiTest, InvalidUrlIsSafeButStillLogged) {
+  EXPECT_FALSE(v1_.lookup("", 5));
+  // Even unparseable input reached the server -- the v1 privacy failure is
+  // unconditional.
+  EXPECT_EQ(v1_.log().size(), 1u);
+}
+
+TEST_F(LookupApiTest, TimestampsRecorded) {
+  (void)v1_.lookup("http://x.example/", 9);
+  clock_.advance(1000);
+  (void)v1_.lookup("http://y.example/", 9);
+  ASSERT_EQ(v1_.log().size(), 2u);
+  EXPECT_LT(v1_.log()[0].tick, v1_.log()[1].tick);
+}
+
+}  // namespace
+}  // namespace sbp::sb

@@ -1,0 +1,113 @@
+// Multi-list and multi-provider client scenarios (the paper's ecosystem:
+// browsers subscribe to several lists; Yandex serves both goog-* copies and
+// ydx-* lists).
+#include <gtest/gtest.h>
+
+#include "sb/blacklist_factory.hpp"
+#include "sb/client.hpp"
+
+namespace sbp::sb {
+namespace {
+
+class MultiProviderTest : public ::testing::Test {
+ protected:
+  MultiProviderTest()
+      : yandex_(Provider::kYandex), transport_(yandex_, clock_) {
+    yandex_.add_expression("ydx-malware-shavar", "malware.example/");
+    yandex_.add_expression("ydx-phish-shavar", "phish.example/login.html");
+    yandex_.add_expression("ydx-porno-hosts-top-shavar", "adult.example/");
+    for (const auto& name : yandex_.list_names()) {
+      yandex_.seal_chunk(name);
+    }
+  }
+
+  Server yandex_;
+  SimClock clock_;
+  Transport transport_;
+};
+
+TEST_F(MultiProviderTest, ClientMatchesAcrossSubscribedLists) {
+  ClientConfig config;
+  Client client(transport_, config);
+  client.subscribe("ydx-malware-shavar");
+  client.subscribe("ydx-phish-shavar");
+  client.subscribe("ydx-porno-hosts-top-shavar");
+  client.update();
+  EXPECT_EQ(client.local_prefix_count(), 3u);
+
+  EXPECT_EQ(client.lookup("http://malware.example/x").matched_list,
+            "ydx-malware-shavar");
+  EXPECT_EQ(client.lookup("http://phish.example/login.html").matched_list,
+            "ydx-phish-shavar");
+  EXPECT_EQ(client.lookup("http://adult.example/video").matched_list,
+            "ydx-porno-hosts-top-shavar");
+}
+
+TEST_F(MultiProviderTest, UnsubscribedListsAreInvisible) {
+  ClientConfig config;
+  Client client(transport_, config);
+  client.subscribe("ydx-malware-shavar");  // only one list
+  client.update();
+  EXPECT_EQ(client.local_prefix_count(), 1u);
+  // phish.example is only in the phishing list: this client won't see it.
+  EXPECT_EQ(client.lookup("http://phish.example/login.html").verdict,
+            Verdict::kSafe);
+}
+
+TEST_F(MultiProviderTest, SubscribeIsIdempotent) {
+  ClientConfig config;
+  Client client(transport_, config);
+  client.subscribe("ydx-malware-shavar");
+  client.subscribe("ydx-malware-shavar");
+  client.update();
+  EXPECT_EQ(client.local_prefix_count(), 1u);
+}
+
+TEST_F(MultiProviderTest, SubscribeToUnknownListIsHarmless) {
+  ClientConfig config;
+  Client client(transport_, config);
+  client.subscribe("no-such-list");
+  client.update();
+  EXPECT_EQ(client.local_prefix_count(), 0u);
+  EXPECT_EQ(client.lookup("http://anything.example/").verdict,
+            Verdict::kSafe);
+}
+
+TEST(TwoProviderTest, SameExpressionOnBothProviders) {
+  // A URL blacklisted by Google AND Yandex: clients of either provider
+  // flag it; the servers log independently.
+  Server google(Provider::kGoogle);
+  Server yandex(Provider::kYandex);
+  google.add_expression("goog-malware-shavar", "shared-threat.example/");
+  yandex.add_expression("ydx-malware-shavar", "shared-threat.example/");
+  google.seal_chunk("goog-malware-shavar");
+  yandex.seal_chunk("ydx-malware-shavar");
+
+  SimClock clock;
+  Transport google_net(google, clock);
+  Transport yandex_net(yandex, clock);
+
+  ClientConfig chrome_config;
+  chrome_config.cookie = 0xC4;
+  Client chrome(google_net, chrome_config);
+  chrome.subscribe("goog-malware-shavar");
+  chrome.update();
+
+  ClientConfig yabrowser_config;
+  yabrowser_config.cookie = 0x9A;
+  Client yabrowser(yandex_net, yabrowser_config);
+  yabrowser.subscribe("ydx-malware-shavar");
+  yabrowser.update();
+
+  EXPECT_EQ(chrome.lookup("http://shared-threat.example/").verdict,
+            Verdict::kMalicious);
+  EXPECT_EQ(yabrowser.lookup("http://shared-threat.example/").verdict,
+            Verdict::kMalicious);
+  ASSERT_EQ(google.query_log().size(), 1u);
+  ASSERT_EQ(yandex.query_log().size(), 1u);
+  EXPECT_EQ(google.query_log()[0].cookie, 0xC4u);
+  EXPECT_EQ(yandex.query_log()[0].cookie, 0x9Au);
+}
+
+}  // namespace
+}  // namespace sbp::sb

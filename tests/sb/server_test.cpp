@@ -1,0 +1,133 @@
+#include "sb/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sbp::sb {
+namespace {
+
+TEST(ServerTest, AddExpressionPublishesPrefixAndDigest) {
+  Server server;
+  server.add_expression("goog-malware-shavar",
+                        "petsymposium.org/2016/cfp.php");
+  EXPECT_EQ(server.prefix_count("goog-malware-shavar"), 1u);
+  const auto digests =
+      server.digests_for("goog-malware-shavar", 0xe70ee6d1);
+  ASSERT_EQ(digests.size(), 1u);
+  EXPECT_EQ(digests[0],
+            crypto::Digest256::of("petsymposium.org/2016/cfp.php"));
+}
+
+TEST(ServerTest, OrphanPrefixHasNoDigests) {
+  Server server;
+  server.add_orphan_prefix("ydx-phish-shavar", 0xDEAD0001);
+  EXPECT_EQ(server.prefix_count("ydx-phish-shavar"), 1u);
+  EXPECT_TRUE(server.digests_for("ydx-phish-shavar", 0xDEAD0001).empty());
+}
+
+TEST(ServerTest, FullHashLookupAndLogging) {
+  Server server;
+  server.add_expression("l", "evil.example/");
+  const crypto::Prefix32 prefix = crypto::prefix32_of("evil.example/");
+
+  const auto response = server.get_full_hashes({prefix}, /*cookie=*/777,
+                                               /*tick=*/123);
+  ASSERT_EQ(response.matches.size(), 1u);
+  const auto& matches = response.matches.at(prefix);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].list_name, "l");
+  EXPECT_EQ(matches[0].digest, crypto::Digest256::of("evil.example/"));
+
+  ASSERT_EQ(server.query_log().size(), 1u);
+  EXPECT_EQ(server.query_log()[0].cookie, 777u);
+  EXPECT_EQ(server.query_log()[0].tick, 123u);
+  EXPECT_EQ(server.query_log()[0].prefixes,
+            (std::vector<crypto::Prefix32>{prefix}));
+}
+
+TEST(ServerTest, UnknownPrefixYieldsEmptyMatch) {
+  Server server;
+  server.create_list("l");
+  const auto response = server.get_full_hashes({0x12345678}, 1, 0);
+  EXPECT_TRUE(response.matches.at(0x12345678).empty());
+}
+
+TEST(ServerTest, PrefixSharedAcrossLists) {
+  Server google;
+  google.add_expression("list-a", "shared.example/");
+  google.add_expression("list-b", "shared.example/");
+  const auto prefix = crypto::prefix32_of("shared.example/");
+  const auto response = google.get_full_hashes({prefix}, 1, 0);
+  EXPECT_EQ(response.matches.at(prefix).size(), 2u);  // once per list
+}
+
+TEST(ServerTest, RemoveExpressionCreatesSubChunk) {
+  Server server;
+  server.add_expression("l", "gone.example/");
+  server.seal_chunk("l");
+  server.remove_expression("l", "gone.example/");
+  EXPECT_EQ(server.prefix_count("l"), 0u);
+
+  // A fresh client must end with zero effective prefixes.
+  UpdateRequest request;
+  request.lists.push_back({"l", {}, {}});
+  const auto update = server.fetch_update(request);
+  ASSERT_EQ(update.lists.size(), 1u);
+  ChunkStore store;
+  for (const auto& chunk : update.lists[0].chunks) store.apply(chunk);
+  EXPECT_TRUE(store.effective_prefixes().empty());
+}
+
+TEST(ServerTest, FetchUpdateSendsOnlyMissingChunks) {
+  Server server;
+  server.add_expression("l", "a.example/");
+  server.seal_chunk("l");
+  server.add_expression("l", "b.example/");
+  server.seal_chunk("l");
+
+  // Client already has chunk 1.
+  UpdateRequest request;
+  request.lists.push_back({"l", {1}, {}});
+  const auto update = server.fetch_update(request);
+  ASSERT_EQ(update.lists.size(), 1u);
+  ASSERT_EQ(update.lists[0].chunks.size(), 1u);
+  EXPECT_EQ(update.lists[0].chunks[0].number, 2u);
+}
+
+TEST(ServerTest, FetchUpdateUnknownListIgnored) {
+  Server server;
+  UpdateRequest request;
+  request.lists.push_back({"nope", {}, {}});
+  EXPECT_TRUE(server.fetch_update(request).lists.empty());
+}
+
+TEST(ServerTest, FetchUpdateSealsOpenChunk) {
+  Server server;
+  server.add_expression("l", "open.example/");  // not sealed explicitly
+  UpdateRequest request;
+  request.lists.push_back({"l", {}, {}});
+  const auto update = server.fetch_update(request);
+  ASSERT_EQ(update.lists.size(), 1u);
+  EXPECT_EQ(update.lists[0].chunks.size(), 1u);
+}
+
+TEST(ServerTest, DuplicateDigestNotDoubled) {
+  Server server;
+  server.add_expression("l", "dup.example/");
+  server.add_expression("l", "dup.example/");
+  const auto prefix = crypto::prefix32_of("dup.example/");
+  EXPECT_EQ(server.digests_for("l", prefix).size(), 1u);
+}
+
+TEST(ServerTest, PrefixesSorted) {
+  Server server;
+  server.add_expression("l", "zzz.example/");
+  server.add_expression("l", "aaa.example/");
+  const auto prefixes = server.prefixes("l");
+  EXPECT_TRUE(std::is_sorted(prefixes.begin(), prefixes.end()));
+  EXPECT_EQ(prefixes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sbp::sb

@@ -1,0 +1,88 @@
+#include "sb/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/digest.hpp"
+
+namespace sbp::sb {
+namespace {
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest() : transport_(server_, clock_, /*round_trip_ticks=*/25) {
+    server_.add_expression("list", "evil.example/");
+    server_.seal_chunk("list");
+  }
+
+  Server server_;
+  SimClock clock_;
+  Transport transport_;
+};
+
+TEST_F(TransportTest, RoundTripAdvancesClock) {
+  EXPECT_EQ(clock_.now(), 0u);
+  (void)transport_.get_full_hashes({0x1234}, 1);
+  EXPECT_EQ(clock_.now(), 25u);
+  (void)transport_.fetch_update({});
+  EXPECT_EQ(clock_.now(), 50u);
+}
+
+TEST_F(TransportTest, CountsBytesAndRequests) {
+  (void)transport_.get_full_hashes(
+      {crypto::prefix32_of("evil.example/")}, 7);
+  const TransportStats& stats = transport_.stats();
+  EXPECT_EQ(stats.full_hash_requests, 1u);
+  EXPECT_EQ(stats.bytes_up, 8u + 4u);          // cookie + one prefix
+  EXPECT_EQ(stats.bytes_down, 4u + 32u);       // prefix + one digest
+}
+
+TEST_F(TransportTest, UpdateBytesCounted) {
+  UpdateRequest request;
+  request.lists.push_back({"list", {}, {}});
+  (void)transport_.fetch_update(request);
+  const TransportStats& stats = transport_.stats();
+  EXPECT_EQ(stats.update_requests, 1u);
+  EXPECT_EQ(stats.bytes_up, 4u);  // list name only (no chunk numbers)
+  // One chunk with one prefix: 9-byte header + 4-byte prefix.
+  EXPECT_EQ(stats.bytes_down, 13u);
+}
+
+TEST_F(TransportTest, TapSeesRequestsBeforeServer) {
+  Cookie tapped_cookie = 0;
+  std::vector<crypto::Prefix32> tapped_prefixes;
+  transport_.set_full_hash_tap(
+      [&](Cookie cookie, const std::vector<crypto::Prefix32>& prefixes) {
+        tapped_cookie = cookie;
+        tapped_prefixes = prefixes;
+      });
+  (void)transport_.get_full_hashes({0xAA, 0xBB}, 42);
+  EXPECT_EQ(tapped_cookie, 42u);
+  EXPECT_EQ(tapped_prefixes, (std::vector<crypto::Prefix32>{0xAA, 0xBB}));
+}
+
+TEST_F(TransportTest, TapNotCalledOnInjectedFailure) {
+  int taps = 0;
+  transport_.set_full_hash_tap(
+      [&](Cookie, const std::vector<crypto::Prefix32>&) { ++taps; });
+  transport_.inject_full_hash_failures(1);
+  EXPECT_FALSE(transport_.get_full_hashes_or_error({0x1}, 1).has_value());
+  EXPECT_EQ(taps, 0);
+  // Next request goes through.
+  EXPECT_TRUE(transport_.get_full_hashes_or_error({0x1}, 1).has_value());
+  EXPECT_EQ(taps, 1);
+}
+
+TEST_F(TransportTest, FailureStillAdvancesClock) {
+  transport_.inject_update_failures(1);
+  (void)transport_.fetch_update_or_error({});
+  EXPECT_EQ(clock_.now(), 25u);  // timeout costs a round trip
+}
+
+TEST_F(TransportTest, FailedRequestsDoNotReachQueryLog) {
+  transport_.inject_full_hash_failures(1);
+  (void)transport_.get_full_hashes_or_error({0xAB}, 3);
+  EXPECT_TRUE(server_.query_log().empty());
+}
+
+}  // namespace
+}  // namespace sbp::sb

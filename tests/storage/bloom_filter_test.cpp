@@ -1,0 +1,120 @@
+#include "storage/bloom_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace sbp::storage {
+namespace {
+
+PrefixBatch random_batch(std::size_t n, std::uint64_t seed,
+                         std::size_t stride = 4) {
+  util::Rng rng(seed);
+  PrefixBatch batch(stride);
+  std::vector<std::uint8_t> entry(stride);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& b : entry) b = static_cast<std::uint8_t>(rng.next());
+    batch.add(entry);
+  }
+  batch.sort_unique();
+  return batch;
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  const PrefixBatch batch = random_batch(20000, 1);
+  const BloomFilter bloom(batch, 20000 * 10);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(bloom.contains(batch.entry(i)));
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTheory) {
+  const std::size_t n = 20000;
+  const PrefixBatch batch = random_batch(n, 2);
+  const BloomFilter bloom(batch, n * 10);  // 10 bits/entry
+  const double theory = bloom.theoretical_fpp();
+  EXPECT_GT(theory, 0.0);
+  EXPECT_LT(theory, 0.05);
+
+  util::Rng rng(77);
+  std::size_t false_positives = 0;
+  constexpr std::size_t kProbes = 50000;
+  for (std::size_t i = 0; i < kProbes; ++i) {
+    // Random 32-bit values collide with the 20k members w.p. ~2^-17.7; the
+    // measured rate is dominated by true Bloom false positives.
+    const std::uint8_t probe[4] = {
+        static_cast<std::uint8_t>(rng.next()),
+        static_cast<std::uint8_t>(rng.next()),
+        static_cast<std::uint8_t>(rng.next()),
+        static_cast<std::uint8_t>(rng.next()),
+    };
+    if (bloom.contains(std::span<const std::uint8_t>(probe, 4))) {
+      ++false_positives;
+    }
+  }
+  const double measured =
+      static_cast<double>(false_positives) / static_cast<double>(kProbes);
+  EXPECT_NEAR(measured, theory, theory * 0.5 + 0.002);
+}
+
+TEST(BloomFilterTest, MemoryIsConstantInPrefixWidth) {
+  // The paper's key observation: Bloom size does not depend on prefix width.
+  const std::size_t bits = BloomFilter::kChromiumDefaultBits;
+  const BloomFilter b32(random_batch(1000, 3, 4), bits);
+  const BloomFilter b256(random_batch(1000, 4, 32), bits);
+  EXPECT_EQ(b32.memory_bytes(), b256.memory_bytes());
+  EXPECT_EQ(b32.memory_bytes(), bits / 8);
+}
+
+TEST(BloomFilterTest, ChromiumDefaultIsThreeMegabytes) {
+  EXPECT_EQ(BloomFilter::kChromiumDefaultBits / 8, 3u * 1024 * 1024);
+}
+
+TEST(BloomFilterTest, OptimalK) {
+  // k* = ln2 * m/n.
+  EXPECT_EQ(BloomFilter::optimal_k(1000, 100), 7u);   // 6.93 -> 7
+  EXPECT_EQ(BloomFilter::optimal_k(1000, 1000), 1u);  // 0.69 -> max(1,1)
+  EXPECT_GE(BloomFilter::optimal_k(10, 0), 1u);
+}
+
+TEST(BloomFilterTest, ExplicitKRespected) {
+  const PrefixBatch batch = random_batch(100, 5);
+  const BloomFilter bloom(batch, 10000, 3);
+  EXPECT_EQ(bloom.k_hashes(), 3u);
+}
+
+TEST(BloomFilterTest, ZeroBitsRejected) {
+  const PrefixBatch batch = random_batch(10, 6);
+  EXPECT_THROW(BloomFilter(batch, 0), std::invalid_argument);
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  PrefixBatch batch(4);
+  batch.sort_unique();
+  const BloomFilter bloom(batch, 1024);
+  const std::uint8_t probe[4] = {1, 2, 3, 4};
+  EXPECT_FALSE(bloom.contains(std::span<const std::uint8_t>(probe, 4)));
+  EXPECT_DOUBLE_EQ(bloom.theoretical_fpp(), 0.0);
+}
+
+class BloomLoadSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BloomLoadSweep, FppDegradesGracefullyWithLoad) {
+  // Property: with optimal k, theoretical FPP stays below 2^-(bits/entry * ln2 / ~1.44).
+  const std::size_t bits_per_entry = GetParam();
+  const std::size_t n = 5000;
+  const PrefixBatch batch = random_batch(n, 100 + bits_per_entry);
+  const BloomFilter bloom(batch, n * bits_per_entry);
+  const double bound = std::pow(0.6185, static_cast<double>(bits_per_entry));
+  EXPECT_LE(bloom.theoretical_fpp(), bound * 1.10) << "bits/entry = "
+                                                   << bits_per_entry;
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, BloomLoadSweep,
+                         ::testing::Values(4, 8, 12, 16, 24, 38));
+
+}  // namespace
+}  // namespace sbp::storage

@@ -1,0 +1,79 @@
+#include "storage/full_hash_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sbp::storage {
+namespace {
+
+crypto::Digest256 digest_of(const char* s) {
+  return crypto::Digest256::of(s);
+}
+
+TEST(FullHashCacheTest, PutGet) {
+  FullHashCache cache;
+  cache.put(0xe70ee6d1, {digest_of("petsymposium.org/2016/cfp.php")}, 0);
+  const auto hit = cache.get(0xe70ee6d1, 100);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->size(), 1u);
+  EXPECT_EQ((*hit)[0], digest_of("petsymposium.org/2016/cfp.php"));
+}
+
+TEST(FullHashCacheTest, MissReturnsNullopt) {
+  FullHashCache cache;
+  EXPECT_FALSE(cache.get(0x12345678, 0).has_value());
+}
+
+TEST(FullHashCacheTest, NegativeEntryIsCached) {
+  // An orphan prefix (paper Section 7.2) returns zero digests; the cache
+  // must distinguish "cached empty" from "not cached".
+  FullHashCache cache;
+  cache.put(0xdeadbeef, {}, 0);
+  const auto hit = cache.get(0xdeadbeef, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->empty());
+}
+
+TEST(FullHashCacheTest, TtlExpiry) {
+  FullHashCache cache(/*ttl_ticks=*/10);
+  cache.put(1, {digest_of("a/")}, 100);
+  EXPECT_TRUE(cache.get(1, 105).has_value());
+  EXPECT_TRUE(cache.get(1, 110).has_value());   // inclusive boundary
+  EXPECT_FALSE(cache.get(1, 111).has_value());  // expired
+}
+
+TEST(FullHashCacheTest, ZeroTtlNeverExpires) {
+  FullHashCache cache(0);
+  cache.put(1, {digest_of("a/")}, 0);
+  EXPECT_TRUE(cache.get(1, 1'000'000'000ULL).has_value());
+}
+
+TEST(FullHashCacheTest, PutOverwrites) {
+  FullHashCache cache;
+  cache.put(1, {digest_of("old/")}, 0);
+  cache.put(1, {digest_of("new/")}, 5);
+  const auto hit = cache.get(1, 6);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0], digest_of("new/"));
+}
+
+TEST(FullHashCacheTest, ClearDropsEverything) {
+  FullHashCache cache;
+  cache.put(1, {digest_of("a/")}, 0);
+  cache.put(2, {digest_of("b/")}, 0);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(1, 0).has_value());
+}
+
+TEST(FullHashCacheTest, EvictExpired) {
+  FullHashCache cache(10);
+  cache.put(1, {digest_of("a/")}, 0);
+  cache.put(2, {digest_of("b/")}, 100);
+  EXPECT_EQ(cache.evict_expired(50), 1u);  // entry 1 expired at 10
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.get(2, 105).has_value());
+}
+
+}  // namespace
+}  // namespace sbp::storage

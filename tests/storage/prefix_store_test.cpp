@@ -1,0 +1,132 @@
+#include "storage/prefix_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "crypto/digest.hpp"
+#include "util/rng.hpp"
+
+namespace sbp::storage {
+namespace {
+
+PrefixBatch make_batch32(std::initializer_list<crypto::Prefix32> prefixes) {
+  PrefixBatch batch(4);
+  for (auto p : prefixes) batch.add32(p);
+  batch.sort_unique();
+  return batch;
+}
+
+TEST(PrefixBatchTest, RejectsBadStride) {
+  EXPECT_THROW(PrefixBatch(0), std::invalid_argument);
+  EXPECT_THROW(PrefixBatch(33), std::invalid_argument);
+}
+
+TEST(PrefixBatchTest, RejectsWrongWidthAdd) {
+  PrefixBatch batch(4);
+  const std::uint8_t three[3] = {1, 2, 3};
+  EXPECT_THROW(batch.add(std::span<const std::uint8_t>(three, 3)),
+               std::invalid_argument);
+}
+
+TEST(PrefixBatchTest, SortUniqueRemovesDuplicates) {
+  PrefixBatch batch = make_batch32({5, 3, 5, 1, 3});
+  EXPECT_EQ(batch.size(), 3u);
+  // Sorted ascending: 1, 3, 5 (big-endian byte order == numeric order).
+  EXPECT_EQ(batch.entry(0)[3], 1);
+  EXPECT_EQ(batch.entry(1)[3], 3);
+  EXPECT_EQ(batch.entry(2)[3], 5);
+}
+
+TEST(PrefixBatchTest, AddDigestTruncates) {
+  PrefixBatch batch(4);
+  const auto digest = crypto::Digest256::of("petsymposium.org/2016/cfp.php");
+  batch.add_digest(digest);
+  batch.sort_unique();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.entry(0)[0], 0xe7);
+  EXPECT_EQ(batch.entry(0)[3], 0xd1);
+}
+
+TEST(RawSortedStoreTest, ContainsExactly) {
+  const PrefixBatch batch = make_batch32({0xe70ee6d1, 0x1d13ba6a, 0x33a02ef5});
+  const RawSortedStore store(batch);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_TRUE(store.contains32(0xe70ee6d1));
+  EXPECT_TRUE(store.contains32(0x1d13ba6a));
+  EXPECT_TRUE(store.contains32(0x33a02ef5));
+  EXPECT_FALSE(store.contains32(0xe70ee6d2));
+  EXPECT_FALSE(store.contains32(0x00000000));
+  EXPECT_FALSE(store.contains32(0xffffffff));
+}
+
+TEST(RawSortedStoreTest, MemoryIsFourBytesPerPrefix) {
+  const PrefixBatch batch = make_batch32({1, 2, 3, 4, 5});
+  const RawSortedStore store(batch);
+  EXPECT_EQ(store.memory_bytes(), 20u);
+}
+
+TEST(RawSortedStoreTest, EmptyStore) {
+  PrefixBatch batch(4);
+  batch.sort_unique();
+  const RawSortedStore store(batch);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.contains32(42));
+}
+
+TEST(RawSortedStoreTest, WrongWidthQueryReturnsFalse) {
+  const PrefixBatch batch = make_batch32({1});
+  const RawSortedStore store(batch);
+  const std::uint8_t wide[8] = {0, 0, 0, 1, 0, 0, 0, 0};
+  EXPECT_FALSE(store.contains(std::span<const std::uint8_t>(wide, 8)));
+}
+
+TEST(MakeStoreTest, AllKindsAgreeOnMembership) {
+  util::Rng rng(99);
+  PrefixBatch batch(4);
+  std::vector<crypto::Prefix32> members;
+  for (int i = 0; i < 5000; ++i) {
+    const auto p = static_cast<crypto::Prefix32>(rng.next());
+    members.push_back(p);
+    batch.add32(p);
+  }
+  batch.sort_unique();
+
+  const auto raw = make_store(StoreKind::kRawSorted, batch);
+  const auto delta = make_store(StoreKind::kDeltaCoded, batch);
+  const auto bloom = make_store(StoreKind::kBloom, batch);
+
+  for (const auto p : members) {
+    EXPECT_TRUE(raw->contains32(p));
+    EXPECT_TRUE(delta->contains32(p));
+    EXPECT_TRUE(bloom->contains32(p));  // Bloom: no false negatives
+  }
+  // Negative queries: raw and delta must agree exactly (no false positives);
+  // Bloom may rarely differ.
+  for (int i = 0; i < 5000; ++i) {
+    const auto p = static_cast<crypto::Prefix32>(rng.next());
+    EXPECT_EQ(raw->contains32(p), delta->contains32(p));
+  }
+}
+
+TEST(MakeStoreTest, Wide256BitStores) {
+  PrefixBatch batch(32);
+  std::vector<crypto::Digest256> digests;
+  for (int i = 0; i < 500; ++i) {
+    digests.push_back(crypto::Digest256::of("url-" + std::to_string(i)));
+    batch.add_digest(digests.back());
+  }
+  batch.sort_unique();
+  const auto raw = make_store(StoreKind::kRawSorted, batch);
+  const auto delta = make_store(StoreKind::kDeltaCoded, batch);
+  for (const auto& d : digests) {
+    EXPECT_TRUE(raw->contains(d.bytes()));
+    EXPECT_TRUE(delta->contains(d.bytes()));
+  }
+  const auto absent = crypto::Digest256::of("not-in-store");
+  EXPECT_FALSE(raw->contains(absent.bytes()));
+  EXPECT_FALSE(delta->contains(absent.bytes()));
+}
+
+}  // namespace
+}  // namespace sbp::storage

@@ -1,0 +1,134 @@
+#include "tracking/algorithm1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+
+namespace sbp::tracking {
+namespace {
+
+TEST(Algorithm1Test, PetsCfpLeafNeedsTwoPrefixes) {
+  // Section 6.3: "Since the target URL is a leaf, prefixes for the first
+  // and last decompositions would suffice."
+  const corpus::DomainHierarchy hierarchy({
+      "https://petsymposium.org/2016/",
+      "https://petsymposium.org/2016/cfp.php",
+      "https://petsymposium.org/2016/links.php",
+      "https://petsymposium.org/2016/faqs.php",
+  });
+  const TrackingPlan plan = plan_tracking(
+      "https://petsymposium.org/2016/cfp.php", hierarchy, /*delta=*/2);
+
+  EXPECT_EQ(plan.precision, TrackingPrecision::kExactUrl);
+  ASSERT_EQ(plan.track_prefixes.size(), 2u);
+  // The paper's prefixes: domain 0x33a02ef5, target 0xe70ee6d1.
+  EXPECT_EQ(plan.track_prefixes[0], 0x33a02ef5u);
+  EXPECT_EQ(plan.track_prefixes[1], 0xe70ee6d1u);
+}
+
+TEST(Algorithm1Test, PetsDirectoryNeedsFourPrefixes) {
+  // Section 6.3's second example: tracking petsymposium.org/2016/ which has
+  // Type I collisions with links.php and faqs.php (and cfp.php in our
+  // hierarchy): with delta >= |collisions| all collider prefixes are added.
+  const corpus::DomainHierarchy hierarchy({
+      "https://petsymposium.org/2016/",
+      "https://petsymposium.org/2016/links.php",
+      "https://petsymposium.org/2016/faqs.php",
+  });
+  const TrackingPlan plan = plan_tracking("https://petsymposium.org/2016/",
+                                          hierarchy, /*delta=*/4);
+  EXPECT_EQ(plan.precision, TrackingPrecision::kExactUrl);
+  // domain + target + 2 colliders = 4 prefixes (paper: "In total only 4
+  // prefixes suffice in this case").
+  EXPECT_EQ(plan.track_prefixes.size(), 4u);
+  EXPECT_EQ(plan.type1_collisions.size(), 2u);
+}
+
+TEST(Algorithm1Test, TooManyCollidersFallsBackToSld) {
+  // delta smaller than the collider count: only the SLD is trackable.
+  const corpus::DomainHierarchy hierarchy({
+      "https://petsymposium.org/2016/",
+      "https://petsymposium.org/2016/a.php",
+      "https://petsymposium.org/2016/b.php",
+      "https://petsymposium.org/2016/c.php",
+      "https://petsymposium.org/2016/d.php",
+  });
+  const TrackingPlan plan = plan_tracking("https://petsymposium.org/2016/",
+                                          hierarchy, /*delta=*/2);
+  EXPECT_EQ(plan.precision, TrackingPrecision::kSldOnly);
+  EXPECT_EQ(plan.track_prefixes.size(), 2u);  // domain + target only
+}
+
+TEST(Algorithm1Test, TinyDomainBlacklistsAllDecompositions) {
+  // <= 2 decompositions on the whole domain: include them all (Line 8-10).
+  const corpus::DomainHierarchy hierarchy({"http://tiny.example/"});
+  const TrackingPlan plan =
+      plan_tracking("http://tiny.example/", hierarchy, 2);
+  EXPECT_EQ(plan.precision, TrackingPrecision::kExactUrl);
+  EXPECT_EQ(plan.track_prefixes.size(), 1u);  // "tiny.example/" only
+  EXPECT_EQ(plan.tracked_expressions[0], "tiny.example/");
+}
+
+TEST(Algorithm1Test, LeafWithCollidersStillTwoPrefixes) {
+  // A leaf URL is re-identifiable with 2 prefixes even if Type I colliders
+  // exist (Line 14-15: "link is a leaf OR collisions empty").
+  const corpus::DomainHierarchy hierarchy({
+      "http://shop.example/cat/item1.html",
+      "http://shop.example/cat/item2.html",
+  });
+  const TrackingPlan plan =
+      plan_tracking("http://shop.example/cat/item1.html", hierarchy, 5);
+  EXPECT_EQ(plan.precision, TrackingPrecision::kExactUrl);
+  EXPECT_EQ(plan.track_prefixes.size(), 2u);
+  EXPECT_EQ(plan.tracked_expressions[0], "shop.example/");
+  EXPECT_EQ(plan.tracked_expressions[1], "shop.example/cat/item1.html");
+}
+
+TEST(Algorithm1Test, TrackedExpressionsAreUnique) {
+  const corpus::DomainHierarchy hierarchy({
+      "http://x.example/a/",
+      "http://x.example/a/f1.html",
+      "http://x.example/a/f2.html",
+  });
+  const TrackingPlan plan = plan_tracking("http://x.example/a/", hierarchy, 8);
+  std::vector<std::string> sorted = plan.tracked_expressions;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_EQ(plan.tracked_expressions.size(), plan.track_prefixes.size());
+}
+
+TEST(Algorithm1Test, FailureProbability) {
+  EXPECT_DOUBLE_EQ(failure_probability(1), std::pow(2.0, -32.0));
+  EXPECT_DOUBLE_EQ(failure_probability(2), std::pow(2.0, -64.0));
+  EXPECT_LT(failure_probability(3), failure_probability(2));
+}
+
+TEST(Algorithm1Test, InvalidUrlYieldsEmptyPlan) {
+  const corpus::DomainHierarchy hierarchy({"http://x.example/"});
+  const TrackingPlan plan = plan_tracking("", hierarchy, 2);
+  EXPECT_TRUE(plan.track_prefixes.empty());
+}
+
+class DeltaSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DeltaSweep, PrefixCountBoundedByDeltaPlusTwo) {
+  // Property: Algorithm 1 never emits more than delta + 2 prefixes
+  // (domain + target + at most delta colliders).
+  const std::size_t delta = GetParam();
+  std::vector<std::string> urls = {"http://big.example/dir/"};
+  for (int i = 0; i < 12; ++i) {
+    urls.push_back("http://big.example/dir/p" + std::to_string(i) + ".html");
+  }
+  const corpus::DomainHierarchy hierarchy(urls);
+  const TrackingPlan plan =
+      plan_tracking("http://big.example/dir/", hierarchy, delta);
+  EXPECT_LE(plan.track_prefixes.size(), delta + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, DeltaSweep,
+                         ::testing::Values(2, 3, 5, 8, 12, 20));
+
+}  // namespace
+}  // namespace sbp::tracking

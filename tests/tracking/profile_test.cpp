@@ -1,0 +1,89 @@
+#include "tracking/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sbp::tracking {
+namespace {
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  ProfileTest() {
+    server_.add_expression("ydx-porno-hosts-top-shavar", "adult.example/");
+    server_.add_expression("ydx-sms-fraud-shavar", "fraud.example/");
+    server_.add_expression("goog-malware-shavar", "malware.example/");
+    adult_ = crypto::prefix32_of("adult.example/");
+    fraud_ = crypto::prefix32_of("fraud.example/");
+    malware_ = crypto::prefix32_of("malware.example/");
+  }
+
+  void query(sb::Cookie cookie, std::vector<crypto::Prefix32> prefixes,
+             std::uint64_t tick = 0) {
+    (void)server_.get_full_hashes(prefixes, cookie, tick);
+  }
+
+  sb::Server server_;
+  crypto::Prefix32 adult_ = 0, fraud_ = 0, malware_ = 0;
+};
+
+TEST_F(ProfileTest, AccumulatesListHitsPerCookie) {
+  query(1, {adult_});
+  query(1, {adult_}, 10);
+  query(1, {malware_}, 20);
+  query(2, {fraud_});
+
+  const auto profiles = build_profiles(server_);
+  ASSERT_EQ(profiles.size(), 2u);
+
+  const auto& user1 = profiles[0].cookie == 1 ? profiles[0] : profiles[1];
+  EXPECT_EQ(user1.total_queries, 3u);
+  EXPECT_EQ(user1.list_hits.at("ydx-porno-hosts-top-shavar"), 2u);
+  EXPECT_EQ(user1.list_hits.at("goog-malware-shavar"), 1u);
+  EXPECT_EQ(user1.dominant_list, "ydx-porno-hosts-top-shavar");
+}
+
+TEST_F(ProfileTest, TraitQuery) {
+  query(1, {adult_});
+  query(2, {adult_});
+  query(2, {adult_}, 5);
+  query(3, {malware_});
+
+  const auto profiles = build_profiles(server_);
+  const auto flagged =
+      users_with_trait(profiles, "ydx-porno-hosts-top-shavar", 2);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 2u);
+
+  const auto any = users_with_trait(profiles, "ydx-porno-hosts-top-shavar");
+  EXPECT_EQ(any.size(), 2u);
+}
+
+TEST_F(ProfileTest, UnknownPrefixesIgnored) {
+  query(9, {0x12345678});
+  const auto profiles = build_profiles(server_);
+  ASSERT_EQ(profiles.size(), 1u);
+  EXPECT_TRUE(profiles[0].list_hits.empty());
+  EXPECT_TRUE(profiles[0].dominant_list.empty());
+}
+
+TEST_F(ProfileTest, DuplicatePrefixInOneQueryCountsOnce) {
+  query(4, {adult_, adult_});
+  const auto profiles = build_profiles(server_);
+  EXPECT_EQ(profiles[0].list_hits.at("ydx-porno-hosts-top-shavar"), 1u);
+}
+
+TEST_F(ProfileTest, EmptyLogGivesNoProfiles) {
+  EXPECT_TRUE(build_profiles(server_).empty());
+}
+
+TEST_F(ProfileTest, PrefixInMultipleListsCountsInBoth) {
+  // The same expression published in two lists tags both traits.
+  server_.add_expression("ydx-adult-shavar", "adult.example/");
+  query(5, {adult_});
+  const auto profiles = build_profiles(server_);
+  EXPECT_EQ(profiles[0].list_hits.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sbp::tracking

@@ -1,0 +1,114 @@
+// Property-based tests for the canonicalization pipeline: invariants that
+// must hold for ALL inputs, checked over deterministic random URL soup.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "url/canonicalize.hpp"
+#include "url/decompose.hpp"
+#include "util/rng.hpp"
+
+namespace sbp::url {
+namespace {
+
+/// Random printable-ish URL material, including nasty characters.
+std::string random_url(util::Rng& rng) {
+  static constexpr char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+      ".-_/%?#:@&=+ \t%25";
+  std::string out;
+  const bool with_scheme = rng.next_bool(0.7);
+  if (with_scheme) out += rng.next_bool(0.5) ? "http://" : "https://";
+  const std::size_t length = 1 + rng.next_below(60);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kChars[rng.next_below(sizeof(kChars) - 1)]);
+  }
+  return out;
+}
+
+class CanonicalizePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CanonicalizePropertyTest, Idempotent) {
+  // canonicalize(canonicalize(u).spec()) == canonicalize(u): running the
+  // algorithm twice must not change the result (the GSB spec requires
+  // canonical output to be a fixpoint).
+  util::Rng rng(1000 + GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const std::string raw = random_url(rng);
+    const auto once = canonicalize(raw);
+    if (!once) continue;
+    const auto twice = canonicalize(once->spec());
+    ASSERT_TRUE(twice.has_value()) << raw << " -> " << once->spec();
+    EXPECT_EQ(twice->spec(), once->spec()) << raw;
+    EXPECT_EQ(twice->expression(), once->expression()) << raw;
+  }
+}
+
+TEST_P(CanonicalizePropertyTest, OutputIsClean) {
+  // Canonical output never contains raw control bytes, '#' or unescaped
+  // '%' that is not part of a valid escape.
+  util::Rng rng(2000 + GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const auto canonical = canonicalize(random_url(rng));
+    if (!canonical) continue;
+    const std::string spec = canonical->spec();
+    for (std::size_t j = 0; j < spec.size(); ++j) {
+      const auto byte = static_cast<unsigned char>(spec[j]);
+      EXPECT_GT(byte, 0x20u) << spec;
+      EXPECT_LT(byte, 0x7Fu) << spec;
+      EXPECT_NE(spec[j], '#') << spec;
+    }
+  }
+}
+
+TEST_P(CanonicalizePropertyTest, PathAlwaysRooted) {
+  util::Rng rng(3000 + GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const auto canonical = canonicalize(random_url(rng));
+    if (!canonical) continue;
+    ASSERT_FALSE(canonical->path.empty());
+    EXPECT_EQ(canonical->path[0], '/');
+    EXPECT_FALSE(canonical->host.empty());
+  }
+}
+
+TEST_P(CanonicalizePropertyTest, DecompositionInvariants) {
+  // For every canonicalizable URL: 1 <= |decompositions| <= 30; the first
+  // is the exact expression; all are distinct; every expression contains
+  // exactly the host-suffix + path split it claims.
+  util::Rng rng(4000 + GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const std::string raw = random_url(rng);
+    const auto decomps = decompose(raw);
+    if (decomps.empty()) continue;
+    EXPECT_LE(decomps.size(), 30u) << raw;
+    EXPECT_TRUE(decomps[0].is_exact) << raw;
+    for (std::size_t a = 0; a < decomps.size(); ++a) {
+      EXPECT_EQ(decomps[a].expression, decomps[a].host + decomps[a].path);
+      for (std::size_t b = a + 1; b < decomps.size(); ++b) {
+        EXPECT_NE(decomps[a].expression, decomps[b].expression) << raw;
+      }
+    }
+  }
+}
+
+TEST_P(CanonicalizePropertyTest, DecompositionOfDecompositionIsPrefix) {
+  // Hashing stability: each decomposition expression, treated as a URL,
+  // canonicalizes to itself (possibly plus the root slash) -- this is what
+  // lets the server store expression digests and match client queries.
+  util::Rng rng(5000 + GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto decomps = decompose(random_url(rng));
+    for (const auto& d : decomps) {
+      const auto re = canonicalize("http://" + d.expression);
+      ASSERT_TRUE(re.has_value()) << d.expression;
+      EXPECT_EQ(re->expression(), d.expression);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonicalizePropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace sbp::url

@@ -1,0 +1,168 @@
+#include "url/decompose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "crypto/digest.hpp"
+
+namespace sbp::url {
+namespace {
+
+TEST(DecomposeTest, PaperEightDecompositionsInOrder) {
+  // Paper Section 2.2.1: the 8 decompositions of
+  // http://a.b.c/1/2.ext?param=1, in the paper's exact order.
+  const auto exprs = decompose_expressions("http://a.b.c/1/2.ext?param=1");
+  const std::vector<std::string> expected = {
+      "a.b.c/1/2.ext?param=1", "a.b.c/1/2.ext", "a.b.c/", "a.b.c/1/",
+      "b.c/1/2.ext?param=1",   "b.c/1/2.ext",   "b.c/",   "b.c/1/",
+  };
+  EXPECT_EQ(exprs, expected);
+}
+
+TEST(DecomposeTest, PetsCfpDecompositions) {
+  // Paper Table 4: three decompositions.
+  const auto exprs =
+      decompose_expressions("https://petsymposium.org/2016/cfp.php");
+  const std::vector<std::string> expected = {
+      "petsymposium.org/2016/cfp.php",
+      "petsymposium.org/",
+      "petsymposium.org/2016/",
+  };
+  EXPECT_EQ(exprs, expected);
+}
+
+TEST(DecomposeTest, PetsCfpPrefixesMatchPaperTable4) {
+  const auto prefixes =
+      decompose_prefixes("https://petsymposium.org/2016/cfp.php");
+  ASSERT_EQ(prefixes.size(), 3u);
+  EXPECT_EQ(prefixes[0], 0xe70ee6d1u);  // petsymposium.org/2016/cfp.php
+  EXPECT_EQ(prefixes[1], 0x33a02ef5u);  // petsymposium.org/
+  EXPECT_EQ(prefixes[2], 0x1d13ba6au);  // petsymposium.org/2016/
+}
+
+TEST(DecomposeTest, HostSuffixLimitFiveComponents) {
+  // Spec: exact host + up to 4 suffixes from the last 5 components.
+  const auto hosts = host_suffixes("a.b.c.d.e.f.g", false);
+  const std::vector<std::string> expected = {
+      "a.b.c.d.e.f.g", "c.d.e.f.g", "d.e.f.g", "e.f.g", "f.g",
+  };
+  EXPECT_EQ(hosts, expected);
+}
+
+TEST(DecomposeTest, HostSuffixExactlyFiveComponents) {
+  const auto hosts = host_suffixes("a.b.c.d.e", false);
+  const std::vector<std::string> expected = {
+      "a.b.c.d.e", "b.c.d.e", "c.d.e", "d.e",
+  };
+  EXPECT_EQ(hosts, expected);
+}
+
+TEST(DecomposeTest, HostSuffixTwoComponents) {
+  const auto hosts = host_suffixes("b.c", false);
+  EXPECT_EQ(hosts, std::vector<std::string>{"b.c"});
+}
+
+TEST(DecomposeTest, IpHostYieldsOnlyItself) {
+  const auto hosts = host_suffixes("195.127.0.11", true);
+  EXPECT_EQ(hosts, std::vector<std::string>{"195.127.0.11"});
+  const auto exprs = decompose_expressions("http://195.127.0.11/a/b.html");
+  for (const auto& e : exprs) {
+    EXPECT_TRUE(e.rfind("195.127.0.11/", 0) == 0) << e;
+  }
+}
+
+TEST(DecomposeTest, PathPrefixLimitSix) {
+  // Max 6 path expressions: query, exact, "/", and 3 more directories.
+  const auto paths = path_prefixes("/1/2/3/4/5/6.html", "q=1", true);
+  const std::vector<std::string> expected = {
+      "/1/2/3/4/5/6.html?q=1", "/1/2/3/4/5/6.html", "/", "/1/", "/1/2/",
+      "/1/2/3/",
+  };
+  EXPECT_EQ(paths, expected);
+}
+
+TEST(DecomposeTest, RootPathOnly) {
+  const auto paths = path_prefixes("/", "", false);
+  EXPECT_EQ(paths, std::vector<std::string>{"/"});
+}
+
+TEST(DecomposeTest, MaxThirtyDecompositions) {
+  const auto exprs = decompose_expressions(
+      "http://a.b.c.d.e.f.g/1/2/3/4/5/6.html?param=1");
+  EXPECT_EQ(exprs.size(), 30u);  // 5 hosts x 6 paths
+  // All distinct.
+  const std::set<std::string> unique(exprs.begin(), exprs.end());
+  EXPECT_EQ(unique.size(), exprs.size());
+}
+
+TEST(DecomposeTest, DirectoryUrlDeduplicates) {
+  // For "a.b.c/" the exact path and the root prefix coincide.
+  const auto exprs = decompose_expressions("http://a.b.c/");
+  const std::vector<std::string> expected = {"a.b.c/", "b.c/"};
+  EXPECT_EQ(exprs, expected);
+}
+
+TEST(DecomposeTest, ExactFlagSetOnFullExpression) {
+  const auto decs = decompose("http://a.b.c/1/2.ext?param=1");
+  ASSERT_FALSE(decs.empty());
+  EXPECT_TRUE(decs[0].is_exact);
+  EXPECT_EQ(decs[0].expression, "a.b.c/1/2.ext?param=1");
+  // Only host-exact expressions can be exact.
+  for (const auto& d : decs) {
+    if (d.is_exact) {
+      EXPECT_EQ(d.host, "a.b.c");
+    }
+  }
+}
+
+TEST(DecomposeTest, InvalidUrlYieldsEmpty) {
+  EXPECT_TRUE(decompose("").empty());
+  EXPECT_TRUE(decompose_prefixes("   ").empty());
+}
+
+TEST(DecomposeTest, HostAndPathFieldsConsistent) {
+  for (const auto& d : decompose("http://x.y.z/p/q.html")) {
+    EXPECT_EQ(d.expression, d.host + d.path);
+  }
+}
+
+TEST(DecomposeTest, TrailingSlashDirectory) {
+  const auto exprs = decompose_expressions("http://a.b.c/sub/dir/");
+  // Exact path is "/sub/dir/": expressions include it and prefixes.
+  EXPECT_NE(std::find(exprs.begin(), exprs.end(), "a.b.c/sub/dir/"),
+            exprs.end());
+  EXPECT_NE(std::find(exprs.begin(), exprs.end(), "a.b.c/sub/"), exprs.end());
+  EXPECT_NE(std::find(exprs.begin(), exprs.end(), "a.b.c/"), exprs.end());
+}
+
+TEST(DecomposeTest, QueryOnlyOnExactPath) {
+  const auto exprs = decompose_expressions("http://a.b.c/p/f.html?x=1");
+  int with_query = 0;
+  for (const auto& e : exprs) {
+    if (e.find('?') != std::string::npos) ++with_query;
+  }
+  EXPECT_EQ(with_query, 2);  // once per host suffix (a.b.c and b.c)
+}
+
+class DecompositionCountSweep
+    : public ::testing::TestWithParam<std::pair<const char*, std::size_t>> {};
+
+TEST_P(DecompositionCountSweep, CountMatches) {
+  const auto& [raw, expected] = GetParam();
+  EXPECT_EQ(decompose_expressions(raw).size(), expected) << raw;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Counts, DecompositionCountSweep,
+    ::testing::Values(
+        std::make_pair("http://b.c/", 1u),              // 1 host x 1 path
+        std::make_pair("http://a.b.c/", 2u),            // 2 hosts x 1 path
+        std::make_pair("http://b.c/1.html", 2u),        // 1 host x 2 paths
+        std::make_pair("http://a.b.c/1/2.ext?param=1", 8u),  // paper example
+        std::make_pair("http://a.b.c.d.e.f.g/1/2/3/4/5/6.html?param=1",
+                       30u)));  // spec maximum
+
+}  // namespace
+}  // namespace sbp::url

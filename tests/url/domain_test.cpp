@@ -1,0 +1,67 @@
+#include "url/domain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sbp::url {
+namespace {
+
+TEST(DomainTest, HostLabels) {
+  const auto labels = host_labels("wps3b.17buddies.net");
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], "wps3b");
+  EXPECT_EQ(labels[2], "net");
+}
+
+TEST(DomainTest, Ipv4Literal) {
+  EXPECT_TRUE(is_ipv4_literal("195.127.0.11"));
+  EXPECT_TRUE(is_ipv4_literal("1.2.3.4"));
+  EXPECT_FALSE(is_ipv4_literal("a.b.c.d"));
+  EXPECT_FALSE(is_ipv4_literal("1.2.3"));
+  EXPECT_FALSE(is_ipv4_literal("1.2.3.4.5"));
+  EXPECT_FALSE(is_ipv4_literal("1..2.3"));
+  EXPECT_FALSE(is_ipv4_literal(""));
+  EXPECT_FALSE(is_ipv4_literal("1234.1.1.1"));
+}
+
+TEST(DomainTest, DomainSuffix) {
+  EXPECT_TRUE(is_domain_suffix("a.b.c", "b.c"));
+  EXPECT_TRUE(is_domain_suffix("a.b.c", "a.b.c"));
+  EXPECT_FALSE(is_domain_suffix("ab.c", "b.c"));
+  EXPECT_FALSE(is_domain_suffix("b.c", "a.b.c"));
+  EXPECT_FALSE(is_domain_suffix("a.b.c", ""));
+}
+
+TEST(DomainTest, RegistrableDomainSimple) {
+  EXPECT_EQ(registrable_domain("wps3b.17buddies.net"), "17buddies.net");
+  EXPECT_EQ(registrable_domain("fr.xhamster.com"), "xhamster.com");
+  EXPECT_EQ(registrable_domain("xhamster.com"), "xhamster.com");
+  EXPECT_EQ(registrable_domain("a.b.c.d.example.org"), "example.org");
+}
+
+TEST(DomainTest, RegistrableDomainTwoLevelSuffix) {
+  EXPECT_EQ(registrable_domain("www.foo.co.uk"), "foo.co.uk");
+  EXPECT_EQ(registrable_domain("foo.co.uk"), "foo.co.uk");
+  EXPECT_EQ(registrable_domain("shop.example.com.au"), "example.com.au");
+}
+
+TEST(DomainTest, RegistrableDomainEdgeCases) {
+  EXPECT_EQ(registrable_domain("localhost"), "localhost");
+  EXPECT_EQ(registrable_domain("195.127.0.11"), "195.127.0.11");
+  // A bare public suffix stays as-is.
+  EXPECT_EQ(registrable_domain("co.uk"), "co.uk");
+}
+
+TEST(DomainTest, ParentHost) {
+  EXPECT_EQ(parent_host("a.b.c"), "b.c");
+  EXPECT_EQ(parent_host("wps3b.17buddies.net"), "17buddies.net");
+  EXPECT_EQ(parent_host("b.c"), "");
+  EXPECT_EQ(parent_host("single"), "");
+}
+
+TEST(DomainTest, PublicSuffixLabels) {
+  EXPECT_EQ(public_suffix_labels("example.co.uk"), 2u);
+  EXPECT_EQ(public_suffix_labels("example.com"), 1u);
+}
+
+}  // namespace
+}  // namespace sbp::url

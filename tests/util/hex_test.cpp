@@ -1,0 +1,74 @@
+#include "util/hex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace sbp::util {
+namespace {
+
+TEST(HexTest, EncodeEmpty) {
+  EXPECT_EQ(hex_encode({}), "");
+}
+
+TEST(HexTest, EncodeBytes) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0x0f, 0xf0, 0xff, 0xe7};
+  EXPECT_EQ(hex_encode(bytes), "000ff0ffe7");
+}
+
+TEST(HexTest, HexU32MatchesPaperNotation) {
+  EXPECT_EQ(hex_u32(0xe70ee6d1u), "0xe70ee6d1");
+  EXPECT_EQ(hex_u32(0x00000000u), "0x00000000");
+  EXPECT_EQ(hex_u32(0x00354501u), "0x00354501");
+  EXPECT_EQ(hex_u32(0xffffffffu), "0xffffffff");
+}
+
+TEST(HexTest, DecodeRoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0xde, 0xad, 0xbe, 0xef};
+  const auto decoded = hex_decode(hex_encode(bytes));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, bytes);
+}
+
+TEST(HexTest, DecodeWith0xPrefix) {
+  const auto decoded = hex_decode("0xe70ee6d1");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ((*decoded)[0], 0xe7);
+  EXPECT_EQ((*decoded)[3], 0xd1);
+}
+
+TEST(HexTest, DecodeUppercase) {
+  const auto decoded = hex_decode("DEADBEEF");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ((*decoded)[0], 0xde);
+}
+
+TEST(HexTest, DecodeRejectsOddLength) {
+  EXPECT_FALSE(hex_decode("abc").has_value());
+}
+
+TEST(HexTest, DecodeRejectsNonHex) {
+  EXPECT_FALSE(hex_decode("zz").has_value());
+  EXPECT_FALSE(hex_decode("a ").has_value());
+}
+
+TEST(HexTest, DecodeEmptyIsEmpty) {
+  const auto decoded = hex_decode("");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(HexTest, DigitValues) {
+  EXPECT_EQ(hex_digit_value('0'), 0);
+  EXPECT_EQ(hex_digit_value('9'), 9);
+  EXPECT_EQ(hex_digit_value('a'), 10);
+  EXPECT_EQ(hex_digit_value('f'), 15);
+  EXPECT_EQ(hex_digit_value('A'), 10);
+  EXPECT_EQ(hex_digit_value('F'), 15);
+  EXPECT_EQ(hex_digit_value('g'), -1);
+  EXPECT_EQ(hex_digit_value(' '), -1);
+}
+
+}  // namespace
+}  // namespace sbp::util

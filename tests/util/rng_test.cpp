@@ -1,0 +1,106 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace sbp::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBelowRoughlyUniform) {
+  Rng rng(1234);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.next_below(kBuckets)];
+  }
+  for (std::uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(counts[b], kSamples / 10 - 1200) << "bucket " << b;
+    EXPECT_LT(counts[b], kSamples / 10 + 1200) << "bucket " << b;
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolEdges) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.next_bool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng parent(11);
+  Rng child = parent.fork();
+  // The child stream should not replay the parent stream.
+  std::set<std::uint64_t> parent_vals;
+  for (int i = 0; i < 50; ++i) parent_vals.insert(parent.next());
+  int overlap = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent_vals.count(child.next()) > 0) ++overlap;
+  }
+  EXPECT_LT(overlap, 2);
+}
+
+TEST(RngTest, SplitMix64KnownSequenceIsStable) {
+  // Lock the generator's output so corpus seeds stay reproducible across
+  // refactors (every experiment's determinism depends on this).
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64(state2), first);
+  EXPECT_EQ(splitmix64(state2), second);
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace sbp::util

@@ -1,0 +1,85 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sbp::util {
+namespace {
+
+TEST(StatsTest, SummarizeEmpty) {
+  const SummaryStats s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, SummarizeBasic) {
+  const std::vector<double> v = {3.0, 1.0, 2.0};
+  const SummaryStats s = summarize(v);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+}
+
+TEST(StatsTest, SummarizeEvenCountMedian) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 10.0};
+  EXPECT_DOUBLE_EQ(summarize(v).median, 2.5);
+}
+
+TEST(StatsTest, SummarizeU64) {
+  const std::vector<std::uint64_t> v = {5, 1, 4};
+  const SummaryStats s = summarize_u64(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(StatsTest, RankDescending) {
+  const std::vector<std::uint64_t> v = {3, 7, 1};
+  const auto ranked = rank_descending(v);
+  EXPECT_EQ(ranked, (std::vector<std::uint64_t>{7, 3, 1}));
+}
+
+TEST(StatsTest, CumulativeFraction) {
+  const std::vector<std::uint64_t> ranked = {6, 3, 1};
+  const auto frac = cumulative_fraction(ranked);
+  ASSERT_EQ(frac.size(), 3u);
+  EXPECT_DOUBLE_EQ(frac[0], 0.6);
+  EXPECT_DOUBLE_EQ(frac[1], 0.9);
+  EXPECT_DOUBLE_EQ(frac[2], 1.0);
+}
+
+TEST(StatsTest, CumulativeFractionAllZeros) {
+  const std::vector<std::uint64_t> ranked = {0, 0};
+  const auto frac = cumulative_fraction(ranked);
+  ASSERT_EQ(frac.size(), 2u);
+  EXPECT_DOUBLE_EQ(frac[0], 0.0);
+}
+
+TEST(StatsTest, HostsToCover) {
+  const std::vector<double> frac = {0.5, 0.79, 0.81, 1.0};
+  EXPECT_EQ(hosts_to_cover(frac, 0.8), 3u);
+  EXPECT_EQ(hosts_to_cover(frac, 0.5), 1u);
+  EXPECT_EQ(hosts_to_cover(frac, 1.1), 4u);  // never reached -> size
+}
+
+TEST(StatsTest, LogSpacedIndicesCoverEnds) {
+  const auto idx = log_spaced_indices(1000000, 4);
+  ASSERT_FALSE(idx.empty());
+  EXPECT_EQ(idx.front(), 0u);
+  EXPECT_EQ(idx.back(), 999999u);
+  for (std::size_t i = 1; i < idx.size(); ++i) {
+    EXPECT_LT(idx[i - 1], idx[i]);  // strictly increasing
+  }
+}
+
+TEST(StatsTest, LogSpacedIndicesSmallSizes) {
+  EXPECT_TRUE(log_spaced_indices(0).empty());
+  EXPECT_EQ(log_spaced_indices(1), (std::vector<std::size_t>{0}));
+  const auto two = log_spaced_indices(2);
+  EXPECT_EQ(two, (std::vector<std::size_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace sbp::util

@@ -1,0 +1,86 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sbp::util {
+namespace {
+
+TEST(StringsTest, SplitBasic) {
+  const auto parts = split("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a..b", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringsTest, SplitEmptyInput) {
+  const auto parts = split("", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringsTest, SplitLeadingTrailingSep) {
+  const auto parts = split(".a.", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  const auto parts = split("x/y/z", '/');
+  EXPECT_EQ(join(parts, "/"), "x/y/z");
+}
+
+TEST(StringsTest, JoinEmpty) {
+  EXPECT_EQ(join(std::vector<std::string_view>{}, ","), "");
+}
+
+TEST(StringsTest, ToLowerAsciiOnly) {
+  EXPECT_EQ(to_lower("WwW.GoOgLe.CoM"), "www.google.com");
+  EXPECT_EQ(to_lower("already-lower_123"), "already-lower_123");
+}
+
+TEST(StringsTest, TrimDefault) {
+  EXPECT_EQ(trim("  http://x.com/  "), "http://x.com/");
+  EXPECT_EQ(trim("\t\r\n a \n"), "a");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("goog-malware-shavar", "goog-"));
+  EXPECT_FALSE(starts_with("ydx-phish", "goog-"));
+  EXPECT_TRUE(ends_with("goog-malware-shavar", "-shavar"));
+  EXPECT_FALSE(ends_with("x", "xx"));
+}
+
+TEST(StringsTest, RemoveChars) {
+  EXPECT_EQ(remove_chars("a\tb\rc\nd", "\t\r\n"), "abcd");
+  EXPECT_EQ(remove_chars("abc", ""), "abc");
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(replace_all("%25%25", "%25", "%"), "%%");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("none", "x", "y"), "none");
+}
+
+TEST(StringsTest, ParseDecimal) {
+  EXPECT_EQ(parse_decimal("0"), 0);
+  EXPECT_EQ(parse_decimal("443"), 443);
+  EXPECT_EQ(parse_decimal("317807"), 317807);
+  EXPECT_EQ(parse_decimal(""), -1);
+  EXPECT_EQ(parse_decimal("12a"), -1);
+  EXPECT_EQ(parse_decimal("-1"), -1);
+  EXPECT_EQ(parse_decimal("99999999999999999999999"), -1);  // overflow
+}
+
+}  // namespace
+}  // namespace sbp::util

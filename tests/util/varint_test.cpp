@@ -1,0 +1,87 @@
+#include "util/varint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace sbp::util {
+namespace {
+
+TEST(VarintTest, EncodeSmallValues) {
+  std::vector<std::uint8_t> out;
+  varint_encode(0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0u);
+
+  out.clear();
+  varint_encode(127, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 127u);
+}
+
+TEST(VarintTest, EncodeTwoBytes) {
+  std::vector<std::uint8_t> out;
+  varint_encode(128, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 0x80u);
+  EXPECT_EQ(out[1], 0x01u);
+}
+
+TEST(VarintTest, SizeMatchesEncode) {
+  const std::uint64_t cases[] = {
+      0, 1, 127, 128, 16383, 16384, 6600, 0xFFFFFFFF,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : cases) {
+    std::vector<std::uint8_t> out;
+    varint_encode(v, out);
+    EXPECT_EQ(out.size(), varint_size(v)) << v;
+  }
+}
+
+TEST(VarintTest, RoundTripMany) {
+  std::vector<std::uint8_t> buffer;
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 1; v < (1ULL << 40); v = v * 3 + 1) {
+    values.push_back(v);
+    varint_encode(v, buffer);
+  }
+  std::size_t offset = 0;
+  for (std::uint64_t expected : values) {
+    const auto got = varint_decode(buffer, offset);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, expected);
+  }
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(VarintTest, DecodeTruncatedFails) {
+  std::vector<std::uint8_t> buffer = {0x80};  // continuation with no tail
+  std::size_t offset = 0;
+  EXPECT_FALSE(varint_decode(buffer, offset).has_value());
+  EXPECT_EQ(offset, 0u);  // offset unchanged on failure
+}
+
+TEST(VarintTest, DecodeEmptyFails) {
+  std::size_t offset = 0;
+  EXPECT_FALSE(varint_decode({}, offset).has_value());
+}
+
+TEST(VarintTest, MaxU64RoundTrip) {
+  std::vector<std::uint8_t> buffer;
+  varint_encode(std::numeric_limits<std::uint64_t>::max(), buffer);
+  EXPECT_EQ(buffer.size(), 10u);
+  std::size_t offset = 0;
+  const auto got = varint_decode(buffer, offset);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(VarintTest, TypicalPrefixGapIsTwoBytes) {
+  // Paper Table 2: 32-bit prefixes delta-code to ~2 bytes/entry because the
+  // mean gap for ~650k prefixes over 2^32 is ~6600.
+  EXPECT_EQ(varint_size(6600), 2u);
+}
+
+}  // namespace
+}  // namespace sbp::util
