@@ -1,0 +1,152 @@
+// Simulation engine throughput: how fast can the full SB stack serve a
+// large synthetic population?
+//
+// Runs a >= 100k-user, >= 50-tick simulation (per-user sb::Client instances
+// against the shared sb::Server, power-law traffic, churning lists) with the
+// query log streamed through a constant-memory CountingSink -- the server
+// retains nothing -- and reports throughput as JSON on stdout and into
+// BENCH_sim.json (--out PATH overrides; --users / --ticks rescale).
+//
+// The JSON includes the log fingerprint so successive runs double as a
+// large-scale determinism check, and the engine/population counters so perf
+// PRs can see *what* the time was spent on (lookups vs. wire requests vs.
+// update churn).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_util.hpp"
+#include "sim/engine.hpp"
+#include "sim/log_sink.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+sbp::sim::SimConfig bench_config(std::size_t users, std::uint64_t ticks) {
+  sbp::sim::SimConfig config;
+  config.num_users = users;
+  config.ticks = ticks;
+  config.num_shards = 16;
+  config.seed = 2016;
+  config.corpus.num_hosts = 20000;
+  config.corpus.seed = 2016;
+  config.corpus.max_pages = 300;
+  config.blacklist.page_fraction = 0.004;
+  config.blacklist.site_fraction = 0.0008;
+  config.blacklist.max_entries = 1024;
+  config.blacklist.churn_interval_ticks = 10;
+  config.blacklist.churn_adds = 16;
+  config.blacklist.churn_removes = 4;
+  config.blacklist.churn_update_fraction = 0.02;
+  return config;
+}
+
+std::string format_json(const sbp::sim::Engine& engine,
+                        const sbp::sim::CountingSink& sink,
+                        double setup_seconds, double run_seconds) {
+  const auto& config = engine.config();
+  const auto& metrics = engine.metrics();
+  const auto population = engine.population_metrics();
+  const auto& wire = engine.transport_stats();
+  const double user_ticks = static_cast<double>(config.num_users) *
+                            static_cast<double>(metrics.ticks_run);
+  char buffer[2048];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\n"
+      "  \"experiment\": \"sim_throughput\",\n"
+      "  \"users\": %zu,\n"
+      "  \"ticks\": %llu,\n"
+      "  \"shards\": %zu,\n"
+      "  \"seed\": %llu,\n"
+      "  \"setup_seconds\": %.3f,\n"
+      "  \"run_seconds\": %.3f,\n"
+      "  \"lookups\": %llu,\n"
+      "  \"lookups_per_sec\": %.0f,\n"
+      "  \"user_ticks_per_sec\": %.0f,\n"
+      "  \"users_per_sec_setup\": %.0f,\n"
+      "  \"local_hit_lookups\": %llu,\n"
+      "  \"full_hash_requests\": %llu,\n"
+      "  \"cache_answers\": %llu,\n"
+      "  \"churn_events\": %llu,\n"
+      "  \"churn_updates\": %llu,\n"
+      "  \"url_cache_hits\": %llu,\n"
+      "  \"url_cache_misses\": %llu,\n"
+      "  \"log_entries\": %llu,\n"
+      "  \"log_prefixes\": %llu,\n"
+      "  \"log_multi_prefix_entries\": %llu,\n"
+      "  \"log_fingerprint\": \"0x%016llx\"\n"
+      "}\n",
+      config.num_users, static_cast<unsigned long long>(metrics.ticks_run),
+      config.num_shards, static_cast<unsigned long long>(config.seed),
+      setup_seconds, run_seconds,
+      static_cast<unsigned long long>(metrics.lookups),
+      static_cast<double>(metrics.lookups) / run_seconds,
+      user_ticks / run_seconds,
+      static_cast<double>(config.num_users) / setup_seconds,
+      static_cast<unsigned long long>(metrics.local_hit_lookups),
+      static_cast<unsigned long long>(wire.full_hash_requests),
+      static_cast<unsigned long long>(population.cache_answers),
+      static_cast<unsigned long long>(metrics.churn_events),
+      static_cast<unsigned long long>(metrics.churn_updates),
+      static_cast<unsigned long long>(metrics.url_cache_hits),
+      static_cast<unsigned long long>(metrics.url_cache_misses),
+      static_cast<unsigned long long>(sink.entries()),
+      static_cast<unsigned long long>(sink.prefixes()),
+      static_cast<unsigned long long>(sink.multi_prefix_entries()),
+      static_cast<unsigned long long>(sink.fingerprint()));
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t users = 100000;
+  std::uint64_t ticks = 50;
+  std::string out_path = "BENCH_sim.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--users") == 0) {
+      users = static_cast<std::size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--ticks") == 0) {
+      ticks = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = argv[i + 1];
+    }
+  }
+
+  sbp::bench::header("sim_throughput",
+                     "population simulation engine, streaming query log");
+  std::printf("population: %zu users x %llu ticks\n", users,
+              static_cast<unsigned long long>(ticks));
+
+  const auto setup_start = Clock::now();
+  sbp::sim::Engine engine(bench_config(users, ticks));
+  const double setup_seconds = seconds_since(setup_start);
+
+  sbp::sim::CountingSink sink;
+  engine.attach_sink(&sink, /*retain_in_memory=*/false);
+
+  const auto run_start = Clock::now();
+  engine.run();
+  const double run_seconds = seconds_since(run_start);
+
+  const std::string json =
+      format_json(engine, sink, setup_seconds, run_seconds);
+  std::fputs(json.c_str(), stdout);
+  if (FILE* out = std::fopen(out_path.c_str(), "w")) {
+    std::fputs(json.c_str(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -3,23 +3,26 @@
 //
 //   1. Algorithm 1 computes the prefixes that make the CFP page
 //      re-identifiable;
-//   2. the prefixes are pushed into the malware list (the client cannot
-//      tell tracking prefixes from real ones -- Section 7 shows such
-//      entries exist in the wild);
-//   3. simulated users browse; interested ones open the CFP and the
+//   2. the prefixes are pushed into the malware list via the simulation
+//      engine's server_setup hook (the client cannot tell tracking prefixes
+//      from real ones -- Section 7 shows such entries exist in the wild);
+//   3. a simulated population browses the synthetic web through the sim
+//      engine; the interested fraction also opens the CFP and the
 //      submission page;
-//   4. the provider reads its own query log: cookies + prefix pairs =
-//      identified individuals; temporal correlation catches the
-//      CFP -> submission sequence.
+//   4. the provider consumes its own query-log *stream*: the shadow
+//      detector flags cookies sending >= 2 shadow prefixes in one query,
+//      and the streaming AggregatorSink catches the CFP -> submission
+//      sequence as it happens -- no materialized log required.
 //
 // Build & run:  ./build/examples/tracking_demo
 #include <cstdio>
 #include <set>
 
 #include "crypto/digest.hpp"
+#include "sim/engine.hpp"
+#include "sim/log_sink.hpp"
 #include "tracking/aggregator.hpp"
 #include "tracking/shadow_db.hpp"
-#include "tracking/user_population.hpp"
 
 int main() {
   using namespace sbp;
@@ -44,63 +47,89 @@ int main() {
   }
   std::printf("  (paper Table 4: petsymposium.org/ = 0x33a02ef5, cfp.php = "
               "0xe70ee6d1)\n\n");
-
-  // Step 2: deploy into the live blacklist.
-  sb::Server server(sb::Provider::kGoogle);
-  sb::SimClock clock;
-  sb::Transport transport(server, clock);
-  server.add_expression("goog-malware-shavar", "actual-malware.example/");
-  server.seal_chunk("goog-malware-shavar");
-  tracking::ShadowDatabase shadow;
-  shadow.deploy(plan, server, "goog-malware-shavar");
   const auto submission_plan = tracking::plan_tracking(
       "https://petsymposium.org/2016/submission/", pets, 2);
-  shadow.deploy(submission_plan, server, "goog-malware-shavar");
 
-  // Step 3: the population browses.
-  tracking::PopulationConfig population;
-  population.num_users = 60;
-  population.interested_fraction = 0.2;
-  population.seed = 2016;
-  const auto users = make_population(
-      population,
-      {"https://petsymposium.org/2016/cfp.php",
-       "https://petsymposium.org/2016/submission/"},
-      {"http://news.example/", "http://videos.example/cat.mp4",
-       "http://shop.example/basket", "http://wiki.example/article"});
-  const auto outcome = tracking::replay_population(
-      users, transport, {"goog-malware-shavar"});
-  std::printf("population: %zu users, %zu lookups, %zu reached the server\n",
-              users.size(), outcome.total_lookups,
-              outcome.lookups_contacting_server);
+  // Steps 2+3: a population browses a synthetic web whose malware list
+  // carries real entries *and* the shadow prefixes.
+  tracking::ShadowDatabase shadow;
+  sim::SimConfig config;
+  config.num_users = 600;
+  config.ticks = 120;
+  config.seed = 2016;
+  config.corpus.num_hosts = 2000;
+  config.corpus.seed = 2016;
+  config.corpus.max_pages = 200;
+  config.blacklist.page_fraction = 0.002;  // some genuine malware traffic
+  config.traffic.target_urls = {"https://petsymposium.org/2016/cfp.php",
+                                "https://petsymposium.org/2016/submission/"};
+  config.traffic.interested_fraction = 0.2;
+  config.traffic.target_visit_probability = 0.2;
+  config.server_setup = [&](sb::Server& server) {
+    server.add_expression("goog-malware-shavar", "actual-malware.example/");
+    shadow.deploy(plan, server, "goog-malware-shavar");
+    shadow.deploy(submission_plan, server, "goog-malware-shavar");
+  };
 
-  // Step 4: the provider reads its query log.
-  const auto detections = shadow.detect(server.query_log());
-  std::set<sb::Cookie> flagged;
-  for (const auto& d : detections) flagged.insert(d.cookie);
-  std::printf("\nprovider's findings (>= 2 shadow prefixes in one query):\n");
-  for (const auto& d : detections) {
-    std::printf("  t=%-6llu cookie=%llx visited %s\n",
-                static_cast<unsigned long long>(d.tick),
-                static_cast<unsigned long long>(d.cookie),
-                d.target_url.c_str());
-  }
-  const std::set<sb::Cookie> truth(outcome.interested_cookies.begin(),
-                                   outcome.interested_cookies.end());
-  std::printf("ground truth: %zu interested users; flagged: %zu; exact "
-              "match: %s\n",
-              truth.size(), flagged.size(),
-              truth == flagged ? "YES" : "no");
-
-  // Temporal correlation (CFP then submission = "planning to submit").
+  // Step 4's consumers, attached BEFORE the run: the full log for the
+  // shadow detector, and the streaming correlator (CFP then submission =
+  // "planning to submit") that needs no log at all.
   tracking::CorrelationRule rule;
   rule.label = "planning to submit a paper";
   rule.prefixes = {crypto::prefix32_of("petsymposium.org/2016/cfp.php"),
                    crypto::prefix32_of("petsymposium.org/2016/submission/")};
   rule.window_ticks = 1u << 20;
-  const auto hits = tracking::correlate(server.query_log(), {rule});
-  std::printf("\ntemporal correlation '%s': %zu users\n", rule.label.c_str(),
-              hits.size());
+  sim::InMemorySink log;
+  sim::AggregatorSink correlator({rule});
+  sim::FanoutSink fanout({&log, &correlator});
+
+  sim::Engine engine(std::move(config));
+  engine.attach_sink(&fanout, /*retain_in_memory=*/false);
+  engine.run();
+
+  const auto& metrics = engine.metrics();
+  std::printf("population: %zu users, %llu lookups, %llu reached the "
+              "server\n",
+              engine.num_users(),
+              static_cast<unsigned long long>(metrics.lookups),
+              static_cast<unsigned long long>(
+                  engine.transport_stats().full_hash_requests));
+
+  // The provider reads the stream it observed.
+  const auto detections = shadow.detect(log.entries());
+  std::set<sb::Cookie> flagged;
+  for (const auto& d : detections) flagged.insert(d.cookie);
+  std::printf("\nprovider's findings (>= 2 shadow prefixes in one query): "
+              "%zu detections, %zu distinct cookies\n",
+              detections.size(), flagged.size());
+  const std::size_t shown = detections.size() < 12 ? detections.size() : 12;
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& d = detections[i];
+    std::printf("  t=%-6llu cookie=%llx visited %s\n",
+                static_cast<unsigned long long>(d.tick),
+                static_cast<unsigned long long>(d.cookie),
+                d.target_url.c_str());
+  }
+  if (shown < detections.size()) {
+    std::printf("  ... %zu more\n", detections.size() - shown);
+  }
+
+  const auto interested = engine.interested_cookies();
+  const std::set<sb::Cookie> truth(interested.begin(), interested.end());
+  std::size_t flagged_and_interested = 0;
+  for (const auto cookie : flagged) {
+    if (truth.count(cookie) > 0) ++flagged_and_interested;
+  }
+  std::printf("ground truth: %zu interested users; flagged: %zu "
+              "(%zu correctly; %s)\n",
+              truth.size(), flagged.size(), flagged_and_interested,
+              flagged == truth ? "exact match"
+                               : "interested users who never browsed the "
+                                 "target in time are invisible");
+
+  std::printf("\nstreaming correlation '%s': %zu users (no stored log "
+              "needed)\n",
+              rule.label.c_str(), correlator.hits().size());
   std::printf("\n\"the service readily transforms into an invisible tracker "
               "embedded in several software solutions\" (paper, Section 9)\n");
   return 0;

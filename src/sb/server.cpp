@@ -115,7 +115,11 @@ UpdateResponse Server::fetch_update(const UpdateRequest& request) {
 FullHashResponse Server::get_full_hashes(
     const std::vector<crypto::Prefix32>& prefixes, Cookie cookie,
     std::uint64_t tick) {
-  query_log_.push_back({tick, cookie, prefixes});
+  if (sink_ != nullptr || retain_query_log_) {
+    QueryLogEntry entry{tick, cookie, prefixes};
+    if (sink_ != nullptr) sink_->record(entry);
+    if (retain_query_log_) query_log_.push_back(std::move(entry));
+  }
   FullHashResponse response;
   for (const auto prefix : prefixes) {
     auto& matches = response.matches[prefix];

@@ -36,6 +36,22 @@ struct QueryLogEntry {
   std::uint64_t tick = 0;
   Cookie cookie = 0;
   std::vector<crypto::Prefix32> prefixes;
+
+  friend bool operator==(const QueryLogEntry& a,
+                         const QueryLogEntry& b) noexcept {
+    return a.tick == b.tick && a.cookie == b.cookie &&
+           a.prefixes == b.prefixes;
+  }
+};
+
+/// Streaming consumer of the query log. The simulation engine attaches a
+/// sink so populations far larger than a RAM-resident log can run: each
+/// entry is handed to the sink as it is produced and (optionally) never
+/// retained by the server.
+class QueryLogSink {
+ public:
+  virtual ~QueryLogSink() = default;
+  virtual void record(const QueryLogEntry& entry) = 0;
 };
 
 /// One matching full digest, tagged with its list.
@@ -127,6 +143,16 @@ class Server {
   }
   void clear_query_log() { query_log_.clear(); }
 
+  /// Streams every future query-log entry to `sink`. When `retain_in_memory`
+  /// is false the server stops appending to its internal vector -- required
+  /// for populations whose logs exceed RAM (the default, matching the
+  /// streaming use case). Passing nullptr detaches the sink and restores
+  /// normal in-memory retention.
+  void set_query_log_sink(QueryLogSink* sink, bool retain_in_memory = false) {
+    sink_ = sink;
+    retain_query_log_ = sink == nullptr || retain_in_memory;
+  }
+
  private:
   struct ListData {
     ChunkStore chunks;
@@ -144,6 +170,8 @@ class Server {
   Provider provider_;
   std::map<std::string, ListData, std::less<>> lists_;
   std::vector<QueryLogEntry> query_log_;
+  QueryLogSink* sink_ = nullptr;
+  bool retain_query_log_ = true;
 };
 
 }  // namespace sbp::sb

@@ -1,0 +1,136 @@
+// Configuration of the deterministic traffic simulation engine (src/sim).
+//
+// The paper's re-identification, tracking (Algorithm 1) and history
+// reconstruction results are statements about what a Safe Browsing provider
+// observes when *many* users browse concurrently. SimConfig describes such a
+// population end to end: how big it is, how it browses (power-law URL
+// popularity, revisit locality, bursty sessions), what the provider's
+// blacklists contain and how they churn, and which client-side mitigations
+// are active. Every field feeds a seeded RNG stream, so two runs with equal
+// configs produce bit-identical server query logs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "corpus/web_corpus.hpp"
+#include "sb/list_spec.hpp"
+#include "storage/prefix_store.hpp"
+
+namespace sbp::sb {
+class Server;
+}
+
+namespace sbp::sim {
+
+/// How each user browses. The defaults give bursty sessions over a
+/// power-law-popular web with moderate revisit locality -- the traffic shape
+/// the paper's Section 6 analyses presuppose.
+struct TrafficConfig {
+  /// Power-law exponent of site popularity (rank 1 = most popular site).
+  /// Must be > 1; larger = more head-heavy traffic.
+  double site_popularity_alpha = 1.8;
+
+  /// Probability that a lookup revisits a URL from the user's recent
+  /// history instead of sampling a fresh page (temporal locality; revisits
+  /// are what the client's full-hash cache absorbs).
+  double revisit_probability = 0.25;
+  /// Size of the per-user recent-history ring buffer revisits draw from.
+  std::size_t revisit_window = 8;
+
+  /// Per-tick probability that an idle user starts a browsing session.
+  double session_start_probability = 0.08;
+  /// Per-tick probability that an active session continues next tick.
+  double session_continue_probability = 0.75;
+  /// Lookups an active user performs per tick (the burst height).
+  std::size_t lookups_per_active_tick = 1;
+
+  /// Optional interest-group targets (the Section 6.3 tracking scenario):
+  /// `interested_fraction` of users also visit `target_urls`.
+  std::vector<std::string> target_urls;
+  double interested_fraction = 0.0;
+  /// Per-lookup probability that an interested user picks a target URL.
+  double target_visit_probability = 0.15;
+};
+
+/// Server-side blacklist construction and churn.
+struct BlacklistConfig {
+  /// Lists created on the simulated server; all users subscribe to all.
+  std::vector<std::string> lists = {"goog-malware-shavar"};
+
+  /// Fraction of corpus pages blacklisted at t=0 (exact page expressions).
+  double page_fraction = 0.01;
+  /// Fraction of sites whose registrable domain is blacklisted as "domain/"
+  /// -- any page of such a site produces a local hit, and pages that are
+  /// themselves blacklisted then produce multi-prefix queries (the paper's
+  /// strongest re-identification signal, Section 5.3).
+  double site_fraction = 0.002;
+  /// Hard cap on generated entries (keeps client stores bounded).
+  std::size_t max_entries = 4096;
+  /// Orphan prefixes injected per list (Section 7.2 tampering evidence).
+  std::size_t orphan_prefixes = 0;
+
+  /// List churn: every `churn_interval_ticks` the server seals a new chunk
+  /// with `churn_adds` fresh expressions and removes `churn_removes` of the
+  /// previously churned ones; a rotating `churn_update_fraction` of users
+  /// re-fetches updates afterwards. 0 = static lists.
+  std::uint64_t churn_interval_ticks = 0;
+  std::size_t churn_adds = 8;
+  std::size_t churn_removes = 2;
+  double churn_update_fraction = 0.05;
+};
+
+/// Client-side mitigation toggles (paper Section 8).
+struct MitigationConfig {
+  /// Firefox-style deterministic dummy requests: every full-hash request is
+  /// padded with `dummies_per_prefix` decoys per real prefix.
+  bool dummy_requests = false;
+  unsigned dummies_per_prefix = 4;
+};
+
+/// The complete simulation: population, duration, web, lists, mitigations.
+struct SimConfig {
+  std::size_t num_users = 1000;
+  std::uint64_t ticks = 100;
+  /// Users are partitioned into shards processed in order each tick; the
+  /// shard structure is the unit future PRs parallelize over.
+  std::size_t num_shards = 8;
+  std::uint64_t seed = 1;
+  sb::Provider provider = sb::Provider::kGoogle;
+
+  /// The synthetic web users browse (and blacklists are drawn from).
+  corpus::CorpusConfig corpus = default_corpus();
+
+  TrafficConfig traffic;
+  BlacklistConfig blacklist;
+  MitigationConfig mitigation;
+
+  /// Local-store representation of every simulated client.
+  storage::StoreKind store_kind = storage::StoreKind::kDeltaCoded;
+  /// TTL of client full-hash caches (0 = until the next update clears them).
+  std::uint64_t full_hash_ttl = 0;
+
+  /// Bound on the engine's shared URL -> decomposition-prefix cache.
+  std::size_t url_cache_entries = 1 << 16;
+  /// Bound on the traffic model's generated-site LRU cache.
+  std::size_t site_cache_entries = 256;
+
+  /// Invoked after the corpus blacklist is seeded but before lists are
+  /// sealed and clients sync -- the hook tracking experiments use to deploy
+  /// shadow prefixes (Algorithm 1) into the live lists.
+  std::function<void(sb::Server&)> server_setup;
+
+  /// A corpus sized for simulation: bounded pages-per-site so sampling any
+  /// site is cheap, paper-shaped otherwise.
+  [[nodiscard]] static corpus::CorpusConfig default_corpus() {
+    corpus::CorpusConfig config;
+    config.num_hosts = 5000;
+    config.seed = 1;
+    config.max_pages = 500;
+    return config;
+  }
+};
+
+}  // namespace sbp::sim

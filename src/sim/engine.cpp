@@ -1,0 +1,326 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "url/decompose.hpp"
+
+namespace sbp::sim {
+
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+/// Stable per-purpose seed derivation (same scheme as the corpus).
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t state = seed ^ salt;
+  return util::splitmix64(state);
+}
+
+}  // namespace
+
+Engine::Engine(SimConfig config)
+    : config_(std::move(config)),
+      server_(config_.provider),
+      transport_(server_, clock_, /*round_trip_ticks=*/0),
+      traffic_model_(config_.traffic, config_.corpus,
+                     config_.site_cache_entries),
+      dummy_policy_(config_.mitigation.dummies_per_prefix) {
+  for (const auto& list : config_.blacklist.lists) {
+    server_.create_list(list);
+  }
+  seed_blacklist();
+  if (config_.server_setup) config_.server_setup(server_);
+  for (const auto& list : server_.list_names()) {
+    server_.seal_chunk(list);
+  }
+  build_population();
+}
+
+void Engine::seed_blacklist() {
+  const BlacklistConfig& blacklist = config_.blacklist;
+  if (blacklist.lists.empty()) return;
+  util::Rng rng(derive_seed(config_.seed, 0xB1AC1157B1AC1157ULL));
+  const corpus::WebCorpus& corpus = traffic_model_.corpus();
+
+  std::size_t entries = 0;
+  std::size_t round_robin = 0;
+  const auto next_list = [&]() -> const std::string& {
+    return blacklist.lists[round_robin++ % blacklist.lists.size()];
+  };
+
+  std::vector<std::uint32_t> page_indices;
+  for (std::size_t s = 0;
+       s < corpus.num_hosts() && entries < blacklist.max_entries; ++s) {
+    // Whole-site entries: the registrable domain as "domain/", which every
+    // page of the site decomposes to.
+    if (blacklist.site_fraction > 0.0 &&
+        rng.next_bool(blacklist.site_fraction)) {
+      server_.add_expression(next_list(), corpus.site_domain(s) + "/");
+      ++entries;
+      if (entries >= blacklist.max_entries) break;
+    }
+
+    // Exact-page entries: Binomial(count, fraction) approximated by its
+    // expectation plus a Bernoulli remainder (cheap and unbiased).
+    const std::uint64_t count = corpus.site_page_count(s);
+    const double expected =
+        static_cast<double>(count) * blacklist.page_fraction;
+    std::uint64_t k = static_cast<std::uint64_t>(expected);
+    if (rng.next_bool(expected - static_cast<double>(k))) ++k;
+    k = std::min({k, count,
+                  static_cast<std::uint64_t>(blacklist.max_entries - entries)});
+    if (k == 0) continue;
+
+    const corpus::Site site = corpus.site(s);
+    page_indices.resize(site.pages.size());
+    std::iota(page_indices.begin(), page_indices.end(), 0);
+    for (std::uint64_t i = 0; i < k; ++i) {  // partial Fisher-Yates
+      const std::size_t j =
+          i + rng.next_below(page_indices.size() - i);
+      std::swap(page_indices[i], page_indices[j]);
+      const corpus::Page& page = site.pages[page_indices[i]];
+      server_.add_expression(next_list(), page.expression());
+      blacklisted_pages_.push_back(page.url());
+      ++entries;
+    }
+  }
+
+  for (const auto& list : blacklist.lists) {
+    for (std::size_t i = 0; i < blacklist.orphan_prefixes; ++i) {
+      server_.add_orphan_prefix(list,
+                                static_cast<crypto::Prefix32>(rng.next()));
+    }
+  }
+}
+
+void Engine::build_population() {
+  const std::size_t num_shards =
+      std::max<std::size_t>(1, config_.num_shards);
+  shards_.clear();
+  shards_.resize(num_shards);
+  const double interested = config_.traffic.interested_fraction;
+
+  for (std::size_t u = 0; u < config_.num_users; ++u) {
+    UserState user;
+    user.cookie = static_cast<sb::Cookie>(u + 1);
+    user.rng = util::Rng(
+        derive_seed(config_.seed, 0x05E2000000000000ULL + u * kGolden));
+    // Evenly spread interest so the group size is exact, not sampled.
+    user.interested =
+        static_cast<std::size_t>(static_cast<double>(u + 1) * interested) >
+        static_cast<std::size_t>(static_cast<double>(u) * interested);
+
+    sb::ClientConfig client_config;
+    client_config.store_kind = config_.store_kind;
+    client_config.full_hash_ttl = config_.full_hash_ttl;
+    client_config.cookie = user.cookie;
+    user.client = std::make_unique<sb::Client>(transport_, client_config);
+    for (const auto& list : config_.blacklist.lists) {
+      user.client->subscribe(list);
+    }
+    (void)user.client->update();
+
+    shards_[u % num_shards].users.push_back(std::move(user));
+  }
+}
+
+UserState& Engine::user(std::size_t index) {
+  return shards_[index % shards_.size()].users[index / shards_.size()];
+}
+
+std::size_t Engine::num_users() const noexcept { return config_.num_users; }
+
+void Engine::churn() {
+  const BlacklistConfig& blacklist = config_.blacklist;
+
+  const std::size_t removals =
+      std::min(blacklist.churn_removes, churned_expressions_.size());
+  for (std::size_t i = 0; i < removals; ++i) {
+    server_.remove_expression(churned_expressions_[i].first,
+                              churned_expressions_[i].second);
+  }
+  churned_expressions_.erase(churned_expressions_.begin(),
+                             churned_expressions_.begin() + removals);
+
+  for (std::size_t i = 0; i < blacklist.churn_adds; ++i) {
+    const std::string& list =
+        blacklist.lists[churn_counter_ % blacklist.lists.size()];
+    std::string expression =
+        "churn" + std::to_string(churn_counter_) + ".evil.example/";
+    server_.add_expression(list, expression);
+    churned_expressions_.emplace_back(list, std::move(expression));
+    ++churn_counter_;
+  }
+  for (const auto& list : blacklist.lists) {
+    server_.seal_chunk(list);
+  }
+
+  if (blacklist.churn_update_fraction > 0.0) {
+    const auto step = static_cast<std::size_t>(std::max<long long>(
+        1, std::llround(1.0 / blacklist.churn_update_fraction)));
+    // Rotate which residue class resyncs so churn coverage cycles through
+    // the whole population instead of hitting the same users every time.
+    for (std::size_t u = metrics_.churn_events % step; u < config_.num_users;
+         u += step) {
+      (void)user(u).client->update();
+      ++metrics_.churn_updates;
+    }
+  }
+  ++metrics_.churn_events;
+}
+
+const Engine::UrlPrefixes& Engine::url_prefixes(const std::string& url) {
+  const auto it = url_cache_.find(url);
+  if (it != url_cache_.end()) {
+    ++metrics_.url_cache_hits;
+    return it->second;
+  }
+  ++metrics_.url_cache_misses;
+  if (config_.url_cache_entries > 0 &&
+      url_cache_.size() >= config_.url_cache_entries) {
+    url_cache_.clear();  // simple epoch eviction; hot URLs repopulate fast
+  }
+
+  UrlPrefixes prefixes;
+  const auto decompositions = url::decompose(url);
+  prefixes.valid = !decompositions.empty();
+  prefixes.digests.reserve(decompositions.size());
+  prefixes.digest_prefixes.reserve(decompositions.size());
+  for (const auto& d : decompositions) {
+    const crypto::Digest256 digest = crypto::Digest256::of(d.expression);
+    const crypto::Prefix32 prefix = digest.prefix32();
+    prefixes.digests.push_back(digest);
+    prefixes.digest_prefixes.push_back(prefix);
+    if (std::find(prefixes.unique_prefixes.begin(),
+                  prefixes.unique_prefixes.end(),
+                  prefix) == prefixes.unique_prefixes.end()) {
+      prefixes.unique_prefixes.push_back(prefix);
+    }
+  }
+  return url_cache_.emplace(url, std::move(prefixes)).first->second;
+}
+
+void Engine::dispatch(UserState& user, const std::string& url) {
+  ++metrics_.lookups;
+  const UrlPrefixes& prefixes = url_prefixes(url);
+  if (!prefixes.valid) return;
+
+  // Prefilter: the client-equivalent local membership test, shared-hash
+  // edition. A miss is the client's "safe, nothing leaves the machine".
+  bool any_hit = false;
+  for (const auto prefix : prefixes.unique_prefixes) {
+    if (user.client->local_contains(prefix)) {
+      any_hit = true;
+      break;
+    }
+  }
+  if (!any_hit) return;
+  ++metrics_.local_hit_lookups;
+
+  if (config_.mitigation.dummy_requests) {
+    ++metrics_.mitigated_lookups;
+    mitigated_dispatch(user, prefixes);
+    return;
+  }
+
+  ++metrics_.dispatched_lookups;
+  const auto result = user.client->lookup(url);
+  if (result.verdict == sb::Verdict::kMalicious) {
+    ++metrics_.malicious_verdicts;
+  }
+}
+
+void Engine::mitigated_dispatch(UserState& user, const UrlPrefixes& prefixes) {
+  // Firefox-style padded request (Section 8): the wire carries the real hit
+  // prefixes plus deterministic dummies. This path models the padded wire
+  // exchange directly; the client's full-hash cache and backoff are not
+  // consulted (every mitigated hit produces one padded server query).
+  std::vector<crypto::Prefix32> hits;
+  for (const auto prefix : prefixes.unique_prefixes) {
+    if (user.client->local_contains(prefix)) hits.push_back(prefix);
+  }
+  const auto padded = dummy_policy_.pad_request(hits);
+  const auto response =
+      transport_.get_full_hashes_or_error(padded, user.cookie);
+  if (!response) return;  // fail open, like the stock client
+
+  for (std::size_t i = 0; i < prefixes.digests.size(); ++i) {
+    const crypto::Prefix32 prefix = prefixes.digest_prefixes[i];
+    if (std::find(hits.begin(), hits.end(), prefix) == hits.end()) continue;
+    const auto it = response->matches.find(prefix);
+    if (it == response->matches.end()) continue;
+    for (const auto& match : it->second) {
+      if (match.digest == prefixes.digests[i]) {
+        ++metrics_.malicious_verdicts;
+        return;
+      }
+    }
+  }
+}
+
+bool Engine::step() {
+  if (tick_ >= config_.ticks) return false;
+
+  const BlacklistConfig& blacklist = config_.blacklist;
+  if (blacklist.churn_interval_ticks > 0 && tick_ > 0 &&
+      tick_ % blacklist.churn_interval_ticks == 0) {
+    churn();
+  }
+
+  for (auto& shard : shards_) {
+    for (auto& user : shard.users) {
+      scratch_urls_.clear();
+      metrics_.target_visits +=
+          plan_user_tick(user, config_.traffic, traffic_model_, scratch_urls_);
+      for (const auto& url : scratch_urls_) {
+        dispatch(user, url);
+      }
+    }
+  }
+
+  clock_.advance(1);
+  ++tick_;
+  ++metrics_.ticks_run;
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+sb::ClientMetrics Engine::population_metrics() const {
+  sb::ClientMetrics total;
+  for (const auto& shard : shards_) {
+    for (const auto& user : shard.users) {
+      const sb::ClientMetrics& m = user.client->metrics();
+      total.lookups += m.lookups;
+      total.local_hits += m.local_hits;
+      total.multi_prefix_lookups += m.multi_prefix_lookups;
+      total.full_hash_requests += m.full_hash_requests;
+      total.cache_answers += m.cache_answers;
+      total.malicious_verdicts += m.malicious_verdicts;
+      total.network_errors += m.network_errors;
+      total.backoff_suppressed += m.backoff_suppressed;
+      total.updates_attempted += m.updates_attempted;
+      total.updates_failed += m.updates_failed;
+    }
+  }
+  return total;
+}
+
+std::vector<sb::Cookie> Engine::interested_cookies() const {
+  std::vector<sb::Cookie> cookies;
+  for (const auto& shard : shards_) {
+    for (const auto& user : shard.users) {
+      if (user.interested) cookies.push_back(user.cookie);
+    }
+  }
+  std::sort(cookies.begin(), cookies.end());
+  return cookies;
+}
+
+}  // namespace sbp::sim

@@ -1,0 +1,151 @@
+// The deterministic population simulation engine (src/sim).
+//
+// Engine instantiates a shared sb::Server, seeds its blacklists from the
+// synthetic web corpus, creates `num_users` synthetic users -- each with an
+// independent RNG stream and a real sb::Client -- and drives a tick loop:
+//
+//   per tick:  [churn the lists + resync a rotating user subset]
+//              for each shard, for each user:
+//                  plan this tick's URLs (sessions / revisits / targets)
+//                  dispatch each URL through the batched lookup layer
+//              advance the clock by one tick
+//
+// The batched dispatch layer is the engine's hot path: URL decompositions
+// and their SHA-256 prefixes are computed once per distinct URL in a shared
+// bounded cache (instead of once per user x visit), and each visit first
+// runs a cheap local-store prefilter (client->local_contains) -- only the
+// rare local hits enter the full sb::Client lookup flow with its cache,
+// backoff and full-hash round trip. Semantics match a per-user
+// client.lookup() for every URL: a prefilter miss is exactly the client's
+// "no local hit -> safe, nothing leaves the machine" path.
+//
+// The server's query log -- the paper's adversarial observable -- streams
+// into any sb::QueryLogSink (sim/log_sink.hpp), so populations far larger
+// than a RAM-resident log can run end to end.
+//
+// Determinism: same SimConfig (including seed) => bit-identical query log,
+// regardless of sink choice. Every random decision draws from a stream
+// derived from config.seed and a stable index.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mitigation/dummy_requests.hpp"
+#include "sb/client.hpp"
+#include "sb/server.hpp"
+#include "sb/transport.hpp"
+#include "sim/config.hpp"
+#include "sim/traffic_model.hpp"
+#include "sim/user.hpp"
+#include "util/rng.hpp"
+
+namespace sbp::sim {
+
+/// Engine-level counters (the engine's own view; per-client counters are
+/// aggregated separately by population_metrics()).
+struct SimMetrics {
+  std::uint64_t ticks_run = 0;
+  std::uint64_t lookups = 0;            ///< URLs browsed by the population
+  std::uint64_t local_hit_lookups = 0;  ///< lookups passing the prefilter
+  std::uint64_t dispatched_lookups = 0; ///< full client-flow lookups
+  std::uint64_t mitigated_lookups = 0;  ///< lookups via the padded path
+  std::uint64_t malicious_verdicts = 0;
+  std::uint64_t target_visits = 0;
+  std::uint64_t churn_events = 0;
+  std::uint64_t churn_updates = 0;      ///< client update() calls from churn
+  std::uint64_t url_cache_hits = 0;
+  std::uint64_t url_cache_misses = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(SimConfig config);
+
+  /// Streams the server query log into `sink` (see sb::Server). With
+  /// `retain_in_memory` false the server keeps no log of its own -- the
+  /// mode for populations whose logs exceed RAM.
+  void attach_sink(sb::QueryLogSink* sink, bool retain_in_memory = false) {
+    server_.set_query_log_sink(sink, retain_in_memory);
+  }
+
+  /// Runs one tick; returns false once config.ticks have run.
+  bool step();
+  /// Runs all remaining ticks.
+  void run();
+
+  [[nodiscard]] std::uint64_t current_tick() const noexcept { return tick_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+  [[nodiscard]] sb::Server& server() noexcept { return server_; }
+  [[nodiscard]] sb::Transport& transport() noexcept { return transport_; }
+  [[nodiscard]] const sb::TransportStats& transport_stats() const noexcept {
+    return transport_.stats();
+  }
+  [[nodiscard]] const SimMetrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] const TrafficModel& traffic_model() const noexcept {
+    return traffic_model_;
+  }
+  [[nodiscard]] std::size_t num_users() const noexcept;
+
+  /// Sum of every client's ClientMetrics. Note: `lookups` here counts only
+  /// dispatched (local-hit) lookups -- the prefilter answers the rest; the
+  /// population-wide browse count is metrics().lookups.
+  [[nodiscard]] sb::ClientMetrics population_metrics() const;
+
+  /// Ground truth of the interest group (cookies of interested users).
+  [[nodiscard]] std::vector<sb::Cookie> interested_cookies() const;
+
+  /// URLs of corpus pages blacklisted at construction (test support).
+  [[nodiscard]] const std::vector<std::string>& blacklisted_page_urls()
+      const noexcept {
+    return blacklisted_pages_;
+  }
+
+ private:
+  struct Shard {
+    std::vector<UserState> users;
+  };
+
+  /// Decompositions of one URL, hashed once and shared across all users.
+  struct UrlPrefixes {
+    bool valid = false;
+    /// Unique prefixes in first-seen decomposition order (what the client
+    /// would test against its store).
+    std::vector<crypto::Prefix32> unique_prefixes;
+    /// Per-decomposition digest + its prefix (verdict confirmation).
+    std::vector<crypto::Digest256> digests;
+    std::vector<crypto::Prefix32> digest_prefixes;
+  };
+
+  void seed_blacklist();
+  void build_population();
+  [[nodiscard]] UserState& user(std::size_t index);
+  void churn();
+  const UrlPrefixes& url_prefixes(const std::string& url);
+  void dispatch(UserState& user, const std::string& url);
+  void mitigated_dispatch(UserState& user, const UrlPrefixes& prefixes);
+
+  SimConfig config_;
+  sb::Server server_;
+  sb::SimClock clock_;
+  sb::Transport transport_;
+  TrafficModel traffic_model_;
+  mitigation::DummyPolicy dummy_policy_;
+
+  std::vector<Shard> shards_;
+  std::uint64_t tick_ = 0;
+  SimMetrics metrics_;
+
+  std::uint64_t churn_counter_ = 0;
+  /// FIFO of (list, expression) added by churn, for later removal.
+  std::vector<std::pair<std::string, std::string>> churned_expressions_;
+
+  std::unordered_map<std::string, UrlPrefixes> url_cache_;
+  std::vector<std::string> blacklisted_pages_;
+  std::vector<std::string> scratch_urls_;
+};
+
+}  // namespace sbp::sim

@@ -1,0 +1,107 @@
+#include "sim/log_sink.hpp"
+
+#include <algorithm>
+
+namespace sbp::sim {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a_u64(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xFF;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t fingerprint_entry(std::uint64_t fingerprint,
+                                const sb::QueryLogEntry& entry) {
+  fingerprint = fnv1a_u64(fingerprint, entry.tick);
+  fingerprint = fnv1a_u64(fingerprint, entry.cookie);
+  fingerprint = fnv1a_u64(fingerprint, entry.prefixes.size());
+  for (const auto prefix : entry.prefixes) {
+    fingerprint = fnv1a_u64(fingerprint, prefix);
+  }
+  return fingerprint;
+}
+
+std::uint64_t fingerprint_log(const std::vector<sb::QueryLogEntry>& log) {
+  std::uint64_t fingerprint = kFnvOffset;
+  for (const auto& entry : log) {
+    fingerprint = fingerprint_entry(fingerprint, entry);
+  }
+  return fingerprint;
+}
+
+void CountingSink::record(const sb::QueryLogEntry& entry) {
+  ++entries_;
+  prefixes_ += entry.prefixes.size();
+  if (entry.prefixes.size() >= 2) ++multi_prefix_entries_;
+  fingerprint_ = fingerprint_entry(fingerprint_, entry);
+}
+
+void AggregatorSink::advance(const tracking::CorrelationRule& rule,
+                             RuleState& state, sb::Cookie cookie,
+                             std::uint64_t tick, crypto::Prefix32 prefix) {
+  if (state.fired || rule.prefixes.empty()) return;
+  const std::size_t size = rule.prefixes.size();
+  if (state.slot_tick.empty()) state.slot_tick.assign(size, 0);
+
+  if (!rule.ordered) {
+    const auto it =
+        std::find(rule.prefixes.begin(), rule.prefixes.end(), prefix);
+    if (it == rule.prefixes.end()) return;
+    state.slot_tick[static_cast<std::size_t>(it - rule.prefixes.begin())] =
+        tick + 1;
+    std::uint64_t oldest = tick + 1;
+    for (const auto seen : state.slot_tick) {
+      if (seen == 0) return;  // some prefix never sighted
+      oldest = std::min(oldest, seen);
+    }
+    if (tick - (oldest - 1) <= rule.window_ticks) {
+      state.fired = true;
+      hits_.push_back({rule.label, cookie, oldest - 1, tick});
+    }
+    return;
+  }
+
+  // Ordered: slot_tick[j] carries the latest chain-start tick (+1) of an
+  // in-order match of prefixes 0..j fitting one window. Slots are visited
+  // in descending order so one sighting never extends a chain twice.
+  for (std::size_t j = size; j-- > 0;) {
+    if (rule.prefixes[j] != prefix) continue;
+    std::uint64_t start = 0;
+    if (j == 0) {
+      start = tick + 1;
+    } else if (state.slot_tick[j - 1] != 0 &&
+               tick - (state.slot_tick[j - 1] - 1) <= rule.window_ticks) {
+      start = state.slot_tick[j - 1];
+    }
+    if (start == 0) continue;
+    state.slot_tick[j] = std::max(state.slot_tick[j], start);
+    if (j + 1 == size) {
+      state.fired = true;
+      hits_.push_back({rule.label, cookie, state.slot_tick[j] - 1, tick});
+      return;
+    }
+  }
+}
+
+void AggregatorSink::record(const sb::QueryLogEntry& entry) {
+  if (rules_.empty()) return;
+  auto [it, inserted] = by_cookie_.try_emplace(entry.cookie);
+  if (inserted) it->second.resize(states_per_cookie_);
+  auto& states = it->second;
+  for (const auto prefix : entry.prefixes) {
+    for (std::size_t r = 0; r < rules_.size(); ++r) {
+      advance(rules_[r], states[r], entry.cookie, entry.tick, prefix);
+    }
+  }
+}
+
+}  // namespace sbp::sim

@@ -1,0 +1,147 @@
+// Streaming query-log sinks for the simulation engine.
+//
+// The server-side query log is the paper's adversarial observable; at
+// population scale it cannot live in RAM (a million users browsing for a
+// day produce billions of entries). The engine therefore streams every
+// entry through a sb::QueryLogSink as it is produced. This header provides
+// the stock sinks:
+//
+//   * InMemorySink   -- collects everything (tests, small experiments);
+//   * CountingSink   -- O(1) state: counts + an order-sensitive fingerprint,
+//                       the determinism witness at any scale;
+//   * SamplingSink   -- keeps every Nth entry (bounded-memory inspection);
+//   * AggregatorSink -- incremental temporal correlation (Section 6.3): the
+//                       streaming equivalent of tracking::correlate, firing
+//                       rules as entries arrive instead of post-processing
+//                       a materialized log;
+//   * FanoutSink     -- multiplexes one stream into several sinks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sb/server.hpp"
+#include "tracking/aggregator.hpp"
+
+namespace sbp::sim {
+
+/// Collects the full log in memory. Equivalent to the server's own
+/// retained log; used to validate streaming sinks against it.
+class InMemorySink : public sb::QueryLogSink {
+ public:
+  void record(const sb::QueryLogEntry& entry) override {
+    entries_.push_back(entry);
+  }
+
+  [[nodiscard]] const std::vector<sb::QueryLogEntry>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::vector<sb::QueryLogEntry> entries_;
+};
+
+/// Order-sensitive FNV-1a fingerprint of a query-log stream. Two logs have
+/// equal fingerprints iff (with overwhelming probability) they are
+/// bit-identical in content *and* order -- the determinism criterion.
+[[nodiscard]] std::uint64_t fingerprint_entry(std::uint64_t fingerprint,
+                                              const sb::QueryLogEntry& entry);
+[[nodiscard]] std::uint64_t fingerprint_log(
+    const std::vector<sb::QueryLogEntry>& log);
+
+/// Constant-memory sink: entry/prefix counts plus the stream fingerprint.
+class CountingSink : public sb::QueryLogSink {
+ public:
+  void record(const sb::QueryLogEntry& entry) override;
+
+  [[nodiscard]] std::uint64_t entries() const noexcept { return entries_; }
+  [[nodiscard]] std::uint64_t prefixes() const noexcept { return prefixes_; }
+  /// Entries carrying >= 2 prefixes (the multi-prefix re-identification
+  /// events of Section 5.3).
+  [[nodiscard]] std::uint64_t multi_prefix_entries() const noexcept {
+    return multi_prefix_entries_;
+  }
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
+
+ private:
+  std::uint64_t entries_ = 0;
+  std::uint64_t prefixes_ = 0;
+  std::uint64_t multi_prefix_entries_ = 0;
+  std::uint64_t fingerprint_ = 14695981039346656037ULL;  // FNV offset basis
+};
+
+/// Keeps every `stride`-th entry (1 = keep all) and counts the rest.
+class SamplingSink : public sb::QueryLogSink {
+ public:
+  explicit SamplingSink(std::uint64_t stride) : stride_(stride ? stride : 1) {}
+
+  void record(const sb::QueryLogEntry& entry) override {
+    if (seen_++ % stride_ == 0) sample_.push_back(entry);
+  }
+
+  [[nodiscard]] std::uint64_t total_entries() const noexcept { return seen_; }
+  [[nodiscard]] const std::vector<sb::QueryLogEntry>& sample()
+      const noexcept {
+    return sample_;
+  }
+
+ private:
+  std::uint64_t stride_;
+  std::uint64_t seen_ = 0;
+  std::vector<sb::QueryLogEntry> sample_;
+};
+
+/// Incremental temporal correlation over the stream. Matches
+/// tracking::correlate on which (rule, cookie) pairs fire: a rule fires for
+/// a cookie as soon as all its prefixes have been sighted within one
+/// window (in order, for ordered rules). State is O(cookies x rules x
+/// rule size) -- independent of log length.
+class AggregatorSink : public sb::QueryLogSink {
+ public:
+  explicit AggregatorSink(std::vector<tracking::CorrelationRule> rules)
+      : rules_(std::move(rules)), states_per_cookie_(rules_.size()) {}
+
+  void record(const sb::QueryLogEntry& entry) override;
+
+  [[nodiscard]] const std::vector<tracking::CorrelationHit>& hits()
+      const noexcept {
+    return hits_;
+  }
+
+ private:
+  struct RuleState {
+    bool fired = false;
+    /// Unordered: latest sighting tick per rule prefix (0 = never, stored
+    /// as tick+1). Ordered: for slot j, the latest chain-start tick such
+    /// that prefixes 0..j were seen in order within one window (tick+1).
+    std::vector<std::uint64_t> slot_tick;
+  };
+
+  void advance(const tracking::CorrelationRule& rule, RuleState& state,
+               sb::Cookie cookie, std::uint64_t tick, crypto::Prefix32 prefix);
+
+  std::vector<tracking::CorrelationRule> rules_;
+  std::size_t states_per_cookie_;
+  std::map<sb::Cookie, std::vector<RuleState>> by_cookie_;
+  std::vector<tracking::CorrelationHit> hits_;
+};
+
+/// Fans one stream out to several sinks (non-owning), in order.
+class FanoutSink : public sb::QueryLogSink {
+ public:
+  explicit FanoutSink(std::vector<sb::QueryLogSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  void record(const sb::QueryLogEntry& entry) override {
+    for (auto* sink : sinks_) sink->record(entry);
+  }
+
+ private:
+  std::vector<sb::QueryLogSink*> sinks_;
+};
+
+}  // namespace sbp::sim

@@ -1,0 +1,64 @@
+// Power-law browsing traffic over a synthetic web (src/sim).
+//
+// Users do not browse uniformly: a handful of sites absorb most visits
+// (rank-popularity follows a power law), individual users revisit what they
+// just saw, and browsing happens in bursts. The TrafficModel supplies the
+// first ingredient -- drawing a fresh (site, page) pair with power-law site
+// popularity from a corpus::WebCorpus -- while revisit locality and session
+// burstiness live in UserState (sim/user.hpp), which owns per-user memory.
+//
+// Sites are generated lazily and kept in a bounded LRU cache: popularity is
+// head-heavy, so a small cache serves almost every draw without ever
+// materializing the corpus.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "corpus/web_corpus.hpp"
+#include "sim/config.hpp"
+#include "util/power_law.hpp"
+#include "util/rng.hpp"
+
+namespace sbp::sim {
+
+class TrafficModel {
+ public:
+  TrafficModel(const TrafficConfig& traffic, corpus::CorpusConfig corpus,
+               std::size_t site_cache_entries);
+
+  /// Draws a fresh URL: site by power-law popularity (site index == rank),
+  /// page uniformly within the site. Deterministic given the rng stream.
+  [[nodiscard]] std::string sample_url(util::Rng& rng);
+
+  [[nodiscard]] const corpus::WebCorpus& corpus() const noexcept {
+    return corpus_;
+  }
+
+  // Cache observability (sizing experiments).
+  [[nodiscard]] std::uint64_t site_cache_hits() const noexcept {
+    return cache_hits_;
+  }
+  [[nodiscard]] std::uint64_t site_cache_misses() const noexcept {
+    return cache_misses_;
+  }
+
+ private:
+  struct CachedSite {
+    corpus::Site site;
+    std::uint64_t last_used = 0;
+  };
+
+  const corpus::Site& site(std::size_t index);
+
+  corpus::WebCorpus corpus_;
+  util::PowerLawSampler rank_sampler_;
+  std::size_t cache_capacity_;
+  std::unordered_map<std::size_t, CachedSite> site_cache_;
+  std::uint64_t use_counter_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+};
+
+}  // namespace sbp::sim

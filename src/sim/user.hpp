@@ -1,0 +1,46 @@
+// Per-user simulation state and the per-tick browsing schedule (src/sim).
+//
+// Each synthetic user owns an independent RNG stream (forked from the
+// engine seed), a real sb::Client with its own local stores / full-hash
+// cache / backoff state, and a small browsing memory. Behaviour per tick:
+//
+//   idle   --session_start_probability-->  browsing
+//   browsing: `lookups_per_active_tick` lookups, each either a revisit of
+//             recent history, an interest-target visit (interested users
+//             only), or a fresh power-law draw from the TrafficModel;
+//   browsing --1-session_continue_probability--> idle.
+//
+// All decisions consume only the user's own stream, so populations are
+// deterministic regardless of how the engine shards or batches them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sb/client.hpp"
+#include "sim/config.hpp"
+#include "sim/traffic_model.hpp"
+#include "util/rng.hpp"
+
+namespace sbp::sim {
+
+struct UserState {
+  sb::Cookie cookie = 0;
+  util::Rng rng{0};
+  bool interested = false;  ///< member of the tracked interest group
+  bool in_session = false;
+  /// Ring buffer of recently visited URLs (revisit locality).
+  std::vector<std::string> history;
+  std::size_t history_next = 0;
+  std::unique_ptr<sb::Client> client;
+};
+
+/// Plans one tick of browsing for `user`: appends the URLs to visit to
+/// `urls` and returns how many of them are interest-target visits.
+/// Advances session state and history deterministically from user.rng.
+std::size_t plan_user_tick(UserState& user, const TrafficConfig& traffic,
+                           TrafficModel& model, std::vector<std::string>& urls);
+
+}  // namespace sbp::sim

@@ -1,0 +1,228 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "crypto/digest.hpp"
+#include "sim/log_sink.hpp"
+#include "tracking/aggregator.hpp"
+
+namespace sbp::sim {
+namespace {
+
+/// A population small enough for fast tests but busy enough that the
+/// server sees real traffic (aggressive blacklist fractions).
+SimConfig small_config(std::uint64_t seed) {
+  SimConfig config;
+  config.num_users = 120;
+  config.ticks = 25;
+  config.num_shards = 4;
+  config.seed = seed;
+  config.corpus.num_hosts = 800;
+  config.corpus.seed = seed;
+  config.corpus.max_pages = 200;
+  config.blacklist.page_fraction = 0.05;
+  config.blacklist.site_fraction = 0.01;
+  config.traffic.session_start_probability = 0.3;
+  config.traffic.session_continue_probability = 0.7;
+  return config;
+}
+
+TEST(SimEngineTest, SameSeedProducesIdenticalQueryLog) {
+  InMemorySink log_a, log_b;
+  {
+    Engine engine(small_config(7));
+    engine.attach_sink(&log_a);
+    engine.run();
+  }
+  {
+    Engine engine(small_config(7));
+    engine.attach_sink(&log_b);
+    engine.run();
+  }
+  ASSERT_FALSE(log_a.entries().empty()) << "population generated no queries";
+  EXPECT_EQ(log_a.entries(), log_b.entries());
+  EXPECT_EQ(fingerprint_log(log_a.entries()), fingerprint_log(log_b.entries()));
+}
+
+TEST(SimEngineTest, DifferentSeedsDiverge) {
+  InMemorySink log_a, log_b;
+  {
+    Engine engine(small_config(1));
+    engine.attach_sink(&log_a);
+    engine.run();
+  }
+  {
+    Engine engine(small_config(2));
+    engine.attach_sink(&log_b);
+    engine.run();
+  }
+  ASSERT_FALSE(log_a.entries().empty());
+  ASSERT_FALSE(log_b.entries().empty());
+  EXPECT_NE(fingerprint_log(log_a.entries()),
+            fingerprint_log(log_b.entries()));
+}
+
+TEST(SimEngineTest, StreamingSinkMatchesRetainedInMemoryLog) {
+  Engine engine(small_config(11));
+  InMemorySink sink;
+  engine.attach_sink(&sink, /*retain_in_memory=*/true);
+  engine.run();
+  ASSERT_FALSE(sink.entries().empty());
+  EXPECT_EQ(sink.entries(), engine.server().query_log());
+}
+
+TEST(SimEngineTest, DetachedRetentionKeepsServerLogEmpty) {
+  Engine engine(small_config(11));
+  CountingSink sink;
+  engine.attach_sink(&sink, /*retain_in_memory=*/false);
+  engine.run();
+  EXPECT_GT(sink.entries(), 0u);
+  EXPECT_TRUE(engine.server().query_log().empty());
+}
+
+TEST(SimEngineTest, CountingSinkFingerprintMatchesInMemoryLog) {
+  Engine engine(small_config(13));
+  InMemorySink memory;
+  CountingSink counting;
+  FanoutSink fanout({&memory, &counting});
+  engine.attach_sink(&fanout);
+  engine.run();
+  ASSERT_FALSE(memory.entries().empty());
+  EXPECT_EQ(counting.entries(), memory.entries().size());
+  EXPECT_EQ(counting.fingerprint(), fingerprint_log(memory.entries()));
+}
+
+TEST(SimEngineTest, SamplingSinkKeepsEveryNthEntry) {
+  Engine engine(small_config(13));
+  InMemorySink memory;
+  SamplingSink sampling(3);
+  FanoutSink fanout({&memory, &sampling});
+  engine.attach_sink(&fanout);
+  engine.run();
+  ASSERT_FALSE(memory.entries().empty());
+  EXPECT_EQ(sampling.total_entries(), memory.entries().size());
+  ASSERT_EQ(sampling.sample().size(), (memory.entries().size() + 2) / 3);
+  for (std::size_t i = 0; i < sampling.sample().size(); ++i) {
+    EXPECT_EQ(sampling.sample()[i], memory.entries()[3 * i]);
+  }
+}
+
+TEST(SimEngineTest, ChurnRefreshesListsAndResyncsUsers) {
+  SimConfig config = small_config(17);
+  config.blacklist.churn_interval_ticks = 5;
+  config.blacklist.churn_adds = 6;
+  config.blacklist.churn_removes = 2;
+  config.blacklist.churn_update_fraction = 0.25;
+  Engine engine(std::move(config));
+  engine.run();
+  EXPECT_EQ(engine.metrics().churn_events, 4u);  // ticks 5, 10, 15, 20
+  EXPECT_GT(engine.metrics().churn_updates, 0u);
+  // Every user updated once at construction, plus the churn resyncs.
+  const auto population = engine.population_metrics();
+  EXPECT_EQ(population.updates_attempted,
+            engine.num_users() + engine.metrics().churn_updates);
+}
+
+TEST(SimEngineTest, DummyRequestMitigationPadsEveryWireRequest) {
+  SimConfig config = small_config(19);
+  config.mitigation.dummy_requests = true;
+  config.mitigation.dummies_per_prefix = 4;
+  Engine engine(std::move(config));
+  InMemorySink sink;
+  engine.attach_sink(&sink);
+  engine.run();
+  ASSERT_FALSE(sink.entries().empty());
+  for (const auto& entry : sink.entries()) {
+    // Each real prefix is accompanied by 4 deterministic dummies.
+    EXPECT_GE(entry.prefixes.size(), 5u);
+  }
+
+  // The mitigated engine stays deterministic.
+  SimConfig config_b = small_config(19);
+  config_b.mitigation.dummy_requests = true;
+  config_b.mitigation.dummies_per_prefix = 4;
+  Engine engine_b(std::move(config_b));
+  InMemorySink sink_b;
+  engine_b.attach_sink(&sink_b);
+  engine_b.run();
+  EXPECT_EQ(sink.entries(), sink_b.entries());
+}
+
+TEST(SimEngineTest, InterestGroupQueriesDeployedTargets) {
+  SimConfig config = small_config(23);
+  config.traffic.target_urls = {"http://target.example/"};
+  config.traffic.interested_fraction = 0.25;
+  config.traffic.target_visit_probability = 0.5;
+  config.server_setup = [](sb::Server& server) {
+    server.add_expression("goog-malware-shavar", "target.example/");
+  };
+  Engine engine(std::move(config));
+  InMemorySink sink;
+  engine.attach_sink(&sink);
+  engine.run();
+
+  const auto interested = engine.interested_cookies();
+  EXPECT_EQ(interested.size(), 30u);  // exact spread of 0.25 * 120
+  const crypto::Prefix32 target = crypto::prefix32_of("target.example/");
+  std::set<sb::Cookie> queried;
+  for (const auto& entry : sink.entries()) {
+    if (std::find(entry.prefixes.begin(), entry.prefixes.end(), target) !=
+        entry.prefixes.end()) {
+      queried.insert(entry.cookie);
+    }
+  }
+  ASSERT_FALSE(queried.empty());
+  EXPECT_GT(engine.metrics().target_visits, 0u);
+  for (const auto cookie : queried) {
+    EXPECT_TRUE(std::binary_search(interested.begin(), interested.end(),
+                                   cookie))
+        << "cookie " << cookie << " queried the target but is not interested";
+  }
+}
+
+TEST(SimEngineTest, AggregatorSinkMatchesBatchCorrelate) {
+  SimConfig config = small_config(29);
+  config.traffic.target_urls = {"http://target-a.example/",
+                                "http://target-b.example/"};
+  config.traffic.interested_fraction = 0.3;
+  config.traffic.target_visit_probability = 0.5;
+  config.server_setup = [](sb::Server& server) {
+    server.add_expression("goog-malware-shavar", "target-a.example/");
+    server.add_expression("goog-malware-shavar", "target-b.example/");
+  };
+
+  tracking::CorrelationRule unordered;
+  unordered.label = "visits both targets";
+  unordered.prefixes = {crypto::prefix32_of("target-a.example/"),
+                        crypto::prefix32_of("target-b.example/")};
+  unordered.window_ticks = 10;
+  tracking::CorrelationRule ordered = unordered;
+  ordered.label = "a then b";
+  ordered.ordered = true;
+  const std::vector<tracking::CorrelationRule> rules = {unordered, ordered};
+
+  Engine engine(std::move(config));
+  InMemorySink memory;
+  AggregatorSink aggregator(rules);
+  FanoutSink fanout({&memory, &aggregator});
+  engine.attach_sink(&fanout);
+  engine.run();
+
+  const auto batch = tracking::correlate(memory.entries(), rules);
+  const auto key = [](const tracking::CorrelationHit& hit) {
+    return std::make_pair(hit.label, hit.cookie);
+  };
+  std::set<std::pair<std::string, sb::Cookie>> batch_hits, stream_hits;
+  for (const auto& hit : batch) batch_hits.insert(key(hit));
+  for (const auto& hit : aggregator.hits()) stream_hits.insert(key(hit));
+  ASSERT_FALSE(batch_hits.empty())
+      << "no correlation fired; weaken the rule window";
+  EXPECT_EQ(stream_hits, batch_hits);
+}
+
+}  // namespace
+}  // namespace sbp::sim
