@@ -14,6 +14,7 @@
 #include "bench_util.hpp"
 #include "sb/client.hpp"
 #include "tracking/user_population.hpp"
+#include "url/decompose.hpp"
 #include "url/domain.hpp"
 
 int main(int argc, char** argv) {

@@ -74,6 +74,9 @@ std::string format_json(const sbp::sim::Engine& engine,
       "  \"users_per_sec_setup\": %.0f,\n"
       "  \"local_hit_lookups\": %llu,\n"
       "  \"full_hash_requests\": %llu,\n"
+      "  \"update_requests\": %llu,\n"
+      "  \"wire_bytes_up\": %llu,\n"
+      "  \"wire_bytes_down\": %llu,\n"
       "  \"cache_answers\": %llu,\n"
       "  \"churn_events\": %llu,\n"
       "  \"churn_updates\": %llu,\n"
@@ -93,6 +96,10 @@ std::string format_json(const sbp::sim::Engine& engine,
       static_cast<double>(config.num_users) / setup_seconds,
       static_cast<unsigned long long>(metrics.local_hit_lookups),
       static_cast<unsigned long long>(wire.full_hash_requests),
+      static_cast<unsigned long long>(wire.update_requests +
+                                      wire.v4_update_requests),
+      static_cast<unsigned long long>(wire.bytes_up),
+      static_cast<unsigned long long>(wire.bytes_down),
       static_cast<unsigned long long>(population.cache_answers),
       static_cast<unsigned long long>(metrics.churn_events),
       static_cast<unsigned long long>(metrics.churn_updates),

@@ -74,11 +74,21 @@ int main() {
     std::printf(" ]\n");
   }
 
-  // 5. Contrast with the deprecated v1 Lookup API: URLs in clear.
-  sb::LookupV1Service v1(server, clock);
-  (void)v1.lookup("http://my-very-private-page.example/secret?u=alice",
-                  config.cookie);
-  std::printf("\nv1 Lookup API would have logged: \"%s\" -- why v3 exists\n",
-              v1.log().back().url.c_str());
+  // 5. Contrast with the deprecated v1 Lookup API: URLs in clear. The v1
+  //    client speaks through the same transport and lands in the same
+  //    query log -- with the full URL attached.
+  sb::ClientConfig v1_config;
+  v1_config.protocol = sb::ProtocolVersion::kV1Lookup;
+  v1_config.cookie = config.cookie;
+  sb::V1LookupProtocol v1(transport, v1_config);
+  (void)v1.lookup("http://my-very-private-page.example/secret?u=alice");
+  std::printf("\nv1 Lookup API logged: \"%s\" -- why v3 exists\n",
+              server.query_log().back().url.c_str());
+
+  // 6. The wire cost of it all: real encoded-frame bytes.
+  const sb::TransportStats& stats = transport.stats();
+  std::printf("wire totals: %llu bytes up, %llu bytes down\n",
+              static_cast<unsigned long long>(stats.bytes_up),
+              static_cast<unsigned long long>(stats.bytes_down));
   return 0;
 }

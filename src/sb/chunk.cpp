@@ -1,6 +1,7 @@
 #include "sb/chunk.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 namespace sbp::sb {
@@ -88,11 +89,18 @@ const Chunk* ChunkStore::find_chunk(std::uint32_t number,
 }
 
 std::vector<crypto::Prefix32> ChunkStore::effective_prefixes() const {
+  return effective_prefixes(std::numeric_limits<std::uint32_t>::max());
+}
+
+std::vector<crypto::Prefix32> ChunkStore::effective_prefixes(
+    std::uint32_t below_chunk_number) const {
   std::set<crypto::Prefix32> prefixes;
   for (const Chunk& chunk : adds_) {
+    if (chunk.number >= below_chunk_number) continue;
     prefixes.insert(chunk.prefixes.begin(), chunk.prefixes.end());
   }
   for (const Chunk& chunk : subs_) {
+    if (chunk.number >= below_chunk_number) continue;
     for (const auto prefix : chunk.prefixes) prefixes.erase(prefix);
   }
   return {prefixes.begin(), prefixes.end()};

@@ -49,6 +49,12 @@ class ChunkStore {
   /// by sub chunks. Sorted, deduplicated.
   [[nodiscard]] std::vector<crypto::Prefix32> effective_prefixes() const;
 
+  /// Effective prefixes considering only chunks numbered below
+  /// `below_chunk_number` -- reconstructs the set a client synced to that
+  /// sequence point holds (the v4 sliced-update diff base).
+  [[nodiscard]] std::vector<crypto::Prefix32> effective_prefixes(
+      std::uint32_t below_chunk_number) const;
+
   /// Chunk numbers applied, as a compact range descriptor, e.g. "1-3,7"
   /// (the shavar "a:" / "s:" advertisement format).
   [[nodiscard]] std::string add_ranges() const;

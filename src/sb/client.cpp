@@ -5,11 +5,8 @@
 namespace sbp::sb {
 
 Client::Client(Transport& transport, ClientConfig config)
-    : transport_(transport),
-      config_(config),
-      cache_(config.full_hash_ttl),
-      update_backoff_(config.backoff, config.cookie),
-      full_hash_backoff_(config.backoff, config.cookie ^ 0x5B5B5B5B) {}
+    : PrefixProtocolClient(transport, config),
+      update_backoff_(config.backoff, config.cookie) {}
 
 void Client::subscribe(std::string_view list_name) {
   for (const auto& state : lists_) {
@@ -77,118 +74,6 @@ bool Client::local_contains(crypto::Prefix32 prefix) const {
                      [prefix](const ListState& state) {
                        return state.store && state.store->contains32(prefix);
                      });
-}
-
-LookupResult Client::lookup(std::string_view url) {
-  ++metrics_.lookups;
-  LookupResult result;
-
-  const auto canonical = url::canonicalize(url);
-  if (!canonical) {
-    result.verdict = Verdict::kInvalid;
-    return result;
-  }
-
-  // Decompositions and their digests (digest needed for the final compare).
-  const auto decompositions = url::decompose(*canonical);
-  struct Hit {
-    crypto::Digest256 digest;
-    crypto::Prefix32 prefix;
-    const url::Decomposition* decomposition;
-  };
-  std::vector<Hit> hits;
-  for (const auto& d : decompositions) {
-    const crypto::Digest256 digest = crypto::Digest256::of(d.expression);
-    const crypto::Prefix32 prefix = digest.prefix32();
-    if (local_contains(prefix)) {
-      // Multiple decompositions can share a prefix; keep each digest.
-      hits.push_back({digest, prefix, &d});
-      if (std::find(result.local_hits.begin(), result.local_hits.end(),
-                    prefix) == result.local_hits.end()) {
-        result.local_hits.push_back(prefix);
-      }
-    }
-  }
-
-  if (hits.empty()) {
-    result.verdict = Verdict::kSafe;  // a miss proves the URL is not listed
-    return result;
-  }
-  ++metrics_.local_hits;
-
-  // Resolve each hit prefix to full digests: from cache when fresh,
-  // otherwise batched into one server request.
-  const std::uint64_t now = transport_.clock().now();
-  std::map<crypto::Prefix32, std::vector<crypto::Digest256>> resolved;
-  std::vector<crypto::Prefix32> to_fetch;
-  for (const auto prefix : result.local_hits) {
-    if (auto cached = cache_.get(prefix, now)) {
-      resolved[prefix] = std::move(*cached);
-    } else if (std::find(to_fetch.begin(), to_fetch.end(), prefix) ==
-               to_fetch.end()) {
-      to_fetch.push_back(prefix);
-    }
-  }
-
-  if (to_fetch.empty()) {
-    result.answered_from_cache = true;
-    ++metrics_.cache_answers;
-  } else if (!full_hash_backoff_.can_request(now)) {
-    // Backoff forbids contacting the server: fail open, leave the prefixes
-    // unresolved (they stay out of the cache and will be retried).
-    ++metrics_.backoff_suppressed;
-    result.unconfirmed = true;
-    result.verdict = Verdict::kSafe;
-    return result;
-  } else {
-    ++metrics_.full_hash_requests;
-    if (to_fetch.size() >= 2) ++metrics_.multi_prefix_lookups;
-    result.sent_prefixes = to_fetch;
-    const auto response =
-        transport_.get_full_hashes_or_error(to_fetch, config_.cookie);
-    const std::uint64_t arrival = transport_.clock().now();
-    if (!response) {
-      ++metrics_.network_errors;
-      full_hash_backoff_.on_error(arrival);
-      result.sent_prefixes.clear();  // never reached the server
-      result.unconfirmed = true;
-      result.verdict = Verdict::kSafe;  // fail open
-      return result;
-    }
-    full_hash_backoff_.on_success(arrival);
-    for (const auto& [prefix, matches] : response->matches) {
-      std::vector<crypto::Digest256> digests;
-      digests.reserve(matches.size());
-      for (const auto& match : matches) digests.push_back(match.digest);
-      cache_.put(prefix, digests, arrival);
-      resolved[prefix] = std::move(digests);
-    }
-  }
-
-  // Verdict: some decomposition's full digest appears among the returned
-  // digests for its prefix.
-  for (const Hit& hit : hits) {
-    const auto it = resolved.find(hit.prefix);
-    if (it == resolved.end()) continue;
-    if (std::find(it->second.begin(), it->second.end(), hit.digest) !=
-        it->second.end()) {
-      result.verdict = Verdict::kMalicious;
-      result.matched_expression = hit.decomposition->expression;
-      // Recover the list tag for reporting (one extra no-log introspection).
-      for (const auto& name : transport_.server().list_names()) {
-        const auto digests = transport_.server().digests_for(name, hit.prefix);
-        if (std::find(digests.begin(), digests.end(), hit.digest) !=
-            digests.end()) {
-          result.matched_list = name;
-          break;
-        }
-      }
-      ++metrics_.malicious_verdicts;
-      return result;
-    }
-  }
-  result.verdict = Verdict::kSafe;  // false positive eliminated
-  return result;
 }
 
 std::size_t Client::local_prefix_count() const noexcept {

@@ -7,7 +7,9 @@
 // (subject to the full-hash cache), attaching its SB cookie -- this is the
 // privacy-critical transmission the paper analyzes. The verdict is
 // malicious only if a returned full digest equals the full digest of one of
-// the URL's decompositions.
+// the URL's decompositions. (The flow itself lives in
+// sb::PrefixProtocolClient -- v4 shares it; this class contributes the v3
+// local database: shavar chunks rebuilt into prefix stores.)
 //
 // The local store backend is configurable (raw / delta-coded / Bloom,
 // Section 2.2.2); with Bloom, local hits can be intrinsic false positives,
@@ -15,100 +17,41 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "crypto/digest.hpp"
-#include "sb/backoff.hpp"
-#include "sb/transport.hpp"
-#include "storage/full_hash_cache.hpp"
+#include "sb/protocol.hpp"
 #include "storage/prefix_store.hpp"
-#include "url/decompose.hpp"
 
 namespace sbp::sb {
 
-enum class Verdict {
-  kSafe,       ///< no local hit, or full digests did not confirm
-  kMalicious,  ///< a full digest matched one of the decompositions
-  kInvalid,    ///< URL could not be canonicalized
-};
-
-struct LookupResult {
-  Verdict verdict = Verdict::kInvalid;
-  std::string matched_list;        ///< set when malicious
-  std::string matched_expression;  ///< decomposition that confirmed
-  /// Prefixes transmitted to the server for this lookup (empty when the
-  /// local database had no hit or the cache answered) -- exactly the
-  /// information leak studied in Sections 5 and 6.
-  std::vector<crypto::Prefix32> sent_prefixes;
-  /// All local-database hits (may exceed sent_prefixes when cached).
-  std::vector<crypto::Prefix32> local_hits;
-  bool answered_from_cache = false;
-  /// The full-hash request failed at the network level, or was withheld by
-  /// backoff: the client fails OPEN (verdict kSafe, unconfirmed), matching
-  /// real SB clients -- availability over blocking.
-  bool unconfirmed = false;
-};
-
-struct ClientConfig {
-  storage::StoreKind store_kind = storage::StoreKind::kDeltaCoded;
-  /// TTL of cached full-hash responses in clock ticks (0 = keep until the
-  /// next update clears them).
-  std::uint64_t full_hash_ttl = 0;
-  /// The SB cookie sent with every full-hash request (Section 2.2.3).
-  Cookie cookie = 0;
-  /// Request-frequency policy. The default imposes no gap between
-  /// successful requests (so tests/benches can drive updates freely) but
-  /// still backs off exponentially on errors.
-  BackoffConfig backoff{.base_delay = 60,
-                        .max_delay = 28800,
-                        .min_update_gap = 0};
-};
-
-struct ClientMetrics {
-  std::uint64_t lookups = 0;
-  std::uint64_t local_hits = 0;          ///< lookups with >= 1 store hit
-  std::uint64_t multi_prefix_lookups = 0;  ///< lookups sending >= 2 prefixes
-  std::uint64_t full_hash_requests = 0;
-  std::uint64_t cache_answers = 0;
-  std::uint64_t malicious_verdicts = 0;
-  std::uint64_t network_errors = 0;       ///< failed full-hash requests
-  std::uint64_t backoff_suppressed = 0;   ///< requests withheld by backoff
-  std::uint64_t updates_attempted = 0;
-  std::uint64_t updates_failed = 0;
-};
-
-class Client {
+class Client : public PrefixProtocolClient {
  public:
   Client(Transport& transport, ClientConfig config);
 
+  [[nodiscard]] ProtocolVersion version() const noexcept override {
+    return ProtocolVersion::kV3Chunked;
+  }
+
   /// Subscribes to a server list; call update() to populate it.
-  void subscribe(std::string_view list_name);
+  void subscribe(std::string_view list_name) override;
 
   /// Syncs all subscribed lists via the chunked update protocol and rebuilds
   /// the local stores. Clears the full-hash cache (paper Section 2.2.1:
   /// cached digests are kept "until an update discards them").
   /// Returns false when the update was withheld by backoff or failed at the
   /// network level (backoff state advances accordingly).
-  bool update();
+  bool update() override;
 
-  /// The Figure 3 lookup flow.
-  [[nodiscard]] LookupResult lookup(std::string_view url);
+  /// Local-store membership only (no network) -- used by the engine
+  /// prefilter and by mitigation strategies that re-order server queries.
+  [[nodiscard]] bool local_contains(crypto::Prefix32 prefix) const override;
 
-  /// Local-store membership only (no network) -- used by mitigation
-  /// strategies that re-order server queries.
-  [[nodiscard]] bool local_contains(crypto::Prefix32 prefix) const;
-
-  [[nodiscard]] const ClientMetrics& metrics() const noexcept {
-    return metrics_;
-  }
-  [[nodiscard]] Cookie cookie() const noexcept { return config_.cookie; }
-  [[nodiscard]] std::size_t local_prefix_count() const noexcept;
-  [[nodiscard]] std::size_t local_store_bytes() const noexcept;
+  [[nodiscard]] std::size_t local_prefix_count() const noexcept override;
+  [[nodiscard]] std::size_t local_store_bytes() const noexcept override;
 
  private:
   struct ListState {
@@ -119,13 +62,11 @@ class Client {
 
   void rebuild_store(ListState& state);
 
-  Transport& transport_;
-  ClientConfig config_;
   std::vector<ListState> lists_;
-  storage::FullHashCache cache_;
-  ClientMetrics metrics_;
   BackoffState update_backoff_;
-  BackoffState full_hash_backoff_;
 };
+
+/// The v3 generation under its protocol-family name.
+using V3ChunkedProtocol = Client;
 
 }  // namespace sbp::sb

@@ -1,27 +1,20 @@
 #include "sb/lookup_api.hpp"
 
-#include <algorithm>
-
-#include "crypto/digest.hpp"
-#include "url/decompose.hpp"
-
 namespace sbp::sb {
 
-bool LookupV1Service::lookup(std::string_view url, Cookie cookie) {
-  clock_.advance(50);  // every v1 request pays a round trip (Section 2.2)
-  log_.push_back({clock_.now(), cookie, std::string(url)});
-
-  for (const auto& d : url::decompose(url)) {
-    const crypto::Digest256 digest = crypto::Digest256::of(d.expression);
-    for (const auto& list : server_.list_names()) {
-      const auto digests = server_.digests_for(list, digest.prefix32());
-      if (std::find(digests.begin(), digests.end(), digest) !=
-          digests.end()) {
-        return true;
-      }
-    }
+LookupResult V1LookupProtocol::lookup(std::string_view url) {
+  ++metrics_.lookups;
+  LookupResult result;
+  const auto malicious = transport_.lookup_v1_or_error(url, config_.cookie);
+  if (!malicious) {
+    ++metrics_.network_errors;
+    result.unconfirmed = true;
+    result.verdict = Verdict::kSafe;  // fail open
+    return result;
   }
-  return false;
+  result.verdict = *malicious ? Verdict::kMalicious : Verdict::kSafe;
+  if (*malicious) ++metrics_.malicious_verdicts;
+  return result;
 }
 
 }  // namespace sbp::sb

@@ -1,4 +1,4 @@
-// The deprecated Lookup API (Safe Browsing v1).
+// The deprecated Lookup API (Safe Browsing v1), as a ProtocolClient.
 //
 // "Using this API, a client could send the URL to check using HTTP GET or
 // POST requests ... the API was soon declared deprecated for privacy and
@@ -6,43 +6,55 @@
 // clear to the servers and each request implied latency due to the network
 // round-trip." (paper Section 2.2)
 //
-// Implemented as the privacy baseline: examples and benches contrast the
-// server's view under v1 (full URLs) with v3 (32-bit prefixes).
+// Implemented as the privacy baseline: every lookup serializes the clear
+// URL into a V1LookupRequest frame and ships it; the server logs
+// (tick, cookie, url, decomposition prefixes) through the same streaming
+// QueryLogSink path as v3/v4 -- there is no client-side log to grow without
+// bound, so v1 baseline populations scale like the others. Examples and
+// benches contrast the server's view under v1 (full URLs) with v3/v4
+// (32-bit prefixes, and only on local hits).
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <string_view>
-#include <vector>
 
-#include "sb/transport.hpp"
+#include "sb/protocol.hpp"
 
 namespace sbp::sb {
 
-/// What the server logs per v1 request: the URL in clear.
-struct LookupV1LogEntry {
-  std::uint64_t tick = 0;
-  Cookie cookie = 0;
-  std::string url;
-};
-
-class LookupV1Service {
+class V1LookupProtocol : public ProtocolClient {
  public:
-  explicit LookupV1Service(Server& server, SimClock& clock)
-      : server_(server), clock_(clock) {}
+  V1LookupProtocol(Transport& transport, ClientConfig config)
+      : ProtocolClient(transport, config) {}
 
-  /// v1 lookup: ships the raw URL; the server checks every decomposition's
-  /// full digest directly. Returns true if malicious.
-  bool lookup(std::string_view url, Cookie cookie);
-
-  [[nodiscard]] const std::vector<LookupV1LogEntry>& log() const noexcept {
-    return log_;
+  [[nodiscard]] ProtocolVersion version() const noexcept override {
+    return ProtocolVersion::kV1Lookup;
   }
 
- private:
-  Server& server_;
-  SimClock& clock_;
-  std::vector<LookupV1LogEntry> log_;
+  /// v1 holds no local state; subscriptions live server-side.
+  void subscribe(std::string_view) override {}
+
+  /// Nothing to sync; counted so population update accounting stays
+  /// uniform across generations.
+  bool update() override {
+    ++metrics_.updates_attempted;
+    return true;
+  }
+
+  /// Ships the raw URL; the server checks every decomposition's full
+  /// digest directly. Fails open on a network error, like v3/v4.
+  [[nodiscard]] LookupResult lookup(std::string_view url) override;
+
+  /// No local database: every URL is a wire candidate.
+  [[nodiscard]] bool local_contains(crypto::Prefix32) const override {
+    return true;
+  }
+  [[nodiscard]] std::size_t local_prefix_count() const noexcept override {
+    return 0;
+  }
+  [[nodiscard]] std::size_t local_store_bytes() const noexcept override {
+    return 0;
+  }
 };
 
 }  // namespace sbp::sb

@@ -1,0 +1,148 @@
+// The provider-agnostic protocol-client API (paper Figure 3 generalized
+// across protocol generations).
+//
+// A ProtocolClient is one browser profile's Safe Browsing stack: it syncs
+// whatever local state its generation prescribes (nothing for v1, chunked
+// prefix stores for v3, sliced raw-hash sets for v4) and answers the one
+// question a browser asks -- "is this URL malicious?" -- deciding in the
+// process what leaves the machine. Everything above this interface
+// (simulation engine, mitigations, experiments) is generation-agnostic;
+// everything below it speaks serialized wire frames through Transport.
+//
+// PrefixProtocolClient factors out the prefix-based lookup flow shared by
+// v3 and v4 (Figure 3): local-store hit -> full-hash cache -> batched
+// full-hash request with the SB cookie -> digest confirmation. The
+// generations differ only in how the local store is synchronized.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/digest.hpp"
+#include "sb/backoff.hpp"
+#include "sb/protocol_version.hpp"
+#include "sb/transport.hpp"
+#include "storage/full_hash_cache.hpp"
+#include "storage/prefix_store.hpp"
+
+namespace sbp::sb {
+
+enum class Verdict {
+  kSafe,       ///< no local hit, or full digests did not confirm
+  kMalicious,  ///< a full digest matched one of the decompositions
+  kInvalid,    ///< URL could not be canonicalized
+};
+
+struct LookupResult {
+  Verdict verdict = Verdict::kInvalid;
+  std::string matched_list;        ///< set when malicious
+  std::string matched_expression;  ///< decomposition that confirmed
+  /// Prefixes transmitted to the server for this lookup (empty when the
+  /// local database had no hit or the cache answered) -- exactly the
+  /// information leak studied in Sections 5 and 6. For v1 this is empty:
+  /// the leak is the URL itself.
+  std::vector<crypto::Prefix32> sent_prefixes;
+  /// All local-database hits (may exceed sent_prefixes when cached).
+  std::vector<crypto::Prefix32> local_hits;
+  bool answered_from_cache = false;
+  /// The request failed at the network level, or was withheld by backoff:
+  /// the client fails OPEN (verdict kSafe, unconfirmed), matching real SB
+  /// clients -- availability over blocking.
+  bool unconfirmed = false;
+};
+
+struct ClientConfig {
+  /// Which protocol generation this client speaks (make_protocol_client
+  /// dispatches on it).
+  ProtocolVersion protocol = ProtocolVersion::kV3Chunked;
+  storage::StoreKind store_kind = storage::StoreKind::kDeltaCoded;
+  /// TTL of cached full-hash responses in clock ticks (0 = keep until the
+  /// next update clears them).
+  std::uint64_t full_hash_ttl = 0;
+  /// The SB cookie sent with every full-hash request (Section 2.2.3).
+  Cookie cookie = 0;
+  /// Request-frequency policy. The default imposes no gap between
+  /// successful requests (so tests/benches can drive updates freely) but
+  /// still backs off exponentially on errors.
+  BackoffConfig backoff{.base_delay = 60,
+                        .max_delay = 28800,
+                        .min_update_gap = 0};
+};
+
+struct ClientMetrics {
+  std::uint64_t lookups = 0;
+  std::uint64_t local_hits = 0;            ///< lookups with >= 1 store hit
+  std::uint64_t multi_prefix_lookups = 0;  ///< lookups sending >= 2 prefixes
+  std::uint64_t full_hash_requests = 0;
+  std::uint64_t cache_answers = 0;
+  std::uint64_t malicious_verdicts = 0;
+  std::uint64_t network_errors = 0;      ///< failed wire requests
+  std::uint64_t backoff_suppressed = 0;  ///< requests withheld by backoff
+  std::uint64_t updates_attempted = 0;
+  std::uint64_t updates_failed = 0;
+};
+
+/// One browser profile's Safe Browsing client, any generation.
+class ProtocolClient {
+ public:
+  virtual ~ProtocolClient() = default;
+
+  [[nodiscard]] virtual ProtocolVersion version() const noexcept = 0;
+
+  /// Subscribes to a server list; call update() to populate local state.
+  virtual void subscribe(std::string_view list_name) = 0;
+
+  /// Syncs local state with the server (a no-op for v1, which holds none).
+  /// Returns false when withheld by backoff or failed on the wire.
+  virtual bool update() = 0;
+
+  /// "Is this URL malicious?" -- the Figure 3 flow for the generation.
+  [[nodiscard]] virtual LookupResult lookup(std::string_view url) = 0;
+
+  /// Local-database membership (no network). v1 has no local database and
+  /// answers true: every URL is a candidate that goes to the wire.
+  [[nodiscard]] virtual bool local_contains(crypto::Prefix32 prefix) const = 0;
+
+  [[nodiscard]] virtual std::size_t local_prefix_count() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t local_store_bytes() const noexcept = 0;
+
+  [[nodiscard]] const ClientMetrics& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] Cookie cookie() const noexcept { return config_.cookie; }
+
+ protected:
+  ProtocolClient(Transport& transport, ClientConfig config)
+      : transport_(transport), config_(config) {}
+
+  Transport& transport_;
+  ClientConfig config_;
+  ClientMetrics metrics_;
+};
+
+/// Shared prefix-based lookup flow (v3 and v4): canonicalize, decompose,
+/// hash, test the local store, resolve hits via cache or one batched
+/// full-hash request, confirm against full digests. Subclasses provide the
+/// local store (local_contains) and the update mechanism.
+class PrefixProtocolClient : public ProtocolClient {
+ public:
+  [[nodiscard]] LookupResult lookup(std::string_view url) override;
+
+ protected:
+  PrefixProtocolClient(Transport& transport, ClientConfig config)
+      : ProtocolClient(transport, config),
+        cache_(config.full_hash_ttl),
+        full_hash_backoff_(config.backoff, config.cookie ^ 0x5B5B5B5B) {}
+
+  storage::FullHashCache cache_;
+  BackoffState full_hash_backoff_;
+};
+
+/// Instantiates the implementation for `config.protocol`.
+[[nodiscard]] std::unique_ptr<ProtocolClient> make_protocol_client(
+    Transport& transport, ClientConfig config);
+
+}  // namespace sbp::sb

@@ -1,0 +1,94 @@
+#include "sb/protocol_v4.hpp"
+
+#include <algorithm>
+
+namespace sbp::sb {
+
+V4SlicedProtocol::V4SlicedProtocol(Transport& transport, ClientConfig config)
+    : PrefixProtocolClient(transport, config),
+      update_backoff_(config.backoff, config.cookie) {}
+
+void V4SlicedProtocol::subscribe(std::string_view list_name) {
+  for (const auto& state : lists_) {
+    if (state.name == list_name) return;
+  }
+  ListState state;
+  state.name = std::string(list_name);
+  lists_.push_back(std::move(state));
+}
+
+bool V4SlicedProtocol::update() {
+  ++metrics_.updates_attempted;
+  const std::uint64_t now = transport_.clock().now();
+  if (!update_backoff_.can_request(now)) {
+    ++metrics_.backoff_suppressed;
+    return false;
+  }
+
+  V4UpdateRequest request;
+  for (const auto& state : lists_) {
+    request.lists.push_back({state.name, state.state});
+  }
+
+  const auto response = transport_.fetch_v4_update_or_error(request);
+  if (!response) {
+    ++metrics_.updates_failed;
+    update_backoff_.on_error(transport_.clock().now());
+    return false;
+  }
+  // Honor the server-set minimum wait before the next update.
+  update_backoff_.on_success(transport_.clock().now(), response->minimum_wait);
+
+  bool all_applied = true;
+  for (const auto& slice : response->lists) {
+    for (auto& state : lists_) {
+      if (state.name != slice.list_name) continue;
+      bool applied;
+      if (slice.full_reset) {
+        applied = state.store.reset(slice.additions);
+      } else {
+        applied =
+            state.store.apply_slice(slice.removal_indices, slice.additions);
+      }
+      if (!applied || state.store.checksum() != slice.checksum) {
+        // Desynchronized: discard local state so the next update performs
+        // a full resync (the Update API's recovery discipline).
+        state.store.clear();
+        state.state = 0;
+        ++metrics_.updates_failed;
+        all_applied = false;
+      } else {
+        state.state = slice.new_state;
+      }
+    }
+  }
+  cache_.clear();  // an update discards cached full digests
+  return all_applied;
+}
+
+bool V4SlicedProtocol::local_contains(crypto::Prefix32 prefix) const {
+  return std::any_of(
+      lists_.begin(), lists_.end(),
+      [prefix](const ListState& state) { return state.store.contains(prefix); });
+}
+
+std::size_t V4SlicedProtocol::local_prefix_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& state : lists_) total += state.store.size();
+  return total;
+}
+
+std::size_t V4SlicedProtocol::local_store_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& state : lists_) total += state.store.memory_bytes();
+  return total;
+}
+
+std::uint64_t V4SlicedProtocol::list_state(std::string_view list_name) const {
+  for (const auto& state : lists_) {
+    if (state.name == list_name) return state.state;
+  }
+  return 0;
+}
+
+}  // namespace sbp::sb

@@ -1,0 +1,36 @@
+// Safe Browsing protocol generations (kept dependency-free so configs can
+// name a version without pulling in the protocol stack).
+//
+// The paper's privacy story is a story about generations: v1 shipped the
+// URL in clear (Section 2.2), v3 ships 32-bit prefixes with an SB cookie
+// (Sections 2.2.1-2.2.3), and the post-paper v4 Update API ships
+// Rice-compressed raw-hash slices with server-set wait durations. Each is
+// a ProtocolClient implementation (sb/protocol.hpp) speaking its own wire
+// frames (sb/wire/) against the same Server state.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sbp::sb {
+
+enum class ProtocolVersion : std::uint8_t {
+  kV1Lookup = 1,   ///< deprecated Lookup API: URLs in clear
+  kV3Chunked = 3,  ///< the paper's protocol: chunked updates + prefixes
+  kV4Sliced = 4,   ///< post-paper Update API: Rice-coded raw-hash slices
+};
+
+[[nodiscard]] constexpr std::string_view protocol_version_name(
+    ProtocolVersion version) noexcept {
+  switch (version) {
+    case ProtocolVersion::kV1Lookup:
+      return "v1-lookup";
+    case ProtocolVersion::kV3Chunked:
+      return "v3-chunked";
+    case ProtocolVersion::kV4Sliced:
+      return "v4-sliced";
+  }
+  return "unknown";
+}
+
+}  // namespace sbp::sb

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "storage/raw_hash_store.hpp"
+#include "url/decompose.hpp"
+
 namespace sbp::sb {
 
 Server::ListData& Server::list(std::string_view name) {
@@ -79,8 +82,92 @@ void Server::seal(ListData& data) {
 
 void Server::seal_chunk(std::string_view list_name) { seal(list(list_name)); }
 
+void Server::log_query(QueryLogEntry entry) {
+  if (sink_ == nullptr && !retain_query_log_) return;
+  if (sink_ != nullptr) sink_->record(entry);
+  if (retain_query_log_) query_log_.push_back(std::move(entry));
+}
+
+bool Server::lookup_v1(std::string_view url, Cookie cookie,
+                       std::uint64_t tick) {
+  QueryLogEntry entry;
+  entry.tick = tick;
+  entry.cookie = cookie;
+  entry.url = std::string(url);
+
+  bool malicious = false;
+  for (const auto& d : url::decompose(url)) {
+    const crypto::Digest256 digest = crypto::Digest256::of(d.expression);
+    const crypto::Prefix32 prefix = digest.prefix32();
+    if (std::find(entry.prefixes.begin(), entry.prefixes.end(), prefix) ==
+        entry.prefixes.end()) {
+      entry.prefixes.push_back(prefix);
+    }
+    if (malicious) continue;
+    for (const auto& [list_name, data] : lists_) {
+      const auto it = data.digests_by_prefix.find(prefix);
+      if (it == data.digests_by_prefix.end()) continue;
+      if (std::find(it->second.begin(), it->second.end(), digest) !=
+          it->second.end()) {
+        malicious = true;
+        break;
+      }
+    }
+  }
+  log_query(std::move(entry));
+  return malicious;
+}
+
+V4UpdateResponse Server::fetch_v4_update(const V4UpdateRequest& request) {
+  V4UpdateResponse response;
+  response.minimum_wait = minimum_wait_;
+  for (const auto& state : request.lists) {
+    const auto it = lists_.find(state.list_name);
+    if (it == lists_.end()) continue;
+    ListData& data = it->second;
+    seal(data);
+
+    const std::uint64_t new_state = data.next_chunk_number;
+    if (state.state == new_state) continue;  // already current
+
+    V4SliceUpdate slice;
+    slice.list_name = state.list_name;
+    slice.new_state = new_state;
+    const std::vector<crypto::Prefix32> current =
+        data.chunks.effective_prefixes();
+
+    if (state.state == 0 || state.state > new_state) {
+      // Unknown or future state: ship the whole set.
+      slice.full_reset = true;
+      slice.additions = current;
+    } else {
+      // Two-pointer diff of the client's old sorted set vs the current
+      // one: removals as indices into the old set, additions as values.
+      const std::vector<crypto::Prefix32> old = data.chunks.effective_prefixes(
+          static_cast<std::uint32_t>(state.state));
+      std::size_t i = 0, j = 0;
+      while (i < old.size() || j < current.size()) {
+        if (j == current.size() || (i < old.size() && old[i] < current[j])) {
+          slice.removal_indices.push_back(static_cast<std::uint32_t>(i));
+          ++i;
+        } else if (i == old.size() || current[j] < old[i]) {
+          slice.additions.push_back(current[j]);
+          ++j;
+        } else {
+          ++i;
+          ++j;
+        }
+      }
+    }
+    slice.checksum = storage::RawHashStore::checksum_of(current);
+    response.lists.push_back(std::move(slice));
+  }
+  return response;
+}
+
 UpdateResponse Server::fetch_update(const UpdateRequest& request) {
   UpdateResponse response;
+  response.next_update_after = minimum_wait_;
   for (const auto& state : request.lists) {
     const auto it = lists_.find(state.list_name);
     if (it == lists_.end()) continue;
@@ -115,11 +202,7 @@ UpdateResponse Server::fetch_update(const UpdateRequest& request) {
 FullHashResponse Server::get_full_hashes(
     const std::vector<crypto::Prefix32>& prefixes, Cookie cookie,
     std::uint64_t tick) {
-  if (sink_ != nullptr || retain_query_log_) {
-    QueryLogEntry entry{tick, cookie, prefixes};
-    if (sink_ != nullptr) sink_->record(entry);
-    if (retain_query_log_) query_log_.push_back(std::move(entry));
-  }
+  log_query(QueryLogEntry{tick, cookie, prefixes, /*url=*/{}});
   FullHashResponse response;
   for (const auto prefix : prefixes) {
     auto& matches = response.matches[prefix];

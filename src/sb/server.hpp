@@ -1,12 +1,15 @@
 // The Safe Browsing server (paper Figure 2, Sections 2, 4, 7).
 //
-// Holds the blacklists (prefix -> full digests), serves the two protocol
-// endpoints -- chunked list updates and full-hash lookups -- and records a
-// query log with (tick, cookie, prefixes). The query log is the adversarial
-// observation point of the paper's threat model (Section 4): an
-// honest-but-curious-to-malicious provider sees exactly these triples, and
-// every re-identification / tracking experiment in src/analysis and
-// src/tracking consumes this log.
+// Holds the blacklists (prefix -> full digests) and serves the versioned
+// protocol endpoints over the same state: v1 clear-URL lookups (the
+// deprecated Lookup API), v3 chunked updates + full-hash lookups, and
+// v4-style sliced raw-hash updates. Every endpoint that reveals client
+// browsing feeds ONE query log with (tick, cookie, prefixes[, url]) -- the
+// adversarial observation point of the paper's threat model (Section 4):
+// an honest-but-curious-to-malicious provider sees exactly these entries,
+// and every re-identification / tracking experiment in src/analysis and
+// src/tracking consumes this log unchanged regardless of which protocol
+// generation produced an entry.
 //
 // Tampering hooks (add_orphan_prefix, add_prefix_only) model Section 7's
 // findings: prefixes present in the lists with no corresponding full digest
@@ -31,16 +34,21 @@ namespace sbp::sb {
 /// An opaque client identifier -- the "SB cookie" of Section 2.2.3.
 using Cookie = std::uint64_t;
 
-/// One full-hash endpoint hit as the server sees it.
+/// One privacy-relevant endpoint hit as the server sees it. For v3/v4
+/// full-hash requests `prefixes` is what crossed the wire and `url` is
+/// empty; for v1 lookups `url` is the clear URL and `prefixes` are its
+/// decomposition prefixes (the server sees the URL, so it trivially knows
+/// them) -- letting every prefix-based analysis run on v1 logs too.
 struct QueryLogEntry {
   std::uint64_t tick = 0;
   Cookie cookie = 0;
   std::vector<crypto::Prefix32> prefixes;
+  std::string url;  ///< non-empty only for v1 observations
 
   friend bool operator==(const QueryLogEntry& a,
                          const QueryLogEntry& b) noexcept {
     return a.tick == b.tick && a.cookie == b.cookie &&
-           a.prefixes == b.prefixes;
+           a.prefixes == b.prefixes && a.url == b.url;
   }
 };
 
@@ -88,6 +96,39 @@ struct UpdateResponse {
   std::uint64_t next_update_after = 0;
 };
 
+/// Client -> server v4-style update request: per list, an opaque state
+/// token (here: the chunk sequence number the client is synced to; 0 =
+/// never synced, forces a full slice).
+struct V4UpdateRequest {
+  struct ListState {
+    std::string list_name;
+    std::uint64_t state = 0;
+  };
+  std::vector<ListState> lists;
+};
+
+/// One v4 "slice": the diff taking the client's sorted raw prefix set from
+/// `state` to `new_state`. Removals are indices into the client's CURRENT
+/// sorted set (what the real Update API does); additions are the new
+/// prefix values, Rice-compressed on the wire.
+struct V4SliceUpdate {
+  std::string list_name;
+  bool full_reset = false;  ///< unknown/stale state: additions are the full set
+  std::uint64_t new_state = 0;
+  std::vector<std::uint32_t> removal_indices;
+  std::vector<crypto::Prefix32> additions;
+  /// FNV-1a over the post-update sorted set; the client verifies it and
+  /// resyncs from scratch on mismatch (v4's sha256 checksum, modeled).
+  std::uint32_t checksum = 0;
+};
+
+struct V4UpdateResponse {
+  std::vector<V4SliceUpdate> lists;
+  /// Server-set minimum wait before the next update request (the v4 API's
+  /// minimum_wait_duration).
+  std::uint64_t minimum_wait = 0;
+};
+
 class Server {
  public:
   explicit Server(Provider provider = Provider::kGoogle)
@@ -118,14 +159,33 @@ class Server {
 
   // -- protocol endpoints ---------------------------------------------------
 
-  /// Chunked update: returns every sealed chunk the client is missing.
+  /// v1 Lookup API: receives the URL in clear, checks every decomposition's
+  /// full digest, and logs (tick, cookie, decomposition prefixes, url) --
+  /// the maximal privacy leak. Returns true if malicious.
+  [[nodiscard]] bool lookup_v1(std::string_view url, Cookie cookie,
+                               std::uint64_t tick);
+
+  /// v3 chunked update: returns every sealed chunk the client is missing.
   [[nodiscard]] UpdateResponse fetch_update(const UpdateRequest& request);
 
-  /// Full-hash lookup. Logs (tick, cookie, prefixes) -- the privacy-critical
-  /// observation. Unknown prefixes yield empty match vectors.
+  /// v4 sliced update: diffs the client's synced state against the current
+  /// effective prefix set and returns removal-index/addition slices.
+  [[nodiscard]] V4UpdateResponse fetch_v4_update(const V4UpdateRequest& request);
+
+  /// Full-hash lookup (shared by v3 and v4). Logs (tick, cookie, prefixes)
+  /// -- the privacy-critical observation. Unknown prefixes yield empty
+  /// match vectors.
   [[nodiscard]] FullHashResponse get_full_hashes(
       const std::vector<crypto::Prefix32>& prefixes, Cookie cookie,
       std::uint64_t tick);
+
+  /// Server-imposed minimum gap between updates, echoed as v3's
+  /// next_update_after and v4's minimum_wait (request-frequency limits,
+  /// Section 2.2.1). Default 0 so tests and benches can drive updates
+  /// freely.
+  void set_minimum_wait(std::uint64_t ticks) noexcept {
+    minimum_wait_ = ticks;
+  }
 
   // -- introspection (forensics & experiments) ------------------------------
 
@@ -166,12 +226,14 @@ class Server {
   ListData& list(std::string_view name);
   [[nodiscard]] const ListData* find(std::string_view name) const;
   void seal(ListData& data);
+  void log_query(QueryLogEntry entry);
 
   Provider provider_;
   std::map<std::string, ListData, std::less<>> lists_;
   std::vector<QueryLogEntry> query_log_;
   QueryLogSink* sink_ = nullptr;
   bool retain_query_log_ = true;
+  std::uint64_t minimum_wait_ = 0;
 };
 
 }  // namespace sbp::sb

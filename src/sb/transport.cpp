@@ -1,5 +1,14 @@
 #include "sb/transport.hpp"
 
+#include "sb/wire/frames.hpp"
+
+// Every endpoint follows the same discipline: encode the request into its
+// wire frame, count the bytes, DECODE the frame and hand only the decoded
+// value to the server (nothing that is not in the frame can get through),
+// then encode/count/decode the response symmetrically. A decode failure --
+// impossible unless a codec is broken -- surfaces as a request error, which
+// the round-trip tests would catch immediately.
+
 namespace sbp::sb {
 
 std::optional<FullHashResponse> Transport::get_full_hashes_or_error(
@@ -10,15 +19,21 @@ std::optional<FullHashResponse> Transport::get_full_hashes_or_error(
     ++stats_.failed_requests;
     return std::nullopt;  // dropped before reaching the server
   }
-  if (tap_) tap_(cookie, prefixes);
+  const std::vector<std::uint8_t> request_frame =
+      wire::encode_full_hash_request({cookie, prefixes});
+  stats_.bytes_up += request_frame.size();
+  const auto request = wire::decode_full_hash_request(request_frame);
+  if (!request) return std::nullopt;
+
+  if (tap_) tap_(request->cookie, request->prefixes);
   ++stats_.full_hash_requests;
-  stats_.bytes_up += 8 /*cookie*/ + 4 * prefixes.size();
-  FullHashResponse response =
-      server_.get_full_hashes(prefixes, cookie, clock_.now());
-  for (const auto& [prefix, matches] : response.matches) {
-    stats_.bytes_down += 4 + 32 * matches.size();
-  }
-  return response;
+  const FullHashResponse response = server_.get_full_hashes(
+      request->prefixes, request->cookie, clock_.now());
+
+  const std::vector<std::uint8_t> response_frame =
+      wire::encode_full_hash_response(response);
+  stats_.bytes_down += response_frame.size();
+  return wire::decode_full_hash_response(response_frame);
 }
 
 FullHashResponse Transport::get_full_hashes(
@@ -35,23 +50,73 @@ std::optional<UpdateResponse> Transport::fetch_update_or_error(
     ++stats_.failed_requests;
     return std::nullopt;
   }
+  const std::vector<std::uint8_t> request_frame =
+      wire::encode_update_request(request);
+  stats_.bytes_up += request_frame.size();
+  const auto decoded_request = wire::decode_update_request(request_frame);
+  if (!decoded_request) return std::nullopt;
+
   ++stats_.update_requests;
-  for (const auto& state : request.lists) {
-    stats_.bytes_up += state.list_name.size() + 4 * state.add_chunks.size() +
-                       4 * state.sub_chunks.size();
-  }
-  UpdateResponse response = server_.fetch_update(request);
-  for (const auto& update : response.lists) {
-    for (const Chunk& chunk : update.chunks) {
-      stats_.bytes_down += serialize_chunk(chunk).size();
-    }
-  }
-  return response;
+  const UpdateResponse response = server_.fetch_update(*decoded_request);
+
+  const std::vector<std::uint8_t> response_frame =
+      wire::encode_update_response(response);
+  stats_.bytes_down += response_frame.size();
+  return wire::decode_update_response(response_frame);
 }
 
 UpdateResponse Transport::fetch_update(const UpdateRequest& request) {
   auto response = fetch_update_or_error(request);
   return response ? std::move(*response) : UpdateResponse{};
+}
+
+std::optional<V4UpdateResponse> Transport::fetch_v4_update_or_error(
+    const V4UpdateRequest& request) {
+  clock_.advance(round_trip_);
+  if (fail_updates_ > 0) {
+    --fail_updates_;
+    ++stats_.failed_requests;
+    return std::nullopt;
+  }
+  const std::vector<std::uint8_t> request_frame =
+      wire::encode_v4_update_request(request);
+  stats_.bytes_up += request_frame.size();
+  const auto decoded_request = wire::decode_v4_update_request(request_frame);
+  if (!decoded_request) return std::nullopt;
+
+  ++stats_.v4_update_requests;
+  const V4UpdateResponse response = server_.fetch_v4_update(*decoded_request);
+
+  const std::vector<std::uint8_t> response_frame =
+      wire::encode_v4_update_response(response);
+  stats_.bytes_down += response_frame.size();
+  return wire::decode_v4_update_response(response_frame);
+}
+
+std::optional<bool> Transport::lookup_v1_or_error(std::string_view url,
+                                                  Cookie cookie) {
+  clock_.advance(round_trip_);
+  if (fail_v1_ > 0) {
+    --fail_v1_;
+    ++stats_.failed_requests;
+    return std::nullopt;
+  }
+  const std::vector<std::uint8_t> request_frame =
+      wire::encode_v1_lookup_request({cookie, std::string(url)});
+  stats_.bytes_up += request_frame.size();
+  const auto request = wire::decode_v1_lookup_request(request_frame);
+  if (!request) return std::nullopt;
+
+  ++stats_.v1_requests;
+  const bool malicious =
+      server_.lookup_v1(request->url, request->cookie, clock_.now());
+
+  const std::vector<std::uint8_t> response_frame =
+      wire::encode_v1_lookup_response({malicious});
+  stats_.bytes_down += response_frame.size();
+  const auto response = wire::decode_v1_lookup_response(response_frame);
+  if (!response) return std::nullopt;
+  return response->malicious;
 }
 
 }  // namespace sbp::sb

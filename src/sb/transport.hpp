@@ -2,16 +2,25 @@
 //
 // Substitution note (DESIGN.md): the paper's clients speak HTTPS to Google
 // and Yandex; every privacy result depends only on what reaches the server
-// -- prefixes, the SB cookie and timing. This in-process transport carries
-// exactly those, advances a deterministic tick clock to model network
-// latency (the Lookup API was deprecated partly for its per-request
-// round-trip, Section 2.2), counts bytes, and offers a wire tap so
+// -- prefixes (or, for v1, the URL), the SB cookie and timing. This
+// in-process transport carries exactly those as SERIALIZED WIRE FRAMES
+// (sb/wire/frames.hpp): each request/response is byte-encoded, counted,
+// decoded on the far side and only then processed, so TransportStats
+// bytes_up/bytes_down are true wire sizes and nothing that is not in a
+// frame can cross the boundary. It advances a deterministic tick clock to
+// model network latency (the Lookup API was deprecated partly for its
+// per-request round-trip, Section 2.2) and offers a wire tap so
 // experiments can observe traffic like a network-level eavesdropper.
+//
+// One Transport serves all three protocol generations: v1 clear-URL
+// lookups, v3 chunked updates, v4 sliced updates, and the v3/v4-shared
+// full-hash exchange.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "sb/server.hpp"
@@ -28,13 +37,16 @@ class SimClock {
   std::uint64_t now_ = 0;
 };
 
-/// Byte/request counters per endpoint.
+/// Byte/request counters per endpoint. Byte counts are the exact encoded
+/// frame sizes -- the bandwidth the provider would bill.
 struct TransportStats {
   std::uint64_t full_hash_requests = 0;
-  std::uint64_t update_requests = 0;
-  std::uint64_t failed_requests = 0;  ///< injected failures delivered
-  std::uint64_t bytes_up = 0;    ///< client -> server
-  std::uint64_t bytes_down = 0;  ///< server -> client
+  std::uint64_t update_requests = 0;     ///< v3 chunked updates
+  std::uint64_t v4_update_requests = 0;  ///< v4 sliced updates
+  std::uint64_t v1_requests = 0;         ///< v1 clear-URL lookups
+  std::uint64_t failed_requests = 0;     ///< injected failures delivered
+  std::uint64_t bytes_up = 0;    ///< client -> server (encoded frames)
+  std::uint64_t bytes_down = 0;  ///< server -> client (encoded frames)
 };
 
 class Transport {
@@ -44,9 +56,10 @@ class Transport {
             std::uint64_t round_trip_ticks = 50)
       : server_(server), clock_(clock), round_trip_(round_trip_ticks) {}
 
-  /// Full-hash endpoint. Advances the clock by one round trip. Returns
-  /// nullopt when an injected failure fires (the request never reaches the
-  /// server and nothing is logged -- a network-level error).
+  /// Full-hash endpoint (v3 + v4). Advances the clock by one round trip.
+  /// Returns nullopt when an injected failure fires (the request never
+  /// reaches the server and nothing is logged -- a network-level error) or
+  /// a frame fails to decode (protocol corruption).
   [[nodiscard]] std::optional<FullHashResponse> get_full_hashes_or_error(
       const std::vector<crypto::Prefix32>& prefixes, Cookie cookie);
 
@@ -54,24 +67,35 @@ class Transport {
   [[nodiscard]] FullHashResponse get_full_hashes(
       const std::vector<crypto::Prefix32>& prefixes, Cookie cookie);
 
-  /// Update endpoint. Advances the clock by one round trip; nullopt on an
-  /// injected failure.
+  /// v3 chunked-update endpoint. Advances the clock by one round trip;
+  /// nullopt on an injected failure.
   [[nodiscard]] std::optional<UpdateResponse> fetch_update_or_error(
       const UpdateRequest& request);
   [[nodiscard]] UpdateResponse fetch_update(const UpdateRequest& request);
+
+  /// v4 sliced-update endpoint. Shares the update failure injector with v3
+  /// (both are "the update channel" to the failure model).
+  [[nodiscard]] std::optional<V4UpdateResponse> fetch_v4_update_or_error(
+      const V4UpdateRequest& request);
+
+  /// v1 Lookup endpoint: the URL crosses in clear. Returns the malicious
+  /// verdict; nullopt on an injected failure.
+  [[nodiscard]] std::optional<bool> lookup_v1_or_error(std::string_view url,
+                                                       Cookie cookie);
 
   /// Failure injection: the next `n` requests of each kind fail at the
   /// network level. Used to exercise the client's backoff (Section 2.2.1's
   /// request-frequency discipline).
   void inject_full_hash_failures(unsigned n) { fail_full_hashes_ = n; }
   void inject_update_failures(unsigned n) { fail_updates_ = n; }
+  void inject_v1_failures(unsigned n) { fail_v1_ = n; }
 
   [[nodiscard]] SimClock& clock() noexcept { return clock_; }
   [[nodiscard]] Server& server() noexcept { return server_; }
   [[nodiscard]] const TransportStats& stats() const noexcept { return stats_; }
 
-  /// Wire tap invoked with every full-hash request (prefix list + cookie),
-  /// before the server processes it.
+  /// Wire tap invoked with every full-hash request (prefix list + cookie)
+  /// as decoded from the frame, before the server processes it.
   using FullHashTap =
       std::function<void(Cookie, const std::vector<crypto::Prefix32>&)>;
   void set_full_hash_tap(FullHashTap tap) { tap_ = std::move(tap); }
@@ -84,6 +108,7 @@ class Transport {
   FullHashTap tap_;
   unsigned fail_full_hashes_ = 0;
   unsigned fail_updates_ = 0;
+  unsigned fail_v1_ = 0;
 };
 
 }  // namespace sbp::sb

@@ -1,0 +1,43 @@
+// RICE/Golomb coding of sorted 32-bit sets (src/sb/wire).
+//
+// The post-paper Update API (v4) ships blacklist diffs as Rice-delta
+// encoded sets: a sorted sequence of 32-bit values becomes a first value
+// plus Golomb-Rice-coded gaps, which for N uniformly random prefixes costs
+// ~log2(2^32 / N) + 1.5 bits per value instead of 32 -- the compression
+// that makes v4 "sliced" updates much smaller than v3's raw 4-byte-per-
+// prefix chunks (measured by bench_protocol_bandwidth).
+//
+// Block layout:  [count varint]
+//                [first varint]                 (count >= 1)
+//                [k u8][payload_len varint]     (count >= 2)
+//                [payload: count-1 Rice-coded (gap-1) values, MSB-first]
+//
+// Gaps of a strictly increasing sequence are >= 1, so gap-1 is coded. A
+// value x at parameter k is the quotient x>>k in unary (q ones, then a
+// zero) followed by the k low bits. Decoding rejects k > 31, unary runs
+// that would overflow 32 bits, counts that cannot fit the payload, and
+// sequences that leave the uint32 range -- corruption errors, never UB.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sb/wire/wire_format.hpp"
+
+namespace sbp::sb::wire {
+
+/// Appends the Rice block for `values` (must be strictly increasing).
+void rice_encode_sorted(std::span<const std::uint32_t> values, Writer& out);
+
+/// Encoded size in bytes without materializing the block.
+[[nodiscard]] std::size_t rice_encoded_size(
+    std::span<const std::uint32_t> values);
+
+/// Decodes one Rice block; the result is strictly increasing. Fails on any
+/// malformation or when the block holds more than `max_values` entries.
+[[nodiscard]] std::optional<std::vector<std::uint32_t>> rice_decode_sorted(
+    Reader& in, std::size_t max_values);
+
+}  // namespace sbp::sb::wire

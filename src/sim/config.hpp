@@ -17,6 +17,7 @@
 
 #include "corpus/web_corpus.hpp"
 #include "sb/list_spec.hpp"
+#include "sb/protocol_version.hpp"
 #include "storage/prefix_store.hpp"
 
 namespace sbp::sb {
@@ -106,6 +107,17 @@ struct SimConfig {
   TrafficConfig traffic;
   BlacklistConfig blacklist;
   MitigationConfig mitigation;
+
+  /// Protocol generation the population speaks (sb/protocol_version.hpp):
+  /// v1 clear-URL lookups, v3 chunked (the paper's protocol, default), or
+  /// v4 sliced updates. The query-log observation point is identical for
+  /// all three, so every analysis runs unchanged.
+  sb::ProtocolVersion protocol = sb::ProtocolVersion::kV3Chunked;
+  /// Mixed-generation populations: this fraction of users (evenly spread,
+  /// like the interest group) speaks `mix_protocol` instead of `protocol`
+  /// -- modeling a fleet mid-migration between generations.
+  double mix_fraction = 0.0;
+  sb::ProtocolVersion mix_protocol = sb::ProtocolVersion::kV4Sliced;
 
   /// Local-store representation of every simulated client.
   storage::StoreKind store_kind = storage::StoreKind::kDeltaCoded;

@@ -103,6 +103,7 @@ void Engine::build_population() {
   shards_.resize(num_shards);
   const double interested = config_.traffic.interested_fraction;
 
+  const double mixed = config_.mix_fraction;
   for (std::size_t u = 0; u < config_.num_users; ++u) {
     UserState user;
     user.cookie = static_cast<sb::Cookie>(u + 1);
@@ -112,12 +113,22 @@ void Engine::build_population() {
     user.interested =
         static_cast<std::size_t>(static_cast<double>(u + 1) * interested) >
         static_cast<std::size_t>(static_cast<double>(u) * interested);
+    // Same even-spread trick for the protocol mix (exact split), but over
+    // the REVERSED user index: reusing the ascending spread would make the
+    // mix group coincide with the interest group whenever the fractions
+    // match, confounding generation-vs-behaviour comparisons.
+    const std::size_t v = config_.num_users - 1 - u;
+    const bool mix_member =
+        static_cast<std::size_t>(static_cast<double>(v + 1) * mixed) >
+        static_cast<std::size_t>(static_cast<double>(v) * mixed);
 
     sb::ClientConfig client_config;
+    client_config.protocol =
+        mix_member ? config_.mix_protocol : config_.protocol;
     client_config.store_kind = config_.store_kind;
     client_config.full_hash_ttl = config_.full_hash_ttl;
     client_config.cookie = user.cookie;
-    user.client = std::make_unique<sb::Client>(transport_, client_config);
+    user.client = sb::make_protocol_client(transport_, client_config);
     for (const auto& list : config_.blacklist.lists) {
       user.client->subscribe(list);
     }

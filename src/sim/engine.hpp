@@ -2,7 +2,8 @@
 //
 // Engine instantiates a shared sb::Server, seeds its blacklists from the
 // synthetic web corpus, creates `num_users` synthetic users -- each with an
-// independent RNG stream and a real sb::Client -- and drives a tick loop:
+// independent RNG stream and a real sb::ProtocolClient of the configured
+// generation (v1 / v3 / v4, mixable) -- and drives a tick loop:
 //
 //   per tick:  [churn the lists + resync a rotating user subset]
 //              for each shard, for each user:
@@ -35,7 +36,7 @@
 #include <vector>
 
 #include "mitigation/dummy_requests.hpp"
-#include "sb/client.hpp"
+#include "sb/protocol.hpp"
 #include "sb/server.hpp"
 #include "sb/transport.hpp"
 #include "sim/config.hpp"

@@ -27,6 +27,12 @@ std::uint64_t fingerprint_entry(std::uint64_t fingerprint,
   for (const auto prefix : entry.prefixes) {
     fingerprint = fnv1a_u64(fingerprint, prefix);
   }
+  // v1 observations carry the clear URL; fold it in so v1 logs fingerprint
+  // on their full content (a pure-prefix entry contributes nothing here).
+  for (const char c : entry.url) {
+    fingerprint ^= static_cast<std::uint8_t>(c);
+    fingerprint *= kFnvPrime;
+  }
   return fingerprint;
 }
 

@@ -19,7 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "sb/client.hpp"
+#include "sb/protocol.hpp"
 #include "sim/config.hpp"
 #include "sim/traffic_model.hpp"
 #include "util/rng.hpp"
@@ -34,7 +34,9 @@ struct UserState {
   /// Ring buffer of recently visited URLs (revisit locality).
   std::vector<std::string> history;
   std::size_t history_next = 0;
-  std::unique_ptr<sb::Client> client;
+  /// The user's Safe Browsing stack -- any protocol generation
+  /// (sb/protocol.hpp); populations can mix generations.
+  std::unique_ptr<sb::ProtocolClient> client;
 };
 
 /// Plans one tick of browsing for `user`: appends the URLs to visit to

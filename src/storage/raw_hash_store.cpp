@@ -1,0 +1,83 @@
+#include "storage/raw_hash_store.hpp"
+
+#include <algorithm>
+
+namespace sbp::storage {
+
+namespace {
+
+bool strictly_increasing(std::span<const std::uint32_t> values) {
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] <= values[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RawHashStore::reset(std::vector<crypto::Prefix32> sorted) {
+  if (!strictly_increasing(sorted)) {
+    sorted_.clear();
+    return false;
+  }
+  sorted_ = std::move(sorted);
+  return true;
+}
+
+bool RawHashStore::apply_slice(
+    const std::vector<std::uint32_t>& removal_indices,
+    const std::vector<crypto::Prefix32>& additions) {
+  if (!strictly_increasing(removal_indices) ||
+      !strictly_increasing(additions)) {
+    return false;
+  }
+  if (!removal_indices.empty() && removal_indices.back() >= sorted_.size()) {
+    return false;
+  }
+
+  // Survivors of the removal pass, then a strictness-checked merge with
+  // the additions -- one allocation, O(n + m).
+  std::vector<crypto::Prefix32> next;
+  next.reserve(sorted_.size() - removal_indices.size() + additions.size());
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    if (r < removal_indices.size() && removal_indices[r] == i) {
+      ++r;
+      continue;
+    }
+    next.push_back(sorted_[i]);
+  }
+
+  std::vector<crypto::Prefix32> merged;
+  merged.reserve(next.size() + additions.size());
+  std::size_t i = 0, j = 0;
+  while (i < next.size() || j < additions.size()) {
+    if (j == additions.size() || (i < next.size() && next[i] < additions[j])) {
+      merged.push_back(next[i++]);
+    } else if (i == next.size() || additions[j] < next[i]) {
+      merged.push_back(additions[j++]);
+    } else {
+      return false;  // addition already present: corrupt slice
+    }
+  }
+  sorted_ = std::move(merged);
+  return true;
+}
+
+bool RawHashStore::contains(crypto::Prefix32 prefix) const noexcept {
+  return std::binary_search(sorted_.begin(), sorted_.end(), prefix);
+}
+
+std::uint32_t RawHashStore::checksum_of(
+    std::span<const crypto::Prefix32> sorted) noexcept {
+  std::uint32_t hash = 2166136261u;  // FNV offset basis
+  for (const auto prefix : sorted) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      hash ^= (prefix >> shift) & 0xFFu;
+      hash *= 16777619u;  // FNV prime
+    }
+  }
+  return hash;
+}
+
+}  // namespace sbp::storage

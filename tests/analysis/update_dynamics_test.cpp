@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sb/wire/frames.hpp"
+
 namespace sbp::analysis {
 namespace {
 
@@ -72,7 +74,10 @@ TEST(UpdateDynamicsTest, ZeroChurnCostsAlmostNothing) {
   config.removals_per_round = 0;
   config.rounds = 3;
   const ChurnReport report = simulate_churn(config);
-  EXPECT_EQ(report.total_incremental_bytes, 0u);
+  // With real wire accounting, an update with nothing to send still costs
+  // the empty-response frame -- once per round, and nothing more.
+  EXPECT_EQ(report.total_incremental_bytes,
+            3 * sb::wire::encode_update_response({}).size());
   EXPECT_DOUBLE_EQ(report.rounds.back().day0_knowledge_fraction, 1.0);
 }
 

@@ -199,13 +199,17 @@ TEST(EndToEndTest, DummyPaddingDoesNotChangeVerdicts) {
 
 TEST(EndToEndTest, V1VersusV3InformationAsymmetry) {
   // Quantify the privacy difference the paper opens with: v1 logs full
-  // URLs for EVERY check; v3 logs nothing for clean URLs.
+  // URLs for EVERY check; v3 logs nothing for clean URLs. Both now land in
+  // the same query log, distinguished by the url field.
   sb::Server server;
   server.add_expression("list", "evil.example/");
   server.seal_chunk("list");
   sb::SimClock clock;
   sb::Transport transport(server, clock);
-  sb::LookupV1Service v1(server, clock);
+  sb::ClientConfig v1_config;
+  v1_config.protocol = sb::ProtocolVersion::kV1Lookup;
+  v1_config.cookie = 1;
+  sb::V1LookupProtocol v1(transport, v1_config);
   sb::ClientConfig config;
   sb::Client v3(transport, config);
   v3.subscribe("list");
@@ -217,12 +221,15 @@ TEST(EndToEndTest, V1VersusV3InformationAsymmetry) {
       "http://evil.example/drive-by",
   };
   for (const auto& url : browsing) {
-    (void)v1.lookup(url, 1);
+    (void)v1.lookup(url);
     (void)v3.lookup(url);
   }
-  EXPECT_EQ(v1.log().size(), 3u);                 // every URL, in clear
-  EXPECT_EQ(server.query_log().size(), 1u);       // only the real hit
-  EXPECT_EQ(server.query_log()[0].prefixes.size(), 1u);
+  std::size_t v1_entries = 0, v3_entries = 0;
+  for (const auto& entry : server.query_log()) {
+    entry.url.empty() ? ++v3_entries : ++v1_entries;
+  }
+  EXPECT_EQ(v1_entries, 3u);  // every URL, in clear
+  EXPECT_EQ(v3_entries, 1u);  // only the real hit
 }
 
 TEST(EndToEndTest, KAnonymityOfActualTraffic) {

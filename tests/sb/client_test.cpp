@@ -167,14 +167,20 @@ TEST_F(ClientTest, CookieAccompaniesEveryFullHashRequest) {
 TEST(LookupV1Test, ServerSeesUrlsInClear) {
   Server server;
   SimClock clock;
+  Transport transport(server, clock);
   server.add_expression("l", "evil.example/attack.html");
-  LookupV1Service v1(server, clock);
-  EXPECT_TRUE(v1.lookup("http://evil.example/attack.html", 9));
-  EXPECT_FALSE(v1.lookup("http://benign.example/secret-page", 9));
+  ClientConfig config;
+  config.protocol = ProtocolVersion::kV1Lookup;
+  config.cookie = 9;
+  V1LookupProtocol v1(transport, config);
+  EXPECT_EQ(v1.lookup("http://evil.example/attack.html").verdict,
+            Verdict::kMalicious);
+  EXPECT_EQ(v1.lookup("http://benign.example/secret-page").verdict,
+            Verdict::kSafe);
   // The privacy failure: both URLs, including the benign one, are logged.
-  ASSERT_EQ(v1.log().size(), 2u);
-  EXPECT_EQ(v1.log()[1].url, "http://benign.example/secret-page");
-  EXPECT_EQ(v1.log()[1].cookie, 9u);
+  ASSERT_EQ(server.query_log().size(), 2u);
+  EXPECT_EQ(server.query_log()[1].url, "http://benign.example/secret-page");
+  EXPECT_EQ(server.query_log()[1].cookie, 9u);
 }
 
 }  // namespace

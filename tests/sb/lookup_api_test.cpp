@@ -1,67 +1,120 @@
 // Dedicated tests of the deprecated v1 Lookup API (the paper's privacy
-// baseline, Section 2.2).
+// baseline, Section 2.2), now a ProtocolClient whose observations flow
+// through the server's uniform query log / QueryLogSink path.
 #include "sb/lookup_api.hpp"
 
 #include <gtest/gtest.h>
+
+#include "crypto/digest.hpp"
 
 namespace sbp::sb {
 namespace {
 
 class LookupApiTest : public ::testing::Test {
  protected:
-  LookupApiTest() : v1_(server_, clock_) {
+  LookupApiTest() : transport_(server_, clock_) {
     server_.add_expression("list", "evil.example/attack.html");
     server_.add_expression("list", "bad-domain.example/");
+    ClientConfig config;
+    config.protocol = ProtocolVersion::kV1Lookup;
+    config.cookie = 77;
+    v1_ = std::make_unique<V1LookupProtocol>(transport_, config);
+  }
+
+  [[nodiscard]] Verdict check(std::string_view url) {
+    return v1_->lookup(url).verdict;
   }
 
   Server server_;
   SimClock clock_;
-  LookupV1Service v1_;
+  Transport transport_;
+  std::unique_ptr<V1LookupProtocol> v1_;
 };
 
 TEST_F(LookupApiTest, DetectsExactUrl) {
-  EXPECT_TRUE(v1_.lookup("http://evil.example/attack.html", 1));
+  EXPECT_EQ(check("http://evil.example/attack.html"), Verdict::kMalicious);
 }
 
 TEST_F(LookupApiTest, DetectsViaDomainDecomposition) {
   // Any page on a blacklisted domain is flagged (decompositions include
   // the domain root).
-  EXPECT_TRUE(v1_.lookup("http://bad-domain.example/any/path?q=1", 1));
+  EXPECT_EQ(check("http://bad-domain.example/any/path?q=1"),
+            Verdict::kMalicious);
 }
 
 TEST_F(LookupApiTest, CleanUrlNotFlagged) {
-  EXPECT_FALSE(v1_.lookup("http://clean.example/", 1));
+  EXPECT_EQ(check("http://clean.example/"), Verdict::kSafe);
 }
 
 TEST_F(LookupApiTest, EveryRequestLoggedInClear) {
-  (void)v1_.lookup("http://clean.example/private?token=s3cret", 77);
-  (void)v1_.lookup("http://evil.example/attack.html", 77);
-  ASSERT_EQ(v1_.log().size(), 2u);
+  (void)check("http://clean.example/private?token=s3cret");
+  (void)check("http://evil.example/attack.html");
+  ASSERT_EQ(server_.query_log().size(), 2u);
   // The complete URL -- including query parameters -- is in the log.
-  EXPECT_EQ(v1_.log()[0].url, "http://clean.example/private?token=s3cret");
-  EXPECT_EQ(v1_.log()[0].cookie, 77u);
+  EXPECT_EQ(server_.query_log()[0].url,
+            "http://clean.example/private?token=s3cret");
+  EXPECT_EQ(server_.query_log()[0].cookie, 77u);
+  // The server also knows every decomposition prefix (it has the URL), so
+  // prefix-based analyses run on v1 logs too.
+  EXPECT_FALSE(server_.query_log()[0].prefixes.empty());
+}
+
+TEST_F(LookupApiTest, ObservationsStreamThroughSink) {
+  // The satellite fix: v1 runs scale because observations stream instead
+  // of accumulating in client memory.
+  struct CapturingSink : QueryLogSink {
+    std::vector<QueryLogEntry> seen;
+    void record(const QueryLogEntry& entry) override { seen.push_back(entry); }
+  } sink;
+  server_.set_query_log_sink(&sink, /*retain_in_memory=*/false);
+  (void)check("http://streamed.example/a");
+  (void)check("http://streamed.example/b");
+  EXPECT_TRUE(server_.query_log().empty());  // nothing retained server-side
+  ASSERT_EQ(sink.seen.size(), 2u);
+  EXPECT_EQ(sink.seen[1].url, "http://streamed.example/b");
 }
 
 TEST_F(LookupApiTest, EveryRequestCostsARoundTrip) {
   const auto before = clock_.now();
-  (void)v1_.lookup("http://a.example/", 1);
-  (void)v1_.lookup("http://b.example/", 1);
+  (void)check("http://a.example/");
+  (void)check("http://b.example/");
   EXPECT_EQ(clock_.now(), before + 100);  // 2 x 50-tick round trips
 }
 
 TEST_F(LookupApiTest, InvalidUrlIsSafeButStillLogged) {
-  EXPECT_FALSE(v1_.lookup("", 5));
+  EXPECT_EQ(check(""), Verdict::kSafe);
   // Even unparseable input reached the server -- the v1 privacy failure is
   // unconditional.
-  EXPECT_EQ(v1_.log().size(), 1u);
+  ASSERT_EQ(server_.query_log().size(), 1u);
+  EXPECT_TRUE(server_.query_log()[0].prefixes.empty());
 }
 
 TEST_F(LookupApiTest, TimestampsRecorded) {
-  (void)v1_.lookup("http://x.example/", 9);
+  (void)check("http://x.example/");
   clock_.advance(1000);
-  (void)v1_.lookup("http://y.example/", 9);
-  ASSERT_EQ(v1_.log().size(), 2u);
-  EXPECT_LT(v1_.log()[0].tick, v1_.log()[1].tick);
+  (void)check("http://y.example/");
+  ASSERT_EQ(server_.query_log().size(), 2u);
+  EXPECT_LT(server_.query_log()[0].tick, server_.query_log()[1].tick);
+}
+
+TEST_F(LookupApiTest, WireBytesCounted) {
+  const std::string url = "http://a.example/";
+  (void)check(url);
+  const TransportStats& stats = transport_.stats();
+  EXPECT_EQ(stats.v1_requests, 1u);
+  // The request frame carries the whole URL in clear (plus tag, cookie and
+  // length framing); the response is a tag + verdict byte.
+  EXPECT_GT(stats.bytes_up, url.size());
+  EXPECT_EQ(stats.bytes_down, 2u);
+}
+
+TEST_F(LookupApiTest, NetworkErrorFailsOpen) {
+  transport_.inject_v1_failures(1);
+  const LookupResult result = v1_->lookup("http://evil.example/attack.html");
+  EXPECT_EQ(result.verdict, Verdict::kSafe);
+  EXPECT_TRUE(result.unconfirmed);
+  EXPECT_TRUE(server_.query_log().empty());  // never reached the server
+  EXPECT_EQ(v1_->metrics().network_errors, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,139 @@
+// Protocol-equivalence contract (ISSUE 2, satellite 4): the same blacklist
+// and the same URL stream must yield identical verdicts AND identical
+// QueryLogSink prefix observations under v3 (chunked) and v4 (sliced).
+// This is the formal statement of why the paper's privacy analyses carry
+// over to the post-paper Update API: the generations differ in how the
+// local database is synchronized, not in what a lookup reveals.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sb/client.hpp"
+#include "sb/protocol.hpp"
+#include "sb/protocol_v4.hpp"
+#include "sim/log_sink.hpp"
+
+namespace sbp::sb {
+namespace {
+
+/// One isolated protocol stack: server + clock + transport + sink + client.
+struct Stack {
+  Server server;
+  SimClock clock;
+  std::unique_ptr<Transport> transport;
+  sim::InMemorySink sink;
+  std::unique_ptr<ProtocolClient> client;
+
+  explicit Stack(ProtocolVersion version) {
+    transport = std::make_unique<Transport>(server, clock,
+                                            /*round_trip_ticks=*/1);
+    server.set_query_log_sink(&sink, /*retain_in_memory=*/false);
+    ClientConfig config;
+    config.protocol = version;
+    config.cookie = 0xC0FFEE;
+    client = make_protocol_client(*transport, config);
+    client->subscribe("list");
+  }
+
+  void seed(const std::vector<std::string>& expressions) {
+    for (const auto& e : expressions) server.add_expression("list", e);
+    server.seal_chunk("list");
+  }
+};
+
+const std::vector<std::string> kBlacklist = {
+    "evil.example/", "bad.example/attack.html", "worse.example/a/b",
+    "shared-prefix.example/"};
+
+const std::vector<std::string> kStream = {
+    "http://evil.example/landing?id=1",
+    "http://clean.example/",
+    "http://bad.example/attack.html",
+    "http://bad.example/other.html",
+    "http://worse.example/a/b",
+    "http://evil.example/landing?id=1",  // revisit: cache behaviour
+    "http://nowhere.example/x/y/z",
+};
+
+TEST(ProtocolEquivalenceTest, V3AndV4AgreeOnVerdictsAndObservations) {
+  Stack v3(ProtocolVersion::kV3Chunked);
+  Stack v4(ProtocolVersion::kV4Sliced);
+  v3.seed(kBlacklist);
+  v4.seed(kBlacklist);
+  ASSERT_TRUE(v3.client->update());
+  ASSERT_TRUE(v4.client->update());
+  ASSERT_EQ(v3.client->local_prefix_count(), v4.client->local_prefix_count());
+
+  for (const auto& url : kStream) {
+    const LookupResult a = v3.client->lookup(url);
+    const LookupResult b = v4.client->lookup(url);
+    EXPECT_EQ(a.verdict, b.verdict) << url;
+    EXPECT_EQ(a.sent_prefixes, b.sent_prefixes) << url;
+    EXPECT_EQ(a.local_hits, b.local_hits) << url;
+    EXPECT_EQ(a.answered_from_cache, b.answered_from_cache) << url;
+  }
+
+  // The provider's observations -- the paper's threat model -- are
+  // bit-identical: same entries, same order, same prefixes, same cookies.
+  EXPECT_EQ(v3.sink.entries(), v4.sink.entries());
+  EXPECT_EQ(sim::fingerprint_log(v3.sink.entries()),
+            sim::fingerprint_log(v4.sink.entries()));
+  ASSERT_FALSE(v3.sink.entries().empty())
+      << "stream produced no observations; the equivalence is vacuous";
+}
+
+TEST(ProtocolEquivalenceTest, EquivalenceSurvivesChurn) {
+  Stack v3(ProtocolVersion::kV3Chunked);
+  Stack v4(ProtocolVersion::kV4Sliced);
+  v3.seed(kBlacklist);
+  v4.seed(kBlacklist);
+  ASSERT_TRUE(v3.client->update());
+  ASSERT_TRUE(v4.client->update());
+
+  // Churn both servers identically, resync, and re-compare.
+  for (Stack* stack : {&v3, &v4}) {
+    stack->server.remove_expression("list", "evil.example/");
+    stack->server.add_expression("list", "fresh.example/");
+    stack->server.seal_chunk("list");
+  }
+  ASSERT_TRUE(v3.client->update());
+  ASSERT_TRUE(v4.client->update());
+  ASSERT_EQ(v3.client->local_prefix_count(), v4.client->local_prefix_count());
+
+  for (const auto& url :
+       {"http://evil.example/landing?id=1", "http://fresh.example/",
+        "http://bad.example/attack.html"}) {
+    const LookupResult a = v3.client->lookup(url);
+    const LookupResult b = v4.client->lookup(url);
+    EXPECT_EQ(a.verdict, b.verdict) << url;
+    EXPECT_EQ(a.sent_prefixes, b.sent_prefixes) << url;
+  }
+  EXPECT_EQ(v3.sink.entries(), v4.sink.entries());
+}
+
+TEST(ProtocolEquivalenceTest, V1ObservesStrictlyMore) {
+  // v1 is NOT equivalent -- it is the baseline the paper contrasts: every
+  // URL in the stream is observed, in clear, while v3/v4 only reveal
+  // prefix hits.
+  Stack v1(ProtocolVersion::kV1Lookup);
+  Stack v3(ProtocolVersion::kV3Chunked);
+  v1.seed(kBlacklist);
+  v3.seed(kBlacklist);
+  ASSERT_TRUE(v1.client->update());
+  ASSERT_TRUE(v3.client->update());
+
+  for (const auto& url : kStream) {
+    EXPECT_EQ(v1.client->lookup(url).verdict, v3.client->lookup(url).verdict)
+        << url;
+  }
+  EXPECT_EQ(v1.sink.entries().size(), kStream.size());  // everything
+  EXPECT_LT(v3.sink.entries().size(), v1.sink.entries().size());
+  for (const auto& entry : v1.sink.entries()) {
+    EXPECT_FALSE(entry.url.empty());
+  }
+}
+
+}  // namespace
+}  // namespace sbp::sb

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/digest.hpp"
+#include "sb/wire/frames.hpp"
 
 namespace sbp::sb {
 namespace {
@@ -27,24 +28,41 @@ TEST_F(TransportTest, RoundTripAdvancesClock) {
   EXPECT_EQ(clock_.now(), 50u);
 }
 
-TEST_F(TransportTest, CountsBytesAndRequests) {
-  (void)transport_.get_full_hashes(
-      {crypto::prefix32_of("evil.example/")}, 7);
+TEST_F(TransportTest, CountsExactEncodedFrameBytes) {
+  // The byte counters are TRUE wire sizes: exactly what the frame codecs
+  // emit, nothing estimated.
+  const std::vector<crypto::Prefix32> prefixes = {
+      crypto::prefix32_of("evil.example/")};
+  const auto response = transport_.get_full_hashes(prefixes, 7);
   const TransportStats& stats = transport_.stats();
   EXPECT_EQ(stats.full_hash_requests, 1u);
-  EXPECT_EQ(stats.bytes_up, 8u + 4u);          // cookie + one prefix
-  EXPECT_EQ(stats.bytes_down, 4u + 32u);       // prefix + one digest
+  EXPECT_EQ(stats.bytes_up,
+            wire::encode_full_hash_request({7, prefixes}).size());
+  EXPECT_EQ(stats.bytes_down, wire::encode_full_hash_response(response).size());
+  EXPECT_GT(stats.bytes_down, 32u);  // carries at least one full digest
 }
 
-TEST_F(TransportTest, UpdateBytesCounted) {
+TEST_F(TransportTest, UpdateBytesAreEncodedFrameSizes) {
   UpdateRequest request;
   request.lists.push_back({"list", {}, {}});
-  (void)transport_.fetch_update(request);
+  const auto response = transport_.fetch_update(request);
   const TransportStats& stats = transport_.stats();
   EXPECT_EQ(stats.update_requests, 1u);
-  EXPECT_EQ(stats.bytes_up, 4u);  // list name only (no chunk numbers)
-  // One chunk with one prefix: 9-byte header + 4-byte prefix.
-  EXPECT_EQ(stats.bytes_down, 13u);
+  EXPECT_EQ(stats.bytes_up, wire::encode_update_request(request).size());
+  EXPECT_EQ(stats.bytes_down, wire::encode_update_response(response).size());
+  ASSERT_EQ(response.lists.size(), 1u);  // the one sealed chunk came back
+}
+
+TEST_F(TransportTest, V4UpdateBytesAreEncodedFrameSizes) {
+  V4UpdateRequest request;
+  request.lists.push_back({"list", 0});
+  const auto response = transport_.fetch_v4_update_or_error(request);
+  ASSERT_TRUE(response.has_value());
+  const TransportStats& stats = transport_.stats();
+  EXPECT_EQ(stats.v4_update_requests, 1u);
+  EXPECT_EQ(stats.bytes_up, wire::encode_v4_update_request(request).size());
+  EXPECT_EQ(stats.bytes_down,
+            wire::encode_v4_update_response(*response).size());
 }
 
 TEST_F(TransportTest, TapSeesRequestsBeforeServer) {
@@ -82,6 +100,34 @@ TEST_F(TransportTest, FailedRequestsDoNotReachQueryLog) {
   transport_.inject_full_hash_failures(1);
   (void)transport_.get_full_hashes_or_error({0xAB}, 3);
   EXPECT_TRUE(server_.query_log().empty());
+}
+
+TEST_F(TransportTest, FailedRequestsCountNoBytes) {
+  transport_.inject_full_hash_failures(1);
+  (void)transport_.get_full_hashes_or_error({0xAB}, 3);
+  EXPECT_EQ(transport_.stats().bytes_up, 0u);
+  EXPECT_EQ(transport_.stats().bytes_down, 0u);
+  EXPECT_EQ(transport_.stats().failed_requests, 1u);
+}
+
+TEST_F(TransportTest, MinimumWaitEchoedOnBothUpdateEndpoints) {
+  server_.set_minimum_wait(123);
+  UpdateRequest request;
+  request.lists.push_back({"list", {}, {}});
+  EXPECT_EQ(transport_.fetch_update(request).next_update_after, 123u);
+  V4UpdateRequest v4_request;
+  v4_request.lists.push_back({"list", 0});
+  const auto v4_response = transport_.fetch_v4_update_or_error(v4_request);
+  ASSERT_TRUE(v4_response.has_value());
+  EXPECT_EQ(v4_response->minimum_wait, 123u);
+}
+
+TEST_F(TransportTest, UpdateFailureInjectionCoversV4Too) {
+  transport_.inject_update_failures(1);
+  V4UpdateRequest request;
+  request.lists.push_back({"list", 0});
+  EXPECT_FALSE(transport_.fetch_v4_update_or_error(request).has_value());
+  EXPECT_TRUE(transport_.fetch_v4_update_or_error(request).has_value());
 }
 
 }  // namespace

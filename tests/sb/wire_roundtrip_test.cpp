@@ -1,0 +1,294 @@
+// Encode/decode round-trips of every wire frame type, plus the Rice codec
+// it builds on. These are the fidelity half of the wire contract (the
+// robustness half lives in wire_fuzz_test.cpp): whatever a peer encodes,
+// the other side decodes to an equal value, and truncating a valid frame
+// at ANY byte boundary is an error, never a crash or a wrong value.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "sb/wire/frames.hpp"
+#include "sb/wire/rice.hpp"
+#include "util/rng.hpp"
+
+namespace sbp::sb::wire {
+namespace {
+
+// -- Rice codec -------------------------------------------------------------
+
+std::vector<std::uint32_t> sorted_random(util::Rng& rng, std::size_t count) {
+  std::vector<std::uint32_t> values;
+  std::uint64_t next = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    next += 1 + rng.next_below(1 << 20);
+    if (next > 0xFFFFFFFFull) break;
+    values.push_back(static_cast<std::uint32_t>(next));
+  }
+  return values;
+}
+
+TEST(RiceCodecTest, RoundTripsRandomSortedSets) {
+  util::Rng rng(1);
+  for (const std::size_t count : {0u, 1u, 2u, 3u, 100u, 5000u}) {
+    const auto values = sorted_random(rng, count);
+    Writer writer;
+    rice_encode_sorted(values, writer);
+    Reader reader(writer.data());
+    const auto decoded = rice_decode_sorted(reader, 1 << 20);
+    ASSERT_TRUE(decoded.has_value()) << "count=" << count;
+    EXPECT_EQ(*decoded, values);
+    EXPECT_TRUE(reader.done());
+  }
+}
+
+TEST(RiceCodecTest, RoundTripsAdversarialShapes) {
+  // Dense runs (gap 1), a huge leading gap, and the extremes of the range.
+  const std::vector<std::vector<std::uint32_t>> cases = {
+      {0},
+      {0xFFFFFFFFu},
+      {0, 0xFFFFFFFFu},
+      {0, 1, 2, 3, 4, 5, 6, 7},
+      {1000000000u, 1000000001u, 4000000000u},
+  };
+  for (const auto& values : cases) {
+    Writer writer;
+    rice_encode_sorted(values, writer);
+    Reader reader(writer.data());
+    const auto decoded = rice_decode_sorted(reader, 1 << 20);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, values);
+  }
+}
+
+TEST(RiceCodecTest, CompressesUniformPrefixesBelowRaw) {
+  // The v4 rationale: N uniform 32-bit values cost ~log2(2^32/N)+1.5 bits
+  // each, far under 32. For 4096 values that is < 3 bytes per value.
+  util::Rng rng(7);
+  std::vector<std::uint32_t> values;
+  for (int i = 0; i < 4096; ++i) {
+    values.push_back(static_cast<std::uint32_t>(rng.next()));
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  const std::size_t encoded = rice_encoded_size(values);
+  EXPECT_LT(encoded, values.size() * 3);
+  EXPECT_LT(encoded, values.size() * 4);  // always beats raw 4 B/prefix
+}
+
+TEST(RiceCodecTest, CountBeyondLimitRejected) {
+  Writer writer;
+  rice_encode_sorted(std::vector<std::uint32_t>{1, 2, 3, 4, 5}, writer);
+  Reader reader(writer.data());
+  EXPECT_FALSE(rice_decode_sorted(reader, 4).has_value());
+}
+
+// -- frame round-trips ------------------------------------------------------
+
+FullHashResponse sample_full_hash_response() {
+  FullHashResponse response;
+  const crypto::Digest256 a = crypto::Digest256::of("evil.example/");
+  const crypto::Digest256 b = crypto::Digest256::of("bad.example/");
+  response.matches[a.prefix32()] = {{"goog-malware-shavar", a}};
+  response.matches[b.prefix32()] = {{"goog-malware-shavar", b},
+                                    {"goog-phish-shavar", b}};
+  response.matches[0x01020304] = {};  // orphan prefix: no digests
+  return response;
+}
+
+bool equal(const FullHashResponse& x, const FullHashResponse& y) {
+  if (x.matches.size() != y.matches.size()) return false;
+  for (const auto& [prefix, matches] : x.matches) {
+    const auto it = y.matches.find(prefix);
+    if (it == y.matches.end() || it->second.size() != matches.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < matches.size(); ++i) {
+      if (matches[i].list_name != it->second[i].list_name ||
+          !(matches[i].digest == it->second[i].digest)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(WireRoundTripTest, V1LookupRequest) {
+  const V1LookupRequest request{0xDEADBEEFCAFEull,
+                                "http://private.example/secret?q=1"};
+  const auto frame = encode_v1_lookup_request(request);
+  const auto decoded = decode_v1_lookup_request(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->cookie, request.cookie);
+  EXPECT_EQ(decoded->url, request.url);
+}
+
+TEST(WireRoundTripTest, V1LookupResponse) {
+  for (const bool malicious : {false, true}) {
+    const auto frame = encode_v1_lookup_response({malicious});
+    const auto decoded = decode_v1_lookup_response(frame);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->malicious, malicious);
+  }
+}
+
+TEST(WireRoundTripTest, FullHashRequest) {
+  const FullHashRequest request{42, {0x11111111, 0x22222222, 0xFFFFFFFF}};
+  const auto frame = encode_full_hash_request(request);
+  const auto decoded = decode_full_hash_request(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->cookie, request.cookie);
+  EXPECT_EQ(decoded->prefixes, request.prefixes);
+}
+
+TEST(WireRoundTripTest, FullHashResponse) {
+  const FullHashResponse response = sample_full_hash_response();
+  const auto frame = encode_full_hash_response(response);
+  const auto decoded = decode_full_hash_response(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(equal(response, *decoded));
+}
+
+TEST(WireRoundTripTest, UpdateRequest) {
+  UpdateRequest request;
+  request.lists.push_back({"goog-malware-shavar", {1, 2, 3, 7}, {2}});
+  request.lists.push_back({"goog-phish-shavar", {}, {}});
+  const auto frame = encode_update_request(request);
+  const auto decoded = decode_update_request(frame);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->lists.size(), 2u);
+  EXPECT_EQ(decoded->lists[0].list_name, "goog-malware-shavar");
+  EXPECT_EQ(decoded->lists[0].add_chunks, (std::vector<std::uint32_t>{1, 2, 3, 7}));
+  EXPECT_EQ(decoded->lists[0].sub_chunks, (std::vector<std::uint32_t>{2}));
+  EXPECT_TRUE(decoded->lists[1].add_chunks.empty());
+}
+
+TEST(WireRoundTripTest, UpdateResponse) {
+  UpdateResponse response;
+  response.next_update_after = 1800;
+  Chunk add;
+  add.number = 4;
+  add.type = ChunkType::kAdd;
+  add.prefixes = {0x0A0B0C0D, 0x11223344};
+  Chunk sub;
+  sub.number = 5;
+  sub.type = ChunkType::kSub;
+  sub.prefixes = {0x0A0B0C0D};
+  response.lists.push_back({"list", {add, sub}});
+  const auto frame = encode_update_response(response);
+  const auto decoded = decode_update_response(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->next_update_after, 1800u);
+  ASSERT_EQ(decoded->lists.size(), 1u);
+  ASSERT_EQ(decoded->lists[0].chunks.size(), 2u);
+  EXPECT_EQ(decoded->lists[0].chunks[0], add);
+  EXPECT_EQ(decoded->lists[0].chunks[1], sub);
+}
+
+TEST(WireRoundTripTest, V4UpdateRequest) {
+  V4UpdateRequest request;
+  request.lists.push_back({"goog-malware-proto", 17});
+  request.lists.push_back({"fresh-list", 0});
+  const auto frame = encode_v4_update_request(request);
+  const auto decoded = decode_v4_update_request(frame);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->lists.size(), 2u);
+  EXPECT_EQ(decoded->lists[0].list_name, "goog-malware-proto");
+  EXPECT_EQ(decoded->lists[0].state, 17u);
+  EXPECT_EQ(decoded->lists[1].state, 0u);
+}
+
+TEST(WireRoundTripTest, V4UpdateResponse) {
+  V4UpdateResponse response;
+  response.minimum_wait = 300;
+  V4SliceUpdate slice;
+  slice.list_name = "goog-malware-proto";
+  slice.full_reset = false;
+  slice.new_state = 9;
+  slice.removal_indices = {0, 5, 17};
+  slice.additions = {0x01000000, 0x02000000, 0xFEDCBA98};
+  slice.checksum = 0xABCD1234;
+  response.lists.push_back(slice);
+  V4SliceUpdate reset;
+  reset.list_name = "fresh-list";
+  reset.full_reset = true;
+  reset.new_state = 3;
+  reset.additions = {1, 2, 3};
+  reset.checksum = 7;
+  response.lists.push_back(reset);
+
+  const auto frame = encode_v4_update_response(response);
+  const auto decoded = decode_v4_update_response(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->minimum_wait, 300u);
+  ASSERT_EQ(decoded->lists.size(), 2u);
+  EXPECT_EQ(decoded->lists[0].removal_indices, slice.removal_indices);
+  EXPECT_EQ(decoded->lists[0].additions, slice.additions);
+  EXPECT_EQ(decoded->lists[0].checksum, slice.checksum);
+  EXPECT_FALSE(decoded->lists[0].full_reset);
+  EXPECT_TRUE(decoded->lists[1].full_reset);
+  EXPECT_EQ(decoded->lists[1].additions, reset.additions);
+}
+
+TEST(WireRoundTripTest, EveryTruncationOfEveryFrameErrors) {
+  UpdateResponse update_response;
+  Chunk chunk;
+  chunk.number = 1;
+  chunk.prefixes = {0xAABBCCDD};
+  update_response.lists.push_back({"list", {chunk}});
+  V4UpdateResponse v4_response;
+  V4SliceUpdate slice;
+  slice.list_name = "list";
+  slice.new_state = 2;
+  slice.additions = {10, 20, 30};
+  slice.checksum = 1;
+  v4_response.lists.push_back(slice);
+
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      encode_v1_lookup_request({1, "http://a.example/"}),
+      encode_v1_lookup_response({true}),
+      encode_full_hash_request({1, {0x12345678}}),
+      encode_full_hash_response(sample_full_hash_response()),
+      encode_update_request({{{"list", {1}, {}}}}),
+      encode_update_response(update_response),
+      encode_v4_update_request({{{"list", 1}}}),
+      encode_v4_update_response(v4_response),
+  };
+  for (const auto& frame : frames) {
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      const std::span<const std::uint8_t> prefix{frame.data(), cut};
+      EXPECT_FALSE(decode_v1_lookup_request(prefix).has_value());
+      EXPECT_FALSE(decode_v1_lookup_response(prefix).has_value());
+      EXPECT_FALSE(decode_full_hash_request(prefix).has_value());
+      EXPECT_FALSE(decode_full_hash_response(prefix).has_value());
+      EXPECT_FALSE(decode_update_request(prefix).has_value());
+      EXPECT_FALSE(decode_update_response(prefix).has_value());
+      EXPECT_FALSE(decode_v4_update_request(prefix).has_value());
+      EXPECT_FALSE(decode_v4_update_response(prefix).has_value());
+    }
+  }
+}
+
+TEST(WireRoundTripTest, TrailingGarbageRejected) {
+  auto frame = encode_full_hash_request({1, {0x12345678}});
+  frame.push_back(0x00);
+  EXPECT_FALSE(decode_full_hash_request(frame).has_value());
+}
+
+TEST(WireRoundTripTest, WrongTagRejected) {
+  auto frame = encode_full_hash_request({1, {0x12345678}});
+  frame[0] = 0x7F;
+  EXPECT_FALSE(decode_full_hash_request(frame).has_value());
+}
+
+TEST(WireRoundTripTest, VarintOverflowRejected) {
+  // 11 continuation bytes: more than any uint64 varint may occupy.
+  std::vector<std::uint8_t> frame = {0x31};  // FullHashRequest tag
+  for (int i = 0; i < 11; ++i) frame.push_back(0xFF);
+  frame.push_back(0x00);
+  EXPECT_FALSE(decode_full_hash_request(frame).has_value());
+}
+
+}  // namespace
+}  // namespace sbp::sb::wire
