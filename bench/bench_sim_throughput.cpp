@@ -1,21 +1,28 @@
 // Simulation engine throughput: how fast can the full SB stack serve a
-// large synthetic population?
+// large synthetic population -- and how does it scale across threads?
 //
-// Runs a >= 100k-user, >= 50-tick simulation (per-user sb::Client instances
-// against the shared sb::Server, power-law traffic, churning lists) with the
+// Runs a >= 100k-user, >= 50-tick simulation (per-user ProtocolClient
+// instances against the shared sb::Server, power-law traffic, churning
+// lists) once per thread count in the sweep (default 1,2,4,8), with the
 // query log streamed through a constant-memory CountingSink -- the server
 // retains nothing -- and reports throughput as JSON on stdout and into
-// BENCH_sim.json (--out PATH overrides; --users / --ticks rescale).
+// BENCH_sim.json (--out PATH overrides; --users / --ticks / --threads
+// rescale).
 //
-// The JSON includes the log fingerprint so successive runs double as a
-// large-scale determinism check, and the engine/population counters so perf
-// PRs can see *what* the time was spent on (lookups vs. wire requests vs.
-// update churn).
+// The sweep doubles as the large-scale determinism gate: every run must
+// produce the SAME log fingerprint, entry counts and engine counters as
+// the single-thread baseline; any divergence exits nonzero (the parallel
+// runtime's acceptance criterion, also enforced at unit scale by
+// tests/sim/engine_parallel_test.cpp). The JSON includes per-thread-count
+// results plus the speedup over the 1-thread run, so scaling PRs can see
+// the trajectory per commit. Top-level fields describe the single-thread
+// baseline, keeping the schema of earlier PRs.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "sim/engine.hpp"
@@ -29,11 +36,13 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-sbp::sim::SimConfig bench_config(std::size_t users, std::uint64_t ticks) {
+sbp::sim::SimConfig bench_config(std::size_t users, std::uint64_t ticks,
+                                 std::size_t threads) {
   sbp::sim::SimConfig config;
   config.num_users = users;
   config.ticks = ticks;
   config.num_shards = 16;
+  config.num_threads = threads;
   config.seed = 2016;
   config.corpus.num_hosts = 20000;
   config.corpus.seed = 2016;
@@ -48,68 +57,157 @@ sbp::sim::SimConfig bench_config(std::size_t users, std::uint64_t ticks) {
   return config;
 }
 
-std::string format_json(const sbp::sim::Engine& engine,
-                        const sbp::sim::CountingSink& sink,
-                        double setup_seconds, double run_seconds) {
-  const auto& config = engine.config();
-  const auto& metrics = engine.metrics();
-  const auto population = engine.population_metrics();
-  const auto& wire = engine.transport_stats();
-  const double user_ticks = static_cast<double>(config.num_users) *
-                            static_cast<double>(metrics.ticks_run);
-  char buffer[2048];
-  std::snprintf(
-      buffer, sizeof(buffer),
-      "{\n"
-      "  \"experiment\": \"sim_throughput\",\n"
-      "  \"users\": %zu,\n"
-      "  \"ticks\": %llu,\n"
-      "  \"shards\": %zu,\n"
-      "  \"seed\": %llu,\n"
-      "  \"setup_seconds\": %.3f,\n"
-      "  \"run_seconds\": %.3f,\n"
-      "  \"lookups\": %llu,\n"
-      "  \"lookups_per_sec\": %.0f,\n"
-      "  \"user_ticks_per_sec\": %.0f,\n"
-      "  \"users_per_sec_setup\": %.0f,\n"
-      "  \"local_hit_lookups\": %llu,\n"
-      "  \"full_hash_requests\": %llu,\n"
-      "  \"update_requests\": %llu,\n"
-      "  \"wire_bytes_up\": %llu,\n"
-      "  \"wire_bytes_down\": %llu,\n"
-      "  \"cache_answers\": %llu,\n"
-      "  \"churn_events\": %llu,\n"
-      "  \"churn_updates\": %llu,\n"
-      "  \"url_cache_hits\": %llu,\n"
-      "  \"url_cache_misses\": %llu,\n"
-      "  \"log_entries\": %llu,\n"
-      "  \"log_prefixes\": %llu,\n"
-      "  \"log_multi_prefix_entries\": %llu,\n"
-      "  \"log_fingerprint\": \"0x%016llx\"\n"
-      "}\n",
-      config.num_users, static_cast<unsigned long long>(metrics.ticks_run),
-      config.num_shards, static_cast<unsigned long long>(config.seed),
-      setup_seconds, run_seconds,
-      static_cast<unsigned long long>(metrics.lookups),
-      static_cast<double>(metrics.lookups) / run_seconds,
-      user_ticks / run_seconds,
-      static_cast<double>(config.num_users) / setup_seconds,
-      static_cast<unsigned long long>(metrics.local_hit_lookups),
-      static_cast<unsigned long long>(wire.full_hash_requests),
-      static_cast<unsigned long long>(wire.update_requests +
-                                      wire.v4_update_requests),
-      static_cast<unsigned long long>(wire.bytes_up),
-      static_cast<unsigned long long>(wire.bytes_down),
-      static_cast<unsigned long long>(population.cache_answers),
-      static_cast<unsigned long long>(metrics.churn_events),
-      static_cast<unsigned long long>(metrics.churn_updates),
-      static_cast<unsigned long long>(metrics.url_cache_hits),
-      static_cast<unsigned long long>(metrics.url_cache_misses),
-      static_cast<unsigned long long>(sink.entries()),
-      static_cast<unsigned long long>(sink.prefixes()),
-      static_cast<unsigned long long>(sink.multi_prefix_entries()),
-      static_cast<unsigned long long>(sink.fingerprint()));
-  return buffer;
+/// One completed run of the population at a given thread count.
+struct SweepPoint {
+  std::size_t threads_requested = 0;
+  std::size_t threads_used = 0;
+  double setup_seconds = 0.0;
+  double run_seconds = 0.0;
+  sbp::sim::SimMetrics metrics;
+  sbp::sb::ClientMetrics population;
+  sbp::sb::TransportStats wire;
+  std::uint64_t log_entries = 0;
+  std::uint64_t log_prefixes = 0;
+  std::uint64_t log_multi_prefix_entries = 0;
+  std::uint64_t log_fingerprint = 0;
+};
+
+SweepPoint run_point(std::size_t users, std::uint64_t ticks,
+                     std::size_t threads) {
+  SweepPoint point;
+  point.threads_requested = threads;
+
+  const auto setup_start = Clock::now();
+  sbp::sim::Engine engine(bench_config(users, ticks, threads));
+  point.setup_seconds = seconds_since(setup_start);
+  point.threads_used = engine.num_threads();
+
+  sbp::sim::CountingSink sink;
+  engine.attach_sink(&sink, /*retain_in_memory=*/false);
+
+  const auto run_start = Clock::now();
+  engine.run();
+  point.run_seconds = seconds_since(run_start);
+
+  point.metrics = engine.metrics();
+  point.population = engine.population_metrics();
+  point.wire = engine.transport_stats();
+  point.log_entries = sink.entries();
+  point.log_prefixes = sink.prefixes();
+  point.log_multi_prefix_entries = sink.multi_prefix_entries();
+  point.log_fingerprint = sink.fingerprint();
+  return point;
+}
+
+/// The determinism gate: everything the provider observes must match the
+/// baseline bit for bit.
+bool matches_baseline(const SweepPoint& baseline, const SweepPoint& point) {
+  return point.log_fingerprint == baseline.log_fingerprint &&
+         point.log_entries == baseline.log_entries &&
+         point.log_prefixes == baseline.log_prefixes &&
+         point.log_multi_prefix_entries ==
+             baseline.log_multi_prefix_entries &&
+         point.metrics.lookups == baseline.metrics.lookups &&
+         point.metrics.local_hit_lookups ==
+             baseline.metrics.local_hit_lookups &&
+         point.metrics.malicious_verdicts ==
+             baseline.metrics.malicious_verdicts &&
+         point.wire.bytes_up == baseline.wire.bytes_up &&
+         point.wire.bytes_down == baseline.wire.bytes_down &&
+         point.wire.full_hash_requests == baseline.wire.full_hash_requests;
+}
+
+double user_ticks_per_sec(const SweepPoint& point, std::size_t users) {
+  return static_cast<double>(users) *
+         static_cast<double>(point.metrics.ticks_run) / point.run_seconds;
+}
+
+std::string format_json(const std::vector<SweepPoint>& sweep,
+                        const sbp::sim::SimConfig& config, std::size_t users,
+                        bool deterministic) {
+  const SweepPoint& base = sweep.front();
+  char buffer[1024];
+  std::string json = "{\n";
+  const auto append = [&](const char* format, auto... values) {
+    std::snprintf(buffer, sizeof(buffer), format, values...);
+    json += buffer;
+  };
+
+  // Single-thread baseline: the schema earlier PRs track.
+  append("  \"experiment\": \"sim_throughput\",\n");
+  append("  \"users\": %zu,\n", users);
+  append("  \"ticks\": %llu,\n",
+         static_cast<unsigned long long>(base.metrics.ticks_run));
+  append("  \"shards\": %zu,\n", config.num_shards);
+  append("  \"seed\": %llu,\n", static_cast<unsigned long long>(config.seed));
+  append("  \"setup_seconds\": %.3f,\n", base.setup_seconds);
+  append("  \"run_seconds\": %.3f,\n", base.run_seconds);
+  append("  \"lookups\": %llu,\n",
+         static_cast<unsigned long long>(base.metrics.lookups));
+  append("  \"lookups_per_sec\": %.0f,\n",
+         static_cast<double>(base.metrics.lookups) / base.run_seconds);
+  append("  \"user_ticks_per_sec\": %.0f,\n", user_ticks_per_sec(base, users));
+  append("  \"users_per_sec_setup\": %.0f,\n",
+         static_cast<double>(users) / base.setup_seconds);
+  append("  \"local_hit_lookups\": %llu,\n",
+         static_cast<unsigned long long>(base.metrics.local_hit_lookups));
+  append("  \"full_hash_requests\": %llu,\n",
+         static_cast<unsigned long long>(base.wire.full_hash_requests));
+  append("  \"update_requests\": %llu,\n",
+         static_cast<unsigned long long>(base.wire.update_requests +
+                                         base.wire.v4_update_requests));
+  append("  \"wire_bytes_up\": %llu,\n",
+         static_cast<unsigned long long>(base.wire.bytes_up));
+  append("  \"wire_bytes_down\": %llu,\n",
+         static_cast<unsigned long long>(base.wire.bytes_down));
+  append("  \"cache_answers\": %llu,\n",
+         static_cast<unsigned long long>(base.population.cache_answers));
+  append("  \"churn_events\": %llu,\n",
+         static_cast<unsigned long long>(base.metrics.churn_events));
+  append("  \"churn_updates\": %llu,\n",
+         static_cast<unsigned long long>(base.metrics.churn_updates));
+  append("  \"url_cache_hits\": %llu,\n",
+         static_cast<unsigned long long>(base.metrics.url_cache_hits));
+  append("  \"url_cache_misses\": %llu,\n",
+         static_cast<unsigned long long>(base.metrics.url_cache_misses));
+  append("  \"log_entries\": %llu,\n",
+         static_cast<unsigned long long>(base.log_entries));
+  append("  \"log_prefixes\": %llu,\n",
+         static_cast<unsigned long long>(base.log_prefixes));
+  append("  \"log_multi_prefix_entries\": %llu,\n",
+         static_cast<unsigned long long>(base.log_multi_prefix_entries));
+  append("  \"log_fingerprint\": \"0x%016llx\",\n",
+         static_cast<unsigned long long>(base.log_fingerprint));
+
+  // The thread sweep.
+  json += "  \"thread_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& point = sweep[i];
+    append(
+        "    {\"threads\": %zu, \"threads_used\": %zu, "
+        "\"run_seconds\": %.3f, \"user_ticks_per_sec\": %.0f, "
+        "\"lookups_per_sec\": %.0f, \"speedup\": %.2f, "
+        "\"log_fingerprint\": \"0x%016llx\"}%s\n",
+        point.threads_requested, point.threads_used, point.run_seconds,
+        user_ticks_per_sec(point, users),
+        static_cast<double>(point.metrics.lookups) / point.run_seconds,
+        base.run_seconds / point.run_seconds,
+        static_cast<unsigned long long>(point.log_fingerprint),
+        i + 1 < sweep.size() ? "," : "");
+  }
+  json += "  ],\n";
+  append("  \"max_speedup\": %.2f,\n",
+         base.run_seconds / [&] {
+           double best = base.run_seconds;
+           for (const auto& point : sweep) {
+             if (point.run_seconds < best) best = point.run_seconds;
+           }
+           return best;
+         }());
+  append("  \"deterministic_across_threads\": %s\n",
+         deterministic ? "true" : "false");
+  json += "}\n";
+  return json;
 }
 
 }  // namespace
@@ -118,6 +216,7 @@ int main(int argc, char** argv) {
   std::size_t users = 100000;
   std::uint64_t ticks = 50;
   std::string out_path = "BENCH_sim.json";
+  std::vector<std::size_t> thread_sweep = {1, 2, 4, 8};
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--users") == 0) {
       users = static_cast<std::size_t>(std::strtoull(argv[i + 1], nullptr, 10));
@@ -125,27 +224,59 @@ int main(int argc, char** argv) {
       ticks = std::strtoull(argv[i + 1], nullptr, 10);
     } else if (std::strcmp(argv[i], "--out") == 0) {
       out_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      // Comma-separated sweep, e.g. --threads 1,4,16
+      thread_sweep.clear();
+      for (const char* cursor = argv[i + 1]; *cursor != '\0';) {
+        char* end = nullptr;
+        const auto value = std::strtoull(cursor, &end, 10);
+        if (end == cursor || (*end != ',' && *end != '\0')) {
+          std::fprintf(stderr, "bad --threads list: %s\n", argv[i + 1]);
+          return 1;
+        }
+        thread_sweep.push_back(static_cast<std::size_t>(value));
+        cursor = (*end == ',') ? end + 1 : end;
+      }
+      if (thread_sweep.empty()) thread_sweep = {1};
     }
+  }
+  // The first point is the determinism baseline; force it to 1 thread.
+  if (thread_sweep.front() != 1) {
+    thread_sweep.insert(thread_sweep.begin(), 1);
   }
 
   sbp::bench::header("sim_throughput",
-                     "population simulation engine, streaming query log");
+                     "population simulation engine, streaming query log, "
+                     "thread-scaling sweep");
   std::printf("population: %zu users x %llu ticks\n", users,
               static_cast<unsigned long long>(ticks));
 
-  const auto setup_start = Clock::now();
-  sbp::sim::Engine engine(bench_config(users, ticks));
-  const double setup_seconds = seconds_since(setup_start);
-
-  sbp::sim::CountingSink sink;
-  engine.attach_sink(&sink, /*retain_in_memory=*/false);
-
-  const auto run_start = Clock::now();
-  engine.run();
-  const double run_seconds = seconds_since(run_start);
+  std::vector<SweepPoint> sweep;
+  bool deterministic = true;
+  for (const std::size_t threads : thread_sweep) {
+    SweepPoint point = run_point(users, ticks, threads);
+    std::printf(
+        "threads=%zu (used %zu): %.3f s run, %.0f user-ticks/s, "
+        "fingerprint 0x%016llx\n",
+        point.threads_requested, point.threads_used, point.run_seconds,
+        user_ticks_per_sec(point, users),
+        static_cast<unsigned long long>(point.log_fingerprint));
+    if (!sweep.empty() && !matches_baseline(sweep.front(), point)) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "DETERMINISM FAILURE: %zu-thread run diverged from the "
+                   "single-thread baseline (fingerprint 0x%016llx vs "
+                   "0x%016llx)\n",
+                   point.threads_requested,
+                   static_cast<unsigned long long>(point.log_fingerprint),
+                   static_cast<unsigned long long>(
+                       sweep.front().log_fingerprint));
+    }
+    sweep.push_back(point);
+  }
 
   const std::string json =
-      format_json(engine, sink, setup_seconds, run_seconds);
+      format_json(sweep, bench_config(users, ticks, 1), users, deterministic);
   std::fputs(json.c_str(), stdout);
   if (FILE* out = std::fopen(out_path.c_str(), "w")) {
     std::fputs(json.c_str(), out);
@@ -155,5 +286,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "could not write %s\n", out_path.c_str());
     return 1;
   }
-  return 0;
+  return deterministic ? 0 : 2;
 }

@@ -1,6 +1,11 @@
-// Privacy audit of a Safe Browsing deployment -- the Section 7 forensics
-// as a reusable tool: crawl the provider's lists, census orphans, find
-// multi-prefix URLs and estimate the k-anonymity a user actually gets.
+// Privacy audit of a LIVE Safe Browsing deployment -- the Section 7
+// forensics as a reusable tool, run against the simulation engine: a
+// Yandex-shaped provider (honest entries, bulk orphans, multi-prefix
+// groups) serves a real browsing population through the versioned protocol
+// stack, and the auditor then examines both the provider's database (crawl
+// side) and the query log the population actually produced (observation
+// side): orphan census, multi-prefix URLs, empirical k-anonymity, and
+// re-identification of logged multi-prefix queries.
 //
 // Build & run:  ./build/examples/privacy_audit
 #include <cstdio>
@@ -10,23 +15,49 @@
 #include "analysis/orphans.hpp"
 #include "analysis/reidentify.hpp"
 #include "sb/blacklist_factory.hpp"
-#include "url/decompose.hpp"
+#include "sim/engine.hpp"
+#include "sim/log_sink.hpp"
 
 int main() {
   using namespace sbp;
 
-  // A provider whose lists contain honest entries, orphans and multi-prefix
-  // groups (the composition Section 7 measured at Yandex).
-  sb::Server server(sb::Provider::kYandex);
-  sb::BlacklistFactory factory(777);
-  factory.populate(server, {"ydx-malware-shavar", 3000, 0.02, 5, 8});
-  factory.populate(server, {"ydx-phish-shavar", 500, 0.99, 0, 0});
-  factory.populate(server, {"ydx-yellow-shavar", 50, 1.0, 0, 0});
+  // A Yandex-shaped deployment driven end to end by the engine. The main
+  // list is seeded from the synthetic web (so the population's browsing
+  // actually hits it); server_setup adds the orphan-heavy lists Section 7
+  // measured at Yandex before the lists seal and clients sync.
+  sim::SimConfig config;
+  config.provider = sb::Provider::kYandex;
+  config.num_users = 400;
+  config.ticks = 80;
+  config.seed = 777;
+  config.corpus.num_hosts = 800;
+  config.corpus.seed = 777;
+  config.corpus.max_pages = 120;
+  config.blacklist.lists = {"ydx-malware-shavar"};
+  config.blacklist.page_fraction = 0.08;
+  config.blacklist.site_fraction = 0.04;   // multi-prefix groups
+  config.blacklist.orphan_prefixes = 64;   // tampering evidence in the wild
+  config.server_setup = [](sb::Server& server) {
+    sb::BlacklistFactory factory(777);
+    factory.populate(server, {"ydx-phish-shavar", 500, 0.99, 0, 0});
+    factory.populate(server, {"ydx-yellow-shavar", 50, 1.0, 0, 0});
+  };
+
+  sim::Engine engine(std::move(config));
+  sim::InMemorySink log;
+  engine.attach_sink(&log, /*retain_in_memory=*/false);
+  engine.run();
+  std::printf("deployment: %zu users x %llu ticks -> %llu lookups, %zu "
+              "queries observed by the provider\n\n",
+              engine.num_users(),
+              static_cast<unsigned long long>(engine.metrics().ticks_run),
+              static_cast<unsigned long long>(engine.metrics().lookups),
+              log.entries().size());
 
   // --- Audit 1: orphan census (Table 11's method) -------------------------
-  std::printf("[audit 1] orphan census\n");
-  std::printf("%-22s %8s %8s %9s\n", "list", "total", "orphans", "orphan%%");
-  for (const auto& census : analysis::census_all(server)) {
+  std::printf("[audit 1] orphan census of the provider's lists\n");
+  std::printf("%-22s %8s %8s %9s\n", "list", "total", "orphans", "orphan%");
+  for (const auto& census : analysis::census_all(engine.server())) {
     std::printf("%-22s %8zu %8zu %8.1f%%\n", census.list_name.c_str(),
                 census.total_prefixes, census.orphans,
                 census.orphan_fraction() * 100.0);
@@ -36,10 +67,10 @@ int main() {
               "protection.\n\n");
 
   // --- Audit 2: multi-prefix URLs (Table 12's method) ---------------------
-  const corpus::WebCorpus web(corpus::CorpusConfig::alexa_like(400, 3));
+  const corpus::WebCorpus& web = engine.traffic_model().corpus();
   const auto scan =
-      analysis::scan_corpus(server, "ydx-malware-shavar", web, 4);
-  std::printf("[audit 2] multi-prefix scan over %llu benign URLs: %llu "
+      analysis::scan_corpus(engine.server(), "ydx-malware-shavar", web, 4);
+  std::printf("[audit 2] multi-prefix scan over %llu corpus URLs: %llu "
               "multi-hits\n",
               static_cast<unsigned long long>(scan.urls_scanned),
               static_cast<unsigned long long>(scan.urls_with_multi_hits));
@@ -58,22 +89,21 @@ int main() {
   std::printf("  (the 'k-anonymity' of a prefix is vacuous when the "
               "adversary indexes the web: most prefixes have k = 1)\n");
 
-  // --- Audit 4: what one prefix pair reveals ------------------------------
+  // --- Audit 4: re-identify the log the population just produced ----------
+  // The provider's view, not a hypothetical: take the multi-prefix entries
+  // users actually sent and ask how many corpus URLs each could have been.
   analysis::ReidentificationIndex reid;
   reid.add_corpus(web);
-  const auto site = web.site(0);
-  if (!site.pages.empty()) {
-    const auto prefixes = sbp::url::decompose_prefixes(site.pages[0].url());
-    if (prefixes.size() >= 2) {
-      const std::vector<crypto::Prefix32> pair = {prefixes[0], prefixes[1]};
-      const auto result = reid.reidentify(pair);
-      std::printf("\n[audit 4] a 2-prefix query for %s leaves %zu candidate "
-                  "URL(s)%s\n",
-                  site.pages[0].expression().c_str(),
-                  result.candidate_urls.size(),
-                  result.unique() ? " -- uniquely re-identified" : "");
-    }
+  std::uint64_t multi = 0, unique = 0;
+  for (const auto& entry : log.entries()) {
+    if (entry.prefixes.size() < 2) continue;
+    ++multi;
+    if (reid.reidentify(entry.prefixes).unique()) ++unique;
   }
+  std::printf("\n[audit 4] of %llu multi-prefix queries observed in the "
+              "deployment's own log, %llu re-identify a UNIQUE URL\n",
+              static_cast<unsigned long long>(multi),
+              static_cast<unsigned long long>(unique));
 
   std::printf("\naudit conclusion (paper Section 9): hashing and truncation "
               "fail as anonymization once multiple prefixes reach the "

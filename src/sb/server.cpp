@@ -7,6 +7,51 @@
 
 namespace sbp::sb {
 
+thread_local QueryLogBuffer* Server::active_log_buffer_ = nullptr;
+
+Server::ScopedLogShard::ScopedLogShard(QueryLogBuffer& buffer) noexcept
+    : previous_(active_log_buffer_) {
+  active_log_buffer_ = &buffer;
+}
+
+Server::ScopedLogShard::~ScopedLogShard() { active_log_buffer_ = previous_; }
+
+void Server::drain_log_buffer(QueryLogBuffer& buffer) {
+  for (auto& entry : buffer.entries_) {
+    if (sink_ != nullptr) sink_->record(entry);
+    if (retain_query_log_) query_log_.push_back(std::move(entry));
+  }
+  buffer.entries_.clear();
+}
+
+void Server::invalidate_snapshot() noexcept {
+  snapshot_.store(nullptr, std::memory_order_release);
+}
+
+std::shared_ptr<const Server::LookupSnapshot> Server::lookup_snapshot() const {
+  auto snapshot = snapshot_.load(std::memory_order_acquire);
+  if (snapshot) return snapshot;
+  // Stale: rebuild from the build-side state. Only reachable when a
+  // mutation happened since the last publish, and mutations are confined
+  // to single-threaded phases; the mutex merely serializes redundant
+  // rebuilds if several readers arrive right after a seal-free mutation.
+  const std::lock_guard<std::mutex> lock(snapshot_rebuild_mutex_);
+  snapshot = snapshot_.load(std::memory_order_acquire);
+  if (snapshot) return snapshot;
+  auto rebuilt = std::make_shared<LookupSnapshot>();
+  for (const auto& [list_name, data] : lists_) {
+    for (const auto& [prefix, digests] : data.digests_by_prefix) {
+      auto& bucket = rebuilt->matches[prefix];  // orphans: empty bucket
+      for (const auto& digest : digests) {
+        bucket.push_back({list_name, digest});
+      }
+    }
+  }
+  snapshot = std::move(rebuilt);
+  snapshot_.store(snapshot, std::memory_order_release);
+  return snapshot;
+}
+
 Server::ListData& Server::list(std::string_view name) {
   const auto it = lists_.find(name);
   if (it != lists_.end()) return it->second;
@@ -29,6 +74,7 @@ void Server::add_digest(std::string_view list_name,
     bucket.push_back(digest);
   }
   data.open_chunk.prefixes.push_back(prefix);
+  invalidate_snapshot();
 }
 
 void Server::add_expression(std::string_view list_name,
@@ -41,6 +87,7 @@ void Server::add_orphan_prefix(std::string_view list_name,
   ListData& data = list(list_name);
   data.digests_by_prefix.try_emplace(prefix);  // empty digest vector
   data.open_chunk.prefixes.push_back(prefix);
+  invalidate_snapshot();
 }
 
 void Server::remove_expression(std::string_view list_name,
@@ -50,6 +97,7 @@ void Server::remove_expression(std::string_view list_name,
   const crypto::Prefix32 prefix = digest.prefix32();
   const auto it = data.digests_by_prefix.find(prefix);
   if (it == data.digests_by_prefix.end()) return;
+  invalidate_snapshot();
   auto& bucket = it->second;
   bucket.erase(std::remove(bucket.begin(), bucket.end(), digest),
                bucket.end());
@@ -80,9 +128,19 @@ void Server::seal(ListData& data) {
   data.open_chunk = Chunk{};
 }
 
-void Server::seal_chunk(std::string_view list_name) { seal(list(list_name)); }
+void Server::seal_chunk(std::string_view list_name) {
+  seal(list(list_name));
+  // Eagerly republish so the parallel phase that follows a seal serves
+  // entirely from the published snapshot (no rebuild mutex on the hot
+  // path). No-op when the snapshot is already current.
+  (void)lookup_snapshot();
+}
 
 void Server::log_query(QueryLogEntry entry) {
+  if (active_log_buffer_ != nullptr) {
+    active_log_buffer_->entries_.push_back(std::move(entry));
+    return;
+  }
   if (sink_ == nullptr && !retain_query_log_) return;
   if (sink_ != nullptr) sink_->record(entry);
   if (retain_query_log_) query_log_.push_back(std::move(entry));
@@ -95,6 +153,7 @@ bool Server::lookup_v1(std::string_view url, Cookie cookie,
   entry.cookie = cookie;
   entry.url = std::string(url);
 
+  const auto snapshot = lookup_snapshot();
   bool malicious = false;
   for (const auto& d : url::decompose(url)) {
     const crypto::Digest256 digest = crypto::Digest256::of(d.expression);
@@ -104,11 +163,10 @@ bool Server::lookup_v1(std::string_view url, Cookie cookie,
       entry.prefixes.push_back(prefix);
     }
     if (malicious) continue;
-    for (const auto& [list_name, data] : lists_) {
-      const auto it = data.digests_by_prefix.find(prefix);
-      if (it == data.digests_by_prefix.end()) continue;
-      if (std::find(it->second.begin(), it->second.end(), digest) !=
-          it->second.end()) {
+    const auto it = snapshot->matches.find(prefix);
+    if (it == snapshot->matches.end()) continue;
+    for (const auto& match : it->second) {
+      if (match.digest == digest) {
         malicious = true;
         break;
       }
@@ -203,16 +261,12 @@ FullHashResponse Server::get_full_hashes(
     const std::vector<crypto::Prefix32>& prefixes, Cookie cookie,
     std::uint64_t tick) {
   log_query(QueryLogEntry{tick, cookie, prefixes, /*url=*/{}});
+  const auto snapshot = lookup_snapshot();
   FullHashResponse response;
   for (const auto prefix : prefixes) {
     auto& matches = response.matches[prefix];
-    for (const auto& [list_name, data] : lists_) {
-      const auto it = data.digests_by_prefix.find(prefix);
-      if (it == data.digests_by_prefix.end()) continue;
-      for (const auto& digest : it->second) {
-        matches.push_back({list_name, digest});
-      }
-    }
+    const auto it = snapshot->matches.find(prefix);
+    if (it != snapshot->matches.end()) matches = it->second;
   }
   return response;
 }

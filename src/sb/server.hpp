@@ -15,10 +15,26 @@
 // findings: prefixes present in the lists with no corresponding full digest
 // ("orphans"), which the paper shows Yandex ships in bulk and which prove
 // arbitrary prefix injection is possible.
+//
+// Concurrency model (the parallel simulation runtime, docs/architecture.md):
+// the sealed blacklist state is published as an immutable LookupSnapshot
+// behind an atomic shared_ptr, so the read endpoints (lookup_v1,
+// get_full_hashes) are lock-free and safe to call from many threads at
+// once. List mutation (add/remove/seal and the update endpoints, which may
+// seal) is NOT thread-safe and must never run concurrently with anything
+// else -- the engine confines it to the single-threaded phases between
+// parallel ticks. The query log shards the same way: a worker thread
+// registers a QueryLogBuffer via ScopedLogShard and every entry it produces
+// lands there; the engine drains the buffers in canonical shard order after
+// the tick barrier, so the merged stream is bit-identical at any thread
+// count.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -66,6 +82,24 @@ class QueryLogSink {
 struct FullHashMatch {
   std::string list_name;
   crypto::Digest256 digest;
+};
+
+/// Per-shard query-log accumulator. A simulation worker thread registers
+/// one via Server::ScopedLogShard; entries buffer here in production order
+/// (the per-shard `seq`) and reach the sink only when the engine drains the
+/// buffers in shard order after the tick barrier -- the canonical
+/// (tick, shard, seq) merge that makes parallel runs bit-identical.
+class QueryLogBuffer {
+ public:
+  [[nodiscard]] const std::vector<QueryLogEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  friend class Server;
+  std::vector<QueryLogEntry> entries_;
 };
 
 /// Server reply to a full-hash request: for each queried prefix, all full
@@ -134,7 +168,65 @@ class Server {
   explicit Server(Provider provider = Provider::kGoogle)
       : provider_(provider) {}
 
+  /// Copies the logical state (lists, log, sink wiring); the copy starts
+  /// with no published snapshot and rebuilds lazily. Not thread-safe, like
+  /// all mutation.
+  Server(const Server& other)
+      : provider_(other.provider_),
+        lists_(other.lists_),
+        query_log_(other.query_log_),
+        sink_(other.sink_),
+        retain_query_log_(other.retain_query_log_),
+        minimum_wait_(other.minimum_wait_) {}
+  Server& operator=(const Server& other) {
+    if (this != &other) {
+      provider_ = other.provider_;
+      lists_ = other.lists_;
+      query_log_ = other.query_log_;
+      sink_ = other.sink_;
+      retain_query_log_ = other.retain_query_log_;
+      minimum_wait_ = other.minimum_wait_;
+      invalidate_snapshot();
+    }
+    return *this;
+  }
+
   [[nodiscard]] Provider provider() const noexcept { return provider_; }
+
+  /// The immutable, shareable view of the blacklist state the read
+  /// endpoints serve from: every (list, digest) match keyed by prefix.
+  /// Matches for one prefix are ordered by list name (map order) -- the
+  /// order get_full_hashes has always returned.
+  struct LookupSnapshot {
+    std::unordered_map<crypto::Prefix32, std::vector<FullHashMatch>> matches;
+  };
+
+  /// The current snapshot. Lock-free once published: mutators invalidate,
+  /// seal_chunk republishes, and a read after an unsealed mutation
+  /// rebuilds lazily under a mutex (single-threaded contexts only -- see
+  /// the concurrency model above).
+  [[nodiscard]] std::shared_ptr<const LookupSnapshot> lookup_snapshot() const;
+
+  /// RAII guard routing every log_query() on *this thread* into `buffer`
+  /// instead of the sink/retained log. Used by parallel engine workers;
+  /// nests (the previous buffer is restored on destruction). The routing
+  /// is per-thread and PROCESS-WIDE, not per-server: while the guard is
+  /// alive, endpoints of EVERY Server this thread touches log into
+  /// `buffer` -- don't drive a second server inside a shard scope.
+  class ScopedLogShard {
+   public:
+    explicit ScopedLogShard(QueryLogBuffer& buffer) noexcept;
+    ~ScopedLogShard();
+    ScopedLogShard(const ScopedLogShard&) = delete;
+    ScopedLogShard& operator=(const ScopedLogShard&) = delete;
+
+   private:
+    QueryLogBuffer* previous_;
+  };
+
+  /// Flushes `buffer` into the sink / retained log (in buffer order) and
+  /// clears it. Call from one thread, in shard order, after the barrier.
+  void drain_log_buffer(QueryLogBuffer& buffer);
 
   // -- database construction ------------------------------------------------
 
@@ -227,6 +319,9 @@ class Server {
   [[nodiscard]] const ListData* find(std::string_view name) const;
   void seal(ListData& data);
   void log_query(QueryLogEntry entry);
+  /// Mutators of digests_by_prefix drop the published snapshot; the next
+  /// lookup_snapshot() (or seal_chunk) rebuilds it.
+  void invalidate_snapshot() noexcept;
 
   Provider provider_;
   std::map<std::string, ListData, std::less<>> lists_;
@@ -234,6 +329,12 @@ class Server {
   QueryLogSink* sink_ = nullptr;
   bool retain_query_log_ = true;
   std::uint64_t minimum_wait_ = 0;
+
+  mutable std::atomic<std::shared_ptr<const LookupSnapshot>> snapshot_{};
+  mutable std::mutex snapshot_rebuild_mutex_;
+
+  /// Thread-local routing target installed by ScopedLogShard.
+  static thread_local QueryLogBuffer* active_log_buffer_;
 };
 
 }  // namespace sbp::sb

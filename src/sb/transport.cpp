@@ -13,7 +13,7 @@ namespace sbp::sb {
 
 std::optional<FullHashResponse> Transport::get_full_hashes_or_error(
     const std::vector<crypto::Prefix32>& prefixes, Cookie cookie) {
-  clock_.advance(round_trip_);
+  if (round_trip_ > 0) clock_.advance(round_trip_);
   if (fail_full_hashes_ > 0) {
     --fail_full_hashes_;
     ++stats_.failed_requests;
@@ -44,7 +44,7 @@ FullHashResponse Transport::get_full_hashes(
 
 std::optional<UpdateResponse> Transport::fetch_update_or_error(
     const UpdateRequest& request) {
-  clock_.advance(round_trip_);
+  if (round_trip_ > 0) clock_.advance(round_trip_);
   if (fail_updates_ > 0) {
     --fail_updates_;
     ++stats_.failed_requests;
@@ -72,7 +72,7 @@ UpdateResponse Transport::fetch_update(const UpdateRequest& request) {
 
 std::optional<V4UpdateResponse> Transport::fetch_v4_update_or_error(
     const V4UpdateRequest& request) {
-  clock_.advance(round_trip_);
+  if (round_trip_ > 0) clock_.advance(round_trip_);
   if (fail_updates_ > 0) {
     --fail_updates_;
     ++stats_.failed_requests;
@@ -95,7 +95,7 @@ std::optional<V4UpdateResponse> Transport::fetch_v4_update_or_error(
 
 std::optional<bool> Transport::lookup_v1_or_error(std::string_view url,
                                                   Cookie cookie) {
-  clock_.advance(round_trip_);
+  if (round_trip_ > 0) clock_.advance(round_trip_);
   if (fail_v1_ > 0) {
     --fail_v1_;
     ++stats_.failed_requests;

@@ -38,7 +38,9 @@ class SimClock {
 };
 
 /// Byte/request counters per endpoint. Byte counts are the exact encoded
-/// frame sizes -- the bandwidth the provider would bill.
+/// frame sizes -- the bandwidth the provider would bill. The parallel
+/// engine keeps one Transport (and thus one of these) per shard and
+/// reduces them with operator+= after the tick barrier.
 struct TransportStats {
   std::uint64_t full_hash_requests = 0;
   std::uint64_t update_requests = 0;     ///< v3 chunked updates
@@ -47,11 +49,25 @@ struct TransportStats {
   std::uint64_t failed_requests = 0;     ///< injected failures delivered
   std::uint64_t bytes_up = 0;    ///< client -> server (encoded frames)
   std::uint64_t bytes_down = 0;  ///< server -> client (encoded frames)
+
+  TransportStats& operator+=(const TransportStats& other) noexcept {
+    full_hash_requests += other.full_hash_requests;
+    update_requests += other.update_requests;
+    v4_update_requests += other.v4_update_requests;
+    v1_requests += other.v1_requests;
+    failed_requests += other.failed_requests;
+    bytes_up += other.bytes_up;
+    bytes_down += other.bytes_down;
+    return *this;
+  }
 };
 
 class Transport {
  public:
-  /// Latencies are in clock ticks per round trip.
+  /// Latencies are in clock ticks per round trip. With
+  /// `round_trip_ticks == 0` the transport never writes the clock, so many
+  /// zero-latency transports (one per engine shard) can share one SimClock
+  /// from concurrent threads -- they only read it.
   Transport(Server& server, SimClock& clock,
             std::uint64_t round_trip_ticks = 50)
       : server_(server), clock_(clock), round_trip_(round_trip_ticks) {}

@@ -95,9 +95,18 @@ struct MitigationConfig {
 struct SimConfig {
   std::size_t num_users = 1000;
   std::uint64_t ticks = 100;
-  /// Users are partitioned into shards processed in order each tick; the
-  /// shard structure is the unit future PRs parallelize over.
+  /// Users are partitioned into shards -- the engine's unit of parallelism.
+  /// Each shard owns its Transport, URL-prefix cache, site cache and
+  /// query-log buffer, so shards share no mutable state during a tick.
   std::size_t num_shards = 8;
+  /// Worker threads ticking shards in parallel (effective parallelism is
+  /// min(num_threads, num_shards)). 0 = hardware concurrency; 1 = fully
+  /// sequential, the pre-parallel engine. The determinism contract holds
+  /// at ANY value: same seed + config => bit-identical query logs and
+  /// fingerprints, regardless of thread count (the engine buffers each
+  /// shard's log entries and merges them in canonical (tick, shard, seq)
+  /// order after every tick's barrier).
+  std::size_t num_threads = 0;
   std::uint64_t seed = 1;
   sb::Provider provider = sb::Provider::kGoogle;
 
@@ -124,9 +133,12 @@ struct SimConfig {
   /// TTL of client full-hash caches (0 = until the next update clears them).
   std::uint64_t full_hash_ttl = 0;
 
-  /// Bound on the engine's shared URL -> decomposition-prefix cache.
+  /// Bound on EACH shard's URL -> decomposition-prefix cache (the caches
+  /// are per-shard so parallel ticks share no mutable state; worst-case
+  /// total is num_shards x this).
   std::size_t url_cache_entries = 1 << 16;
-  /// Bound on the traffic model's generated-site LRU cache.
+  /// Bound on EACH shard's generated-site LRU cache (same per-shard
+  /// multiplication).
   std::size_t site_cache_entries = 256;
 
   /// Invoked after the corpus blacklist is seeded but before lists are

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <thread>
 #include <utility>
 
 #include "url/decompose.hpp"
@@ -19,12 +20,18 @@ std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t salt) {
   return util::splitmix64(state);
 }
 
+std::size_t resolve_threads(std::size_t requested, std::size_t num_shards) {
+  if (requested == 0) {
+    requested = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::max<std::size_t>(1, std::min(requested, num_shards));
+}
+
 }  // namespace
 
 Engine::Engine(SimConfig config)
     : config_(std::move(config)),
       server_(config_.provider),
-      transport_(server_, clock_, /*round_trip_ticks=*/0),
       traffic_model_(config_.traffic, config_.corpus,
                      config_.site_cache_entries),
       dummy_policy_(config_.mitigation.dummies_per_prefix) {
@@ -37,6 +44,8 @@ Engine::Engine(SimConfig config)
     server_.seal_chunk(list);
   }
   build_population();
+  pool_ = std::make_unique<ThreadPool>(
+      resolve_threads(config_.num_threads, shards_.size()));
 }
 
 void Engine::seed_blacklist() {
@@ -100,7 +109,11 @@ void Engine::build_population() {
   const std::size_t num_shards =
       std::max<std::size_t>(1, config_.num_shards);
   shards_.clear();
-  shards_.resize(num_shards);
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(
+        std::make_unique<Shard>(server_, clock_, traffic_model_));
+  }
   const double interested = config_.traffic.interested_fraction;
 
   const double mixed = config_.mix_fraction;
@@ -122,27 +135,36 @@ void Engine::build_population() {
         static_cast<std::size_t>(static_cast<double>(v + 1) * mixed) >
         static_cast<std::size_t>(static_cast<double>(v) * mixed);
 
+    Shard& shard = *shards_[u % num_shards];
     sb::ClientConfig client_config;
     client_config.protocol =
         mix_member ? config_.mix_protocol : config_.protocol;
     client_config.store_kind = config_.store_kind;
     client_config.full_hash_ttl = config_.full_hash_ttl;
     client_config.cookie = user.cookie;
-    user.client = sb::make_protocol_client(transport_, client_config);
+    // Clients bind to their shard's transport: every wire request a user
+    // makes counts against (and only touches) shard-local state.
+    user.client = sb::make_protocol_client(shard.transport, client_config);
     for (const auto& list : config_.blacklist.lists) {
       user.client->subscribe(list);
     }
     (void)user.client->update();
 
-    shards_[u % num_shards].users.push_back(std::move(user));
+    shard.users.push_back(std::move(user));
   }
 }
 
 UserState& Engine::user(std::size_t index) {
-  return shards_[index % shards_.size()].users[index / shards_.size()];
+  return shards_[index % shards_.size()]->users[index / shards_.size()];
 }
 
 std::size_t Engine::num_users() const noexcept { return config_.num_users; }
+
+sb::TransportStats Engine::transport_stats() const {
+  sb::TransportStats total;
+  for (const auto& shard : shards_) total += shard->transport.stats();
+  return total;
+}
 
 void Engine::churn() {
   const BlacklistConfig& blacklist = config_.blacklist;
@@ -183,16 +205,17 @@ void Engine::churn() {
   ++metrics_.churn_events;
 }
 
-const Engine::UrlPrefixes& Engine::url_prefixes(const std::string& url) {
-  const auto it = url_cache_.find(url);
-  if (it != url_cache_.end()) {
-    ++metrics_.url_cache_hits;
+const Engine::UrlPrefixes& Engine::url_prefixes(Shard& shard,
+                                                const std::string& url) {
+  const auto it = shard.url_cache.find(url);
+  if (it != shard.url_cache.end()) {
+    ++shard.tick_metrics.url_cache_hits;
     return it->second;
   }
-  ++metrics_.url_cache_misses;
+  ++shard.tick_metrics.url_cache_misses;
   if (config_.url_cache_entries > 0 &&
-      url_cache_.size() >= config_.url_cache_entries) {
-    url_cache_.clear();  // simple epoch eviction; hot URLs repopulate fast
+      shard.url_cache.size() >= config_.url_cache_entries) {
+    shard.url_cache.clear();  // simple epoch eviction; hot URLs repopulate
   }
 
   UrlPrefixes prefixes;
@@ -211,12 +234,12 @@ const Engine::UrlPrefixes& Engine::url_prefixes(const std::string& url) {
       prefixes.unique_prefixes.push_back(prefix);
     }
   }
-  return url_cache_.emplace(url, std::move(prefixes)).first->second;
+  return shard.url_cache.emplace(url, std::move(prefixes)).first->second;
 }
 
-void Engine::dispatch(UserState& user, const std::string& url) {
-  ++metrics_.lookups;
-  const UrlPrefixes& prefixes = url_prefixes(url);
+void Engine::dispatch(Shard& shard, UserState& user, const std::string& url) {
+  ++shard.tick_metrics.lookups;
+  const UrlPrefixes& prefixes = url_prefixes(shard, url);
   if (!prefixes.valid) return;
 
   // Prefilter: the client-equivalent local membership test, shared-hash
@@ -229,22 +252,23 @@ void Engine::dispatch(UserState& user, const std::string& url) {
     }
   }
   if (!any_hit) return;
-  ++metrics_.local_hit_lookups;
+  ++shard.tick_metrics.local_hit_lookups;
 
   if (config_.mitigation.dummy_requests) {
-    ++metrics_.mitigated_lookups;
-    mitigated_dispatch(user, prefixes);
+    ++shard.tick_metrics.mitigated_lookups;
+    mitigated_dispatch(shard, user, prefixes);
     return;
   }
 
-  ++metrics_.dispatched_lookups;
+  ++shard.tick_metrics.dispatched_lookups;
   const auto result = user.client->lookup(url);
   if (result.verdict == sb::Verdict::kMalicious) {
-    ++metrics_.malicious_verdicts;
+    ++shard.tick_metrics.malicious_verdicts;
   }
 }
 
-void Engine::mitigated_dispatch(UserState& user, const UrlPrefixes& prefixes) {
+void Engine::mitigated_dispatch(Shard& shard, UserState& user,
+                                const UrlPrefixes& prefixes) {
   // Firefox-style padded request (Section 8): the wire carries the real hit
   // prefixes plus deterministic dummies. This path models the padded wire
   // exchange directly; the client's full-hash cache and backoff are not
@@ -255,7 +279,7 @@ void Engine::mitigated_dispatch(UserState& user, const UrlPrefixes& prefixes) {
   }
   const auto padded = dummy_policy_.pad_request(hits);
   const auto response =
-      transport_.get_full_hashes_or_error(padded, user.cookie);
+      shard.transport.get_full_hashes_or_error(padded, user.cookie);
   if (!response) return;  // fail open, like the stock client
 
   for (std::size_t i = 0; i < prefixes.digests.size(); ++i) {
@@ -265,9 +289,25 @@ void Engine::mitigated_dispatch(UserState& user, const UrlPrefixes& prefixes) {
     if (it == response->matches.end()) continue;
     for (const auto& match : it->second) {
       if (match.digest == prefixes.digests[i]) {
-        ++metrics_.malicious_verdicts;
+        ++shard.tick_metrics.malicious_verdicts;
         return;
       }
+    }
+  }
+}
+
+void Engine::tick_shard(Shard& shard) {
+  // Route every query-log entry this thread produces into the shard's
+  // buffer; the engine merges buffers in shard order after the barrier.
+  const sb::Server::ScopedLogShard log_scope(shard.log_buffer);
+  shard.tick_metrics = SimMetrics{};
+  for (auto& user : shard.users) {
+    shard.scratch_urls.clear();
+    shard.tick_metrics.target_visits +=
+        plan_user_tick(user, config_.traffic, traffic_model_,
+                       shard.site_cache, shard.scratch_urls);
+    for (const auto& url : shard.scratch_urls) {
+      dispatch(shard, user, url);
     }
   }
 }
@@ -278,18 +318,20 @@ bool Engine::step() {
   const BlacklistConfig& blacklist = config_.blacklist;
   if (blacklist.churn_interval_ticks > 0 && tick_ > 0 &&
       tick_ % blacklist.churn_interval_ticks == 0) {
-    churn();
+    churn();  // serial phase: list mutation + client resyncs
   }
 
+  // Parallel phase: shards tick concurrently; they share only immutable
+  // state (traffic model, clock, the server's published snapshot).
+  pool_->parallel_for(shards_.size(), [this](std::size_t s) {
+    tick_shard(*shards_[s]);
+  });
+
+  // Post-barrier merge, single-threaded: the canonical (tick, shard, seq)
+  // log order and the counter reduction -- identical at any thread count.
   for (auto& shard : shards_) {
-    for (auto& user : shard.users) {
-      scratch_urls_.clear();
-      metrics_.target_visits +=
-          plan_user_tick(user, config_.traffic, traffic_model_, scratch_urls_);
-      for (const auto& url : scratch_urls_) {
-        dispatch(user, url);
-      }
-    }
+    server_.drain_log_buffer(shard->log_buffer);
+    metrics_ += shard->tick_metrics;
   }
 
   clock_.advance(1);
@@ -306,7 +348,7 @@ void Engine::run() {
 sb::ClientMetrics Engine::population_metrics() const {
   sb::ClientMetrics total;
   for (const auto& shard : shards_) {
-    for (const auto& user : shard.users) {
+    for (const auto& user : shard->users) {
       const sb::ClientMetrics& m = user.client->metrics();
       total.lookups += m.lookups;
       total.local_hits += m.local_hits;
@@ -326,7 +368,7 @@ sb::ClientMetrics Engine::population_metrics() const {
 std::vector<sb::Cookie> Engine::interested_cookies() const {
   std::vector<sb::Cookie> cookies;
   for (const auto& shard : shards_) {
-    for (const auto& user : shard.users) {
+    for (const auto& user : shard->users) {
       if (user.interested) cookies.push_back(user.cookie);
     }
   }

@@ -5,18 +5,32 @@
 // independent RNG stream and a real sb::ProtocolClient of the configured
 // generation (v1 / v3 / v4, mixable) -- and drives a tick loop:
 //
-//   per tick:  [churn the lists + resync a rotating user subset]
-//              for each shard, for each user:
-//                  plan this tick's URLs (sessions / revisits / targets)
-//                  dispatch each URL through the batched lookup layer
+//   per tick:  [churn the lists + resync a rotating user subset]  (serial)
+//              shards ticked in parallel on the thread pool:
+//                for each user of the shard:
+//                    plan this tick's URLs (sessions / revisits / targets)
+//                    dispatch each URL through the batched lookup layer
+//              barrier; merge shard log buffers + reduce shard counters
 //              advance the clock by one tick
 //
+// Parallel runtime: the shard is the unit of parallelism. Each shard owns
+// every piece of mutable state a tick touches -- its users, a zero-latency
+// sb::Transport (per-shard wire counters), the URL -> prefix cache, the
+// traffic model's site LRU, a query-log buffer and a tick-metrics
+// accumulator -- so worker threads share only immutable state: the traffic
+// model, the clock (read-only during a tick) and the server's published
+// LookupSnapshot (lock-free reads; see sb/server.hpp). After the barrier
+// the engine drains the per-shard log buffers in canonical
+// (tick, shard, seq) order and sums the per-shard counters, which is why
+// the same seed produces bit-identical logs and fingerprints at ANY
+// `SimConfig.num_threads` -- including 1, the fully sequential engine.
+//
 // The batched dispatch layer is the engine's hot path: URL decompositions
-// and their SHA-256 prefixes are computed once per distinct URL in a shared
-// bounded cache (instead of once per user x visit), and each visit first
-// runs a cheap local-store prefilter (client->local_contains) -- only the
-// rare local hits enter the full sb::Client lookup flow with its cache,
-// backoff and full-hash round trip. Semantics match a per-user
+// and their SHA-256 prefixes are computed once per distinct URL in a
+// bounded per-shard cache (instead of once per user x visit), and each
+// visit first runs a cheap local-store prefilter (client->local_contains)
+// -- only the rare local hits enter the full sb::Client lookup flow with
+// its cache, backoff and full-hash round trip. Semantics match a per-user
 // client.lookup() for every URL: a prefilter miss is exactly the client's
 // "no local hit -> safe, nothing leaves the machine" path.
 //
@@ -24,9 +38,10 @@
 // into any sb::QueryLogSink (sim/log_sink.hpp), so populations far larger
 // than a RAM-resident log can run end to end.
 //
-// Determinism: same SimConfig (including seed) => bit-identical query log,
-// regardless of sink choice. Every random decision draws from a stream
-// derived from config.seed and a stable index.
+// Determinism: same SimConfig (including seed, EXCLUDING num_threads) =>
+// bit-identical query log, regardless of sink choice or thread count.
+// Every random decision draws from a stream derived from config.seed and a
+// stable index.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +55,7 @@
 #include "sb/server.hpp"
 #include "sb/transport.hpp"
 #include "sim/config.hpp"
+#include "sim/thread_pool.hpp"
 #include "sim/traffic_model.hpp"
 #include "sim/user.hpp"
 #include "util/rng.hpp"
@@ -47,7 +63,9 @@
 namespace sbp::sim {
 
 /// Engine-level counters (the engine's own view; per-client counters are
-/// aggregated separately by population_metrics()).
+/// aggregated separately by population_metrics()). Reduced from per-shard
+/// accumulators after every tick barrier -- all sums, so the reduction is
+/// order- and thread-count-independent.
 struct SimMetrics {
   std::uint64_t ticks_run = 0;
   std::uint64_t lookups = 0;            ///< URLs browsed by the population
@@ -58,8 +76,26 @@ struct SimMetrics {
   std::uint64_t target_visits = 0;
   std::uint64_t churn_events = 0;
   std::uint64_t churn_updates = 0;      ///< client update() calls from churn
-  std::uint64_t url_cache_hits = 0;
+  std::uint64_t url_cache_hits = 0;     ///< summed over per-shard caches
   std::uint64_t url_cache_misses = 0;
+
+  /// Field-wise sum -- the post-barrier reduction of per-shard tick
+  /// accumulators (which never set the serial-phase fields ticks_run /
+  /// churn_events / churn_updates, so summing everything is safe).
+  SimMetrics& operator+=(const SimMetrics& other) noexcept {
+    ticks_run += other.ticks_run;
+    lookups += other.lookups;
+    local_hit_lookups += other.local_hit_lookups;
+    dispatched_lookups += other.dispatched_lookups;
+    mitigated_lookups += other.mitigated_lookups;
+    malicious_verdicts += other.malicious_verdicts;
+    target_visits += other.target_visits;
+    churn_events += other.churn_events;
+    churn_updates += other.churn_updates;
+    url_cache_hits += other.url_cache_hits;
+    url_cache_misses += other.url_cache_misses;
+    return *this;
+  }
 };
 
 class Engine {
@@ -68,7 +104,9 @@ class Engine {
 
   /// Streams the server query log into `sink` (see sb::Server). With
   /// `retain_in_memory` false the server keeps no log of its own -- the
-  /// mode for populations whose logs exceed RAM.
+  /// mode for populations whose logs exceed RAM. The sink is only ever
+  /// invoked from the engine's own thread (post-barrier drain), so sinks
+  /// need no locking.
   void attach_sink(sb::QueryLogSink* sink, bool retain_in_memory = false) {
     server_.set_query_log_sink(sink, retain_in_memory);
   }
@@ -81,15 +119,18 @@ class Engine {
   [[nodiscard]] std::uint64_t current_tick() const noexcept { return tick_; }
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
   [[nodiscard]] sb::Server& server() noexcept { return server_; }
-  [[nodiscard]] sb::Transport& transport() noexcept { return transport_; }
-  [[nodiscard]] const sb::TransportStats& transport_stats() const noexcept {
-    return transport_.stats();
-  }
+  /// Wire counters summed across every shard transport.
+  [[nodiscard]] sb::TransportStats transport_stats() const;
   [[nodiscard]] const SimMetrics& metrics() const noexcept { return metrics_; }
   [[nodiscard]] const TrafficModel& traffic_model() const noexcept {
     return traffic_model_;
   }
   [[nodiscard]] std::size_t num_users() const noexcept;
+  /// Compute threads actually used (config.num_threads resolved against
+  /// hardware concurrency and the shard count).
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return pool_->size();
+  }
 
   /// Sum of every client's ClientMetrics. Note: `lookups` here counts only
   /// dispatched (local-hit) lookups -- the prefilter answers the rest; the
@@ -106,11 +147,8 @@ class Engine {
   }
 
  private:
-  struct Shard {
-    std::vector<UserState> users;
-  };
-
-  /// Decompositions of one URL, hashed once and shared across all users.
+  /// Decompositions of one URL, hashed once and shared across all users
+  /// of a shard.
   struct UrlPrefixes {
     bool valid = false;
     /// Unique prefixes in first-seen decomposition order (what the client
@@ -121,22 +159,41 @@ class Engine {
     std::vector<crypto::Prefix32> digest_prefixes;
   };
 
+  /// Everything a tick mutates, owned per shard so worker threads never
+  /// share writable state.
+  struct Shard {
+    Shard(sb::Server& server, sb::SimClock& clock,
+          const TrafficModel& traffic_model)
+        : transport(server, clock, /*round_trip_ticks=*/0),
+          site_cache(traffic_model.make_cache()) {}
+
+    sb::Transport transport;
+    TrafficModel::SiteCache site_cache;
+    std::vector<UserState> users;
+    std::unordered_map<std::string, UrlPrefixes> url_cache;
+    sb::QueryLogBuffer log_buffer;
+    SimMetrics tick_metrics;  ///< zeroed per tick, reduced post-barrier
+    std::vector<std::string> scratch_urls;
+  };
+
   void seed_blacklist();
   void build_population();
   [[nodiscard]] UserState& user(std::size_t index);
   void churn();
-  const UrlPrefixes& url_prefixes(const std::string& url);
-  void dispatch(UserState& user, const std::string& url);
-  void mitigated_dispatch(UserState& user, const UrlPrefixes& prefixes);
+  void tick_shard(Shard& shard);
+  const UrlPrefixes& url_prefixes(Shard& shard, const std::string& url);
+  void dispatch(Shard& shard, UserState& user, const std::string& url);
+  void mitigated_dispatch(Shard& shard, UserState& user,
+                          const UrlPrefixes& prefixes);
 
   SimConfig config_;
   sb::Server server_;
   sb::SimClock clock_;
-  sb::Transport transport_;
   TrafficModel traffic_model_;
   mitigation::DummyPolicy dummy_policy_;
 
-  std::vector<Shard> shards_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;
   std::uint64_t tick_ = 0;
   SimMetrics metrics_;
 
@@ -144,9 +201,7 @@ class Engine {
   /// FIFO of (list, expression) added by churn, for later removal.
   std::vector<std::pair<std::string, std::string>> churned_expressions_;
 
-  std::unordered_map<std::string, UrlPrefixes> url_cache_;
   std::vector<std::string> blacklisted_pages_;
-  std::vector<std::string> scratch_urls_;
 };
 
 }  // namespace sbp::sim

@@ -1,0 +1,100 @@
+#include "sim/thread_pool.hpp"
+
+#include <algorithm>
+
+// Batch protocol: parallel_for publishes (fn, count) under the mutex, opens
+// the batch and bumps the generation. A worker may only enter the CURRENT,
+// OPEN batch (mutex-gated), registering in `active_`; it then claims
+// indices from the lock-free ticket counter until they run out, and
+// deregisters under the mutex. The caller participates too, then waits for
+// executed_ == count && active_ == 0 before closing the batch -- so no
+// thread can ever touch a finished batch's ticket counter or its caller-
+// owned function object (the bug ThreadSanitizer catches immediately if
+// entry is gated on the generation alone: a straggler waking after the
+// barrier would claim tickets of the NEXT batch and run a dead stack's fn).
+
+namespace sbp::sim {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t resident =
+      std::max<std::size_t>(1, num_threads) - 1;  // caller is thread #0
+  workers_.reserve(resident);
+  for (std::size_t i = 0; i < resident; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::run_claim_loop(
+    const std::function<void(std::size_t)>& fn, std::size_t count) {
+  std::size_t executed = 0;
+  while (true) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    fn(i);
+    ++executed;
+  }
+  return executed;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (generation_ != seen_generation && batch_open_);
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    ++active_;
+    const auto* fn = fn_;
+    const std::size_t count = count_;
+    lock.unlock();
+
+    const std::size_t executed = run_claim_loop(*fn, count);
+
+    lock.lock();
+    executed_ += executed;
+    --active_;
+    if (executed_ == count_ && active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {  // size-1 pool: plain sequential loop
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    count_ = count;
+    executed_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    batch_open_ = true;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is a compute thread too.
+  const std::size_t executed = run_claim_loop(fn, count);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  executed_ += executed;
+  done_cv_.wait(lock, [&] { return executed_ == count_ && active_ == 0; });
+  batch_open_ = false;  // stragglers that never woke skip this batch
+  fn_ = nullptr;
+}
+
+}  // namespace sbp::sim

@@ -1,0 +1,76 @@
+// A fixed-size worker pool for the parallel simulation runtime (src/sim).
+//
+// The engine's unit of parallelism is the shard (sim/config.hpp): shards
+// share no mutable state during a tick, so any assignment of shards to
+// threads produces the same per-shard results and the engine's canonical
+// post-barrier merge makes the output bit-identical at every thread count.
+// That freedom is what lets this pool hand out shard indices dynamically
+// (atomic counter) instead of statically -- better load balance when shard
+// work is skewed, with zero effect on determinism.
+//
+// A pool of size N runs work on N threads total: N-1 resident workers plus
+// the calling thread, so size 1 spawns nothing and degenerates to a plain
+// sequential loop -- exactly the pre-parallel engine behaviour.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sbp::sim {
+
+class ThreadPool {
+ public:
+  /// `num_threads` total compute threads (including the caller of
+  /// parallel_for); clamped to >= 1. Workers are spawned once and live
+  /// until destruction.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(0) .. fn(count-1) across the pool and returns once ALL calls
+  /// have completed (a full barrier). Indices are claimed dynamically; fn
+  /// must be safe to call concurrently for distinct indices and must not
+  /// throw. Not reentrant.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Total compute threads (resident workers + the caller).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return workers_.size() + 1;
+  }
+
+ private:
+  void worker_loop();
+  /// Claims and runs indices until the ticket counter runs dry; returns
+  /// how many this thread executed.
+  std::size_t run_claim_loop(const std::function<void(std::size_t)>& fn,
+                             std::size_t count);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+
+  // Batch state, guarded by mutex_ (only the ticket counter is touched
+  // outside it). A thread may enter a batch only while it is open and
+  // must register in active_; parallel_for returns only when every index
+  // ran AND every participant left, so a finished batch's fn/tickets are
+  // never touched again.
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t executed_ = 0;
+  std::size_t active_ = 0;
+  std::uint64_t generation_ = 0;
+  bool batch_open_ = false;
+  bool stop_ = false;
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace sbp::sim

@@ -11,40 +11,41 @@ TrafficModel::TrafficModel(const TrafficConfig& traffic,
     : corpus_(std::move(corpus)),
       rank_sampler_(traffic.site_popularity_alpha, 1,
                     std::max<std::uint64_t>(1, corpus_.num_hosts())),
-      cache_capacity_(std::max<std::size_t>(1, site_cache_entries)) {}
+      capacity_(std::max<std::size_t>(1, site_cache_entries)) {}
 
-const corpus::Site& TrafficModel::site(std::size_t index) {
-  ++use_counter_;
-  const auto it = site_cache_.find(index);
-  if (it != site_cache_.end()) {
-    ++cache_hits_;
-    it->second.last_used = use_counter_;
+const corpus::Site& TrafficModel::site(std::size_t index,
+                                       SiteCache& cache) const {
+  ++cache.use_counter_;
+  const auto it = cache.sites_.find(index);
+  if (it != cache.sites_.end()) {
+    ++cache.hits_;
+    it->second.last_used = cache.use_counter_;
     return it->second.site;
   }
-  ++cache_misses_;
-  if (site_cache_.size() >= cache_capacity_) {
+  ++cache.misses_;
+  if (cache.sites_.size() >= cache.capacity_) {
     // Evict the least recently used entry. Linear scan: evictions only
     // happen on tail-site misses, which power-law popularity makes rare.
-    auto victim = site_cache_.begin();
-    for (auto candidate = site_cache_.begin(); candidate != site_cache_.end();
-         ++candidate) {
+    auto victim = cache.sites_.begin();
+    for (auto candidate = cache.sites_.begin();
+         candidate != cache.sites_.end(); ++candidate) {
       if (candidate->second.last_used < victim->second.last_used) {
         victim = candidate;
       }
     }
-    site_cache_.erase(victim);
+    cache.sites_.erase(victim);
   }
-  auto [inserted, ok] =
-      site_cache_.emplace(index, CachedSite{corpus_.site(index), use_counter_});
+  auto [inserted, ok] = cache.sites_.emplace(
+      index, SiteCache::CachedSite{corpus_.site(index), cache.use_counter_});
   return inserted->second.site;
 }
 
-std::string TrafficModel::sample_url(util::Rng& rng) {
+std::string TrafficModel::sample_url(util::Rng& rng, SiteCache& cache) const {
   // Rank r (1-based) maps straight to site index r-1: low indices are the
   // popular head. The page within the site is uniform.
   const std::size_t index =
       static_cast<std::size_t>(rank_sampler_.sample(rng) - 1);
-  const corpus::Site& chosen = site(index);
+  const corpus::Site& chosen = site(index, cache);
   if (chosen.pages.empty()) return "http://" + chosen.domain + "/";
   const std::size_t page = rng.next_below(chosen.pages.size());
   return chosen.pages[page].url();

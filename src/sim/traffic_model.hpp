@@ -9,9 +9,13 @@
 //
 // Sites are generated lazily and kept in a bounded LRU cache: popularity is
 // head-heavy, so a small cache serves almost every draw without ever
-// materializing the corpus.
+// materializing the corpus. The model itself is immutable after
+// construction (corpus generation is const and stateless), so one instance
+// is shared by every engine shard across threads; the mutable LRU lives in
+// a per-shard SiteCache handed into each draw.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -25,40 +29,53 @@ namespace sbp::sim {
 
 class TrafficModel {
  public:
+  /// Per-shard mutable LRU of generated sites. Cache state only affects
+  /// speed, never results: a miss regenerates the site deterministically.
+  class SiteCache {
+   public:
+    explicit SiteCache(std::size_t capacity)
+        : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+    // Cache observability (sizing experiments).
+    [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+    [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+   private:
+    friend class TrafficModel;
+    struct CachedSite {
+      corpus::Site site;
+      std::uint64_t last_used = 0;
+    };
+
+    std::size_t capacity_;
+    std::unordered_map<std::size_t, CachedSite> sites_;
+    std::uint64_t use_counter_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+  };
+
   TrafficModel(const TrafficConfig& traffic, corpus::CorpusConfig corpus,
                std::size_t site_cache_entries);
 
+  /// A fresh cache sized per the construction-time configuration.
+  [[nodiscard]] SiteCache make_cache() const { return SiteCache(capacity_); }
+
   /// Draws a fresh URL: site by power-law popularity (site index == rank),
-  /// page uniformly within the site. Deterministic given the rng stream.
-  [[nodiscard]] std::string sample_url(util::Rng& rng);
+  /// page uniformly within the site. Deterministic given the rng stream --
+  /// the cache never changes the outcome.
+  [[nodiscard]] std::string sample_url(util::Rng& rng,
+                                       SiteCache& cache) const;
 
   [[nodiscard]] const corpus::WebCorpus& corpus() const noexcept {
     return corpus_;
   }
 
-  // Cache observability (sizing experiments).
-  [[nodiscard]] std::uint64_t site_cache_hits() const noexcept {
-    return cache_hits_;
-  }
-  [[nodiscard]] std::uint64_t site_cache_misses() const noexcept {
-    return cache_misses_;
-  }
-
  private:
-  struct CachedSite {
-    corpus::Site site;
-    std::uint64_t last_used = 0;
-  };
-
-  const corpus::Site& site(std::size_t index);
+  const corpus::Site& site(std::size_t index, SiteCache& cache) const;
 
   corpus::WebCorpus corpus_;
   util::PowerLawSampler rank_sampler_;
-  std::size_t cache_capacity_;
-  std::unordered_map<std::size_t, CachedSite> site_cache_;
-  std::uint64_t use_counter_ = 0;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t cache_misses_ = 0;
+  std::size_t capacity_;
 };
 
 }  // namespace sbp::sim

@@ -18,7 +18,8 @@ void remember(UserState& user, const TrafficConfig& traffic,
 }  // namespace
 
 std::size_t plan_user_tick(UserState& user, const TrafficConfig& traffic,
-                           TrafficModel& model,
+                           const TrafficModel& model,
+                           TrafficModel::SiteCache& cache,
                            std::vector<std::string>& urls) {
   if (!user.in_session) {
     if (!user.rng.next_bool(traffic.session_start_probability)) return 0;
@@ -41,7 +42,7 @@ std::size_t plan_user_tick(UserState& user, const TrafficConfig& traffic,
       urls.push_back(user.history[user.rng.next_below(user.history.size())]);
       continue;  // a revisit does not refresh the history slot
     }
-    std::string url = model.sample_url(user.rng);
+    std::string url = model.sample_url(user.rng, cache);
     remember(user, traffic, url);
     urls.push_back(std::move(url));
   }

@@ -42,7 +42,11 @@ struct UserState {
 /// Plans one tick of browsing for `user`: appends the URLs to visit to
 /// `urls` and returns how many of them are interest-target visits.
 /// Advances session state and history deterministically from user.rng.
+/// `cache` is the caller's (shard's) site cache -- it affects speed only,
+/// never which URLs are planned.
 std::size_t plan_user_tick(UserState& user, const TrafficConfig& traffic,
-                           TrafficModel& model, std::vector<std::string>& urls);
+                           const TrafficModel& model,
+                           TrafficModel::SiteCache& cache,
+                           std::vector<std::string>& urls);
 
 }  // namespace sbp::sim
