@@ -50,10 +50,10 @@ sbp::sim::SimConfig bench_config(std::size_t users, std::uint64_t ticks,
   config.blacklist.page_fraction = 0.004;
   config.blacklist.site_fraction = 0.0008;
   config.blacklist.max_entries = 1024;
-  config.blacklist.churn_interval_ticks = 10;
-  config.blacklist.churn_adds = 16;
-  config.blacklist.churn_removes = 4;
-  config.blacklist.churn_update_fraction = 0.02;
+  config.churn.epoch_ticks = 10;
+  config.churn.add_rate = 0.02;
+  config.churn.remove_rate = 0.01;
+  config.churn.minimum_wait_ticks = 20;
   return config;
 }
 
@@ -126,11 +126,9 @@ std::string format_json(const std::vector<SweepPoint>& sweep,
                         const sbp::sim::SimConfig& config, std::size_t users,
                         bool deterministic) {
   const SweepPoint& base = sweep.front();
-  char buffer[1024];
   std::string json = "{\n";
   const auto append = [&](const char* format, auto... values) {
-    std::snprintf(buffer, sizeof(buffer), format, values...);
-    json += buffer;
+    sbp::bench::json_append(json, format, values...);
   };
 
   // Single-thread baseline: the schema earlier PRs track.
@@ -277,14 +275,6 @@ int main(int argc, char** argv) {
 
   const std::string json =
       format_json(sweep, bench_config(users, ticks, 1), users, deterministic);
-  std::fputs(json.c_str(), stdout);
-  if (FILE* out = std::fopen(out_path.c_str(), "w")) {
-    std::fputs(json.c_str(), out);
-    std::fclose(out);
-    std::printf("wrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "could not write %s\n", out_path.c_str());
-    return 1;
-  }
+  if (!sbp::bench::write_json(json, out_path)) return 1;
   return deterministic ? 0 : 2;
 }

@@ -1,0 +1,253 @@
+// Live blacklist churn at population scale: what do mid-run update epochs
+// cost the fleet, and what does re-sync bandwidth look like per epoch
+// length? Sweeps epoch_ticks x population size over a mixed v3/v4
+// population (half chunked, half sliced -- both update channels re-sync
+// mid-run), with churn rates FITTED from analysis/update_dynamics
+// (fit_churn_rates over a measured ChurnReport), and writes the grid into
+// BENCH_churn.json (--out PATH; --users / --ticks rescale).
+//
+// Epoch 0 is the frozen-world baseline: its update traffic is exactly the
+// construction-time cold sync, so every byte above it in the other cells
+// is the price of liveness. The update channel's share of the wire is
+// tracked separately (TransportStats.update_bytes_up/down), so the
+// per-update average response size falls out exactly.
+//
+// Doubles as the churn determinism gate: the busiest churned cell re-runs
+// at 2 and 8 threads and must reproduce the single-thread fingerprint and
+// wire counters bit for bit (exit 2 otherwise) -- the population-scale
+// companion of tests/sim/engine_churn_test.cpp.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/update_dynamics.hpp"
+#include "bench_util.hpp"
+#include "sim/engine.hpp"
+#include "sim/log_sink.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+sbp::analysis::ChurnRates fitted_rates() {
+  // The update-dynamics bridge: measure a paper-shaped churn run over the
+  // real protocol stack, fit per-round rates, drive the population's
+  // epochs with them.
+  sbp::analysis::ChurnConfig config;
+  config.initial_entries = 4000;
+  config.adds_per_round = 60;  // 1.5%/round, the paper's daily turnover
+  config.removals_per_round = 60;
+  config.rounds = 6;
+  config.seed = 7;
+  return sbp::analysis::fit_churn_rates(sbp::analysis::simulate_churn(config));
+}
+
+sbp::sim::SimConfig cell_config(std::size_t users, std::uint64_t ticks,
+                                std::uint64_t epoch_ticks,
+                                sbp::analysis::ChurnRates rates,
+                                std::size_t threads) {
+  sbp::sim::SimConfig config;
+  config.num_users = users;
+  config.ticks = ticks;
+  config.num_shards = 16;
+  config.num_threads = threads;
+  config.seed = 2016;
+  config.corpus.num_hosts = 10000;
+  config.corpus.seed = 2016;
+  config.corpus.max_pages = 300;
+  config.blacklist.page_fraction = 0.01;
+  config.blacklist.site_fraction = 0.002;
+  config.blacklist.max_entries = 2048;
+  // Mixed generations: both the v3 chunk and the v4 slice channel carry
+  // mid-run re-syncs.
+  config.mix_fraction = 0.5;
+  config.mix_protocol = sbp::sb::ProtocolVersion::kV4Sliced;
+  config.churn.epoch_ticks = epoch_ticks;
+  config.churn.add_rate = rates.add_rate;
+  config.churn.remove_rate = rates.remove_rate;
+  return config;
+}
+
+struct Cell {
+  std::size_t users = 0;
+  std::uint64_t epoch_ticks = 0;
+  double run_seconds = 0.0;
+  sbp::sim::SimMetrics metrics;
+  sbp::sb::TransportStats wire;
+  std::uint64_t log_entries = 0;
+  std::uint64_t log_fingerprint = 0;
+};
+
+Cell run_cell(std::size_t users, std::uint64_t ticks,
+              std::uint64_t epoch_ticks, sbp::analysis::ChurnRates rates,
+              std::size_t threads) {
+  Cell cell;
+  cell.users = users;
+  cell.epoch_ticks = epoch_ticks;
+  sbp::sim::Engine engine(
+      cell_config(users, ticks, epoch_ticks, rates, threads));
+  sbp::sim::CountingSink sink;
+  engine.attach_sink(&sink, /*retain_in_memory=*/false);
+  const auto start = Clock::now();
+  engine.run();
+  cell.run_seconds = seconds_since(start);
+  cell.metrics = engine.metrics();
+  cell.wire = engine.transport_stats();
+  cell.log_entries = sink.entries();
+  cell.log_fingerprint = sink.fingerprint();
+  return cell;
+}
+
+bool same_observables(const Cell& a, const Cell& b) {
+  return a.log_fingerprint == b.log_fingerprint &&
+         a.log_entries == b.log_entries &&
+         a.metrics.churn_updates == b.metrics.churn_updates &&
+         a.wire.bytes_up == b.wire.bytes_up &&
+         a.wire.bytes_down == b.wire.bytes_down &&
+         a.wire.update_bytes_up == b.wire.update_bytes_up &&
+         a.wire.update_bytes_down == b.wire.update_bytes_down;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t base_users = 8000;
+  std::uint64_t ticks = 60;
+  std::string out_path = "BENCH_churn.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--users") == 0) {
+      base_users =
+          static_cast<std::size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--ticks") == 0) {
+      ticks = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = argv[i + 1];
+    }
+  }
+
+  sbp::bench::header("update_churn",
+                     "mid-run update epochs x population size; mixed v3/v4 "
+                     "re-sync bandwidth; churn determinism gate");
+  const sbp::analysis::ChurnRates rates = fitted_rates();
+  std::printf("churn rates fitted from update_dynamics: add %.4f / remove "
+              "%.4f per epoch (paper: ~0.015 daily)\n\n",
+              rates.add_rate, rates.remove_rate);
+
+  const auto at_least_one = [](std::uint64_t value) {
+    return value > 0 ? value : 1;
+  };
+  const std::vector<std::uint64_t> epoch_sweep = {
+      0, at_least_one(ticks / 3), at_least_one(ticks / 6),
+      at_least_one(ticks / 12)};
+  const std::vector<std::size_t> user_sweep = {base_users / 4, base_users};
+
+  std::printf("%8s %7s %8s %8s %9s %12s %14s %10s\n", "users", "epoch",
+              "epochs", "resyncs", "updates", "upd B down", "B/update",
+              "run s");
+  std::vector<Cell> cells;
+  for (const std::size_t users : user_sweep) {
+    for (const std::uint64_t epoch : epoch_sweep) {
+      Cell cell = run_cell(users, ticks, epoch, rates, /*threads=*/0);
+      const std::uint64_t updates =
+          cell.wire.update_requests + cell.wire.v4_update_requests;
+      std::printf("%8zu %7llu %8llu %8llu %9llu %12llu %14.1f %10.3f\n",
+                  cell.users,
+                  static_cast<unsigned long long>(cell.epoch_ticks),
+                  static_cast<unsigned long long>(cell.metrics.churn_events),
+                  static_cast<unsigned long long>(cell.metrics.churn_updates),
+                  static_cast<unsigned long long>(updates),
+                  static_cast<unsigned long long>(cell.wire.update_bytes_down),
+                  updates > 0 ? static_cast<double>(cell.wire.update_bytes_down)
+                                    / static_cast<double>(updates)
+                              : 0.0,
+                  cell.run_seconds);
+      cells.push_back(cell);
+    }
+  }
+
+  // Determinism gate on the busiest churned cell (smallest epoch, largest
+  // population): 1, 2 and 8 threads must agree on every observable.
+  const std::uint64_t gate_epoch = epoch_sweep.back();
+  bool deterministic = true;
+  const Cell base = run_cell(base_users, ticks, gate_epoch, rates, 1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const Cell probe = run_cell(base_users, ticks, gate_epoch, rates,
+                                threads);
+    if (!same_observables(base, probe)) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "DETERMINISM FAILURE under churn: %zu threads diverged "
+                   "(fingerprint 0x%016llx vs 0x%016llx)\n",
+                   threads,
+                   static_cast<unsigned long long>(probe.log_fingerprint),
+                   static_cast<unsigned long long>(base.log_fingerprint));
+    }
+  }
+  std::printf("\nchurn determinism (threads 1/2/8, epoch %llu): %s\n",
+              static_cast<unsigned long long>(gate_epoch),
+              deterministic ? "BIT-IDENTICAL" : "DIVERGED");
+
+  std::string json = "{\n";
+  const auto append = [&](const char* format, auto... values) {
+    sbp::bench::json_append(json, format, values...);
+  };
+  append("  \"experiment\": \"update_churn\",\n");
+  append("  \"base_users\": %zu,\n", base_users);
+  append("  \"ticks\": %llu,\n", static_cast<unsigned long long>(ticks));
+  append("  \"mix_fraction\": 0.5,\n");
+  append("  \"fitted_add_rate\": %.6f,\n", rates.add_rate);
+  append("  \"fitted_remove_rate\": %.6f,\n", rates.remove_rate);
+  json += "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const std::uint64_t updates =
+        cell.wire.update_requests + cell.wire.v4_update_requests;
+    append("    {\"users\": %zu, \"epoch_ticks\": %llu, \"epochs\": %llu, "
+           "\"churn_adds\": %llu, \"churn_removes\": %llu, "
+           "\"resyncs\": %llu, ",
+           cell.users, static_cast<unsigned long long>(cell.epoch_ticks),
+           static_cast<unsigned long long>(cell.metrics.churn_events),
+           static_cast<unsigned long long>(cell.metrics.churn_adds),
+           static_cast<unsigned long long>(cell.metrics.churn_removes),
+           static_cast<unsigned long long>(cell.metrics.churn_updates));
+    append("\"v3_update_requests\": %llu, \"v4_update_requests\": %llu, "
+           "\"update_bytes_up\": %llu, \"update_bytes_down\": %llu, ",
+           static_cast<unsigned long long>(cell.wire.update_requests),
+           static_cast<unsigned long long>(cell.wire.v4_update_requests),
+           static_cast<unsigned long long>(cell.wire.update_bytes_up),
+           static_cast<unsigned long long>(cell.wire.update_bytes_down));
+    append("\"bytes_per_update\": %.2f, \"wire_bytes_up\": %llu, "
+           "\"wire_bytes_down\": %llu, \"full_hash_requests\": %llu, ",
+           updates > 0 ? static_cast<double>(cell.wire.update_bytes_down) /
+                             static_cast<double>(updates)
+                       : 0.0,
+           static_cast<unsigned long long>(cell.wire.bytes_up),
+           static_cast<unsigned long long>(cell.wire.bytes_down),
+           static_cast<unsigned long long>(cell.wire.full_hash_requests));
+    append("\"url_cache_invalidations\": %llu, \"log_entries\": %llu, "
+           "\"run_seconds\": %.3f, \"user_ticks_per_sec\": %.0f, "
+           "\"log_fingerprint\": \"0x%016llx\"}%s\n",
+           static_cast<unsigned long long>(
+               cell.metrics.url_cache_invalidations),
+           static_cast<unsigned long long>(cell.log_entries),
+           cell.run_seconds,
+           static_cast<double>(cell.users) *
+               static_cast<double>(cell.metrics.ticks_run) / cell.run_seconds,
+           static_cast<unsigned long long>(cell.log_fingerprint),
+           i + 1 < cells.size() ? "," : "");
+  }
+  json += "  ],\n";
+  append("  \"deterministic_across_threads\": %s\n",
+         deterministic ? "true" : "false");
+  json += "}\n";
+
+  if (!sbp::bench::write_json(json, out_path)) return 1;
+  return deterministic ? 0 : 2;
+}

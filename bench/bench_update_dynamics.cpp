@@ -1,17 +1,34 @@
 // Ablation (DESIGN.md, Sections 2.2.2 / 7.1 claims): blacklist churn.
 // Quantifies WHY the dynamic lists forced delta-coded tables over Bloom
 // filters (incremental diffs vs full re-ships) and how quickly a
-// day-zero crawl's inversion knowledge decays.
+// day-zero crawl's inversion knowledge decays. Results land in
+// BENCH_update.json (--out PATH; first positional arg = entry count),
+// including the per-round rates fit_churn_rates recovers -- the numbers a
+// SimConfig.churn block needs to reproduce these dynamics at population
+// scale (bench_update_churn does exactly that).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "analysis/update_dynamics.hpp"
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace sbp;
-  const std::size_t entries =
-      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 20000;
+  std::size_t entries = 20000;
+  std::string out_path = "BENCH_update.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (argv[i][0] == '-' ||
+               std::atoll(argv[i]) <= 0) {  // typoed flag / valueless --out
+      std::fprintf(stderr, "usage: %s [entries > 0] [--out PATH]\n", argv[0]);
+      return 1;
+    } else {
+      entries = static_cast<std::size_t>(std::atoll(argv[i]));
+    }
+  }
   bench::header("Update dynamics",
                 "incremental vs full sync; day-0 inversion decay");
   // Paper context: Google reported ~9500 new malicious sites/day against
@@ -58,5 +75,43 @@ int main(int argc, char** argv) {
               "(Section 2.2.2's rationale); day-0 inversion knowledge "
               "decays ~1.5%/round (Section 7.1: reconstruction requires "
               "CONTINUOUS crawling).");
-  return 0;
+
+  const analysis::ChurnRates rates = analysis::fit_churn_rates(report);
+  std::printf("fitted per-round churn rates: add %.4f / remove %.4f "
+              "(SimConfig.churn defaults: %.4f)\n",
+              rates.add_rate, rates.remove_rate,
+              analysis::paper_daily_churn_rates().add_rate);
+
+  // JSON artifact, same conventions as BENCH_sim.json / BENCH_churn.json.
+  std::string json = "{\n";
+  const auto append = [&](const char* format, auto... values) {
+    bench::json_append(json, format, values...);
+  };
+  append("  \"experiment\": \"update_dynamics\",\n");
+  append("  \"initial_entries\": %zu,\n", config.initial_entries);
+  append("  \"adds_per_round\": %zu,\n", config.adds_per_round);
+  append("  \"removals_per_round\": %zu,\n", config.removals_per_round);
+  append("  \"rounds\": [\n");
+  for (std::size_t i = 0; i < report.rounds.size(); ++i) {
+    const auto& row = report.rounds[i];
+    append("    {\"round\": %zu, \"adds\": %zu, \"removals\": %zu, "
+           "\"incremental_bytes\": %llu, \"full_download_bytes\": %llu, "
+           "\"client_prefixes\": %zu, \"day0_knowledge_fraction\": %.4f}%s\n",
+           row.round, row.adds, row.removals,
+           static_cast<unsigned long long>(row.incremental_bytes),
+           static_cast<unsigned long long>(row.full_download_bytes),
+           row.client_prefixes, row.day0_knowledge_fraction,
+           i + 1 < report.rounds.size() ? "," : "");
+  }
+  append("  ],\n");
+  append("  \"total_incremental_bytes\": %llu,\n",
+         static_cast<unsigned long long>(report.total_incremental_bytes));
+  append("  \"total_full_download_bytes\": %llu,\n",
+         static_cast<unsigned long long>(report.total_full_download_bytes));
+  append("  \"total_bloom_reship_bytes\": %llu,\n",
+         static_cast<unsigned long long>(report.total_bloom_reship_bytes));
+  append("  \"fitted_add_rate\": %.6f,\n", rates.add_rate);
+  append("  \"fitted_remove_rate\": %.6f\n", rates.remove_rate);
+  json += "}\n";
+  return bench::write_json(json, out_path) ? 0 : 1;
 }

@@ -11,6 +11,33 @@
 
 namespace sbp::bench {
 
+/// Appends printf-formatted text to a BENCH_*.json string under
+/// construction -- the one JSON builder every artifact-emitting bench
+/// shares, so buffer sizing and conventions cannot drift per bench.
+template <typename... Args>
+inline void json_append(std::string& json, const char* format,
+                        Args... values) {
+  char buffer[1024];
+  std::snprintf(buffer, sizeof(buffer), format, values...);
+  json += buffer;
+}
+
+/// Echoes `json` to stdout and writes it to `path` (the artifact CI
+/// uploads). Returns false (after a stderr note) when the file cannot be
+/// written, so benches can exit nonzero.
+inline bool write_json(const std::string& json, const std::string& path) {
+  std::fputs(json.c_str(), stdout);
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 inline void header(const char* experiment, const char* description) {
   std::printf("\n================================================================\n");
   std::printf("%s -- %s\n", experiment, description);

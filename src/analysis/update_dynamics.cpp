@@ -40,20 +40,22 @@ ChurnReport simulate_churn(const ChurnConfig& config) {
 
   for (std::size_t round = 1; round <= config.rounds; ++round) {
     // Churn: remove the oldest entries, add fresh ones.
+    ChurnRound row;
+    row.round = round;
     for (std::size_t i = 0; i < config.removals_per_round && !live.empty();
          ++i) {
       server.remove_expression("list", live.front());
       live.erase(live.begin());
+      ++row.removals;
     }
     for (std::size_t i = 0; i < config.adds_per_round; ++i) {
       live.push_back(fresh_expression());
       server.add_expression("list", live.back());
+      ++row.adds;
     }
     server.seal_chunk("list");
     (void)client.update();
 
-    ChurnRound row;
-    row.round = round;
     row.incremental_bytes = transport.stats().bytes_down - bytes_before;
     bytes_before = transport.stats().bytes_down;
     row.client_prefixes = client.local_prefix_count();
@@ -76,6 +78,30 @@ ChurnReport simulate_churn(const ChurnConfig& config) {
     report.rounds.push_back(row);
   }
   return report;
+}
+
+ChurnRates fit_churn_rates(const ChurnReport& report) {
+  ChurnRates rates;
+  std::size_t fitted = 0;
+  for (const ChurnRound& row : report.rounds) {
+    // List size entering the round, reconstructed from the post-sync size.
+    // Rows where adds exceed the reconstruction (empty day-0 list, prefix
+    // collisions) have no meaningful rate; skip them rather than let the
+    // subtraction wrap.
+    const std::size_t after = row.client_prefixes + row.removals;
+    if (after <= row.adds) continue;
+    const std::size_t before = after - row.adds;
+    rates.add_rate += static_cast<double>(row.adds) /
+                      static_cast<double>(before);
+    rates.remove_rate += static_cast<double>(row.removals) /
+                         static_cast<double>(before);
+    ++fitted;
+  }
+  if (fitted > 0) {
+    rates.add_rate /= static_cast<double>(fitted);
+    rates.remove_rate /= static_cast<double>(fitted);
+  }
+  return rates;
 }
 
 }  // namespace sbp::analysis

@@ -28,6 +28,8 @@ struct ChurnConfig {
 
 struct ChurnRound {
   std::size_t round = 0;
+  std::size_t adds = 0;                  ///< expressions added this round
+  std::size_t removals = 0;              ///< expressions retired this round
   std::uint64_t incremental_bytes = 0;   ///< chunk diff shipped this round
   std::uint64_t full_download_bytes = 0; ///< 4 B x current prefix count
   std::uint64_t bloom_reship_bytes = 0;  ///< constant full filter re-ship
@@ -46,5 +48,26 @@ struct ChurnReport {
 
 /// Runs the churn simulation end to end over the real protocol stack.
 [[nodiscard]] ChurnReport simulate_churn(const ChurnConfig& config);
+
+/// Per-round churn rates relative to the list's size at the start of the
+/// round -- the parameterization `sim::ChurnConfig` consumes (its defaults
+/// are paper_daily_churn_rates()).
+struct ChurnRates {
+  double add_rate = 0.0;
+  double remove_rate = 0.0;
+};
+
+/// The paper's measured dynamics (Sections 2.2.2 / 7.1): Google reported
+/// ~9500 new malicious sites per day against a ~630k-prefix database --
+/// roughly 1.5% daily turnover each way in steady state.
+[[nodiscard]] constexpr ChurnRates paper_daily_churn_rates() noexcept {
+  return {9500.0 / 630000.0, 9500.0 / 630000.0};
+}
+
+/// Fits mean per-round add/remove rates from a measured report (each
+/// round's adds/removals divided by the list size entering that round,
+/// averaged) -- the bridge from measured update dynamics to a
+/// `sim::ChurnConfig` that reproduces them at population scale.
+[[nodiscard]] ChurnRates fit_churn_rates(const ChurnReport& report);
 
 }  // namespace sbp::analysis

@@ -46,6 +46,11 @@ class Client : public PrefixProtocolClient {
   /// network level (backoff state advances accordingly).
   bool update() override;
 
+  [[nodiscard]] std::uint64_t update_wait(
+      std::uint64_t now) const noexcept override {
+    return update_backoff_.wait_time(now);
+  }
+
   /// Local-store membership only (no network) -- used by the engine
   /// prefilter and by mitigation strategies that re-order server queries.
   [[nodiscard]] bool local_contains(crypto::Prefix32 prefix) const override;

@@ -41,6 +41,12 @@ class V1LookupProtocol : public ProtocolClient {
     return true;
   }
 
+  /// No update channel, no wait: always permitted (and always a no-op).
+  [[nodiscard]] std::uint64_t update_wait(
+      std::uint64_t) const noexcept override {
+    return 0;
+  }
+
   /// Ships the raw URL; the server checks every decomposition's full
   /// digest directly. Fails open on a network error, like v3/v4.
   [[nodiscard]] LookupResult lookup(std::string_view url) override;

@@ -99,6 +99,15 @@ class ProtocolClient {
   /// Returns false when withheld by backoff or failed on the wire.
   virtual bool update() = 0;
 
+  /// Ticks until the update channel permits the next update(): the
+  /// client's own minimum-wait timer (server-dictated v3
+  /// `next_update_after` / v4 `minimum_wait`, plus error backoff). 0 =
+  /// allowed now; always 0 for v1, which has nothing to sync. The engine's
+  /// churn re-sync scheduler polls this instead of blindly calling
+  /// update(), so suppressed attempts never hit the wire or the metrics.
+  [[nodiscard]] virtual std::uint64_t update_wait(
+      std::uint64_t now) const noexcept = 0;
+
   /// "Is this URL malicious?" -- the Figure 3 flow for the generation.
   [[nodiscard]] virtual LookupResult lookup(std::string_view url) = 0;
 

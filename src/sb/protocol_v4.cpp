@@ -91,4 +91,12 @@ std::uint64_t V4SlicedProtocol::list_state(std::string_view list_name) const {
   return 0;
 }
 
+std::uint32_t V4SlicedProtocol::list_checksum(
+    std::string_view list_name) const {
+  for (const auto& state : lists_) {
+    if (state.name == list_name) return state.store.checksum();
+  }
+  return 0;
+}
+
 }  // namespace sbp::sb

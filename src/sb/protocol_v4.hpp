@@ -43,6 +43,11 @@ class V4SlicedProtocol : public PrefixProtocolClient {
   /// checksum mismatch forced a local reset (the next update full-syncs).
   bool update() override;
 
+  [[nodiscard]] std::uint64_t update_wait(
+      std::uint64_t now) const noexcept override {
+    return update_backoff_.wait_time(now);
+  }
+
   [[nodiscard]] bool local_contains(crypto::Prefix32 prefix) const override;
   [[nodiscard]] std::size_t local_prefix_count() const noexcept override;
   [[nodiscard]] std::size_t local_store_bytes() const noexcept override;
@@ -50,6 +55,12 @@ class V4SlicedProtocol : public PrefixProtocolClient {
   /// State token currently synced for `list_name` (0 = never synced /
   /// reset after desync) -- exposed for tests.
   [[nodiscard]] std::uint64_t list_state(std::string_view list_name) const;
+
+  /// FNV checksum of the local sorted prefix set for `list_name` -- equals
+  /// `storage::RawHashStore::checksum_of(server effective set)` exactly
+  /// when the client has converged on the server's current state (the
+  /// churn-convergence check of tests/sim/engine_churn_test.cpp).
+  [[nodiscard]] std::uint32_t list_checksum(std::string_view list_name) const;
 
  private:
   struct ListState {

@@ -92,26 +92,43 @@ void Server::add_orphan_prefix(std::string_view list_name,
 
 void Server::remove_expression(std::string_view list_name,
                                std::string_view expression) {
+  remove_expressions(list_name, {std::string(expression)});
+}
+
+void Server::remove_expressions(std::string_view list_name,
+                                const std::vector<std::string>& expressions) {
+  if (expressions.empty()) return;
   ListData& data = list(list_name);
-  const crypto::Digest256 digest = crypto::Digest256::of(expression);
-  const crypto::Prefix32 prefix = digest.prefix32();
-  const auto it = data.digests_by_prefix.find(prefix);
-  if (it == data.digests_by_prefix.end()) return;
-  invalidate_snapshot();
-  auto& bucket = it->second;
-  bucket.erase(std::remove(bucket.begin(), bucket.end(), digest),
-               bucket.end());
-  if (bucket.empty()) {
-    data.digests_by_prefix.erase(it);
-    // Revoke via a dedicated sub chunk (sealed immediately).
+  std::vector<crypto::Prefix32> revoked;
+  bool mutated = false;
+  for (const auto& expression : expressions) {
+    const crypto::Digest256 digest = crypto::Digest256::of(expression);
+    const crypto::Prefix32 prefix = digest.prefix32();
+    const auto it = data.digests_by_prefix.find(prefix);
+    if (it == data.digests_by_prefix.end()) continue;
+    mutated = true;
+    auto& bucket = it->second;
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), digest),
+                 bucket.end());
+    if (bucket.empty()) {
+      data.digests_by_prefix.erase(it);
+      revoked.push_back(prefix);
+    }
+    // If other digests share the prefix, the prefix must stay published.
+  }
+  if (mutated) invalidate_snapshot();
+  if (!revoked.empty()) {
+    // Revoke the batch via one sub chunk (sealed immediately; any open
+    // adds seal first so chunk numbering reflects mutation order).
     seal(data);
     Chunk sub;
     sub.type = ChunkType::kSub;
     sub.number = data.next_chunk_number++;
-    sub.prefixes.push_back(prefix);
+    std::sort(revoked.begin(), revoked.end());
+    revoked.erase(std::unique(revoked.begin(), revoked.end()), revoked.end());
+    sub.prefixes = std::move(revoked);
     data.chunks.apply(sub);
   }
-  // If other digests share the prefix, the prefix must stay published.
 }
 
 void Server::seal(ListData& data) {
@@ -281,6 +298,11 @@ std::vector<std::string> Server::list_names() const {
 std::size_t Server::prefix_count(std::string_view name) const {
   const ListData* data = find(name);
   return data ? data->digests_by_prefix.size() : 0;
+}
+
+std::uint64_t Server::chunk_sequence(std::string_view name) const {
+  const ListData* data = find(name);
+  return data ? data->next_chunk_number : 0;
 }
 
 std::vector<crypto::Prefix32> Server::prefixes(std::string_view name) const {

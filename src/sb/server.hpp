@@ -246,6 +246,13 @@ class Server {
   /// Removes an expression via a sub chunk.
   void remove_expression(std::string_view list, std::string_view expression);
 
+  /// Batched removal: every expression whose prefix becomes unreferenced is
+  /// revoked through ONE sub chunk (the shape a real provider's periodic
+  /// update takes, and what keeps per-epoch chunk counts bounded under live
+  /// churn -- one add + one sub chunk per list per epoch).
+  void remove_expressions(std::string_view list,
+                          const std::vector<std::string>& expressions);
+
   /// Closes the open chunk of `list` so subsequent adds start a new one.
   void seal_chunk(std::string_view list);
 
@@ -283,6 +290,10 @@ class Server {
 
   [[nodiscard]] std::vector<std::string> list_names() const;
   [[nodiscard]] std::size_t prefix_count(std::string_view list) const;
+  /// The list's next chunk number -- the sequence the v4 state token is
+  /// derived from. Bumped by every sealed add/sub chunk, so it advances at
+  /// least once per churn epoch; 0 for unknown lists.
+  [[nodiscard]] std::uint64_t chunk_sequence(std::string_view list) const;
   /// All prefixes of a list (sorted) -- what a crawler of the database sees.
   [[nodiscard]] std::vector<crypto::Prefix32> prefixes(
       std::string_view list) const;

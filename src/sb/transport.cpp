@@ -53,6 +53,7 @@ std::optional<UpdateResponse> Transport::fetch_update_or_error(
   const std::vector<std::uint8_t> request_frame =
       wire::encode_update_request(request);
   stats_.bytes_up += request_frame.size();
+  stats_.update_bytes_up += request_frame.size();
   const auto decoded_request = wire::decode_update_request(request_frame);
   if (!decoded_request) return std::nullopt;
 
@@ -62,6 +63,7 @@ std::optional<UpdateResponse> Transport::fetch_update_or_error(
   const std::vector<std::uint8_t> response_frame =
       wire::encode_update_response(response);
   stats_.bytes_down += response_frame.size();
+  stats_.update_bytes_down += response_frame.size();
   return wire::decode_update_response(response_frame);
 }
 
@@ -81,6 +83,7 @@ std::optional<V4UpdateResponse> Transport::fetch_v4_update_or_error(
   const std::vector<std::uint8_t> request_frame =
       wire::encode_v4_update_request(request);
   stats_.bytes_up += request_frame.size();
+  stats_.update_bytes_up += request_frame.size();
   const auto decoded_request = wire::decode_v4_update_request(request_frame);
   if (!decoded_request) return std::nullopt;
 
@@ -90,6 +93,7 @@ std::optional<V4UpdateResponse> Transport::fetch_v4_update_or_error(
   const std::vector<std::uint8_t> response_frame =
       wire::encode_v4_update_response(response);
   stats_.bytes_down += response_frame.size();
+  stats_.update_bytes_down += response_frame.size();
   return wire::decode_v4_update_response(response_frame);
 }
 

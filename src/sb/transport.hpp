@@ -49,6 +49,12 @@ struct TransportStats {
   std::uint64_t failed_requests = 0;     ///< injected failures delivered
   std::uint64_t bytes_up = 0;    ///< client -> server (encoded frames)
   std::uint64_t bytes_down = 0;  ///< server -> client (encoded frames)
+  /// Update-channel share of bytes_up/down (v3 chunked + v4 sliced update
+  /// frames) -- the re-sync bandwidth live churn forces on the fleet,
+  /// separated from the full-hash/lookup traffic so benches can report
+  /// bytes-per-resync exactly (bench_update_churn).
+  std::uint64_t update_bytes_up = 0;
+  std::uint64_t update_bytes_down = 0;
 
   TransportStats& operator+=(const TransportStats& other) noexcept {
     full_hash_requests += other.full_hash_requests;
@@ -58,6 +64,8 @@ struct TransportStats {
     failed_requests += other.failed_requests;
     bytes_up += other.bytes_up;
     bytes_down += other.bytes_down;
+    update_bytes_up += other.update_bytes_up;
+    update_bytes_down += other.update_bytes_down;
     return *this;
   }
 };

@@ -18,6 +18,7 @@
 #include "corpus/web_corpus.hpp"
 #include "sb/list_spec.hpp"
 #include "sb/protocol_version.hpp"
+#include "sim/churn.hpp"
 #include "storage/prefix_store.hpp"
 
 namespace sbp::sb {
@@ -56,7 +57,8 @@ struct TrafficConfig {
   double target_visit_probability = 0.15;
 };
 
-/// Server-side blacklist construction and churn.
+/// Server-side blacklist construction at t=0 (live churn after t=0 is
+/// `SimConfig.churn`, sim/churn.hpp).
 struct BlacklistConfig {
   /// Lists created on the simulated server; all users subscribe to all.
   std::vector<std::string> lists = {"goog-malware-shavar"};
@@ -72,15 +74,6 @@ struct BlacklistConfig {
   std::size_t max_entries = 4096;
   /// Orphan prefixes injected per list (Section 7.2 tampering evidence).
   std::size_t orphan_prefixes = 0;
-
-  /// List churn: every `churn_interval_ticks` the server seals a new chunk
-  /// with `churn_adds` fresh expressions and removes `churn_removes` of the
-  /// previously churned ones; a rotating `churn_update_fraction` of users
-  /// re-fetches updates afterwards. 0 = static lists.
-  std::uint64_t churn_interval_ticks = 0;
-  std::size_t churn_adds = 8;
-  std::size_t churn_removes = 2;
-  double churn_update_fraction = 0.05;
 };
 
 /// Client-side mitigation toggles (paper Section 8).
@@ -115,6 +108,11 @@ struct SimConfig {
 
   TrafficConfig traffic;
   BlacklistConfig blacklist;
+  /// Live blacklist churn: epoch-based list mutation + staggered client
+  /// re-syncs on the server's minimum-wait timer (sim/churn.hpp). With
+  /// `churn.epoch_ticks == 0` (default) the lists are sealed once before
+  /// tick 0 and never change.
+  ChurnConfig churn;
   MitigationConfig mitigation;
 
   /// Protocol generation the population speaks (sb/protocol_version.hpp):

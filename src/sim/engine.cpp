@@ -38,14 +38,35 @@ Engine::Engine(SimConfig config)
   for (const auto& list : config_.blacklist.lists) {
     server_.create_list(list);
   }
+  universe_prefilter_ = config_.store_kind != storage::StoreKind::kBloom;
+  if (config_.churn.epoch_ticks > 0) {
+    churn_ = std::make_unique<ChurnSchedule>(
+        config_.churn, config_.blacklist.lists,
+        derive_seed(config_.seed, 0xC4012BADC4012BADULL));
+    // The server dictates the fleet's update cadence (v3 next_update_after
+    // / v4 minimum_wait); it gates the initial sync too, so the first
+    // mid-run re-sync of any user lands in [cadence, 2*cadence).
+    server_.set_minimum_wait(resync_cadence());
+  }
   seed_blacklist();
   if (config_.server_setup) config_.server_setup(server_);
   for (const auto& list : server_.list_names()) {
     server_.seal_chunk(list);
   }
+  build_listed_universe();
   build_population();
   pool_ = std::make_unique<ThreadPool>(
       resolve_threads(config_.num_threads, shards_.size()));
+}
+
+void Engine::build_listed_universe() {
+  // Everything shipped at t=0 (corpus seeds, server_setup additions,
+  // orphans); epoch adds extend it incrementally.
+  for (const auto& list : server_.list_names()) {
+    for (const auto prefix : server_.prefixes(list)) {
+      listed_universe_.insert(prefix);
+    }
+  }
 }
 
 void Engine::seed_blacklist() {
@@ -59,6 +80,13 @@ void Engine::seed_blacklist() {
   const auto next_list = [&]() -> const std::string& {
     return blacklist.lists[round_robin++ % blacklist.lists.size()];
   };
+  const auto blacklist_expression = [&](const std::string& list,
+                                        const std::string& expression) {
+    server_.add_expression(list, expression);
+    // Seed entries enter the churn schedule's live FIFO so later epochs
+    // can retire them (the aging that decays day-zero crawl knowledge).
+    if (churn_) churn_->register_seed_expression(list, expression);
+  };
 
   std::vector<std::uint32_t> page_indices;
   for (std::size_t s = 0;
@@ -67,7 +95,7 @@ void Engine::seed_blacklist() {
     // page of the site decomposes to.
     if (blacklist.site_fraction > 0.0 &&
         rng.next_bool(blacklist.site_fraction)) {
-      server_.add_expression(next_list(), corpus.site_domain(s) + "/");
+      blacklist_expression(next_list(), corpus.site_domain(s) + "/");
       ++entries;
       if (entries >= blacklist.max_entries) break;
     }
@@ -91,7 +119,7 @@ void Engine::seed_blacklist() {
           i + rng.next_below(page_indices.size() - i);
       std::swap(page_indices[i], page_indices[j]);
       const corpus::Page& page = site.pages[page_indices[i]];
-      server_.add_expression(next_list(), page.expression());
+      blacklist_expression(next_list(), page.expression());
       blacklisted_pages_.push_back(page.url());
       ++entries;
     }
@@ -115,6 +143,22 @@ void Engine::build_population() {
         std::make_unique<Shard>(server_, clock_, traffic_model_));
   }
   const double interested = config_.traffic.interested_fraction;
+
+  if (churn_) {
+    // Deterministic re-sync slots: each user polls for updates every
+    // resync_cadence() ticks at its own offset, spreading the fleet's
+    // update load evenly over the cadence window (real fleets jitter
+    // their timers for the same reason). Bucketed by slot so a tick
+    // touches only the users actually due.
+    const std::uint64_t cadence = resync_cadence();
+    resync_slots_.resize(cadence);
+    for (std::size_t u = 0; u < config_.num_users; ++u) {
+      resync_slots_[derive_seed(config_.seed,
+                                0x5C4EDB1E00000000ULL + u * kGolden) %
+                    cadence]
+          .push_back(u);
+    }
+  }
 
   const double mixed = config_.mix_fraction;
   for (std::size_t u = 0; u < config_.num_users; ++u) {
@@ -166,43 +210,64 @@ sb::TransportStats Engine::transport_stats() const {
   return total;
 }
 
-void Engine::churn() {
-  const BlacklistConfig& blacklist = config_.blacklist;
-
-  const std::size_t removals =
-      std::min(blacklist.churn_removes, churned_expressions_.size());
-  for (std::size_t i = 0; i < removals; ++i) {
-    server_.remove_expression(churned_expressions_[i].first,
-                              churned_expressions_[i].second);
-  }
-  churned_expressions_.erase(churned_expressions_.begin(),
-                             churned_expressions_.begin() + removals);
-
-  for (std::size_t i = 0; i < blacklist.churn_adds; ++i) {
-    const std::string& list =
-        blacklist.lists[churn_counter_ % blacklist.lists.size()];
-    std::string expression =
-        "churn" + std::to_string(churn_counter_) + ".evil.example/";
+void Engine::apply_churn_epoch() {
+  const ChurnSchedule::EpochPlan plan = churn_->plan_epoch(++epoch_count_);
+  bool universe_grew = false;
+  const auto publish = [&](const std::string& list,
+                           const std::string& expression) {
     server_.add_expression(list, expression);
-    churned_expressions_.emplace_back(list, std::move(expression));
-    ++churn_counter_;
+    universe_grew |=
+        listed_universe_.insert(crypto::prefix32_of(expression)).second;
+  };
+
+  for (const auto& list_plan : plan.lists) {
+    server_.remove_expressions(list_plan.list, list_plan.remove_expressions);
+    metrics_.churn_removes += list_plan.remove_expressions.size();
+    for (const auto& expression : list_plan.add_expressions) {
+      publish(list_plan.list, expression);
+    }
+    metrics_.churn_adds += list_plan.add_expressions.size();
   }
-  for (const auto& list : blacklist.lists) {
+  for (const auto& injection : plan.injections) {
+    publish(injection.list, injection.expression);
+    ++metrics_.injected_prefixes;
+  }
+
+  // Seal every list: one add (+ one sub) chunk per list bumps the chunk /
+  // state-token sequence, and seal_chunk eagerly republishes the lookup
+  // snapshot -- the parallel phase that follows serves entirely from the
+  // new epoch's state.
+  for (const auto& list : server_.list_names()) {
     server_.seal_chunk(list);
   }
+  // A grown universe invalidates every cached "no listed prefix" verdict;
+  // shards re-validate their entries lazily (url_cache_invalidations).
+  if (universe_grew) ++universe_version_;
+  ++metrics_.churn_events;
+}
 
-  if (blacklist.churn_update_fraction > 0.0) {
-    const auto step = static_cast<std::size_t>(std::max<long long>(
-        1, std::llround(1.0 / blacklist.churn_update_fraction)));
-    // Rotate which residue class resyncs so churn coverage cycles through
-    // the whole population instead of hitting the same users every time.
-    for (std::size_t u = metrics_.churn_events % step; u < config_.num_users;
-         u += step) {
-      (void)user(u).client->update();
-      ++metrics_.churn_updates;
+void Engine::resync_clients() {
+  const std::uint64_t now = clock_.now();
+  for (const std::size_t u : resync_slots_[tick_ % resync_cadence()]) {
+    sb::ProtocolClient& client = *user(u).client;
+    if (client.version() == sb::ProtocolVersion::kV1Lookup) continue;
+    // The client's own minimum-wait timer decides; it covers the server-
+    // imposed wait (echoed into backoff on every success) and any error
+    // backoff, so a poll here never produces a suppressed attempt.
+    if (client.update_wait(now) > 0) continue;
+    (void)client.update();
+    ++metrics_.churn_updates;
+  }
+}
+
+void Engine::stamp_universe(UrlPrefixes& entry) const {
+  entry.universe_hits.clear();
+  for (const auto prefix : entry.unique_prefixes) {
+    if (listed_universe_.count(prefix) > 0) {
+      entry.universe_hits.push_back(prefix);
     }
   }
-  ++metrics_.churn_events;
+  entry.universe_version = universe_version_;
 }
 
 const Engine::UrlPrefixes& Engine::url_prefixes(Shard& shard,
@@ -210,6 +275,12 @@ const Engine::UrlPrefixes& Engine::url_prefixes(Shard& shard,
   const auto it = shard.url_cache.find(url);
   if (it != shard.url_cache.end()) {
     ++shard.tick_metrics.url_cache_hits;
+    if (it->second.universe_version != universe_version_) {
+      // Stale: an epoch grew the listed universe since this entry was
+      // stamped -- its "safe" verdict may have been revoked by the adds.
+      stamp_universe(it->second);
+      ++shard.tick_metrics.url_cache_invalidations;
+    }
     return it->second;
   }
   ++shard.tick_metrics.url_cache_misses;
@@ -234,6 +305,7 @@ const Engine::UrlPrefixes& Engine::url_prefixes(Shard& shard,
       prefixes.unique_prefixes.push_back(prefix);
     }
   }
+  stamp_universe(prefixes);
   return shard.url_cache.emplace(url, std::move(prefixes)).first->second;
 }
 
@@ -244,8 +316,18 @@ void Engine::dispatch(Shard& shard, UserState& user, const std::string& url) {
 
   // Prefilter: the client-equivalent local membership test, shared-hash
   // edition. A miss is the client's "safe, nothing leaves the machine".
+  // Exact stores only ever hold shipped prefixes, so testing the memoized
+  // universe subset is outcome-identical and skips the per-user loop for
+  // the (vast majority of) URLs with no listed prefix; v1 has no store
+  // (everything ships) and Bloom stores may false-positive outside the
+  // universe, so both keep the full per-prefix walk.
+  const bool exact_store =
+      universe_prefilter_ &&
+      user.client->version() != sb::ProtocolVersion::kV1Lookup;
+  const std::vector<crypto::Prefix32>& candidates =
+      exact_store ? prefixes.universe_hits : prefixes.unique_prefixes;
   bool any_hit = false;
-  for (const auto prefix : prefixes.unique_prefixes) {
+  for (const auto prefix : candidates) {
     if (user.client->local_contains(prefix)) {
       any_hit = true;
       break;
@@ -315,10 +397,13 @@ void Engine::tick_shard(Shard& shard) {
 bool Engine::step() {
   if (tick_ >= config_.ticks) return false;
 
-  const BlacklistConfig& blacklist = config_.blacklist;
-  if (blacklist.churn_interval_ticks > 0 && tick_ > 0 &&
-      tick_ % blacklist.churn_interval_ticks == 0) {
-    churn();  // serial phase: list mutation + client resyncs
+  if (churn_) {
+    // Serial churn phases: epoch mutation (republishes the snapshot),
+    // then the staggered client re-syncs due this tick.
+    if (tick_ > 0 && tick_ % config_.churn.epoch_ticks == 0) {
+      apply_churn_epoch();
+    }
+    resync_clients();
   }
 
   // Parallel phase: shards tick concurrently; they share only immutable

@@ -5,7 +5,15 @@
 // independent RNG stream and a real sb::ProtocolClient of the configured
 // generation (v1 / v3 / v4, mixable) -- and drives a tick loop:
 //
-//   per tick:  [churn the lists + resync a rotating user subset]  (serial)
+//   per tick:  serial: churn epoch due? apply the ChurnSchedule's
+//                add/retire plan + injections, seal one add (+ one sub)
+//                chunk per list -- bumping the v3 chunk / v4 state-token
+//                sequence -- and atomically republish the LookupSnapshot
+//              serial: staggered client re-syncs -- users whose re-sync
+//                slot is this tick and whose update channel's minimum-wait
+//                timer (update_wait) has expired fetch true incremental
+//                deltas (v3 missing chunks / v4 slices) through their
+//                shard transports
 //              shards ticked in parallel on the thread pool:
 //                for each user of the shard:
 //                    plan this tick's URLs (sessions / revisits / targets)
@@ -34,6 +42,20 @@
 // client.lookup() for every URL: a prefilter miss is exactly the client's
 // "no local hit -> safe, nothing leaves the machine" path.
 //
+// On top of the per-shard URL cache sits the LISTED-PREFIX UNIVERSE
+// prefilter: the engine tracks every prefix the server has ever shipped
+// (seed blacklist + every churn epoch's adds -- a superset of any client's
+// store at any sync state, since stores only hold shipped prefixes) and
+// memoizes, per cached URL, which of its prefixes are in that universe.
+// URLs with no universe hit skip the per-user local_contains loop entirely
+// -- for exact stores this is outcome-identical, so it is disabled when
+// store_kind is Bloom (false positives must keep reaching the wire) and
+// bypassed per-user for v1 clients (no local store; every URL ships).
+// The universe only ever GROWS, so a cached "no universe hit" verdict
+// stays valid until an epoch adds prefixes; each epoch that does bumps a
+// version counter and every cache entry re-validates lazily on next use
+// (metrics.url_cache_invalidations counts those stale-entry refreshes).
+//
 // The server's query log -- the paper's adversarial observable -- streams
 // into any sb::QueryLogSink (sim/log_sink.hpp), so populations far larger
 // than a RAM-resident log can run end to end.
@@ -48,9 +70,11 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "mitigation/dummy_requests.hpp"
+#include "sim/churn.hpp"
 #include "sb/protocol.hpp"
 #include "sb/server.hpp"
 #include "sb/transport.hpp"
@@ -74,14 +98,20 @@ struct SimMetrics {
   std::uint64_t mitigated_lookups = 0;  ///< lookups via the padded path
   std::uint64_t malicious_verdicts = 0;
   std::uint64_t target_visits = 0;
-  std::uint64_t churn_events = 0;
+  std::uint64_t churn_events = 0;       ///< churn epochs applied
+  std::uint64_t churn_adds = 0;         ///< expressions added by epochs
+  std::uint64_t churn_removes = 0;      ///< expressions retired by epochs
+  std::uint64_t injected_prefixes = 0;  ///< targeted injections applied
   std::uint64_t churn_updates = 0;      ///< client update() calls from churn
   std::uint64_t url_cache_hits = 0;     ///< summed over per-shard caches
   std::uint64_t url_cache_misses = 0;
+  /// Cache entries whose universe stamp went stale after an epoch added
+  /// prefixes and were lazily re-validated on their next use.
+  std::uint64_t url_cache_invalidations = 0;
 
   /// Field-wise sum -- the post-barrier reduction of per-shard tick
   /// accumulators (which never set the serial-phase fields ticks_run /
-  /// churn_events / churn_updates, so summing everything is safe).
+  /// churn_*, / injected_prefixes, so summing everything is safe).
   SimMetrics& operator+=(const SimMetrics& other) noexcept {
     ticks_run += other.ticks_run;
     lookups += other.lookups;
@@ -91,9 +121,13 @@ struct SimMetrics {
     malicious_verdicts += other.malicious_verdicts;
     target_visits += other.target_visits;
     churn_events += other.churn_events;
+    churn_adds += other.churn_adds;
+    churn_removes += other.churn_removes;
+    injected_prefixes += other.injected_prefixes;
     churn_updates += other.churn_updates;
     url_cache_hits += other.url_cache_hits;
     url_cache_misses += other.url_cache_misses;
+    url_cache_invalidations += other.url_cache_invalidations;
     return *this;
   }
 };
@@ -140,6 +174,26 @@ class Engine {
   /// Ground truth of the interest group (cookies of interested users).
   [[nodiscard]] std::vector<sb::Cookie> interested_cookies() const;
 
+  /// The Safe Browsing stack of user `index` (test/experiment support --
+  /// e.g. checking post-churn convergence of a v4 client's store checksum
+  /// against the server's effective set).
+  [[nodiscard]] sb::ProtocolClient& user_client(std::size_t index) {
+    return *user(index).client;
+  }
+
+  /// Churn epochs applied so far (= metrics().churn_events).
+  [[nodiscard]] std::uint64_t churn_epochs() const noexcept {
+    return epoch_count_;
+  }
+
+  /// The tick distance between a user's scheduled re-syncs under churn:
+  /// `churn.minimum_wait_ticks`, defaulting to one epoch.
+  [[nodiscard]] std::uint64_t resync_cadence() const noexcept {
+    return config_.churn.minimum_wait_ticks > 0
+               ? config_.churn.minimum_wait_ticks
+               : config_.churn.epoch_ticks;
+  }
+
   /// URLs of corpus pages blacklisted at construction (test support).
   [[nodiscard]] const std::vector<std::string>& blacklisted_page_urls()
       const noexcept {
@@ -157,6 +211,12 @@ class Engine {
     /// Per-decomposition digest + its prefix (verdict confirmation).
     std::vector<crypto::Digest256> digests;
     std::vector<crypto::Prefix32> digest_prefixes;
+    /// Subset of unique_prefixes present in the listed-prefix universe as
+    /// of `universe_version` (same order); empty = no client store can hit
+    /// this URL, the prefilter fast path. Re-validated lazily whenever an
+    /// epoch grows the universe (0 = never stamped).
+    std::vector<crypto::Prefix32> universe_hits;
+    std::uint64_t universe_version = 0;
   };
 
   /// Everything a tick mutates, owned per shard so worker threads never
@@ -179,7 +239,11 @@ class Engine {
   void seed_blacklist();
   void build_population();
   [[nodiscard]] UserState& user(std::size_t index);
-  void churn();
+  void build_listed_universe();
+  void apply_churn_epoch();
+  void resync_clients();
+  /// Recomputes entry.universe_hits against the current universe version.
+  void stamp_universe(UrlPrefixes& entry) const;
   void tick_shard(Shard& shard);
   const UrlPrefixes& url_prefixes(Shard& shard, const std::string& url);
   void dispatch(Shard& shard, UserState& user, const std::string& url);
@@ -197,9 +261,25 @@ class Engine {
   std::uint64_t tick_ = 0;
   SimMetrics metrics_;
 
-  std::uint64_t churn_counter_ = 0;
-  /// FIFO of (list, expression) added by churn, for later removal.
-  std::vector<std::pair<std::string, std::string>> churned_expressions_;
+  /// The epoch mutation planner (null when churn.epoch_ticks == 0).
+  std::unique_ptr<ChurnSchedule> churn_;
+  std::uint64_t epoch_count_ = 0;
+  /// Users bucketed by re-sync slot: bucket s (of resync_cadence() many)
+  /// holds, in ascending order, the indices of users polling for updates
+  /// at ticks == s (mod cadence), their minimum-wait timers permitting --
+  /// so a tick touches only its due bucket, not the population. Empty
+  /// when churn is off.
+  std::vector<std::vector<std::size_t>> resync_slots_;
+
+  /// Every prefix the server has ever shipped (seed lists + epoch adds);
+  /// grows monotonically, read-only during parallel phases. The version
+  /// counter bumps whenever an epoch grows the set, invalidating the
+  /// per-shard URL-cache universe stamps.
+  std::unordered_set<crypto::Prefix32> listed_universe_;
+  std::uint64_t universe_version_ = 1;
+  /// Fast path legal only for exact stores (Bloom false positives must
+  /// keep producing wire traffic); v1 users bypass it per-user.
+  bool universe_prefilter_ = true;
 
   std::vector<std::string> blacklisted_pages_;
 };

@@ -67,6 +67,33 @@ TEST(UpdateDynamicsTest, Deterministic) {
   }
 }
 
+TEST(UpdateDynamicsTest, FitRecoversConfiguredRates) {
+  ChurnConfig config;
+  config.initial_entries = 2000;
+  config.adds_per_round = 30;   // 1.5% of 2000
+  config.removals_per_round = 30;
+  config.rounds = 8;
+  const ChurnReport report = simulate_churn(config);
+  for (const auto& row : report.rounds) {
+    EXPECT_EQ(row.adds, 30u);
+    EXPECT_EQ(row.removals, 30u);
+  }
+  // Pure replacement keeps the size at 2000, so the fitted per-round rates
+  // are exactly 30/2000 (up to rare 32-bit prefix collisions).
+  const ChurnRates rates = fit_churn_rates(report);
+  EXPECT_NEAR(rates.add_rate, 0.015, 1e-3);
+  EXPECT_NEAR(rates.remove_rate, 0.015, 1e-3);
+  // ...which is also the paper's reported daily turnover, the default the
+  // simulation churn block ships with.
+  EXPECT_NEAR(rates.add_rate, paper_daily_churn_rates().add_rate, 2e-3);
+}
+
+TEST(UpdateDynamicsTest, FitOfEmptyReportIsZero) {
+  const ChurnRates rates = fit_churn_rates(ChurnReport{});
+  EXPECT_DOUBLE_EQ(rates.add_rate, 0.0);
+  EXPECT_DOUBLE_EQ(rates.remove_rate, 0.0);
+}
+
 TEST(UpdateDynamicsTest, ZeroChurnCostsAlmostNothing) {
   ChurnConfig config;
   config.initial_entries = 100;

@@ -1,0 +1,256 @@
+// Live blacklist churn through the full engine stack: epoch mutations
+// republish server state mid-run, clients re-sync on their minimum-wait
+// timers via true incremental deltas, and none of it may cost the
+// determinism contract -- same seed => bit-identical logs, fingerprints
+// and wire counters at ANY thread count, churn enabled. Also pins the
+// Section 6 targeted-injection scenario (a victim-specific prefix added
+// via an update epoch becomes observable in the query log) and the lazy
+// re-validation of per-shard URL-cache entries stamped before an epoch
+// grew the listed-prefix universe.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "crypto/digest.hpp"
+#include "sb/protocol_v4.hpp"
+#include "sim/log_sink.hpp"
+#include "storage/raw_hash_store.hpp"
+
+namespace sbp::sim {
+namespace {
+
+constexpr const char* kList = "goog-malware-shavar";
+
+/// A busy little churning world: epochs every 6 ticks (5 epochs in 36
+/// ticks), aggressive add/retire rates so every epoch visibly mutates the
+/// lists, default re-sync cadence (= one epoch).
+SimConfig churn_config(std::uint64_t seed) {
+  SimConfig config;
+  config.num_users = 120;
+  config.ticks = 36;
+  config.num_shards = 8;
+  config.seed = seed;
+  config.corpus.num_hosts = 600;
+  config.corpus.seed = seed;
+  config.corpus.max_pages = 150;
+  config.blacklist.page_fraction = 0.05;
+  config.blacklist.site_fraction = 0.01;
+  config.traffic.session_start_probability = 0.3;
+  config.traffic.session_continue_probability = 0.7;
+  config.churn.epoch_ticks = 6;
+  config.churn.add_rate = 0.08;
+  config.churn.remove_rate = 0.04;
+  return config;
+}
+
+struct RunResult {
+  std::vector<sb::QueryLogEntry> entries;
+  std::uint64_t fingerprint = 0;
+  SimMetrics metrics;
+  sb::TransportStats wire;
+  sb::ClientMetrics population;
+};
+
+RunResult run_with_threads(SimConfig config, std::size_t threads) {
+  config.num_threads = threads;
+  Engine engine(std::move(config));
+  InMemorySink memory;
+  CountingSink counting;
+  FanoutSink fanout({&memory, &counting});
+  engine.attach_sink(&fanout, /*retain_in_memory=*/false);
+  engine.run();
+  return {memory.entries(), counting.fingerprint(), engine.metrics(),
+          engine.transport_stats(), engine.population_metrics()};
+}
+
+void expect_equal_runs(const RunResult& a, const RunResult& b,
+                       const char* label) {
+  ASSERT_FALSE(a.entries.empty()) << label << ": population was silent";
+  EXPECT_EQ(a.entries, b.entries) << label;
+  EXPECT_EQ(a.fingerprint, b.fingerprint) << label;
+
+  EXPECT_EQ(a.metrics.lookups, b.metrics.lookups) << label;
+  EXPECT_EQ(a.metrics.local_hit_lookups, b.metrics.local_hit_lookups)
+      << label;
+  EXPECT_EQ(a.metrics.malicious_verdicts, b.metrics.malicious_verdicts)
+      << label;
+  EXPECT_EQ(a.metrics.churn_events, b.metrics.churn_events) << label;
+  EXPECT_EQ(a.metrics.churn_adds, b.metrics.churn_adds) << label;
+  EXPECT_EQ(a.metrics.churn_removes, b.metrics.churn_removes) << label;
+  EXPECT_EQ(a.metrics.churn_updates, b.metrics.churn_updates) << label;
+  EXPECT_EQ(a.metrics.url_cache_invalidations,
+            b.metrics.url_cache_invalidations)
+      << label;
+
+  // Wire accounting, the update channel included, must be exact at any
+  // thread count -- it is part of what the provider bills and observes.
+  EXPECT_EQ(a.wire.full_hash_requests, b.wire.full_hash_requests) << label;
+  EXPECT_EQ(a.wire.update_requests, b.wire.update_requests) << label;
+  EXPECT_EQ(a.wire.v4_update_requests, b.wire.v4_update_requests) << label;
+  EXPECT_EQ(a.wire.bytes_up, b.wire.bytes_up) << label;
+  EXPECT_EQ(a.wire.bytes_down, b.wire.bytes_down) << label;
+  EXPECT_EQ(a.wire.update_bytes_up, b.wire.update_bytes_up) << label;
+  EXPECT_EQ(a.wire.update_bytes_down, b.wire.update_bytes_down) << label;
+
+  EXPECT_EQ(a.population.full_hash_requests, b.population.full_hash_requests)
+      << label;
+  EXPECT_EQ(a.population.updates_attempted, b.population.updates_attempted)
+      << label;
+}
+
+TEST(SimEngineChurnTest, ChurnedV3PopulationIsThreadCountInvariant) {
+  const RunResult one = run_with_threads(churn_config(81), 1);
+  const RunResult two = run_with_threads(churn_config(81), 2);
+  const RunResult eight = run_with_threads(churn_config(81), 8);
+  EXPECT_GT(one.metrics.churn_events, 0u);
+  EXPECT_GT(one.metrics.churn_updates, 0u);
+  expect_equal_runs(one, two, "churned v3 1 vs 2 threads");
+  expect_equal_runs(one, eight, "churned v3 1 vs 8 threads");
+}
+
+TEST(SimEngineChurnTest, ChurnedV4PopulationIsThreadCountInvariant) {
+  auto config = [] {
+    SimConfig c = churn_config(83);
+    c.protocol = sb::ProtocolVersion::kV4Sliced;
+    return c;
+  };
+  const RunResult one = run_with_threads(config(), 1);
+  const RunResult two = run_with_threads(config(), 2);
+  const RunResult eight = run_with_threads(config(), 8);
+  expect_equal_runs(one, two, "churned v4 1 vs 2 threads");
+  expect_equal_runs(one, eight, "churned v4 1 vs 8 threads");
+}
+
+TEST(SimEngineChurnTest, MixedPopulationResyncsMidRunOnBothChannels) {
+  auto config = [] {
+    SimConfig c = churn_config(87);
+    c.mix_protocol = sb::ProtocolVersion::kV4Sliced;
+    c.mix_fraction = 0.5;
+    return c;
+  };
+  const RunResult one = run_with_threads(config(), 1);
+  const RunResult two = run_with_threads(config(), 2);
+  const RunResult eight = run_with_threads(config(), 8);
+  expect_equal_runs(one, two, "churned mixed 1 vs 2 threads");
+  expect_equal_runs(one, eight, "churned mixed 1 vs 8 threads");
+
+  // 60 v3 + 60 v4 users sync once at construction; anything beyond that
+  // is a mid-run re-sync, and both generations must show them.
+  EXPECT_GT(one.wire.update_requests, 60u) << "no v3 mid-run re-syncs";
+  EXPECT_GT(one.wire.v4_update_requests, 60u) << "no v4 mid-run re-syncs";
+  // The update channel's exact frame bytes are accounted separately from
+  // the full-hash traffic.
+  EXPECT_GT(one.wire.update_bytes_up, 0u);
+  EXPECT_GT(one.wire.update_bytes_down, 0u);
+  EXPECT_LT(one.wire.update_bytes_up, one.wire.bytes_up);
+  EXPECT_LT(one.wire.update_bytes_down, one.wire.bytes_down);
+}
+
+TEST(SimEngineChurnTest, EpochsMutateListsAndBumpSequences) {
+  SimConfig config = churn_config(91);
+  Engine engine(std::move(config));
+  const std::uint64_t sequence_before = engine.server().chunk_sequence(kList);
+  const std::size_t prefixes_before = engine.server().prefix_count(kList);
+  engine.run();
+
+  // 36 ticks, epochs at 6, 12, 18, 24, 30.
+  EXPECT_EQ(engine.metrics().churn_events, 5u);
+  EXPECT_EQ(engine.churn_epochs(), 5u);
+  EXPECT_GT(engine.metrics().churn_adds, 0u);
+  EXPECT_GT(engine.metrics().churn_removes, 0u);
+  // Every epoch seals at least an add chunk: the v3 chunk / v4 state-token
+  // sequence advanced at least once per epoch.
+  EXPECT_GE(engine.server().chunk_sequence(kList), sequence_before + 5);
+  // Net growth: add_rate > remove_rate.
+  EXPECT_GT(engine.server().prefix_count(kList), prefixes_before);
+}
+
+TEST(SimEngineChurnTest, V4ClientsConvergeToPostEpochSet) {
+  SimConfig config = churn_config(93);
+  config.protocol = sb::ProtocolVersion::kV4Sliced;
+  Engine engine(std::move(config));
+  engine.run();
+  ASSERT_GT(engine.metrics().churn_events, 0u);
+
+  // The ground truth after the last epoch.
+  const auto server_set = engine.server().prefixes(kList);
+  const std::uint32_t server_checksum =
+      storage::RawHashStore::checksum_of(server_set);
+  const std::uint64_t server_sequence = engine.server().chunk_sequence(kList);
+
+  for (const std::size_t u : {std::size_t{0}, std::size_t{17},
+                              std::size_t{119}}) {
+    auto* client =
+        dynamic_cast<sb::V4SlicedProtocol*>(&engine.user_client(u));
+    ASSERT_NE(client, nullptr);
+    // One final incremental sync (the run may end between a user's
+    // re-sync slots); after it the client must match the server exactly.
+    (void)client->update();
+    EXPECT_EQ(client->list_state(kList), server_sequence) << "user " << u;
+    EXPECT_EQ(client->list_checksum(kList), server_checksum)
+        << "user " << u << " did not converge to the post-epoch set";
+    EXPECT_EQ(client->local_prefix_count(), server_set.size());
+  }
+}
+
+TEST(SimEngineChurnTest, TargetedInjectionBecomesObservableAndEvictsCache) {
+  // Section 6 abuse: at epoch 2 (tick 12) the provider adds a
+  // victim-specific prefix. Interested users visit the victim URL from
+  // tick 0, so its per-shard cache entries are stamped "no listed prefix"
+  // long before the injection -- only the stale-entry re-validation makes
+  // the post-injection queries appear.
+  SimConfig config = churn_config(95);
+  config.traffic.target_urls = {"http://victim.example/"};
+  config.traffic.interested_fraction = 0.25;
+  config.traffic.target_visit_probability = 0.5;
+  config.churn.injections = {{/*epoch=*/2, /*list=*/"",
+                              /*expression=*/"victim.example/"}};
+  Engine engine(std::move(config));
+  InMemorySink sink;
+  engine.attach_sink(&sink);
+  engine.run();
+
+  EXPECT_EQ(engine.metrics().injected_prefixes, 1u);
+  EXPECT_GT(engine.metrics().url_cache_invalidations, 0u)
+      << "no stale URL-cache entry was re-validated after an epoch";
+
+  const crypto::Prefix32 victim = crypto::prefix32_of("victim.example/");
+  std::set<sb::Cookie> queried;
+  for (const auto& entry : sink.entries()) {
+    if (std::find(entry.prefixes.begin(), entry.prefixes.end(), victim) ==
+        entry.prefixes.end()) {
+      continue;
+    }
+    EXPECT_GE(entry.tick, 12u)
+        << "victim prefix observed before the injection epoch";
+    queried.insert(entry.cookie);
+  }
+  ASSERT_FALSE(queried.empty())
+      << "injection never surfaced in the query log";
+  // Every observed cookie belongs to the interest group: the injection
+  // surveils exactly the victims who browse the target.
+  const auto interested = engine.interested_cookies();
+  for (const auto cookie : queried) {
+    EXPECT_TRUE(std::binary_search(interested.begin(), interested.end(),
+                                   cookie));
+  }
+}
+
+TEST(SimEngineChurnTest, FrozenWorldHasNoChurnTraffic) {
+  SimConfig config = churn_config(97);
+  config.churn = ChurnConfig{};  // epoch_ticks = 0: the pre-churn engine
+  Engine engine(std::move(config));
+  engine.run();
+  EXPECT_EQ(engine.metrics().churn_events, 0u);
+  EXPECT_EQ(engine.metrics().churn_updates, 0u);
+  EXPECT_EQ(engine.metrics().url_cache_invalidations, 0u);
+  // Only the construction-time syncs ever touched the update channel.
+  EXPECT_EQ(engine.population_metrics().updates_attempted,
+            engine.num_users());
+}
+
+}  // namespace
+}  // namespace sbp::sim

@@ -29,8 +29,9 @@ SimConfig parallel_config(std::uint64_t seed) {
   config.corpus.max_pages = 150;
   config.blacklist.page_fraction = 0.05;
   config.blacklist.site_fraction = 0.01;
-  config.blacklist.churn_interval_ticks = 7;
-  config.blacklist.churn_update_fraction = 0.2;
+  config.churn.epoch_ticks = 7;
+  config.churn.add_rate = 0.05;
+  config.churn.remove_rate = 0.03;
   config.traffic.session_start_probability = 0.3;
   config.traffic.session_continue_probability = 0.7;
   return config;

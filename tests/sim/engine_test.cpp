@@ -113,18 +113,22 @@ TEST(SimEngineTest, SamplingSinkKeepsEveryNthEntry) {
 
 TEST(SimEngineTest, ChurnRefreshesListsAndResyncsUsers) {
   SimConfig config = small_config(17);
-  config.blacklist.churn_interval_ticks = 5;
-  config.blacklist.churn_adds = 6;
-  config.blacklist.churn_removes = 2;
-  config.blacklist.churn_update_fraction = 0.25;
+  config.churn.epoch_ticks = 5;
+  config.churn.add_rate = 0.10;
+  config.churn.remove_rate = 0.05;
   Engine engine(std::move(config));
   engine.run();
   EXPECT_EQ(engine.metrics().churn_events, 4u);  // ticks 5, 10, 15, 20
+  EXPECT_GT(engine.metrics().churn_adds, 0u);
+  EXPECT_GT(engine.metrics().churn_removes, 0u);
   EXPECT_GT(engine.metrics().churn_updates, 0u);
-  // Every user updated once at construction, plus the churn resyncs.
+  // Every user updated once at construction, plus the scheduled re-syncs
+  // (the engine only polls clients whose minimum-wait timer expired, so
+  // every attempt is a real wire update -- none are suppressed).
   const auto population = engine.population_metrics();
   EXPECT_EQ(population.updates_attempted,
             engine.num_users() + engine.metrics().churn_updates);
+  EXPECT_EQ(population.backoff_suppressed, 0u);
 }
 
 TEST(SimEngineTest, DummyRequestMitigationPadsEveryWireRequest) {
@@ -190,8 +194,7 @@ TEST(SimEngineTest, V4PopulationRunsDeterministically) {
   auto v4_config = [] {
     SimConfig config = small_config(31);
     config.protocol = sb::ProtocolVersion::kV4Sliced;
-    config.blacklist.churn_interval_ticks = 5;
-    config.blacklist.churn_update_fraction = 0.25;
+    config.churn.epoch_ticks = 5;
     return config;
   };
   InMemorySink log_a, log_b;

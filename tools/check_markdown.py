@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Markdown lint for this repository's docs (CI job `markdown-check`).
+
+Checks, for every given file or directory of .md files:
+  * dead relative links: [text](path) whose target does not exist on disk
+    (anchors are stripped; http/https/mailto links are skipped);
+  * fenced code blocks without a language tag: an opening ``` fence must
+    carry an info string (```cpp, ```sh, ```json, ...).
+
+Exit 0 = clean, 1 = findings (each printed as file:line: message).
+Usage: check_markdown.py [paths...]   (default: docs README.md)
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(!?)\[[^\]]*\]\(([^()\s]+(?:\([^()]*\)[^()\s]*)*)\)")
+
+
+def collect_files(paths):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in sorted(os.walk(path)):
+                files.extend(
+                    os.path.join(root, n) for n in sorted(names)
+                    if n.endswith(".md"))
+        else:
+            files.append(path)
+    return files
+
+
+def check_file(path):
+    problems = []
+    in_fence = False
+    fence_char = ""
+    fence_len = 0
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not in_fence:
+                for char in ("`", "~"):
+                    if stripped.startswith(char * 3):
+                        in_fence = True
+                        fence_char = char
+                        fence_len = len(stripped) - len(
+                            stripped.lstrip(char))
+                        if not stripped.lstrip(char).strip():
+                            problems.append(
+                                (number,
+                                 "fenced code block has no language tag"))
+                        break
+                if in_fence:
+                    continue
+            else:
+                # CommonMark: a closing fence is a run of the SAME fence
+                # character, at least as long as the opener, with no info
+                # string -- a ```cpp line inside a ~~~ or longer ``` block
+                # is content, not a closer.
+                if (stripped == fence_char * len(stripped)
+                        and len(stripped) >= fence_len):
+                    in_fence = False
+                continue  # fence content: links there are not links
+            for match in LINK_RE.finditer(line):
+                is_image, target = match.groups()
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path),
+                                 target.split("#", 1)[0]))
+                if not os.path.exists(resolved):
+                    kind = "image" if is_image else "link"
+                    problems.append(
+                        (number, f"dead relative {kind}: {target}"))
+    if in_fence:
+        problems.append((0, "unterminated code fence"))
+    return problems
+
+
+def main(argv):
+    paths = argv[1:] or ["docs", "README.md"]
+    failures = 0
+    for path in collect_files(paths):
+        for number, message in check_file(path):
+            print(f"{path}:{number}: {message}")
+            failures += 1
+    if failures:
+        print(f"\n{failures} problem(s) found", file=sys.stderr)
+        return 1
+    print("markdown check: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
