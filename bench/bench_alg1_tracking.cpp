@@ -18,8 +18,9 @@
 
 int main(int argc, char** argv) {
   using namespace sbp;
-  const std::size_t num_users =
-      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 200;
+  bench::Args args(argc, argv);
+  const std::size_t num_users = args.positional_size(200);
+  if (!args.finish()) return 1;
   bench::header("Algorithm 1 + Section 6.3",
                 "tracking system: plan, deploy, detect, correlate");
   std::printf("users: %zu\n", num_users);

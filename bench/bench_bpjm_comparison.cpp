@@ -15,8 +15,9 @@
 
 int main(int argc, char** argv) {
   using namespace sbp;
-  const std::size_t dictionary_coverage_pct =
-      argc > 1 ? std::atoi(argv[1]) : 99;
+  bench::Args args(argc, argv);
+  const std::size_t dictionary_coverage_pct = args.positional_size(99);
+  if (!args.finish()) return 1;
   bench::header("Section 7.1 (BPjM)",
                 "static hashed blocklist vs SB prefix list reconstruction");
 

@@ -77,8 +77,9 @@ void emit(const char* dataset, const corpus::DatasetStats& stats) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t hosts =
-      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 20000;
+  bench::Args args(argc, argv);
+  const std::size_t hosts = args.positional_size(20000);
+  if (!args.finish()) return 1;
   bench::header("Figures 5(a-f) + 6",
                 "per-host distribution series (rank:value pairs, log-spaced)");
   bench::scale_note(static_cast<double>(hosts) / 1e6);

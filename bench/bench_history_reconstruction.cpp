@@ -19,8 +19,9 @@
 
 int main(int argc, char** argv) {
   using namespace sbp;
-  const std::size_t num_sites =
-      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 300;
+  bench::Args args(argc, argv);
+  const std::size_t num_sites = args.positional_size(300);
+  if (!args.finish()) return 1;
   bench::header("Section 4", "browsing-history reconstruction experiment");
   std::printf("corpus: %zu sites; users: 40; sweep: fraction of domains "
               "blacklisted\n",

@@ -155,20 +155,12 @@ double per(std::uint64_t bytes, std::size_t count) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t entries = 4096;
-  std::size_t num_urls = 2000;
-  std::string out_path = "BENCH_protocol_bandwidth.json";
-  for (int i = 1; i + 1 < argc; i += 2) {
-    if (std::strcmp(argv[i], "--entries") == 0) {
-      entries =
-          static_cast<std::size_t>(std::strtoull(argv[i + 1], nullptr, 10));
-    } else if (std::strcmp(argv[i], "--urls") == 0) {
-      num_urls =
-          static_cast<std::size_t>(std::strtoull(argv[i + 1], nullptr, 10));
-    } else if (std::strcmp(argv[i], "--out") == 0) {
-      out_path = argv[i + 1];
-    }
-  }
+  sbp::bench::Args args(argc, argv);
+  const std::size_t entries = args.size_flag("--entries", 4096);
+  const std::size_t num_urls = args.size_flag("--urls", 2000);
+  const std::string out_path =
+      args.string_flag("--out", "BENCH_protocol_bandwidth.json");
+  if (!args.finish()) return 1;
   const std::size_t churn_adds = entries / 16;
   const std::size_t churn_removes = entries / 64;
 

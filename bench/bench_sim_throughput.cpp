@@ -211,32 +211,28 @@ std::string format_json(const std::vector<SweepPoint>& sweep,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t users = 100000;
-  std::uint64_t ticks = 50;
-  std::string out_path = "BENCH_sim.json";
+  sbp::bench::Args args(argc, argv);
+  const std::size_t users = args.size_flag("--users", 100000);
+  const std::uint64_t ticks = args.u64_flag("--ticks", 50);
+  const std::string out_path = args.string_flag("--out", "BENCH_sim.json");
+  // Comma-separated sweep, e.g. --threads 1,4,16
+  const std::string threads_text = args.string_flag("--threads", "");
+  if (!args.finish()) return 1;
   std::vector<std::size_t> thread_sweep = {1, 2, 4, 8};
-  for (int i = 1; i + 1 < argc; i += 2) {
-    if (std::strcmp(argv[i], "--users") == 0) {
-      users = static_cast<std::size_t>(std::strtoull(argv[i + 1], nullptr, 10));
-    } else if (std::strcmp(argv[i], "--ticks") == 0) {
-      ticks = std::strtoull(argv[i + 1], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--out") == 0) {
-      out_path = argv[i + 1];
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
-      // Comma-separated sweep, e.g. --threads 1,4,16
-      thread_sweep.clear();
-      for (const char* cursor = argv[i + 1]; *cursor != '\0';) {
-        char* end = nullptr;
-        const auto value = std::strtoull(cursor, &end, 10);
-        if (end == cursor || (*end != ',' && *end != '\0')) {
-          std::fprintf(stderr, "bad --threads list: %s\n", argv[i + 1]);
-          return 1;
-        }
-        thread_sweep.push_back(static_cast<std::size_t>(value));
-        cursor = (*end == ',') ? end + 1 : end;
+  if (!threads_text.empty()) {
+    thread_sweep.clear();
+    for (const char* cursor = threads_text.c_str(); *cursor != '\0';) {
+      char* end = nullptr;
+      const auto value = std::strtoull(cursor, &end, 10);
+      if (end == cursor || (*end != ',' && *end != '\0')) {
+        std::fprintf(stderr, "bad --threads list: %s\n",
+                     threads_text.c_str());
+        return 1;
       }
-      if (thread_sweep.empty()) thread_sweep = {1};
+      thread_sweep.push_back(static_cast<std::size_t>(value));
+      cursor = (*end == ',') ? end + 1 : end;
     }
+    if (thread_sweep.empty()) thread_sweep = {1};
   }
   // The first point is the determinism baseline; force it to 1 thread.
   if (thread_sweep.front() != 1) {

@@ -21,7 +21,9 @@
 
 int main(int argc, char** argv) {
   using namespace sbp;
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.02;
+  bench::Args args(argc, argv);
+  const double scale = args.positional_double(0.02);
+  if (!args.finish()) return 1;
   bench::header("Table 9 + Table 10", "blacklist inversion match rates");
   bench::scale_note(scale);
 

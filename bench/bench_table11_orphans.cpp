@@ -15,7 +15,9 @@
 
 int main(int argc, char** argv) {
   using namespace sbp;
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+  bench::Args args(argc, argv);
+  const double scale = args.positional_double(0.05);
+  if (!args.finish()) return 1;
   bench::header("Table 11", "full hashes per prefix: orphan census");
   bench::scale_note(scale);
 

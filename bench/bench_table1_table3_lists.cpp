@@ -32,7 +32,9 @@ std::size_t shared_prefixes(const sb::Server& a, const sb::Server& b,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+  bench::Args args(argc, argv);
+  const double scale = args.positional_double(0.05);
+  if (!args.finish()) return 1;
   bench::header("Table 1 + Table 3",
                 "GSB and YSB blacklist inventories and anomalies");
   bench::scale_note(scale);

@@ -17,8 +17,9 @@
 
 int main(int argc, char** argv) {
   using namespace sbp;
-  const std::size_t entries =
-      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 630428;
+  bench::Args args(argc, argv);
+  const std::size_t entries = args.positional_size(630428);
+  if (!args.finish()) return 1;
   bench::header("Table 2", "client cache size per prefix width and store");
   std::printf("entries: %zu (paper: 630,428 = malware + phishing lists)\n",
               entries);

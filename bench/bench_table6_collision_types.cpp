@@ -16,7 +16,9 @@
 
 int main(int argc, char** argv) {
   using namespace sbp;
-  const unsigned bits = argc > 1 ? std::atoi(argv[1]) : 16;
+  bench::Args args(argc, argv);
+  const unsigned bits = static_cast<unsigned>(args.positional_size(16));
+  if (!args.finish()) return 1;
   bench::header("Table 6", "Type I/II/III collision examples");
   std::printf("demonstration width: %u bits (paper taxonomy at 32 bits; "
               "Type II/III need mined digest collisions, feasible at "

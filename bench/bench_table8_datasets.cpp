@@ -66,8 +66,9 @@ void report(const char* label, const corpus::DatasetStats& stats,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t hosts =
-      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 20000;
+  bench::Args args(argc, argv);
+  const std::size_t hosts = args.positional_size(20000);
+  if (!args.finish()) return 1;
   bench::header("Table 8 + Section 6.2",
                 "dataset construction and aggregate statistics");
   bench::scale_note(static_cast<double>(hosts) / 1e6);

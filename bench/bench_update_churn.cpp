@@ -118,19 +118,11 @@ bool same_observables(const Cell& a, const Cell& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t base_users = 8000;
-  std::uint64_t ticks = 60;
-  std::string out_path = "BENCH_churn.json";
-  for (int i = 1; i + 1 < argc; i += 2) {
-    if (std::strcmp(argv[i], "--users") == 0) {
-      base_users =
-          static_cast<std::size_t>(std::strtoull(argv[i + 1], nullptr, 10));
-    } else if (std::strcmp(argv[i], "--ticks") == 0) {
-      ticks = std::strtoull(argv[i + 1], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--out") == 0) {
-      out_path = argv[i + 1];
-    }
-  }
+  sbp::bench::Args args(argc, argv);
+  const std::size_t base_users = args.size_flag("--users", 8000);
+  const std::uint64_t ticks = args.u64_flag("--ticks", 60);
+  const std::string out_path = args.string_flag("--out", "BENCH_churn.json");
+  if (!args.finish()) return 1;
 
   sbp::bench::header("update_churn",
                      "mid-run update epochs x population size; mixed v3/v4 "

@@ -16,18 +16,14 @@
 
 int main(int argc, char** argv) {
   using namespace sbp;
-  std::size_t entries = 20000;
-  std::string out_path = "BENCH_update.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (argv[i][0] == '-' ||
-               std::atoll(argv[i]) <= 0) {  // typoed flag / valueless --out
-      std::fprintf(stderr, "usage: %s [entries > 0] [--out PATH]\n", argv[0]);
-      return 1;
-    } else {
-      entries = static_cast<std::size_t>(std::atoll(argv[i]));
-    }
+  bench::Args args(argc, argv);
+  // Flags before positionals: the positional scan must not see "--out"'s
+  // value as a candidate.
+  const std::string out_path = args.string_flag("--out", "BENCH_update.json");
+  const std::size_t entries = args.positional_size(20000);
+  if (!args.finish() || entries == 0) {
+    std::fprintf(stderr, "usage: %s [entries > 0] [--out PATH]\n", argv[0]);
+    return 1;
   }
   bench::header("Update dynamics",
                 "incremental vs full sync; day-0 inversion decay");

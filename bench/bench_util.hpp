@@ -5,11 +5,144 @@
 // and rows with paper= / measured= columns where the paper gives numbers.
 #pragma once
 
+#include <cctype>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace sbp::bench {
+
+/// Strict CLI argument reader shared by every bench binary. Callers take
+/// the flags/positionals they understand; finish() then rejects anything
+/// left over with a non-zero exit -- a typoed `--user` must NOT silently
+/// run the default workload (that bug shipped twice before CI noticed the
+/// artifacts were wrong).
+///
+/// Usage:
+///   sbp::bench::Args args(argc, argv);
+///   std::size_t users = args.size_flag("--users", 100000);
+///   std::string out = args.string_flag("--out", "BENCH_foo.json");
+///   double scale = args.positional_double(0.05);   // optional positional
+///   if (!args.finish()) return 1;                  // unknown args -> fail
+class Args {
+ public:
+  Args(int argc, char** argv) : program_(argv[0]) {
+    for (int i = 1; i < argc; ++i) tokens_.emplace_back(argv[i]);
+    consumed_.assign(tokens_.size(), false);
+  }
+
+  /// Value of `--name VALUE`; `fallback` when absent. A flag without a
+  /// value is an error.
+  std::string string_flag(const char* name, std::string fallback) {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (consumed_[i] || tokens_[i] != name) continue;
+      consumed_[i] = true;
+      if (i + 1 >= tokens_.size() || consumed_[i + 1]) {
+        fail(std::string(name) + " needs a value");
+        return fallback;
+      }
+      consumed_[i + 1] = true;
+      return tokens_[i + 1];
+    }
+    return fallback;
+  }
+
+  std::size_t size_flag(const char* name, std::size_t fallback) {
+    return integer_like(string_flag(name, ""), name, fallback);
+  }
+
+  std::uint64_t u64_flag(const char* name, std::uint64_t fallback) {
+    return integer_like(string_flag(name, ""), name, fallback);
+  }
+
+  /// Next unconsumed positional (non-"-…") argument, as a number.
+  double positional_double(double fallback) {
+    const std::optional<std::string> token = take_positional();
+    if (!token) return fallback;
+    char* end = nullptr;
+    const double value = std::strtod(token->c_str(), &end);
+    if (end == token->c_str() || *end != '\0') {
+      fail("bad numeric argument: " + *token);
+      return fallback;
+    }
+    return value;
+  }
+
+  std::size_t positional_size(std::size_t fallback) {
+    const std::optional<std::string> token = take_positional();
+    if (!token) return fallback;
+    return integer_like(*token, "argument", fallback);
+  }
+
+  /// Call last. Any unconsumed argument (unknown flag, stray positional,
+  /// typo) prints a clear message and makes finish() return false -- the
+  /// caller exits non-zero.
+  [[nodiscard]] bool finish() const {
+    bool ok = error_.empty();
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (!consumed_[i]) {
+        std::fprintf(stderr, "%s: unknown argument: %s\n", program_.c_str(),
+                     tokens_[i].c_str());
+        ok = false;
+      }
+    }
+    if (!error_.empty()) {
+      std::fprintf(stderr, "%s: %s\n", program_.c_str(), error_.c_str());
+    }
+    if (!ok) {
+      std::fprintf(stderr, "%s: exiting; no bench was run\n",
+                   program_.c_str());
+    }
+    return ok;
+  }
+
+ private:
+  std::optional<std::string> take_positional() {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (consumed_[i] || tokens_[i].rfind("-", 0) == 0) continue;
+      // A token right after an unconsumed "-..." token is presumed that
+      // flag's value, not a positional -- otherwise calling a positional
+      // accessor before a flag accessor would steal the flag's value
+      // (e.g. `bench --out FILE` with the positional read first).
+      if (i > 0 && !consumed_[i - 1] && tokens_[i - 1].rfind("-", 0) == 0) {
+        continue;
+      }
+      consumed_[i] = true;
+      return tokens_[i];
+    }
+    return std::nullopt;
+  }
+
+  std::uint64_t integer_like(const std::string& token, const char* what,
+                             std::uint64_t fallback) {
+    if (token.empty()) return fallback;
+    // Reject anything but plain digits up front: strtoull would silently
+    // wrap "-5" to 2^64-5 instead of erroring. errno catches overflow,
+    // which strtoull reports by saturating with *end == '\0'.
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+    if (!std::isdigit(static_cast<unsigned char>(token[0])) ||
+        end == token.c_str() || *end != '\0' || errno == ERANGE) {
+      fail(std::string(what) + ": not a non-negative integer: " + token);
+      return fallback;
+    }
+    return value;
+  }
+
+  void fail(std::string message) {
+    if (error_.empty()) error_ = std::move(message);
+  }
+
+  std::string program_;
+  std::vector<std::string> tokens_;
+  std::vector<bool> consumed_;
+  std::string error_;
+};
 
 /// Appends printf-formatted text to a BENCH_*.json string under
 /// construction -- the one JSON builder every artifact-emitting bench

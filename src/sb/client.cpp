@@ -24,7 +24,8 @@ void Client::rebuild_store(ListState& state) {
     batch.add32(prefix);
   }
   batch.sort_unique();
-  state.store = storage::make_store(config_.store_kind, batch);
+  state.store =
+      storage::make_store(config_.store_kind, batch, config_.bloom_bits);
 }
 
 bool Client::update() {

@@ -59,6 +59,11 @@ struct ClientConfig {
   /// dispatches on it).
   ProtocolVersion protocol = ProtocolVersion::kV3Chunked;
   storage::StoreKind store_kind = storage::StoreKind::kDeltaCoded;
+  /// Bloom-store size in bits (kBloom only). 0 = Chromium's historical
+  /// constant 3 MB (BloomFilter::kChromiumDefaultBits) -- faithful to
+  /// Table 2, but far too large to instantiate once per simulated user,
+  /// so population runs size it to their actual store cardinality.
+  std::size_t bloom_bits = 0;
   /// TTL of cached full-hash responses in clock ticks (0 = keep until the
   /// next update clears them).
   std::uint64_t full_hash_ttl = 0;

@@ -128,6 +128,12 @@ struct SimConfig {
 
   /// Local-store representation of every simulated client.
   storage::StoreKind store_kind = storage::StoreKind::kDeltaCoded;
+  /// Per-client Bloom size in bits when `store_kind == kBloom`. 0 keeps
+  /// Chromium's historical 3 MB constant (Table 2 fidelity) -- correct for
+  /// one client, ruinous times 100k simulated users, so population
+  /// scenarios size it to their blacklist cardinality (~32 bits/entry
+  /// matches Chromium's 3 MB / 630k ratio).
+  std::size_t bloom_bits = 0;
   /// TTL of client full-hash caches (0 = until the next update clears them).
   std::uint64_t full_hash_ttl = 0;
 

@@ -184,6 +184,7 @@ void Engine::build_population() {
     client_config.protocol =
         mix_member ? config_.mix_protocol : config_.protocol;
     client_config.store_kind = config_.store_kind;
+    client_config.bloom_bits = config_.bloom_bits;
     client_config.full_hash_ttl = config_.full_hash_ttl;
     client_config.cookie = user.cookie;
     // Clients bind to their shard's transport: every wire request a user

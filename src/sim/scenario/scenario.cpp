@@ -1,0 +1,636 @@
+#include "sim/scenario/scenario.hpp"
+
+#include <cstdio>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace sbp::sim {
+
+namespace json = util::json;
+
+namespace {
+
+/// u64 -> JSON: plain integer when exactly representable, "0x..." hex
+/// string above int64 range (a bare > 2^63 number would be stored as a
+/// lossy double and then rejected on reload).
+json::Value u64_value(std::uint64_t value) {
+  if (value <= 0x7FFFFFFFFFFFFFFFULL) return json::Value(value);
+  return json::Value(json::hex_u64(value));
+}
+
+// ---------------------------------------------------------------------------
+// Strict object walker: every key must be consumed exactly once; leftovers
+// are an error naming the key and its context path ("config.traffic").
+// After the first error every accessor becomes a no-op, so callers read
+// linearly and check the accumulated error once.
+// ---------------------------------------------------------------------------
+class ObjectReader {
+ public:
+  ObjectReader(const json::Value& value, std::string context,
+               std::string* error)
+      : context_(std::move(context)), error_(error) {
+    if (!value.is_object()) {
+      fail(context_ + " must be a JSON object");
+      return;
+    }
+    object_ = &value.as_object();
+    consumed_.assign(object_->size(), false);
+  }
+
+  [[nodiscard]] bool ok() const noexcept {
+    return error_ == nullptr || error_->empty();
+  }
+
+  /// Consumes `key`; nullptr when absent (absent = keep the default).
+  const json::Value* take(std::string_view key) {
+    if (!ok() || object_ == nullptr) return nullptr;
+    for (std::size_t i = 0; i < object_->size(); ++i) {
+      if ((*object_)[i].first == key) {
+        consumed_[i] = true;
+        return &(*object_)[i].second;
+      }
+    }
+    return nullptr;
+  }
+
+  void u64(std::string_view key, std::uint64_t& out) {
+    const json::Value* value = take(key);
+    if (value == nullptr) return;
+    // Values above int64 range travel as "0x..." hex strings (the repo's
+    // u64 convention, util/json/json.hpp) -- accept both spellings.
+    if (value->is_string()) {
+      const auto parsed = json::parse_hex_u64(value->as_string());
+      if (!parsed) {
+        fail(path(key) + ": not a \"0x...\" hex string");
+        return;
+      }
+      out = *parsed;
+      return;
+    }
+    if (!value->is_integer() || value->as_int64() < 0) {
+      fail(path(key) + " must be a non-negative integer");
+      return;
+    }
+    out = static_cast<std::uint64_t>(value->as_int64());
+  }
+
+  void size(std::string_view key, std::size_t& out) {
+    std::uint64_t raw = out;
+    u64(key, raw);
+    out = static_cast<std::size_t>(raw);
+  }
+
+  void unsigned_(std::string_view key, unsigned& out) {
+    std::uint64_t raw = out;
+    u64(key, raw);
+    if (!ok()) return;
+    if (raw > std::numeric_limits<unsigned>::max()) {
+      fail(path(key) + " out of range");
+      return;
+    }
+    out = static_cast<unsigned>(raw);
+  }
+
+  void number(std::string_view key, double& out) {
+    const json::Value* value = take(key);
+    if (value == nullptr) return;
+    if (!value->is_number()) {
+      fail(path(key) + " must be a number");
+      return;
+    }
+    out = value->as_double();
+  }
+
+  void boolean(std::string_view key, bool& out) {
+    const json::Value* value = take(key);
+    if (value == nullptr) return;
+    if (!value->is_bool()) {
+      fail(path(key) + " must be true or false");
+      return;
+    }
+    out = value->as_bool();
+  }
+
+  void string(std::string_view key, std::string& out) {
+    const json::Value* value = take(key);
+    if (value == nullptr) return;
+    if (!value->is_string()) {
+      fail(path(key) + " must be a string");
+      return;
+    }
+    out = value->as_string();
+  }
+
+  void string_list(std::string_view key, std::vector<std::string>& out) {
+    const json::Value* value = take(key);
+    if (value == nullptr) return;
+    if (!value->is_array()) {
+      fail(path(key) + " must be an array of strings");
+      return;
+    }
+    std::vector<std::string> items;
+    for (const auto& item : value->as_array()) {
+      if (!item.is_string()) {
+        fail(path(key) + " must contain only strings");
+        return;
+      }
+      items.push_back(item.as_string());
+    }
+    out = std::move(items);
+  }
+
+  /// Call last: any unconsumed key is a strict-parse failure.
+  void finish() {
+    if (!ok() || object_ == nullptr) return;
+    for (std::size_t i = 0; i < object_->size(); ++i) {
+      if (!consumed_[i]) {
+        fail("unknown key \"" + (*object_)[i].first + "\" in " + context_);
+        return;
+      }
+    }
+  }
+
+  void fail(std::string message) {
+    if (error_ != nullptr && error_->empty()) *error_ = std::move(message);
+  }
+
+  [[nodiscard]] std::string path(std::string_view key) const {
+    return context_ + "." + std::string(key);
+  }
+
+  [[nodiscard]] const std::string& context() const noexcept {
+    return context_;
+  }
+
+ private:
+  const json::Object* object_ = nullptr;
+  std::vector<bool> consumed_;
+  std::string context_;
+  std::string* error_;
+};
+
+// --------------------------- enum spellings --------------------------------
+
+bool parse_provider(ObjectReader& reader, std::string_view key,
+                    sb::Provider& out) {
+  std::string text;
+  reader.string(key, text);
+  if (text.empty()) return true;
+  if (text == "google") {
+    out = sb::Provider::kGoogle;
+  } else if (text == "yandex") {
+    out = sb::Provider::kYandex;
+  } else {
+    reader.fail(reader.path(key) + ": unknown provider \"" + text +
+                "\" (expected \"google\" or \"yandex\")");
+    return false;
+  }
+  return true;
+}
+
+bool parse_protocol(ObjectReader& reader, std::string_view key,
+                    sb::ProtocolVersion& out) {
+  std::string text;
+  reader.string(key, text);
+  if (text.empty()) return true;
+  if (text == "v1" || text == "v1-lookup") {
+    out = sb::ProtocolVersion::kV1Lookup;
+  } else if (text == "v3" || text == "v3-chunked") {
+    out = sb::ProtocolVersion::kV3Chunked;
+  } else if (text == "v4" || text == "v4-sliced") {
+    out = sb::ProtocolVersion::kV4Sliced;
+  } else {
+    reader.fail(reader.path(key) + ": unknown protocol \"" + text +
+                "\" (expected \"v1\", \"v3\" or \"v4\")");
+    return false;
+  }
+  return true;
+}
+
+bool parse_store(ObjectReader& reader, std::string_view key,
+                 storage::StoreKind& out) {
+  std::string text;
+  reader.string(key, text);
+  if (text.empty()) return true;
+  if (text == "raw" || text == "raw-sorted") {
+    out = storage::StoreKind::kRawSorted;
+  } else if (text == "delta" || text == "delta-coded") {
+    out = storage::StoreKind::kDeltaCoded;
+  } else if (text == "bloom") {
+    out = storage::StoreKind::kBloom;
+  } else {
+    reader.fail(reader.path(key) + ": unknown store \"" + text +
+                "\" (expected \"raw\", \"delta\" or \"bloom\")");
+    return false;
+  }
+  return true;
+}
+
+const char* provider_spelling(sb::Provider provider) {
+  return provider == sb::Provider::kYandex ? "yandex" : "google";
+}
+
+const char* protocol_spelling(sb::ProtocolVersion version) {
+  switch (version) {
+    case sb::ProtocolVersion::kV1Lookup: return "v1-lookup";
+    case sb::ProtocolVersion::kV3Chunked: return "v3-chunked";
+    case sb::ProtocolVersion::kV4Sliced: return "v4-sliced";
+  }
+  return "v3-chunked";
+}
+
+const char* store_spelling(storage::StoreKind kind) {
+  switch (kind) {
+    case storage::StoreKind::kRawSorted: return "raw-sorted";
+    case storage::StoreKind::kDeltaCoded: return "delta-coded";
+    case storage::StoreKind::kBloom: return "bloom";
+  }
+  return "delta-coded";
+}
+
+// --------------------------- config blocks --------------------------------
+
+void parse_corpus(const json::Value& value, corpus::CorpusConfig& out,
+                  std::string* error) {
+  ObjectReader reader(value, "config.corpus", error);
+  reader.size("num_hosts", out.num_hosts);
+  reader.u64("seed", out.seed);
+  reader.number("alpha", out.alpha);
+  reader.u64("max_pages", out.max_pages);
+  reader.number("single_page_fraction", out.single_page_fraction);
+  reader.u64("min_pages", out.min_pages);
+  reader.number("subdomain_probability", out.subdomain_probability);
+  reader.number("query_probability", out.query_probability);
+  reader.number("directory_page_probability", out.directory_page_probability);
+  reader.finish();
+}
+
+void parse_traffic(const json::Value& value, TrafficConfig& out,
+                   std::string* error) {
+  ObjectReader reader(value, "config.traffic", error);
+  reader.number("site_popularity_alpha", out.site_popularity_alpha);
+  reader.number("revisit_probability", out.revisit_probability);
+  reader.size("revisit_window", out.revisit_window);
+  reader.number("session_start_probability", out.session_start_probability);
+  reader.number("session_continue_probability",
+                out.session_continue_probability);
+  reader.size("lookups_per_active_tick", out.lookups_per_active_tick);
+  reader.string_list("target_urls", out.target_urls);
+  reader.number("interested_fraction", out.interested_fraction);
+  reader.number("target_visit_probability", out.target_visit_probability);
+  reader.finish();
+}
+
+void parse_blacklist(const json::Value& value, BlacklistConfig& out,
+                     std::string* error) {
+  ObjectReader reader(value, "config.blacklist", error);
+  reader.string_list("lists", out.lists);
+  reader.number("page_fraction", out.page_fraction);
+  reader.number("site_fraction", out.site_fraction);
+  reader.size("max_entries", out.max_entries);
+  reader.size("orphan_prefixes", out.orphan_prefixes);
+  reader.finish();
+  if (error->empty() && out.lists.empty()) {
+    *error = "config.blacklist.lists must name at least one list";
+  }
+}
+
+void parse_injection(const json::Value& value, std::size_t index,
+                     PrefixInjection& out, std::string* error) {
+  ObjectReader reader(
+      value, "config.churn.injections[" + std::to_string(index) + "]", error);
+  reader.u64("epoch", out.epoch);
+  reader.string("list", out.list);
+  reader.string("expression", out.expression);
+  reader.finish();
+  if (error->empty() && out.expression.empty()) {
+    *error = reader.context() + ".expression must be non-empty";
+  }
+}
+
+void parse_churn(const json::Value& value, ChurnConfig& out,
+                 std::string* error) {
+  ObjectReader reader(value, "config.churn", error);
+  reader.u64("epoch_ticks", out.epoch_ticks);
+  reader.number("add_rate", out.add_rate);
+  reader.number("remove_rate", out.remove_rate);
+  reader.size("max_epoch_adds", out.max_epoch_adds);
+  reader.u64("minimum_wait_ticks", out.minimum_wait_ticks);
+  if (const json::Value* injections = reader.take("injections")) {
+    if (!injections->is_array()) {
+      reader.fail("config.churn.injections must be an array");
+    } else {
+      out.injections.clear();
+      for (std::size_t i = 0; i < injections->as_array().size(); ++i) {
+        PrefixInjection injection;
+        parse_injection(injections->as_array()[i], i, injection, error);
+        if (!error->empty()) return;
+        out.injections.push_back(std::move(injection));
+      }
+    }
+  }
+  reader.finish();
+}
+
+void parse_mitigation(const json::Value& value, MitigationConfig& out,
+                      std::string* error) {
+  ObjectReader reader(value, "config.mitigation", error);
+  reader.boolean("dummy_requests", out.dummy_requests);
+  reader.unsigned_("dummies_per_prefix", out.dummies_per_prefix);
+  reader.finish();
+}
+
+void parse_config(const json::Value& value, SimConfig& out,
+                  std::string* error) {
+  ObjectReader reader(value, "config", error);
+  reader.size("num_users", out.num_users);
+  reader.u64("ticks", out.ticks);
+  reader.size("num_shards", out.num_shards);
+  reader.size("num_threads", out.num_threads);
+  reader.u64("seed", out.seed);
+  parse_provider(reader, "provider", out.provider);
+  parse_protocol(reader, "protocol", out.protocol);
+  reader.number("mix_fraction", out.mix_fraction);
+  parse_protocol(reader, "mix_protocol", out.mix_protocol);
+  parse_store(reader, "store_kind", out.store_kind);
+  reader.size("bloom_bits", out.bloom_bits);
+  reader.u64("full_hash_ttl", out.full_hash_ttl);
+  reader.size("url_cache_entries", out.url_cache_entries);
+  reader.size("site_cache_entries", out.site_cache_entries);
+  if (const json::Value* corpus = reader.take("corpus")) {
+    parse_corpus(*corpus, out.corpus, error);
+  }
+  if (const json::Value* traffic = reader.take("traffic")) {
+    parse_traffic(*traffic, out.traffic, error);
+  }
+  if (const json::Value* blacklist = reader.take("blacklist")) {
+    parse_blacklist(*blacklist, out.blacklist, error);
+  }
+  if (const json::Value* churn = reader.take("churn")) {
+    parse_churn(*churn, out.churn, error);
+  }
+  if (const json::Value* mitigation = reader.take("mitigation")) {
+    parse_mitigation(*mitigation, out.mitigation, error);
+  }
+  reader.finish();
+
+  if (!error->empty()) return;
+  if (out.num_users == 0) *error = "config.num_users must be >= 1";
+  else if (out.ticks == 0) *error = "config.ticks must be >= 1";
+  else if (out.num_shards == 0) *error = "config.num_shards must be >= 1";
+  else if (out.traffic.site_popularity_alpha <= 1.0) {
+    *error = "config.traffic.site_popularity_alpha must be > 1";
+  } else if (out.mix_fraction < 0.0 || out.mix_fraction > 1.0) {
+    *error = "config.mix_fraction must be in [0, 1]";
+  } else if (out.corpus.num_hosts == 0) {
+    *error = "config.corpus.num_hosts must be >= 1";
+  }
+}
+
+void parse_report(const json::Value& value, ReportConfig& out,
+                  std::string* error) {
+  ObjectReader reader(value, "report", error);
+  reader.boolean("transport", out.transport);
+  reader.boolean("metrics", out.metrics);
+  reader.boolean("population", out.population);
+  reader.boolean("kanonymity", out.kanonymity);
+  reader.boolean("reidentification", out.reidentification);
+  reader.size("reid_max_queries", out.reid_max_queries);
+  reader.finish();
+}
+
+void parse_golden(const json::Value& value, ScenarioGolden& out,
+                  std::string* error) {
+  ObjectReader reader(value, "golden", error);
+  std::string fingerprint;
+  reader.string("fingerprint", fingerprint);
+  if (!fingerprint.empty()) {
+    const auto parsed = json::parse_hex_u64(fingerprint);
+    if (!parsed) {
+      reader.fail("golden.fingerprint must be a \"0x...\" hex string");
+    } else {
+      out.fingerprint = *parsed;
+    }
+  }
+  reader.u64("entries", out.entries);
+  reader.u64("prefixes", out.prefixes);
+  reader.u64("multi_prefix_entries", out.multi_prefix_entries);
+  reader.u64("lookups", out.lookups);
+  reader.u64("wire_bytes_up", out.wire_bytes_up);
+  reader.u64("wire_bytes_down", out.wire_bytes_down);
+  reader.finish();
+}
+
+}  // namespace
+
+std::optional<Scenario> parse_scenario(const json::Value& document,
+                                       std::string* error) {
+  std::string local_error;
+  std::string* sink = error != nullptr ? error : &local_error;
+  sink->clear();
+
+  Scenario scenario;
+  ObjectReader reader(document, "scenario", sink);
+  reader.string("name", scenario.name);
+  reader.string("description", scenario.description);
+  if (const json::Value* config = reader.take("config")) {
+    parse_config(*config, scenario.config, sink);
+  }
+  if (const json::Value* report = reader.take("report")) {
+    parse_report(*report, scenario.report, sink);
+  }
+  if (const json::Value* golden = reader.take("golden")) {
+    ScenarioGolden parsed;
+    parse_golden(*golden, parsed, sink);
+    scenario.golden = parsed;
+  }
+  reader.finish();
+
+  if (!sink->empty()) return std::nullopt;
+  if (scenario.name.empty()) {
+    *sink = "scenario.name must be non-empty";
+    return std::nullopt;
+  }
+  return scenario;
+}
+
+std::optional<Scenario> load_scenario(const std::string& path,
+                                      std::string* error) {
+  std::string text;
+  std::string local_error;
+  std::string* sink = error != nullptr ? error : &local_error;
+  if (!read_file(path, &text, sink)) return std::nullopt;
+  const json::ParseResult parsed = json::parse(text);
+  if (!parsed.ok()) {
+    *sink = path + ": " + parsed.error.describe(text);
+    return std::nullopt;
+  }
+  auto scenario = parse_scenario(*parsed.value, sink);
+  if (!scenario && !sink->empty()) *sink = path + ": " + *sink;
+  return scenario;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: the canonical (fully explicit) form.
+// ---------------------------------------------------------------------------
+
+json::Value config_to_json(const SimConfig& config) {
+  json::Value corpus{json::Object{}};
+  corpus.set("num_hosts", u64_value(config.corpus.num_hosts));
+  corpus.set("seed", u64_value(config.corpus.seed));
+  corpus.set("alpha", config.corpus.alpha);
+  corpus.set("max_pages", u64_value(config.corpus.max_pages));
+  corpus.set("single_page_fraction", config.corpus.single_page_fraction);
+  corpus.set("min_pages", u64_value(config.corpus.min_pages));
+  corpus.set("subdomain_probability", config.corpus.subdomain_probability);
+  corpus.set("query_probability", config.corpus.query_probability);
+  corpus.set("directory_page_probability",
+             config.corpus.directory_page_probability);
+
+  json::Value traffic{json::Object{}};
+  traffic.set("site_popularity_alpha", config.traffic.site_popularity_alpha);
+  traffic.set("revisit_probability", config.traffic.revisit_probability);
+  traffic.set("revisit_window", u64_value(config.traffic.revisit_window));
+  traffic.set("session_start_probability",
+              config.traffic.session_start_probability);
+  traffic.set("session_continue_probability",
+              config.traffic.session_continue_probability);
+  traffic.set("lookups_per_active_tick",
+              u64_value(config.traffic.lookups_per_active_tick));
+  json::Array targets;
+  for (const auto& url : config.traffic.target_urls) targets.push_back(url);
+  traffic.set("target_urls", std::move(targets));
+  traffic.set("interested_fraction", config.traffic.interested_fraction);
+  traffic.set("target_visit_probability",
+              config.traffic.target_visit_probability);
+
+  json::Value blacklist{json::Object{}};
+  json::Array lists;
+  for (const auto& list : config.blacklist.lists) lists.push_back(list);
+  blacklist.set("lists", std::move(lists));
+  blacklist.set("page_fraction", config.blacklist.page_fraction);
+  blacklist.set("site_fraction", config.blacklist.site_fraction);
+  blacklist.set("max_entries", u64_value(config.blacklist.max_entries));
+  blacklist.set("orphan_prefixes",
+                u64_value(config.blacklist.orphan_prefixes));
+
+  json::Value churn{json::Object{}};
+  churn.set("epoch_ticks", u64_value(config.churn.epoch_ticks));
+  churn.set("add_rate", config.churn.add_rate);
+  churn.set("remove_rate", config.churn.remove_rate);
+  churn.set("max_epoch_adds", u64_value(config.churn.max_epoch_adds));
+  churn.set("minimum_wait_ticks", u64_value(config.churn.minimum_wait_ticks));
+  json::Array injections;
+  for (const auto& injection : config.churn.injections) {
+    json::Value item{json::Object{}};
+    item.set("epoch", u64_value(injection.epoch));
+    item.set("list", injection.list);
+    item.set("expression", injection.expression);
+    injections.push_back(std::move(item));
+  }
+  churn.set("injections", std::move(injections));
+
+  json::Value mitigation{json::Object{}};
+  mitigation.set("dummy_requests", config.mitigation.dummy_requests);
+  mitigation.set("dummies_per_prefix",
+                 u64_value(config.mitigation.dummies_per_prefix));
+
+  json::Value out{json::Object{}};
+  out.set("num_users", u64_value(config.num_users));
+  out.set("ticks", u64_value(config.ticks));
+  out.set("num_shards", u64_value(config.num_shards));
+  out.set("num_threads", u64_value(config.num_threads));
+  out.set("seed", u64_value(config.seed));
+  out.set("provider", provider_spelling(config.provider));
+  out.set("protocol", protocol_spelling(config.protocol));
+  out.set("mix_fraction", config.mix_fraction);
+  out.set("mix_protocol", protocol_spelling(config.mix_protocol));
+  out.set("store_kind", store_spelling(config.store_kind));
+  out.set("bloom_bits", u64_value(config.bloom_bits));
+  out.set("full_hash_ttl", u64_value(config.full_hash_ttl));
+  out.set("url_cache_entries", u64_value(config.url_cache_entries));
+  out.set("site_cache_entries", u64_value(config.site_cache_entries));
+  out.set("corpus", std::move(corpus));
+  out.set("traffic", std::move(traffic));
+  out.set("blacklist", std::move(blacklist));
+  out.set("churn", std::move(churn));
+  out.set("mitigation", std::move(mitigation));
+  return out;
+}
+
+json::Value golden_to_json(const ScenarioGolden& golden) {
+  json::Value out{json::Object{}};
+  out.set("fingerprint", json::hex_u64(golden.fingerprint));
+  out.set("entries", u64_value(golden.entries));
+  out.set("prefixes", u64_value(golden.prefixes));
+  out.set("multi_prefix_entries", u64_value(golden.multi_prefix_entries));
+  out.set("lookups", u64_value(golden.lookups));
+  out.set("wire_bytes_up", u64_value(golden.wire_bytes_up));
+  out.set("wire_bytes_down", u64_value(golden.wire_bytes_down));
+  return out;
+}
+
+json::Value scenario_to_json(const Scenario& scenario) {
+  json::Value report{json::Object{}};
+  report.set("transport", scenario.report.transport);
+  report.set("metrics", scenario.report.metrics);
+  report.set("population", scenario.report.population);
+  report.set("kanonymity", scenario.report.kanonymity);
+  report.set("reidentification", scenario.report.reidentification);
+  report.set("reid_max_queries",
+             u64_value(scenario.report.reid_max_queries));
+
+  json::Value out{json::Object{}};
+  out.set("name", scenario.name);
+  out.set("description", scenario.description);
+  out.set("config", config_to_json(scenario.config));
+  out.set("report", std::move(report));
+  if (scenario.golden) out.set("golden", golden_to_json(*scenario.golden));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// File I/O.
+// ---------------------------------------------------------------------------
+
+bool read_file(const std::string& path, std::string* out,
+               std::string* error) {
+  out->clear();
+  FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  char buffer[1 << 16];
+  std::size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out->append(buffer, read);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    if (error != nullptr) *error = "read error on " + path;
+    return false;
+  }
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& text,
+                std::string* error) {
+  FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot write " + path;
+    return false;
+  }
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  const bool closed = std::fclose(file) == 0;
+  if (!ok || !closed) {
+    if (error != nullptr) *error = "write error on " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sbp::sim

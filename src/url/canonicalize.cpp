@@ -65,8 +65,11 @@ std::optional<std::string> normalize_ip(std::string_view host) {
       (remaining_bytes >= 4) ? 0xFFFFFFFFULL
                              : ((1ULL << (8 * remaining_bytes)) - 1);
   if (values[n - 1] > last_max) return std::nullopt;
-  ip = (ip << (8 * remaining_bytes)) |
-       static_cast<std::uint32_t>(values[n - 1]);
+  // Widened shift: remaining_bytes is 4 for a single-component IP, and a
+  // 32-bit shift by 32 is UB (caught by the CI UBSan job).
+  ip = static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(ip) << (8 * remaining_bytes)) |
+      values[n - 1]);
 
   std::string out;
   out.reserve(15);

@@ -1,0 +1,545 @@
+#include "util/json/json.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace sbp::util::json {
+
+namespace {
+
+/// Recursion bound: deeper documents are rejected, not followed (the
+/// never-crash contract must hold for adversarial nesting like "[[[[...").
+constexpr int kMaxDepth = 96;
+
+bool is_json_ws(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+void Value::sync_integer_from_double() noexcept {
+  // Exact-integral doubles inside int64 range keep an integer shadow so
+  // u64-ish config fields round-trip without float formatting noise. The
+  // upper bound is STRICT: 9223372036854775808.0 is exactly 2^63, the
+  // first double whose int64 cast would be UB; the lower bound -2^63 is
+  // itself representable and castable.
+  if (std::isfinite(number_) && number_ == std::floor(number_) &&
+      number_ >= -9223372036854775808.0 && number_ < 9223372036854775808.0) {
+    integer_ = static_cast<std::int64_t>(number_);
+    has_integer_ = static_cast<double>(integer_) == number_;
+  }
+}
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void Value::set(std::string_view key, Value value) {
+  if (type_ != Type::kObject) {
+    *this = Value(Object{});
+  }
+  for (auto& [name, existing] : object_) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::string(key), std::move(value));
+}
+
+bool operator==(const Value& a, const Value& b) noexcept {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return a.bool_ == b.bool_;
+    case Type::kNumber:
+      return a.number_ == b.number_;
+    case Type::kString:
+      return a.string_ == b.string_;
+    case Type::kArray:
+      return a.array_ == b.array_;
+    case Type::kObject:
+      return a.object_ == b.object_;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ParseResult run() {
+    ParseResult result;
+    Value value;
+    if (!parse_value(value, 0)) {
+      result.error = error_;
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON document");
+      result.error = error_;
+      return result;
+    }
+    result.value = std::move(value);
+    return result;
+  }
+
+ private:
+  bool fail(std::string message) {
+    // Keep the FIRST error; later failures during unwinding are noise.
+    if (error_.message.empty()) {
+      error_.message = std::move(message);
+      error_.offset = pos_;
+    }
+    return false;
+  }
+
+  void skip_ws() noexcept {
+    while (pos_ < text_.size() && is_json_ws(text_[pos_])) ++pos_;
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return fail("invalid literal");
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case 'n':
+        if (!consume_literal("null")) return false;
+        out = Value(nullptr);
+        return true;
+      case 't':
+        if (!consume_literal("true")) return false;
+        out = Value(true);
+        return true;
+      case 'f':
+        if (!consume_literal("false")) return false;
+        out = Value(false);
+        return true;
+      case '"': {
+        std::string text;
+        if (!parse_string(text)) return false;
+        out = Value(std::move(text));
+        return true;
+      }
+      case '[':
+        return parse_array(out, depth);
+      case '{':
+        return parse_object(out, depth);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_array(Value& out, int depth) {
+    ++pos_;  // '['
+    Array items;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      out = Value(std::move(items));
+      return true;
+    }
+    while (true) {
+      Value item;
+      if (!parse_value(item, depth + 1)) return false;
+      items.push_back(std::move(item));
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or ']' in array");
+      }
+    }
+    out = Value(std::move(items));
+    return true;
+  }
+
+  bool parse_object(Value& out, int depth) {
+    ++pos_;  // '{'
+    Object members;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      out = Value(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      for (const auto& [existing, value] : members) {
+        if (existing == key) {
+          return fail("duplicate object key \"" + key + "\"");
+        }
+      }
+      skip_ws();
+      if (at_end() || peek() != ':') return fail("expected ':' after key");
+      ++pos_;
+      Value value;
+      if (!parse_value(value, depth + 1)) return false;
+      members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or '}' in object");
+      }
+    }
+    out = Value(std::move(members));
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (at_end()) return fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          if (!parse_hex4(code)) return false;
+          // Surrogate pair handling: a high surrogate must be followed by
+          // an escaped low surrogate; lone surrogates are an error.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return fail("high surrogate not followed by \\u escape");
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!parse_hex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return fail("invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return fail("lone low surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default:
+          --pos_;
+          return fail("invalid escape character");
+      }
+    }
+  }
+
+  bool parse_hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else return fail("non-hex digit in \\u escape");
+    }
+    pos_ += 4;
+    out = value;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      pos_ = start;
+      return fail("invalid value");
+    }
+    // Leading zero rule: "0" may not be followed by another digit.
+    if (peek() == '0') {
+      ++pos_;
+      if (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("leading zero in number");
+      }
+    } else {
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    bool integral = true;
+    if (!at_end() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("digit expected after decimal point");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("digit expected in exponent");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      std::int64_t integer = 0;
+      const auto [ptr, ec] = std::from_chars(
+          token.data(), token.data() + token.size(), integer);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        out = Value(integer);
+        return true;
+      }
+      // Fall through: integral literal out of int64 range parses as double.
+    }
+    double number = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), number);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      pos_ = start;
+      return fail("unparseable number");
+    }
+    out = Value(number);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  ParseError error_;
+};
+
+}  // namespace
+
+ParseResult parse(std::string_view text) { return Parser(text).run(); }
+
+std::string ParseError::describe(std::string_view text) const {
+  std::size_t line = 1;
+  const std::size_t end = offset < text.size() ? offset : text.size();
+  for (std::size_t i = 0; i < end; ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), " at offset %zu (line %zu)", offset,
+                line);
+  return message + buffer;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void dump_string(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (const char raw : text) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(raw);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_number(std::string& out, const Value& value) {
+  if (value.is_integer()) {
+    out += std::to_string(value.as_int64());
+    return;
+  }
+  const double number = value.as_double();
+  if (!std::isfinite(number)) {
+    out += "null";  // JSON has no Inf/NaN; null is the conventional fallback
+    return;
+  }
+  // Shortest representation that round-trips a double exactly.
+  char buffer[32];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), number);
+  out.append(buffer, static_cast<std::size_t>(ptr - buffer));
+  (void)ec;
+}
+
+void dump_value(std::string& out, const Value& value, int indent, int depth) {
+  const auto newline_indent = [&](int levels) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(levels * indent), ' ');
+  };
+  switch (value.type()) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case Type::kNumber:
+      dump_number(out, value);
+      return;
+    case Type::kString:
+      dump_string(out, value.as_string());
+      return;
+    case Type::kArray: {
+      const Array& items = value.as_array();
+      if (items.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        newline_indent(depth + 1);
+        dump_value(out, items[i], indent, depth + 1);
+        if (i + 1 < items.size()) out.push_back(',');
+        if (indent <= 0 && i + 1 < items.size()) out.push_back(' ');
+      }
+      newline_indent(depth);
+      out.push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      const Object& members = value.as_object();
+      if (members.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        newline_indent(depth + 1);
+        dump_string(out, members[i].first);
+        out += indent > 0 ? ": " : ":";
+        dump_value(out, members[i].second, indent, depth + 1);
+        if (i + 1 < members.size()) out.push_back(',');
+        if (indent <= 0 && i + 1 < members.size()) out.push_back(' ');
+      }
+      newline_indent(depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string dump(const Value& value, int indent) {
+  std::string out;
+  dump_value(out, value, indent, 0);
+  if (indent > 0) out.push_back('\n');
+  return out;
+}
+
+std::string hex_u64(std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+std::optional<std::uint64_t> parse_hex_u64(std::string_view text) {
+  if (text.substr(0, 2) == "0x" || text.substr(0, 2) == "0X") {
+    text.remove_prefix(2);
+  }
+  if (text.empty() || text.size() > 16) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') value |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace sbp::util::json

@@ -1,0 +1,235 @@
+// src/util/json: the scenario files' substrate. Round-trip fidelity
+// (value -> dump -> parse -> equal value), strict-parse rejections with
+// located errors, and the wire-fuzz-style never-crash contract: arbitrary
+// byte soup, truncations of valid documents and single-byte corruption
+// must always yield either a value or an error -- never UB, a crash or a
+// hang. Deterministic seeds keep failures reproducible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "util/json/json.hpp"
+#include "util/rng.hpp"
+
+namespace sbp::util::json {
+namespace {
+
+Value parse_ok(const std::string& text) {
+  const ParseResult result = parse(text);
+  EXPECT_TRUE(result.ok()) << text << " -- " << result.error.describe(text);
+  return result.ok() ? *result.value : Value();
+}
+
+std::string parse_err(const std::string& text) {
+  const ParseResult result = parse(text);
+  EXPECT_FALSE(result.ok()) << "accepted: " << text;
+  return result.ok() ? std::string() : result.error.message;
+}
+
+// ------------------------------ parsing -----------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_EQ(parse_ok("true").as_bool(), true);
+  EXPECT_EQ(parse_ok("false").as_bool(), false);
+  EXPECT_EQ(parse_ok("42").as_int64(), 42);
+  EXPECT_EQ(parse_ok("-7").as_int64(), -7);
+  EXPECT_TRUE(parse_ok("42").is_integer());
+  EXPECT_FALSE(parse_ok("42.5").is_integer());
+  EXPECT_DOUBLE_EQ(parse_ok("42.5").as_double(), 42.5);
+  EXPECT_DOUBLE_EQ(parse_ok("-1.25e2").as_double(), -125.0);
+  EXPECT_EQ(parse_ok("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, IntegerPrecisionSurvives) {
+  // 2^53 + 1 is not representable as a double; the int64 shadow must be.
+  const Value value = parse_ok("9007199254740993");
+  ASSERT_TRUE(value.is_integer());
+  EXPECT_EQ(value.as_int64(), 9007199254740993LL);
+}
+
+TEST(JsonParse, Int64BoundaryIsSafe) {
+  // 2^63-1 keeps its integer shadow; 2^63 overflows int64 and must fall
+  // back to a plain double (casting a 2^63 double to int64 would be UB).
+  EXPECT_EQ(parse_ok("9223372036854775807").as_int64(),
+            9223372036854775807LL);
+  const Value big = parse_ok("9223372036854775808");
+  ASSERT_TRUE(big.is_number());
+  EXPECT_FALSE(big.is_integer());
+  EXPECT_DOUBLE_EQ(big.as_double(), 9223372036854775808.0);
+  EXPECT_EQ(parse_ok("-9223372036854775808").as_int64(),
+            std::int64_t{-9223372036854775807LL - 1});
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_ok(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(parse_ok(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair -> one 4-byte UTF-8 code point.
+  EXPECT_EQ(parse_ok(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, NestedContainers) {
+  const Value value = parse_ok(R"({"a": [1, {"b": [true, null]}], "c": {}})");
+  ASSERT_TRUE(value.is_object());
+  const Value* a = value.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 2u);
+  const Value* b = a->as_array()[1].find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->as_array().at(0).as_bool(), true);
+  EXPECT_TRUE(b->as_array().at(1).is_null());
+}
+
+TEST(JsonParse, ObjectOrderPreserved) {
+  const Value value = parse_ok(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(value.as_object().size(), 3u);
+  EXPECT_EQ(value.as_object()[0].first, "z");
+  EXPECT_EQ(value.as_object()[1].first, "a");
+  EXPECT_EQ(value.as_object()[2].first, "m");
+}
+
+TEST(JsonParse, Rejections) {
+  parse_err("");
+  parse_err("   ");
+  parse_err("{");
+  parse_err("[1,]");
+  parse_err("{\"a\":}");
+  parse_err("{\"a\" 1}");
+  parse_err("{'a': 1}");
+  parse_err("nul");
+  parse_err("truex");
+  parse_err("01");        // leading zero
+  parse_err("1.");        // digit required after '.'
+  parse_err("1e");        // digit required in exponent
+  parse_err("\"\\x\"");   // bad escape
+  parse_err("\"\\u12\""); // truncated \u
+  parse_err("\"\\ud800\"");      // lone high surrogate
+  parse_err("\"abc");     // unterminated
+  parse_err("[1] trailing");
+  parse_err("{\"a\":1,\"a\":2}");  // duplicate key
+  EXPECT_NE(parse_err("{\"a\": 1, \"a\": 2}").find("duplicate"),
+            std::string::npos);
+}
+
+TEST(JsonParse, DepthCapRejectsNotCrashes) {
+  const std::string deep(10000, '[');
+  const ParseResult result = parse(deep);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.message.find("deep"), std::string::npos);
+}
+
+TEST(JsonParse, ErrorsAreLocated) {
+  const ParseResult result = parse("{\"a\": 1,\n  \"b\": nope}");
+  ASSERT_FALSE(result.ok());
+  const std::string described = result.error.describe("{\"a\": 1,\n  \"b\": nope}");
+  EXPECT_NE(described.find("line 2"), std::string::npos);
+}
+
+// ----------------------------- round trip ---------------------------------
+
+TEST(JsonRoundTrip, DumpParseIdentity) {
+  Value object{Object{}};
+  object.set("name", "baseline");
+  object.set("count", std::int64_t{123456789012345});
+  object.set("rate", 0.015);
+  object.set("enabled", true);
+  object.set("nothing", nullptr);
+  Array list;
+  list.push_back("a");
+  list.push_back(std::int64_t{-3});
+  list.push_back(Value{Object{}});
+  object.set("items", std::move(list));
+
+  for (const int indent : {0, 2}) {
+    const std::string text = dump(object, indent);
+    const ParseResult reparsed = parse(text);
+    ASSERT_TRUE(reparsed.ok()) << text;
+    EXPECT_EQ(*reparsed.value, object) << text;
+  }
+}
+
+TEST(JsonRoundTrip, DoublesSurviveExactly) {
+  for (const double value :
+       {0.1, 1.0 / 3.0, 1e-300, 1e300, 1.312, -0.0625}) {
+    const std::string text = dump(Value(value), 0);
+    const ParseResult reparsed = parse(text);
+    ASSERT_TRUE(reparsed.ok()) << text;
+    EXPECT_EQ(reparsed.value->as_double(), value) << text;
+  }
+}
+
+TEST(JsonRoundTrip, StringsWithControlBytes) {
+  const std::string nasty = std::string("a\0b", 3) + "\n\x01\"\\";
+  const std::string text = dump(Value(nasty), 0);
+  const ParseResult reparsed = parse(text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ(reparsed.value->as_string(), nasty);
+}
+
+TEST(JsonRoundTrip, HexU64) {
+  for (const std::uint64_t value :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{0xdeadbeef},
+        ~std::uint64_t{0}}) {
+    EXPECT_EQ(parse_hex_u64(hex_u64(value)), value);
+  }
+  EXPECT_FALSE(parse_hex_u64("").has_value());
+  EXPECT_FALSE(parse_hex_u64("0x").has_value());
+  EXPECT_FALSE(parse_hex_u64("xyz").has_value());
+  EXPECT_FALSE(parse_hex_u64("0x11112222333344445").has_value());  // > 16
+}
+
+// ------------------------------- fuzzing ----------------------------------
+
+class JsonFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonFuzzTest, RandomSoupNeverCrashes) {
+  util::Rng rng(1000 + GetParam());
+  for (int i = 0; i < 3000; ++i) {
+    std::string soup(rng.next_below(96), '\0');
+    for (auto& c : soup) c = static_cast<char>(rng.next());
+    const ParseResult result = parse(soup);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.error.message.empty());
+      EXPECT_LE(result.error.offset, soup.size());
+    }
+  }
+}
+
+TEST_P(JsonFuzzTest, TruncationsOfValidDocNeverCrash) {
+  const std::string valid =
+      R"({"name":"x","config":{"num_users":100,"rate":0.5,)"
+      R"("lists":["a","b"],"nested":{"deep":[1,2,{"k":null}]}}})";
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    const ParseResult result = parse(valid.substr(0, len));
+    EXPECT_FALSE(result.ok()) << "accepted truncation at " << len;
+  }
+  EXPECT_TRUE(parse(valid).ok());
+  (void)GetParam();
+}
+
+TEST_P(JsonFuzzTest, BitflipsEitherFailOrRoundTrip) {
+  util::Rng rng(2000 + GetParam());
+  const std::string valid =
+      R"({"a": [1, 2.5, "s\n"], "b": {"c": true, "d": null}, "e": -17})";
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = valid;
+    mutated[rng.next_below(mutated.size())] =
+        static_cast<char>(rng.next());
+    const ParseResult result = parse(mutated);
+    if (result.ok()) {
+      // Whatever was accepted must survive its own round trip.
+      const std::string dumped = dump(*result.value, 0);
+      const ParseResult reparsed = parse(dumped);
+      ASSERT_TRUE(reparsed.ok()) << dumped;
+      EXPECT_EQ(*reparsed.value, *result.value) << dumped;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzTest, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace sbp::util::json

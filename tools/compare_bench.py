@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json artifact against its committed baseline.
+
+CI runs this after the reduced benches so that two classes of regression
+fail the job instead of rotting silently in artifacts:
+
+  * throughput: BENCH_sim.json `user_ticks_per_sec` dropping more than
+    --max-regression (default 25%) below bench/baselines/BENCH_sim.json;
+  * protocol invariants: BENCH_protocol_bandwidth.json must report
+    `v4_smaller_than_v3: true` -- the paper-era v3 protocol costing LESS
+    than v4 for the same liveness would mean the Rice-coded sliced-update
+    implementation broke.
+
+The tool dispatches on the artifact's `experiment` field, so wiring a new
+bench in is: emit `experiment` + numbers, add a committed baseline, call
+this once more in ci.yml.
+
+Baselines live in bench/baselines/ and are refreshed deliberately with
+--write-baseline (a throughput IMPROVEMENT is not an error, but committing
+it keeps the floor honest). Throughput baselines are hardware-dependent;
+the committed ones come from the slowest machine in rotation (the 1-core
+dev container), so the 25% floor under-triggers rather than flaps on
+faster CI runners. Determinism fields are hardware-INdependent:
+`deterministic_across_threads: false` always fails, on any machine.
+
+usage:
+  tools/compare_bench.py --baseline bench/baselines/BENCH_sim.json \
+                         --current build/BENCH_sim.json [--max-regression 0.25]
+  tools/compare_bench.py --current build/BENCH_sim.json --write-baseline \
+                         --baseline bench/baselines/BENCH_sim.json
+
+Exit codes: 0 ok, 1 usage/io error, 2 regression or broken invariant.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"compare_bench: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(1)
+
+
+def check_throughput(baseline, current, max_regression):
+    """sim_throughput: throughput floor + determinism gate."""
+    failures = []
+    base = baseline.get("user_ticks_per_sec")
+    cur = current.get("user_ticks_per_sec")
+    if not isinstance(base, (int, float)) or base <= 0:
+        failures.append("baseline has no positive user_ticks_per_sec")
+    elif not isinstance(cur, (int, float)) or cur <= 0:
+        failures.append("current has no positive user_ticks_per_sec")
+    else:
+        floor = base * (1.0 - max_regression)
+        delta = (cur - base) / base
+        print(f"throughput: current {cur:.0f} vs baseline {base:.0f} "
+              f"user-ticks/s ({delta:+.1%}; floor {floor:.0f})")
+        if cur < floor:
+            failures.append(
+                f"throughput regressed {-delta:.1%} "
+                f"(> {max_regression:.0%} allowed): {cur:.0f} < floor "
+                f"{floor:.0f} user-ticks/s")
+    if current.get("deterministic_across_threads") is not True:
+        failures.append("deterministic_across_threads is not true")
+    return failures
+
+
+def check_bandwidth(baseline, current, _max_regression):
+    """protocol_bandwidth: the v4 < v3 update-cost invariant."""
+    failures = []
+    if current.get("v4_smaller_than_v3") is not True:
+        failures.append(
+            "v4_smaller_than_v3 is not true: v4 sliced updates must cost "
+            "less wire than v3 chunked for the same list "
+            f"(v3 full {current.get('v3_full_sync_bytes')} B vs v4 full "
+            f"{current.get('v4_full_sync_bytes')} B; v3 incremental "
+            f"{current.get('v3_incremental_bytes')} B vs v4 incremental "
+            f"{current.get('v4_incremental_bytes')} B)")
+    else:
+        print("bandwidth invariant: v4 < v3 holds "
+              f"(full {current.get('v4_full_sync_bytes')} < "
+              f"{current.get('v3_full_sync_bytes')} B, incremental "
+              f"{current.get('v4_incremental_bytes')} < "
+              f"{current.get('v3_incremental_bytes')} B)")
+    # Bandwidth is deterministic at fixed workload parameters: a byte drift
+    # against baseline is a protocol change worth flagging (warning only --
+    # workload flags legitimately differ between CI and local runs).
+    for key in ("v3_full_sync_bytes", "v4_full_sync_bytes"):
+        base, cur = baseline.get(key), current.get(key)
+        if (base is not None and cur is not None and base != cur
+                and baseline.get("entries") == current.get("entries")):
+            print(f"note: {key} changed at equal workload: "
+                  f"{base} -> {cur} B (protocol change?)")
+    return failures
+
+
+CHECKS = {
+    "sim_throughput": check_throughput,
+    "protocol_bandwidth": check_bandwidth,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare a BENCH_*.json against its committed baseline")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON (bench/baselines/...)")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced BENCH_*.json")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional throughput drop (0.25)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="copy --current over --baseline and exit")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    if args.write_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(current, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote baseline {args.baseline}")
+        return 0
+
+    baseline = load(args.baseline)
+    experiment = current.get("experiment")
+    if baseline.get("experiment") != experiment:
+        print(f"compare_bench: experiment mismatch: baseline "
+              f"{baseline.get('experiment')!r} vs current {experiment!r}",
+              file=sys.stderr)
+        return 1
+    check = CHECKS.get(experiment)
+    if check is None:
+        print(f"compare_bench: no checks registered for experiment "
+              f"{experiment!r} (known: {', '.join(sorted(CHECKS))})",
+              file=sys.stderr)
+        return 1
+
+    failures = check(baseline, current, args.max_regression)
+    for failure in failures:
+        print(f"FAIL [{experiment}]: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"OK [{experiment}]: no regression vs {args.baseline}")
+    return 2 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

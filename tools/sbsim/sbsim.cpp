@@ -1,0 +1,340 @@
+// sbsim -- the scenario-runner CLI (tools/sbsim).
+//
+// Runs any simulation the engine can express from a declarative JSON
+// scenario file (src/sim/scenario), so new workloads are data, not new
+// C++ targets:
+//
+//   sbsim run scenarios/baseline.json [--threads N] [--out report.json]
+//       Run one scenario, print the report JSON (and check the golden
+//       block when present: a mismatch exits 2).
+//   sbsim verify scenarios/ [--threads 1,2,8]
+//       Re-run every scenario at each thread count and fail on ANY drift
+//       from the checked-in goldens -- the engine's determinism contract
+//       (same config => bit-identical logs at any thread count) enforced
+//       as data. This is the CI gate.
+//   sbsim bless scenarios/foo.json [--check-threads 2]
+//       Run at 1 thread, cross-check at another count, and write the
+//       observed golden block back into the file (canonical formatting).
+//   sbsim print scenarios/foo.json
+//       Dump the fully-resolved canonical form (every knob explicit) --
+//       the JSON <-> SimConfig round trip made visible.
+//   sbsim list scenarios/
+//       One line per scenario: name, population, protocol, description.
+//
+// Exit codes: 0 ok; 1 usage/file/parse error; 2 golden verification
+// failure. See docs/scenarios.md for the file format.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sb/protocol_version.hpp"
+#include "sim/scenario/runner.hpp"
+#include "sim/scenario/scenario.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace json = sbp::util::json;
+using sbp::sim::Scenario;
+
+constexpr const char* kUsage =
+    "usage: sbsim <command> [args]\n"
+    "\n"
+    "commands:\n"
+    "  run <scenario.json> [--threads N] [--out report.json]\n"
+    "  verify <file-or-dir>... [--threads 1,2,8]\n"
+    "  bless <scenario.json>... [--check-threads N]\n"
+    "  print <scenario.json>\n"
+    "  list <file-or-dir>...\n";
+
+int usage_error(const char* message) {
+  std::fprintf(stderr, "sbsim: %s\n%s", message, kUsage);
+  return 1;
+}
+
+/// Expands files/directories into a sorted list of scenario files
+/// (directories contribute their *.json entries, non-recursive).
+std::optional<std::vector<std::string>> collect_scenario_files(
+    const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      std::vector<std::string> in_dir;
+      for (const auto& entry : fs::directory_iterator(path, ec)) {
+        if (entry.path().extension() == ".json") {
+          in_dir.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        std::fprintf(stderr, "sbsim: cannot list %s: %s\n", path.c_str(),
+                     ec.message().c_str());
+        return std::nullopt;
+      }
+      std::sort(in_dir.begin(), in_dir.end());
+      if (in_dir.empty()) {
+        std::fprintf(stderr, "sbsim: no *.json scenarios in %s\n",
+                     path.c_str());
+        return std::nullopt;
+      }
+      files.insert(files.end(), in_dir.begin(), in_dir.end());
+    } else if (fs::exists(path, ec)) {
+      files.push_back(path);
+    } else {
+      std::fprintf(stderr, "sbsim: no such file or directory: %s\n",
+                   path.c_str());
+      return std::nullopt;
+    }
+  }
+  return files;
+}
+
+std::optional<Scenario> load_or_complain(const std::string& path) {
+  std::string error;
+  auto scenario = sbp::sim::load_scenario(path, &error);
+  if (!scenario) std::fprintf(stderr, "sbsim: %s\n", error.c_str());
+  return scenario;
+}
+
+/// Parses "1,2,8" into thread counts; nullopt on malformed input.
+std::optional<std::vector<std::size_t>> parse_thread_list(
+    const std::string& text) {
+  std::vector<std::size_t> threads;
+  const char* cursor = text.c_str();
+  while (*cursor != '\0') {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(cursor, &end, 10);
+    if (end == cursor || (*end != ',' && *end != '\0')) return std::nullopt;
+    threads.push_back(static_cast<std::size_t>(value));
+    cursor = (*end == ',') ? end + 1 : end;
+  }
+  if (threads.empty()) return std::nullopt;
+  return threads;
+}
+
+// ------------------------------- commands ----------------------------------
+
+int cmd_run(const std::vector<std::string>& args) {
+  std::string file;
+  std::optional<std::size_t> threads;
+  std::string out_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threads" && i + 1 < args.size()) {
+      char* end = nullptr;
+      const std::string& text = args[++i];
+      threads = static_cast<std::size_t>(
+          std::strtoull(text.c_str(), &end, 10));
+      if (end == text.c_str() || *end != '\0') {
+        return usage_error("--threads needs a number");
+      }
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (args[i].rfind("--", 0) == 0) {
+      return usage_error(("unknown flag for run: " + args[i]).c_str());
+    } else if (file.empty()) {
+      file = args[i];
+    } else {
+      return usage_error("run takes exactly one scenario file");
+    }
+  }
+  if (file.empty()) return usage_error("run needs a scenario file");
+
+  const auto scenario = load_or_complain(file);
+  if (!scenario) return 1;
+
+  std::fprintf(stderr, "running %s (%zu users x %llu ticks, %s)...\n",
+               scenario->name.c_str(), scenario->config.num_users,
+               static_cast<unsigned long long>(scenario->config.ticks),
+               sbp::sb::protocol_version_name(scenario->config.protocol)
+                   .data());
+  const auto result = sbp::sim::run_scenario(*scenario, threads);
+  const std::string report =
+      json::dump(sbp::sim::report_to_json(*scenario, result));
+  std::fputs(report.c_str(), stdout);
+  if (!out_path.empty()) {
+    std::string error;
+    if (!sbp::sim::write_file(out_path, report, &error)) {
+      std::fprintf(stderr, "sbsim: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  if (scenario->golden) {
+    const auto diffs =
+        sbp::sim::golden_diff(result.golden(), *scenario->golden);
+    if (!diffs.empty()) {
+      std::fprintf(stderr,
+                   "sbsim: GOLDEN MISMATCH in %s -- behaviour changed; "
+                   "re-bless if intended:\n",
+                   file.c_str());
+      for (const std::string& diff : diffs) {
+        std::fprintf(stderr, "  %s\n", diff.c_str());
+      }
+      return 2;
+    }
+  }
+  return 0;
+}
+
+int cmd_verify(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  std::vector<std::size_t> threads = {1, 2, 8};
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threads" && i + 1 < args.size()) {
+      const auto parsed = parse_thread_list(args[++i]);
+      if (!parsed) return usage_error("bad --threads list");
+      threads = *parsed;
+    } else if (args[i].rfind("--", 0) == 0) {
+      return usage_error(("unknown flag for verify: " + args[i]).c_str());
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.empty()) return usage_error("verify needs files or directories");
+
+  const auto files = collect_scenario_files(paths);
+  if (!files) return 1;
+
+  int failures = 0;
+  for (const std::string& file : *files) {
+    const auto scenario = load_or_complain(file);
+    if (!scenario) {
+      ++failures;
+      continue;
+    }
+    const auto verdict = sbp::sim::verify_scenario(*scenario, threads);
+    if (verdict.passed) {
+      double total_seconds = 0.0;
+      for (const auto& run : verdict.runs) total_seconds += run.run_seconds;
+      std::printf("PASS %-28s threads", scenario->name.c_str());
+      for (const auto& run : verdict.runs) {
+        std::printf(" %zu", run.threads_requested);
+      }
+      std::printf("  fingerprint %s  (%.1fs)\n",
+                  json::hex_u64(verdict.runs.front().observed.fingerprint)
+                      .c_str(),
+                  total_seconds);
+    } else {
+      ++failures;
+      std::printf("FAIL %-28s (%s)\n", scenario->name.c_str(), file.c_str());
+      for (const auto& failure : verdict.failures) {
+        std::printf("     %s\n", failure.c_str());
+      }
+    }
+  }
+  std::printf("%zu scenario(s), %d failure(s)\n", files->size(), failures);
+  return failures == 0 ? 0 : 2;
+}
+
+int cmd_bless(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  std::size_t check_threads = 2;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--check-threads" && i + 1 < args.size()) {
+      char* end = nullptr;
+      const std::string& text = args[++i];
+      check_threads = static_cast<std::size_t>(
+          std::strtoull(text.c_str(), &end, 10));
+      // A silently-zero parse would skip the determinism cross-check --
+      // the one thing bless must never do.
+      if (end == text.c_str() || *end != '\0' || check_threads < 2) {
+        return usage_error("--check-threads needs an integer >= 2");
+      }
+    } else if (args[i].rfind("--", 0) == 0) {
+      return usage_error(("unknown flag for bless: " + args[i]).c_str());
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.empty()) return usage_error("bless needs scenario files");
+
+  const auto files = collect_scenario_files(paths);
+  if (!files) return 1;
+
+  for (const std::string& file : *files) {
+    auto scenario = load_or_complain(file);
+    if (!scenario) return 1;
+
+    // The golden is the 1-thread run; the cross-check run must agree on
+    // EVERY golden field (the same comparison verify gates on) or the
+    // scenario is not deterministic and must not be blessed.
+    Scenario bare = *scenario;
+    bare.report = sbp::sim::ReportConfig{};
+    const auto base = sbp::sim::run_scenario(bare, std::size_t{1});
+    const auto check = sbp::sim::run_scenario(bare, check_threads);
+    const auto drift = sbp::sim::golden_diff(check.golden(), base.golden());
+    if (!drift.empty()) {
+      std::fprintf(stderr,
+                   "sbsim: %s is NOT deterministic across threads (1 vs "
+                   "%zu) -- refusing to bless:\n",
+                   file.c_str(), check_threads);
+      for (const std::string& diff : drift) {
+        std::fprintf(stderr, "  %s\n", diff.c_str());
+      }
+      return 2;
+    }
+
+    scenario->golden = base.golden();
+    std::string error;
+    if (!sbp::sim::write_file(
+            file, json::dump(sbp::sim::scenario_to_json(*scenario)),
+            &error)) {
+      std::fprintf(stderr, "sbsim: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("blessed %-28s fingerprint %s (%llu entries)\n",
+                scenario->name.c_str(),
+                json::hex_u64(base.log_fingerprint).c_str(),
+                static_cast<unsigned long long>(base.log_entries));
+  }
+  return 0;
+}
+
+int cmd_print(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage_error("print takes one scenario file");
+  const auto scenario = load_or_complain(args[0]);
+  if (!scenario) return 1;
+  std::fputs(json::dump(sbp::sim::scenario_to_json(*scenario)).c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_list(const std::vector<std::string>& args) {
+  if (args.empty()) return usage_error("list needs files or directories");
+  const auto files = collect_scenario_files(args);
+  if (!files) return 1;
+  for (const std::string& file : *files) {
+    const auto scenario = load_or_complain(file);
+    if (!scenario) return 1;
+    std::printf("%-28s %8zu users x %-5llu %-10s %s%s\n",
+                scenario->name.c_str(), scenario->config.num_users,
+                static_cast<unsigned long long>(scenario->config.ticks),
+                sbp::sb::protocol_version_name(scenario->config.protocol)
+                    .data(),
+                scenario->golden ? "" : "[no golden] ",
+                scenario->description.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage_error("missing command");
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "run") return cmd_run(args);
+  if (command == "verify") return cmd_verify(args);
+  if (command == "bless") return cmd_bless(args);
+  if (command == "print") return cmd_print(args);
+  if (command == "list") return cmd_list(args);
+  if (command == "--help" || command == "-h" || command == "help") {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  return usage_error(("unknown command: " + command).c_str());
+}
