@@ -17,6 +17,15 @@
 // results plus the speedup over the 1-thread run, so scaling PRs can see
 // the trajectory per commit. Top-level fields describe the single-thread
 // baseline, keeping the schema of earlier PRs.
+//
+// Each thread count runs TWICE: once plain (the primary numbers, schema
+// unchanged) and once with the src/obs profiling layer on -- the second
+// run must hit the same fingerprint (metrics cannot perturb the engine)
+// and contributes the per-phase wall-time breakdown plus the measured
+// metrics overhead to the sweep entry. Overhead is reported, not gated:
+// at bench scale it sits inside run-to-run noise; the <3% contract is
+// what the numbers document.
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +34,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/phase.hpp"
 #include "sim/engine.hpp"
 #include "sim/log_sink.hpp"
 
@@ -70,15 +80,22 @@ struct SweepPoint {
   std::uint64_t log_prefixes = 0;
   std::uint64_t log_multi_prefix_entries = 0;
   std::uint64_t log_fingerprint = 0;
+
+  /// From the companion metrics-on run of the same thread count.
+  double metrics_run_seconds = 0.0;
+  double metrics_overhead = 0.0;  ///< (metrics_on - plain) / plain
+  std::array<std::uint64_t, sbp::obs::kPhaseCount> phase_wall_ns{};
 };
 
 SweepPoint run_point(std::size_t users, std::uint64_t ticks,
-                     std::size_t threads) {
+                     std::size_t threads, bool collect_metrics) {
   SweepPoint point;
   point.threads_requested = threads;
 
   const auto setup_start = Clock::now();
-  sbp::sim::Engine engine(bench_config(users, ticks, threads));
+  sbp::sim::SimConfig config = bench_config(users, ticks, threads);
+  config.collect_metrics = collect_metrics;
+  sbp::sim::Engine engine(std::move(config));
   point.setup_seconds = seconds_since(setup_start);
   point.threads_used = engine.num_threads();
 
@@ -96,6 +113,13 @@ SweepPoint run_point(std::size_t users, std::uint64_t ticks,
   point.log_prefixes = sink.prefixes();
   point.log_multi_prefix_entries = sink.multi_prefix_entries();
   point.log_fingerprint = sink.fingerprint();
+  if (collect_metrics) {
+    const sbp::obs::Snapshot snapshot = engine.obs_snapshot();
+    for (std::size_t i = 0; i < sbp::obs::kPhaseCount; ++i) {
+      point.phase_wall_ns[i] =
+          snapshot.phases.stats(static_cast<sbp::obs::Phase>(i)).total_ns;
+    }
+  }
   return point;
 }
 
@@ -177,7 +201,9 @@ std::string format_json(const std::vector<SweepPoint>& sweep,
   append("  \"log_fingerprint\": \"0x%016llx\",\n",
          static_cast<unsigned long long>(base.log_fingerprint));
 
-  // The thread sweep.
+  // The thread sweep. Each entry carries the plain-run numbers (schema of
+  // earlier PRs) plus the companion metrics-on run: overhead ratio and the
+  // per-phase wall-time breakdown from the src/obs profiling layer.
   json += "  \"thread_sweep\": [\n";
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const SweepPoint& point = sweep[i];
@@ -185,13 +211,22 @@ std::string format_json(const std::vector<SweepPoint>& sweep,
         "    {\"threads\": %zu, \"threads_used\": %zu, "
         "\"run_seconds\": %.3f, \"user_ticks_per_sec\": %.0f, "
         "\"lookups_per_sec\": %.0f, \"speedup\": %.2f, "
-        "\"log_fingerprint\": \"0x%016llx\"}%s\n",
+        "\"log_fingerprint\": \"0x%016llx\",\n",
         point.threads_requested, point.threads_used, point.run_seconds,
         user_ticks_per_sec(point, users),
         static_cast<double>(point.metrics.lookups) / point.run_seconds,
         base.run_seconds / point.run_seconds,
-        static_cast<unsigned long long>(point.log_fingerprint),
-        i + 1 < sweep.size() ? "," : "");
+        static_cast<unsigned long long>(point.log_fingerprint));
+    append("     \"metrics_run_seconds\": %.3f, \"metrics_overhead\": %.3f,\n",
+           point.metrics_run_seconds, point.metrics_overhead);
+    json += "     \"phases\": {";
+    for (std::size_t p = 0; p < sbp::obs::kPhaseCount; ++p) {
+      const std::string name(
+          sbp::obs::phase_name(static_cast<sbp::obs::Phase>(p)));
+      append("%s\"%s_ns\": %llu", p > 0 ? ", " : "", name.c_str(),
+             static_cast<unsigned long long>(point.phase_wall_ns[p]));
+    }
+    append("}}%s\n", i + 1 < sweep.size() ? "," : "");
   }
   json += "  ],\n";
   append("  \"max_speedup\": %.2f,\n",
@@ -202,6 +237,13 @@ std::string format_json(const std::vector<SweepPoint>& sweep,
            }
            return best;
          }());
+  append("  \"metrics_overhead_max\": %.3f,\n", [&] {
+    double worst = 0.0;
+    for (const auto& point : sweep) {
+      if (point.metrics_overhead > worst) worst = point.metrics_overhead;
+    }
+    return worst;
+  }());
   append("  \"deterministic_across_threads\": %s\n",
          deterministic ? "true" : "false");
   json += "}\n";
@@ -248,13 +290,22 @@ int main(int argc, char** argv) {
   std::vector<SweepPoint> sweep;
   bool deterministic = true;
   for (const std::size_t threads : thread_sweep) {
-    SweepPoint point = run_point(users, ticks, threads);
+    SweepPoint point = run_point(users, ticks, threads, false);
+    const SweepPoint with_metrics = run_point(users, ticks, threads, true);
+    point.metrics_run_seconds = with_metrics.run_seconds;
+    point.metrics_overhead =
+        point.run_seconds > 0.0
+            ? (with_metrics.run_seconds - point.run_seconds) /
+                  point.run_seconds
+            : 0.0;
+    point.phase_wall_ns = with_metrics.phase_wall_ns;
     std::printf(
         "threads=%zu (used %zu): %.3f s run, %.0f user-ticks/s, "
-        "fingerprint 0x%016llx\n",
+        "fingerprint 0x%016llx (metrics on: %.3f s, %+.1f%%)\n",
         point.threads_requested, point.threads_used, point.run_seconds,
         user_ticks_per_sec(point, users),
-        static_cast<unsigned long long>(point.log_fingerprint));
+        static_cast<unsigned long long>(point.log_fingerprint),
+        point.metrics_run_seconds, point.metrics_overhead * 100.0);
     if (!sweep.empty() && !matches_baseline(sweep.front(), point)) {
       deterministic = false;
       std::fprintf(stderr,
@@ -265,6 +316,21 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(point.log_fingerprint),
                    static_cast<unsigned long long>(
                        sweep.front().log_fingerprint));
+    }
+    // The metrics-on companion is held to the same baseline: profiling
+    // must not perturb any deterministic observable at any thread count.
+    const SweepPoint& reference = sweep.empty() ? point : sweep.front();
+    if (!matches_baseline(reference, with_metrics)) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "DETERMINISM FAILURE: metrics-on %zu-thread run diverged "
+                   "from the plain baseline (fingerprint 0x%016llx vs "
+                   "0x%016llx)\n",
+                   point.threads_requested,
+                   static_cast<unsigned long long>(
+                       with_metrics.log_fingerprint),
+                   static_cast<unsigned long long>(
+                       reference.log_fingerprint));
     }
     sweep.push_back(point);
   }

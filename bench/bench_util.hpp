@@ -155,11 +155,13 @@ inline void json_append(std::string& json, const char* format,
   json += buffer;
 }
 
-/// Echoes `json` to stdout and writes it to `path` (the artifact CI
-/// uploads). Returns false (after a stderr note) when the file cannot be
-/// written, so benches can exit nonzero.
+/// Writes `json` to `path` (the artifact CI uploads) and prints only a
+/// one-line note. Machine-readable output goes to the --out file ONLY --
+/// never interleaved with the human-facing bench log on stdout, so the
+/// artifact is parseable without scraping log text around it. Returns
+/// false (after a stderr note) when the file cannot be written, so
+/// benches can exit nonzero.
 inline bool write_json(const std::string& json, const std::string& path) {
-  std::fputs(json.c_str(), stdout);
   FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "could not write %s\n", path.c_str());

@@ -1,0 +1,41 @@
+#include "obs/histogram.hpp"
+
+#include <cmath>
+
+namespace sbp::obs {
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max_;
+
+  // Target rank in [1, count]; walk cumulative bucket counts to find the
+  // bucket holding it, then interpolate linearly inside the bucket by the
+  // rank's position among that bucket's samples.
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (rank <= cumulative + buckets_[i]) {
+      const std::uint64_t lower = i == 0 ? 0 : (std::uint64_t{1} << (i - 1));
+      // The saturation bucket has no meaningful upper edge; use max_.
+      const std::uint64_t upper =
+          i >= kBuckets - 1 ? max_ : bucket_upper_bound(i);
+      const double within = static_cast<double>(rank - cumulative) /
+                            static_cast<double>(buckets_[i]);
+      std::uint64_t estimate =
+          lower + static_cast<std::uint64_t>(
+                      within * static_cast<double>(upper - lower));
+      // Clamp to the observed range: constant streams report exactly
+      // their value, and no estimate can leave [min, max].
+      if (estimate < min_) estimate = min_;
+      if (estimate > max_) estimate = max_;
+      return estimate;
+    }
+    cumulative += buckets_[i];
+  }
+  return max_;
+}
+
+}  // namespace sbp::obs

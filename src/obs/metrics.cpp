@@ -1,0 +1,42 @@
+#include "obs/metrics.hpp"
+
+namespace sbp::obs {
+
+const MetricsRegistry::Entry* MetricsRegistry::find(
+    std::string_view name) const noexcept {
+  for (const auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(std::string_view name,
+                                                        Kind kind) {
+  for (const auto& entry : entries_) {
+    if (entry->name == name) return *entry;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->kind = kind;
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& theirs : other.entries_) {
+    Entry& ours = find_or_create(theirs->name, theirs->kind);
+    switch (theirs->kind) {
+      case Kind::kCounter:
+        ours.counter.value += theirs->counter.value;
+        break;
+      case Kind::kGauge:
+        ours.gauge.value += theirs->gauge.value;
+        break;
+      case Kind::kHistogram:
+        ours.histogram.merge_from(theirs->histogram);
+        break;
+    }
+  }
+}
+
+}  // namespace sbp::obs

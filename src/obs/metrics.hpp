@@ -1,0 +1,81 @@
+// Named metric registry (src/obs): counters, gauges and histograms.
+//
+// The engine's hot paths never look metrics up by name -- each shard (and
+// the serial engine phases) holds direct references obtained once at
+// setup, so recording is a plain integer add with no string hashing and no
+// cross-thread contention. The registry exists for the cold side: it keeps
+// metrics in REGISTRATION ORDER (deterministic exports -- the same config
+// always serializes the same metrics.json / Prometheus text) and merges
+// registries field-wise, which the engine does at the tick barrier in
+// canonical shard order. Counter and histogram merges are exact integer
+// sums; gauge merges sum too (per-shard gauges are occupancy-style values
+// whose fleet-wide total is the meaningful number).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace sbp::obs {
+
+struct Counter {
+  std::uint64_t value = 0;
+  void add(std::uint64_t delta = 1) noexcept { value += delta; }
+};
+
+struct Gauge {
+  double value = 0.0;
+  void set(double v) noexcept { value = v; }
+};
+
+class MetricsRegistry {
+ public:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    Counter counter;
+    Gauge gauge;
+    Histogram histogram;
+  };
+
+  /// Get-or-create accessors. Returned references stay valid for the
+  /// registry's lifetime (entries are heap-allocated and never removed),
+  /// so hot paths can cache them at setup. Re-registering a name with a
+  /// different kind keeps the original kind (the first registration wins).
+  Counter& counter(std::string_view name) {
+    return find_or_create(name, Kind::kCounter).counter;
+  }
+  Gauge& gauge(std::string_view name) {
+    return find_or_create(name, Kind::kGauge).gauge;
+  }
+  Histogram& histogram(std::string_view name) {
+    return find_or_create(name, Kind::kHistogram).histogram;
+  }
+
+  /// Entries in registration order.
+  [[nodiscard]] const std::vector<std::unique_ptr<Entry>>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+  [[nodiscard]] const Entry* find(std::string_view name) const noexcept;
+
+  /// Field-wise merge by name: counters and histograms add exactly, gauges
+  /// sum; names unknown here are registered (in the other registry's
+  /// order). Exact and order-canonical: merging shards 0..N-1 in order
+  /// yields the same totals as any other order.
+  void merge_from(const MetricsRegistry& other);
+
+ private:
+  Entry& find_or_create(std::string_view name, Kind kind);
+
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace sbp::obs

@@ -1,0 +1,28 @@
+// Prometheus text-format exporter (src/obs).
+//
+// Renders a Snapshot in the Prometheus exposition text format (version
+// 0.0.4): `# TYPE` headers, one sample per line, labels for phase /
+// channel / worker dimensions. sbsim writes this via `--prom-out` so a
+// run's metrics can be dropped into any Prometheus-compatible tooling
+// (promtool, Grafana test data sources) without a bespoke converter.
+//
+// Histograms export as native Prometheus histograms: cumulative `_bucket`
+// samples with `le` labels at the power-of-two bucket edges (suppressing
+// empty leading/trailing edges to keep the text small), plus `_sum`,
+// `_count`. Output is deterministic for a given snapshot: fixed metric
+// order, fixed label order.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/snapshot.hpp"
+
+namespace sbp::obs {
+
+/// Full exposition document; every metric name is prefixed with
+/// "<prefix>_". The default matches the tool name.
+[[nodiscard]] std::string prometheus_text(const Snapshot& snapshot,
+                                          std::string_view prefix = "sbsim");
+
+}  // namespace sbp::obs

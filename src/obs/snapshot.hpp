@@ -1,0 +1,40 @@
+// End-of-run metrics snapshot (src/obs).
+//
+// The engine assembles one Snapshot after the last tick: its serial-phase
+// profile plus every shard's plan/lookup profile, transport channels and
+// counters, merged in canonical shard order (shard 0 first). The snapshot
+// is the single input to all three exporters -- metrics.json
+// (export.hpp), Prometheus text (prom_text.hpp) and the stderr summary
+// table -- so the formats can never disagree about the numbers.
+//
+// Move-only (MetricsRegistry holds unique_ptr entries); produced once per
+// run, so copyability is not needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+
+namespace sbp::obs {
+
+struct Snapshot {
+  bool enabled = false;
+  std::size_t threads_used = 0;
+  std::uint64_t ticks = 0;
+
+  /// Serial phases from the engine + plan/lookup merged over shards.
+  PhaseProfile phases;
+  /// Thread-pool internals (zero batches when the run was sequential).
+  PoolObs pool;
+  /// Wire channels merged over shards in canonical order.
+  TransportObs transport;
+  /// Simulation counters (lookups, hits, resyncs, ...), names matching
+  /// the scenario report's "metrics" object.
+  MetricsRegistry counters;
+  /// Optional per-tick phase series (config.metrics_per_tick_series).
+  std::vector<TickSample> per_tick;
+};
+
+}  // namespace sbp::obs

@@ -19,6 +19,7 @@ std::optional<FullHashResponse> Transport::get_full_hashes_or_error(
     ++stats_.failed_requests;
     return std::nullopt;  // dropped before reaching the server
   }
+  const std::uint64_t start_ns = obs_ != nullptr ? obs::now_ns() : 0;
   const std::vector<std::uint8_t> request_frame =
       wire::encode_full_hash_request({cookie, prefixes});
   stats_.bytes_up += request_frame.size();
@@ -33,7 +34,12 @@ std::optional<FullHashResponse> Transport::get_full_hashes_or_error(
   const std::vector<std::uint8_t> response_frame =
       wire::encode_full_hash_response(response);
   stats_.bytes_down += response_frame.size();
-  return wire::decode_full_hash_response(response_frame);
+  auto decoded = wire::decode_full_hash_response(response_frame);
+  if (decoded) {
+    record_obs(obs::Channel::kFullHash, request_frame.size(),
+               response_frame.size(), start_ns);
+  }
+  return decoded;
 }
 
 FullHashResponse Transport::get_full_hashes(
@@ -50,6 +56,7 @@ std::optional<UpdateResponse> Transport::fetch_update_or_error(
     ++stats_.failed_requests;
     return std::nullopt;
   }
+  const std::uint64_t start_ns = obs_ != nullptr ? obs::now_ns() : 0;
   const std::vector<std::uint8_t> request_frame =
       wire::encode_update_request(request);
   stats_.bytes_up += request_frame.size();
@@ -64,7 +71,12 @@ std::optional<UpdateResponse> Transport::fetch_update_or_error(
       wire::encode_update_response(response);
   stats_.bytes_down += response_frame.size();
   stats_.update_bytes_down += response_frame.size();
-  return wire::decode_update_response(response_frame);
+  auto decoded = wire::decode_update_response(response_frame);
+  if (decoded) {
+    record_obs(obs::Channel::kV3Update, request_frame.size(),
+               response_frame.size(), start_ns);
+  }
+  return decoded;
 }
 
 UpdateResponse Transport::fetch_update(const UpdateRequest& request) {
@@ -80,6 +92,7 @@ std::optional<V4UpdateResponse> Transport::fetch_v4_update_or_error(
     ++stats_.failed_requests;
     return std::nullopt;
   }
+  const std::uint64_t start_ns = obs_ != nullptr ? obs::now_ns() : 0;
   const std::vector<std::uint8_t> request_frame =
       wire::encode_v4_update_request(request);
   stats_.bytes_up += request_frame.size();
@@ -94,7 +107,12 @@ std::optional<V4UpdateResponse> Transport::fetch_v4_update_or_error(
       wire::encode_v4_update_response(response);
   stats_.bytes_down += response_frame.size();
   stats_.update_bytes_down += response_frame.size();
-  return wire::decode_v4_update_response(response_frame);
+  auto decoded = wire::decode_v4_update_response(response_frame);
+  if (decoded) {
+    record_obs(obs::Channel::kV4Update, request_frame.size(),
+               response_frame.size(), start_ns);
+  }
+  return decoded;
 }
 
 std::optional<bool> Transport::lookup_v1_or_error(std::string_view url,
@@ -105,6 +123,7 @@ std::optional<bool> Transport::lookup_v1_or_error(std::string_view url,
     ++stats_.failed_requests;
     return std::nullopt;
   }
+  const std::uint64_t start_ns = obs_ != nullptr ? obs::now_ns() : 0;
   const std::vector<std::uint8_t> request_frame =
       wire::encode_v1_lookup_request({cookie, std::string(url)});
   stats_.bytes_up += request_frame.size();
@@ -120,6 +139,8 @@ std::optional<bool> Transport::lookup_v1_or_error(std::string_view url,
   stats_.bytes_down += response_frame.size();
   const auto response = wire::decode_v1_lookup_response(response_frame);
   if (!response) return std::nullopt;
+  record_obs(obs::Channel::kV1Lookup, request_frame.size(),
+             response_frame.size(), start_ns);
   return response->malicious;
 }
 

@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/phase.hpp"
 #include "sb/server.hpp"
 
 namespace sbp::sb {
@@ -124,11 +125,30 @@ class Transport {
       std::function<void(Cookie, const std::vector<crypto::Prefix32>&)>;
   void set_full_hash_tap(FullHashTap tap) { tap_ = std::move(tap); }
 
+  /// Attaches per-channel observability (latency + exact frame-size
+  /// histograms; see obs::ChannelStats). Null detaches; with it detached
+  /// the endpoints read no clock and the request path is unchanged.
+  /// Successful serves only -- injected failures and decode errors keep
+  /// being counted by stats_ alone. The engine attaches each shard's
+  /// transport to that shard's TransportObs, so recording never crosses
+  /// threads.
+  void set_obs(obs::TransportObs* obs) noexcept { obs_ = obs; }
+
  private:
+  /// Records one successful request on `channel` when obs is attached.
+  void record_obs(obs::Channel channel, std::uint64_t bytes_up,
+                  std::uint64_t bytes_down, std::uint64_t start_ns) noexcept {
+    if (obs_ == nullptr) return;
+    obs_->channel(channel).record(bytes_up, bytes_down,
+                                  obs::now_ns() - start_ns);
+  }
+
+
   Server& server_;
   SimClock& clock_;
   std::uint64_t round_trip_;
   TransportStats stats_;
+  obs::TransportObs* obs_ = nullptr;
   FullHashTap tap_;
   unsigned fail_full_hashes_ = 0;
   unsigned fail_updates_ = 0;

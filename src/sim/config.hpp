@@ -137,6 +137,19 @@ struct SimConfig {
   /// TTL of client full-hash caches (0 = until the next update clears them).
   std::uint64_t full_hash_ttl = 0;
 
+  /// Metrics & profiling collection (src/obs): phase timers, per-shard
+  /// histograms, thread-pool and transport instrumentation, exported by
+  /// Engine::obs_snapshot(). Off by default -- the instrumented paths
+  /// then read no clocks at all. Like num_threads, these knobs are
+  /// OUTSIDE the determinism contract: enabling them changes no query
+  /// log byte, no fingerprint and no wire count at any thread count
+  /// (tests/obs/determinism_test.cpp pins this down).
+  bool collect_metrics = false;
+  /// Additionally keep a per-tick phase wall-time series in the snapshot
+  /// (one TickSample per tick -- meant for runs of thousands of ticks,
+  /// not millions).
+  bool metrics_per_tick_series = false;
+
   /// Bound on EACH shard's URL -> decomposition-prefix cache (the caches
   /// are per-shard so parallel ticks share no mutable state; worst-case
   /// total is num_shards x this).

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <numeric>
 #include <thread>
@@ -35,6 +36,7 @@ Engine::Engine(SimConfig config)
       traffic_model_(config_.traffic, config_.corpus,
                      config_.site_cache_entries),
       dummy_policy_(config_.mitigation.dummies_per_prefix) {
+  obs_enabled_ = config_.collect_metrics;  // before shards are built
   for (const auto& list : config_.blacklist.lists) {
     server_.create_list(list);
   }
@@ -57,6 +59,7 @@ Engine::Engine(SimConfig config)
   build_population();
   pool_ = std::make_unique<ThreadPool>(
       resolve_threads(config_.num_threads, shards_.size()));
+  if (obs_enabled_) pool_->set_obs(&pool_obs_);
 }
 
 void Engine::build_listed_universe() {
@@ -139,8 +142,8 @@ void Engine::build_population() {
   shards_.clear();
   shards_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
-    shards_.push_back(
-        std::make_unique<Shard>(server_, clock_, traffic_model_));
+    shards_.push_back(std::make_unique<Shard>(server_, clock_, traffic_model_,
+                                              obs_enabled_));
   }
   const double interested = config_.traffic.interested_fraction;
 
@@ -384,13 +387,28 @@ void Engine::tick_shard(Shard& shard) {
   // buffer; the engine merges buffers in shard order after the barrier.
   const sb::Server::ScopedLogShard log_scope(shard.log_buffer);
   shard.tick_metrics = SimMetrics{};
+  shard.tick_plan_ns = 0;
+  shard.tick_lookup_ns = 0;
+  // Per-user spans cost three steady_clock reads when timing is on and
+  // three predictable branches when it is off; everything recorded is
+  // shard-confined, so timing cannot perturb any cross-shard state.
+  const bool timed = obs_enabled_;
   for (auto& user : shard.users) {
     shard.scratch_urls.clear();
+    const std::uint64_t t0 = timed ? obs::now_ns() : 0;
     shard.tick_metrics.target_visits +=
         plan_user_tick(user, config_.traffic, traffic_model_,
                        shard.site_cache, shard.scratch_urls);
+    const std::uint64_t t1 = timed ? obs::now_ns() : 0;
     for (const auto& url : shard.scratch_urls) {
       dispatch(shard, user, url);
+    }
+    if (timed) {
+      const std::uint64_t t2 = obs::now_ns();
+      shard.obs_phases.record(obs::Phase::kPlan, t1 - t0);
+      shard.obs_phases.record(obs::Phase::kLookup, t2 - t1);
+      shard.tick_plan_ns += t1 - t0;
+      shard.tick_lookup_ns += t2 - t1;
     }
   }
 }
@@ -398,32 +416,108 @@ void Engine::tick_shard(Shard& shard) {
 bool Engine::step() {
   if (tick_ >= config_.ticks) return false;
 
+  // Serial-phase timing: one clock pair per phase per tick, recorded into
+  // serial_profile_ and (for the optional series) this tick's sample.
+  const bool timed = obs_enabled_;
+  std::array<std::uint64_t, obs::kPhaseCount> tick_ns{};
+  const auto timed_phase = [&](obs::Phase phase, auto&& body) {
+    if (!timed) {
+      body();
+      return;
+    }
+    const std::uint64_t t0 = obs::now_ns();
+    body();
+    const std::uint64_t ns = obs::now_ns() - t0;
+    serial_profile_.record(phase, ns);
+    tick_ns[static_cast<std::size_t>(phase)] = ns;
+  };
+
   if (churn_) {
     // Serial churn phases: epoch mutation (republishes the snapshot),
     // then the staggered client re-syncs due this tick.
     if (tick_ > 0 && tick_ % config_.churn.epoch_ticks == 0) {
-      apply_churn_epoch();
+      timed_phase(obs::Phase::kChurnEpoch, [&] { apply_churn_epoch(); });
     }
-    resync_clients();
+    timed_phase(obs::Phase::kResync, [&] { resync_clients(); });
   }
 
   // Parallel phase: shards tick concurrently; they share only immutable
   // state (traffic model, clock, the server's published snapshot).
-  pool_->parallel_for(shards_.size(), [this](std::size_t s) {
-    tick_shard(*shards_[s]);
+  timed_phase(obs::Phase::kParallelTick, [&] {
+    pool_->parallel_for(shards_.size(), [this](std::size_t s) {
+      tick_shard(*shards_[s]);
+    });
   });
 
   // Post-barrier merge, single-threaded: the canonical (tick, shard, seq)
   // log order and the counter reduction -- identical at any thread count.
-  for (auto& shard : shards_) {
-    server_.drain_log_buffer(shard->log_buffer);
-    metrics_ += shard->tick_metrics;
+  timed_phase(obs::Phase::kLogDrain, [&] {
+    for (auto& shard : shards_) {
+      server_.drain_log_buffer(shard->log_buffer);
+      metrics_ += shard->tick_metrics;
+    }
+  });
+
+  if (timed && config_.metrics_per_tick_series) {
+    obs::TickSample sample;
+    sample.tick = tick_;
+    sample.phase_ns = tick_ns;
+    // The parallel phases report CPU time summed over shards (wall time
+    // at one thread; up to threads x wall when scaling perfectly).
+    for (const auto& shard : shards_) {
+      sample.phase_ns[static_cast<std::size_t>(obs::Phase::kPlan)] +=
+          shard->tick_plan_ns;
+      sample.phase_ns[static_cast<std::size_t>(obs::Phase::kLookup)] +=
+          shard->tick_lookup_ns;
+    }
+    obs_series_.push_back(sample);
   }
 
   clock_.advance(1);
   ++tick_;
   ++metrics_.ticks_run;
   return true;
+}
+
+obs::Snapshot Engine::obs_snapshot() const {
+  obs::Snapshot snapshot;
+  snapshot.enabled = obs_enabled_;
+  snapshot.threads_used = pool_->size();
+  snapshot.ticks = metrics_.ticks_run;
+
+  snapshot.phases = serial_profile_;
+  for (const auto& shard : shards_) {
+    // Canonical shard order, like the log drain -- histogram merges are
+    // exact integer sums, so the merged totals are order-independent
+    // anyway, but the fixed order keeps exports reproducible by
+    // construction.
+    snapshot.phases.merge_from(shard->obs_phases);
+    snapshot.transport.merge_from(shard->obs_transport);
+  }
+  snapshot.pool = pool_obs_;
+
+  // Mirror SimMetrics under the same names report_to_json uses, so the
+  // metrics.json counters section matches the scenario report.
+  obs::MetricsRegistry& counters = snapshot.counters;
+  counters.counter("ticks_run").value = metrics_.ticks_run;
+  counters.counter("lookups").value = metrics_.lookups;
+  counters.counter("local_hit_lookups").value = metrics_.local_hit_lookups;
+  counters.counter("dispatched_lookups").value = metrics_.dispatched_lookups;
+  counters.counter("mitigated_lookups").value = metrics_.mitigated_lookups;
+  counters.counter("malicious_verdicts").value = metrics_.malicious_verdicts;
+  counters.counter("target_visits").value = metrics_.target_visits;
+  counters.counter("churn_events").value = metrics_.churn_events;
+  counters.counter("churn_adds").value = metrics_.churn_adds;
+  counters.counter("churn_removes").value = metrics_.churn_removes;
+  counters.counter("injected_prefixes").value = metrics_.injected_prefixes;
+  counters.counter("churn_updates").value = metrics_.churn_updates;
+  counters.counter("url_cache_hits").value = metrics_.url_cache_hits;
+  counters.counter("url_cache_misses").value = metrics_.url_cache_misses;
+  counters.counter("url_cache_invalidations").value =
+      metrics_.url_cache_invalidations;
+
+  snapshot.per_tick = obs_series_;
+  return snapshot;
 }
 
 void Engine::run() {

@@ -74,6 +74,7 @@
 #include <vector>
 
 #include "mitigation/dummy_requests.hpp"
+#include "obs/snapshot.hpp"
 #include "sim/churn.hpp"
 #include "sb/protocol.hpp"
 #include "sb/server.hpp"
@@ -200,6 +201,18 @@ class Engine {
     return blacklisted_pages_;
   }
 
+  /// Whether config.collect_metrics turned the profiling layer on.
+  [[nodiscard]] bool metrics_enabled() const noexcept { return obs_enabled_; }
+
+  /// The run's observability snapshot (src/obs): serial-phase profile plus
+  /// every shard's plan/lookup profile, transport channels and the pool's
+  /// batch stats, merged in canonical shard order -- so the same run
+  /// yields the same snapshot structure at any thread count (the VALUES
+  /// are wall times and necessarily vary). Meaningful after step()s with
+  /// collect_metrics on; with it off returns an all-zero snapshot with
+  /// enabled=false.
+  [[nodiscard]] obs::Snapshot obs_snapshot() const;
+
  private:
   /// Decompositions of one URL, hashed once and shared across all users
   /// of a shard.
@@ -223,9 +236,13 @@ class Engine {
   /// share writable state.
   struct Shard {
     Shard(sb::Server& server, sb::SimClock& clock,
-          const TrafficModel& traffic_model)
+          const TrafficModel& traffic_model, bool obs_enabled)
         : transport(server, clock, /*round_trip_ticks=*/0),
-          site_cache(traffic_model.make_cache()) {}
+          site_cache(traffic_model.make_cache()) {
+      // Attached before the initial syncs in build_population, so setup
+      // traffic lands in the channel stats too.
+      if (obs_enabled) transport.set_obs(&obs_transport);
+    }
 
     sb::Transport transport;
     TrafficModel::SiteCache site_cache;
@@ -234,6 +251,14 @@ class Engine {
     sb::QueryLogBuffer log_buffer;
     SimMetrics tick_metrics;  ///< zeroed per tick, reduced post-barrier
     std::vector<std::string> scratch_urls;
+    /// Shard-confined profiling state (only touched with obs enabled):
+    /// plan/lookup span profiles, the shard transport's channel stats, and
+    /// this tick's plan/lookup wall time for the per-tick series. Written
+    /// only by the worker ticking this shard; merged post-barrier.
+    obs::PhaseProfile obs_phases;
+    obs::TransportObs obs_transport;
+    std::uint64_t tick_plan_ns = 0;
+    std::uint64_t tick_lookup_ns = 0;
   };
 
   void seed_blacklist();
@@ -260,6 +285,15 @@ class Engine {
   std::unique_ptr<ThreadPool> pool_;
   std::uint64_t tick_ = 0;
   SimMetrics metrics_;
+
+  /// Observability (config.collect_metrics). serial_profile_ holds the
+  /// engine-thread phases (churn_epoch, resync, parallel_tick, log_drain);
+  /// pool_obs_ is filled by the thread pool; the optional series grows by
+  /// one sample per tick. All engine-thread-only.
+  bool obs_enabled_ = false;
+  obs::PhaseProfile serial_profile_;
+  obs::PoolObs pool_obs_;
+  std::vector<obs::TickSample> obs_series_;
 
   /// The epoch mutation planner (null when churn.epoch_ticks == 0).
   std::unique_ptr<ChurnSchedule> churn_;

@@ -133,6 +133,7 @@ ScenarioRunResult run_scenario(const Scenario& scenario,
   result.metrics = engine.metrics();
   result.population = engine.population_metrics();
   result.wire = engine.transport_stats();
+  if (engine.metrics_enabled()) result.obs = engine.obs_snapshot();
   result.log_entries = counter.entries();
   result.log_prefixes = counter.prefixes();
   result.log_multi_prefix_entries = counter.multi_prefix_entries();
@@ -245,7 +246,8 @@ std::vector<std::string> golden_diff(const ScenarioGolden& observed,
 }
 
 VerifyResult verify_scenario(const Scenario& scenario,
-                             const std::vector<std::size_t>& thread_counts) {
+                             const std::vector<std::size_t>& thread_counts,
+                             bool with_metrics) {
   VerifyResult result;
   if (!scenario.golden) {
     result.failures.push_back(
@@ -255,8 +257,12 @@ VerifyResult verify_scenario(const Scenario& scenario,
 
   for (const std::size_t threads : thread_counts) {
     // Verification never needs the analysis sections; run the bare config.
+    // with_metrics forces profiling ON against the unchanged goldens: any
+    // observability bug that touches a deterministic observable fails
+    // here exactly like a threading bug would.
     Scenario bare = scenario;
     bare.report = ReportConfig{};
+    bare.config.collect_metrics = with_metrics;
     const ScenarioRunResult run = run_scenario(bare, threads);
 
     VerifyRun leg;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "analysis/kanonymity.hpp"
+#include "obs/snapshot.hpp"
 #include "sim/engine.hpp"
 #include "sim/scenario/scenario.hpp"
 
@@ -48,6 +49,11 @@ struct ScenarioRunResult {
 
   std::optional<analysis::KAnonymityStats> kanonymity;
   std::optional<ReidSummary> reidentification;
+
+  /// Observability snapshot (src/obs), engaged when config.collect_metrics
+  /// is on: per-phase wall time, pool and transport instrumentation.
+  /// Orthogonal to every deterministic observable above.
+  std::optional<obs::Snapshot> obs;
 
   /// The deterministic observables of this run, as a golden block.
   [[nodiscard]] ScenarioGolden golden() const noexcept;
@@ -83,9 +89,13 @@ struct VerifyResult {
 
 /// Re-runs `scenario` at each thread count and compares against its golden
 /// block (a missing golden fails verification -- un-pinned scenarios are
-/// exactly what verify exists to catch).
+/// exactly what verify exists to catch). With `with_metrics` the legs run
+/// with collect_metrics forced ON -- same goldens expected, which makes
+/// verify double as the metrics-layer zero-interference check
+/// (`sbsim verify --metrics`).
 [[nodiscard]] VerifyResult verify_scenario(
-    const Scenario& scenario, const std::vector<std::size_t>& thread_counts);
+    const Scenario& scenario, const std::vector<std::size_t>& thread_counts,
+    bool with_metrics = false);
 
 /// Field-level golden comparison ("wire_bytes_down 123 != golden 456");
 /// empty iff equal. Shared by verify_scenario and `sbsim run`'s golden

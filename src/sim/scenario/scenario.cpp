@@ -358,6 +358,8 @@ void parse_config(const json::Value& value, SimConfig& out,
   reader.u64("full_hash_ttl", out.full_hash_ttl);
   reader.size("url_cache_entries", out.url_cache_entries);
   reader.size("site_cache_entries", out.site_cache_entries);
+  reader.boolean("collect_metrics", out.collect_metrics);
+  reader.boolean("metrics_per_tick_series", out.metrics_per_tick_series);
   if (const json::Value* corpus = reader.take("corpus")) {
     parse_corpus(*corpus, out.corpus, error);
   }
@@ -551,6 +553,8 @@ json::Value config_to_json(const SimConfig& config) {
   out.set("full_hash_ttl", u64_value(config.full_hash_ttl));
   out.set("url_cache_entries", u64_value(config.url_cache_entries));
   out.set("site_cache_entries", u64_value(config.site_cache_entries));
+  out.set("collect_metrics", config.collect_metrics);
+  out.set("metrics_per_tick_series", config.metrics_per_tick_series);
   out.set("corpus", std::move(corpus));
   out.set("traffic", std::move(traffic));
   out.set("blacklist", std::move(blacklist));

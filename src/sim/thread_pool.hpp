@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/phase.hpp"
+
 namespace sbp::sim {
 
 class ThreadPool {
@@ -46,17 +48,46 @@ class ThreadPool {
     return workers_.size() + 1;
   }
 
+  /// Attaches (or detaches, with nullptr) batch instrumentation. Must be
+  /// called from the owning thread between batches -- in practice once,
+  /// right after construction. Sizes obs->workers to size(): entry 0 is
+  /// the calling thread, 1..N-1 the resident workers. With obs attached,
+  /// each batch records dispatch (publish-to-wake) latency per worker,
+  /// busy time per participating thread and the executed-items imbalance;
+  /// all samples are staged in per-thread slots guarded by the batch
+  /// mutex and folded in by the caller after the barrier, so collection
+  /// adds no atomics and no contention to the claim loop itself.
+  void set_obs(obs::PoolObs* obs);
+
  private:
-  void worker_loop();
+  /// One thread's contribution to the current batch; written under
+  /// mutex_ when the thread deregisters, folded by the caller after the
+  /// barrier (also under mutex_), so never accessed concurrently.
+  struct Slot {
+    std::uint64_t dispatch_ns = 0;
+    std::uint64_t busy_ns = 0;
+    std::uint64_t executed = 0;
+    bool participated = false;
+  };
+
+  void worker_loop(std::size_t slot);
   /// Claims and runs indices until the ticket counter runs dry; returns
   /// how many this thread executed.
   std::size_t run_claim_loop(const std::function<void(std::size_t)>& fn,
                              std::size_t count);
+  /// Folds the finished batch's slots into *obs_. Caller holds mutex_.
+  void fold_batch_locked(std::size_t count);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
+
+  // Instrumentation; guarded by mutex_ except for reads from the caller
+  // thread, which is the only thread that may call set_obs/parallel_for.
+  obs::PoolObs* obs_ = nullptr;
+  std::vector<Slot> slots_;
+  std::uint64_t publish_ns_ = 0;
 
   // Batch state, guarded by mutex_ (only the ticket counter is touched
   // outside it). A thread may enter a batch only while it is open and

@@ -1,0 +1,148 @@
+// The obs::Histogram contract the determinism story rests on: power-of-two
+// bucketing with exact moments, and a merge that is an exact, commutative
+// integer sum -- merging per-shard histograms in ANY order yields the same
+// totals, which is why metrics can ride the parallel engine without a
+// merge-order dependence.
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace sbp::obs {
+namespace {
+
+TEST(ObsHistogramTest, EmptyHistogramReportsZeros) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(0.99), 0u);
+}
+
+TEST(ObsHistogramTest, SingleValueIsExactAtEveryQuantile) {
+  Histogram h;
+  h.record(1234);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 1234u);
+  EXPECT_EQ(h.min(), 1234u);
+  EXPECT_EQ(h.max(), 1234u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1234.0);
+  // Quantiles are clamped to the observed [min, max]: a constant stream
+  // must report its exact value, not a bucket-edge estimate.
+  EXPECT_EQ(h.quantile(0.0), 1234u);
+  EXPECT_EQ(h.quantile(0.5), 1234u);
+  EXPECT_EQ(h.quantile(1.0), 1234u);
+}
+
+TEST(ObsHistogramTest, BucketIndexEdges) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index((1u << 10) - 1), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1u << 10), 11u);
+  // Values beyond 2^47 saturate into the last bucket instead of indexing
+  // out of range.
+  EXPECT_EQ(Histogram::bucket_index(UINT64_MAX), Histogram::kBuckets - 1);
+
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(3), 7u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(Histogram::kBuckets - 1),
+            UINT64_MAX);
+}
+
+TEST(ObsHistogramTest, QuantilesAreMonotoneAndWithinRange) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  std::uint64_t previous = 0;
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const std::uint64_t estimate = h.quantile(q);
+    EXPECT_GE(estimate, previous) << "q=" << q;
+    EXPECT_GE(estimate, h.min()) << "q=" << q;
+    EXPECT_LE(estimate, h.max()) << "q=" << q;
+    previous = estimate;
+  }
+}
+
+TEST(ObsHistogramTest, MergeIsExact) {
+  Histogram a;
+  Histogram b;
+  a.record(1);
+  a.record(100);
+  b.record(7);
+  b.record(100000);
+
+  Histogram merged = a;
+  merged.merge_from(b);
+
+  Histogram direct;
+  for (const std::uint64_t v : {1u, 100u, 7u, 100000u}) direct.record(v);
+
+  // merge(a, b) must equal recording the union directly: same buckets,
+  // same moments, bit for bit.
+  EXPECT_EQ(merged, direct);
+  EXPECT_EQ(merged.count(), 4u);
+  EXPECT_EQ(merged.sum(), 100108u);
+  EXPECT_EQ(merged.min(), 1u);
+  EXPECT_EQ(merged.max(), 100000u);
+}
+
+TEST(ObsHistogramTest, MergeIsOrderCanonical) {
+  // The engine merges shard histograms in canonical shard order, but the
+  // result must not depend on it: any permutation of per-shard histograms
+  // folds to the same totals. This is what makes the merged numbers
+  // meaningful at every thread count.
+  std::vector<Histogram> shards(5);
+  std::uint64_t value = 1;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (int i = 0; i < 17; ++i) {
+      shards[s].record(value);
+      value = value * 31 + 7;  // spread across many buckets
+    }
+  }
+
+  Histogram forward;
+  for (const Histogram& h : shards) forward.merge_from(h);
+
+  Histogram backward;
+  for (std::size_t s = shards.size(); s-- > 0;) {
+    backward.merge_from(shards[s]);
+  }
+
+  Histogram interleaved;  // pairwise tree fold
+  Histogram left = shards[0];
+  left.merge_from(shards[2]);
+  left.merge_from(shards[4]);
+  Histogram right = shards[1];
+  right.merge_from(shards[3]);
+  interleaved.merge_from(right);
+  interleaved.merge_from(left);
+
+  EXPECT_EQ(forward, backward);
+  EXPECT_EQ(forward, interleaved);
+}
+
+TEST(ObsHistogramTest, MergeFromEmptyAndIntoEmpty) {
+  Histogram empty;
+  Histogram filled;
+  filled.record(42);
+
+  Histogram into_filled = filled;
+  into_filled.merge_from(empty);
+  EXPECT_EQ(into_filled, filled);  // merging empty changes nothing
+
+  Histogram into_empty;
+  into_empty.merge_from(filled);
+  EXPECT_EQ(into_empty, filled);
+  EXPECT_EQ(into_empty.min(), 42u);  // min must come from the other side
+}
+
+}  // namespace
+}  // namespace sbp::obs

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Validate a metrics.json artifact written by `sbsim run --metrics-out`.
+
+CI runs this on the metrics artifact so the exported schema cannot rot
+silently: a field renamed or dropped in src/obs/export.cpp, a NaN leaking
+out of a quantile on an empty histogram, or the writer interleaving log
+text into the JSON all fail the job here, not in whoever consumes the
+artifact next month.
+
+Checks, in order:
+
+  * the file parses as strict JSON (any NaN/Infinity literal is rejected
+    at parse time, then every number is re-checked for finiteness);
+  * `schema_version` is 1 and `enabled` is true;
+  * the `phases` object has all six engine phases, each with `wall_ns`,
+    `spans` and a `span_ns` distribution carrying count/sum/min/max/mean
+    and the p50/p90/p99 quantiles;
+  * `phases_by_wall` (descending-wall reading order) names all six phases;
+  * `thread_pool` has the batch/dispatch/busy/imbalance fields and a
+    per-worker array sized to `threads_used`;
+  * `transport` has all four protocol channels with request/byte counts
+    and serve-time + frame-size distributions;
+  * `counters` is a non-empty object of integers.
+
+stdlib only. Exit codes: 0 ok, 1 any failure (with one line per problem).
+
+usage: tools/check_metrics.py build/metrics.json
+"""
+
+import json
+import math
+import sys
+
+PHASES = ("plan", "lookup", "resync", "churn_epoch", "log_drain",
+          "parallel_tick")
+CHANNELS = ("full_hash", "v3_update", "v4_update", "v1_lookup")
+DIST_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p90", "p99")
+POOL_DISTS = ("dispatch_ns", "busy_ns", "imbalance_items")
+CHANNEL_DISTS = ("serve_ns", "request_bytes", "response_bytes")
+
+
+def reject_constant(token):
+    raise ValueError(f"non-finite JSON constant: {token}")
+
+
+def walk_finite(node, path, problems):
+    """Every number anywhere in the document must be finite."""
+    if isinstance(node, float) and not math.isfinite(node):
+        problems.append(f"{path}: non-finite number")
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            walk_finite(value, f"{path}.{key}", problems)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            walk_finite(value, f"{path}[{index}]", problems)
+
+
+def require(node, path, key, kinds, problems):
+    """Fetch node[key], recording a problem when missing or mistyped."""
+    if not isinstance(node, dict) or key not in node:
+        problems.append(f"{path}.{key}: missing")
+        return None
+    value = node[key]
+    if kinds is not None and not isinstance(value, kinds):
+        # bool is an int subclass in Python; never accept it for numbers.
+        problems.append(f"{path}.{key}: wrong type {type(value).__name__}")
+        return None
+    if kinds is not None and kinds != (bool,) and isinstance(value, bool):
+        problems.append(f"{path}.{key}: wrong type bool")
+        return None
+    return value
+
+
+NUMBER = (int, float)
+
+
+def check_distribution(node, path, problems):
+    dist = node
+    if not isinstance(dist, dict):
+        problems.append(f"{path}: not an object")
+        return
+    for field in DIST_FIELDS:
+        require(dist, path, field, NUMBER, problems)
+
+
+def check_document(doc, problems):
+    version = require(doc, "$", "schema_version", (int,), problems)
+    if version is not None and version != 1:
+        problems.append(f"$.schema_version: expected 1, got {version}")
+    enabled = require(doc, "$", "enabled", (bool,), problems)
+    if enabled is False:
+        problems.append("$.enabled: metrics artifact written with metrics "
+                        "off")
+    threads_used = require(doc, "$", "threads_used", (int,), problems)
+    require(doc, "$", "ticks", (int,), problems)
+
+    phases = require(doc, "$", "phases", (dict,), problems)
+    if phases is not None:
+        for phase in PHASES:
+            entry = require(phases, "$.phases", phase, (dict,), problems)
+            if entry is None:
+                continue
+            path = f"$.phases.{phase}"
+            require(entry, path, "wall_ns", (int,), problems)
+            require(entry, path, "spans", (int,), problems)
+            span_ns = require(entry, path, "span_ns", (dict,), problems)
+            if span_ns is not None:
+                check_distribution(span_ns, f"{path}.span_ns", problems)
+
+    by_wall = require(doc, "$", "phases_by_wall", (list,), problems)
+    if by_wall is not None:
+        named = {entry for entry in by_wall if isinstance(entry, str)}
+        for phase in PHASES:
+            if phase not in named:
+                problems.append(f"$.phases_by_wall: phase {phase!r} missing")
+
+    pool = require(doc, "$", "thread_pool", (dict,), problems)
+    if pool is not None:
+        require(pool, "$.thread_pool", "batches", (int,), problems)
+        require(pool, "$.thread_pool", "tasks", (int,), problems)
+        for name in POOL_DISTS:
+            dist = require(pool, "$.thread_pool", name, (dict,), problems)
+            if dist is not None:
+                check_distribution(dist, f"$.thread_pool.{name}", problems)
+        workers = require(pool, "$.thread_pool", "workers", (list,),
+                          problems)
+        if workers is not None:
+            if isinstance(threads_used, int) and len(workers) != threads_used:
+                problems.append(
+                    f"$.thread_pool.workers: {len(workers)} entries, "
+                    f"expected threads_used={threads_used}")
+            for index, worker in enumerate(workers):
+                path = f"$.thread_pool.workers[{index}]"
+                for field in ("busy_ns", "executed", "batches"):
+                    require(worker if isinstance(worker, dict) else {},
+                            path, field, (int,), problems)
+
+    transport = require(doc, "$", "transport", (dict,), problems)
+    if transport is not None:
+        for channel in CHANNELS:
+            entry = require(transport, "$.transport", channel, (dict,),
+                            problems)
+            if entry is None:
+                continue
+            path = f"$.transport.{channel}"
+            for field in ("requests", "bytes_up", "bytes_down"):
+                require(entry, path, field, (int,), problems)
+            for name in CHANNEL_DISTS:
+                dist = require(entry, path, name, (dict,), problems)
+                if dist is not None:
+                    check_distribution(dist, f"{path}.{name}", problems)
+
+    counters = require(doc, "$", "counters", (dict,), problems)
+    if counters is not None:
+        if not counters:
+            problems.append("$.counters: empty")
+        for name, value in counters.items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                problems.append(f"$.counters.{name}: not an integer")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: check_metrics.py METRICS_JSON", file=sys.stderr)
+        return 1
+    path = sys.argv[1]
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle, parse_constant=reject_constant)
+    except (OSError, ValueError) as error:
+        print(f"check_metrics: cannot read {path}: {error}", file=sys.stderr)
+        return 1
+
+    problems = []
+    if not isinstance(doc, dict):
+        problems.append("$: top level is not an object")
+    else:
+        walk_finite(doc, "$", problems)
+        check_document(doc, problems)
+
+    for problem in problems:
+        print(f"FAIL [metrics-schema]: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"OK [metrics-schema]: {path} valid "
+              f"(schema_version 1, {len(doc.get('phases', {}))} phases, "
+              f"{len(doc.get('counters', {}))} counters)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

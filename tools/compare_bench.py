@@ -9,7 +9,11 @@ fail the job instead of rotting silently in artifacts:
   * protocol invariants: BENCH_protocol_bandwidth.json must report
     `v4_smaller_than_v3: true` -- the paper-era v3 protocol costing LESS
     than v4 for the same liveness would mean the Rice-coded sliced-update
-    implementation broke.
+    implementation broke;
+  * thread scaling (warn-only by default): when the baseline declares
+    `min_speedup`, the best `thread_sweep` speedup must reach it; misses
+    print a WARN unless --enforce-min-speedup upgrades them to failures
+    (CI runner core counts vary too much to hard-gate everywhere).
 
 The tool dispatches on the artifact's `experiment` field, so wiring a new
 bench in is: emit `experiment` + numbers, add a committed baseline, call
@@ -46,8 +50,8 @@ def load(path):
         sys.exit(1)
 
 
-def check_throughput(baseline, current, max_regression):
-    """sim_throughput: throughput floor + determinism gate."""
+def check_throughput(baseline, current, args):
+    """sim_throughput: throughput floor + determinism gate + scaling floor."""
     failures = []
     base = baseline.get("user_ticks_per_sec")
     cur = current.get("user_ticks_per_sec")
@@ -56,21 +60,52 @@ def check_throughput(baseline, current, max_regression):
     elif not isinstance(cur, (int, float)) or cur <= 0:
         failures.append("current has no positive user_ticks_per_sec")
     else:
-        floor = base * (1.0 - max_regression)
+        floor = base * (1.0 - args.max_regression)
         delta = (cur - base) / base
         print(f"throughput: current {cur:.0f} vs baseline {base:.0f} "
               f"user-ticks/s ({delta:+.1%}; floor {floor:.0f})")
         if cur < floor:
             failures.append(
                 f"throughput regressed {-delta:.1%} "
-                f"(> {max_regression:.0%} allowed): {cur:.0f} < floor "
+                f"(> {args.max_regression:.0%} allowed): {cur:.0f} < floor "
                 f"{floor:.0f} user-ticks/s")
     if current.get("deterministic_across_threads") is not True:
         failures.append("deterministic_across_threads is not true")
+
+    # Thread-scaling floor: the baseline file declares `min_speedup`, the
+    # best speedup over the 1-thread run the sweep is expected to reach.
+    # Warn-only by default -- CI runners have wildly different core counts
+    # and contention profiles -- but --enforce-min-speedup turns a miss
+    # into a failure for environments with pinned hardware.
+    min_speedup = baseline.get("min_speedup")
+    if isinstance(min_speedup, (int, float)) and min_speedup > 0:
+        sweep = current.get("thread_sweep") or []
+        speedups = [point.get("speedup") for point in sweep
+                    if isinstance(point.get("speedup"), (int, float))]
+        if not speedups:
+            message = ("baseline declares min_speedup but current has no "
+                       "thread_sweep speedups")
+            if args.enforce_min_speedup:
+                failures.append(message)
+            else:
+                print(f"WARN [sim_throughput]: {message}", file=sys.stderr)
+        else:
+            best = max(speedups)
+            print(f"scaling: best speedup {best:.2f}x over 1 thread "
+                  f"(floor {min_speedup:.2f}x)")
+            if best < min_speedup:
+                message = (f"best thread-sweep speedup {best:.2f}x below "
+                           f"baseline min_speedup {min_speedup:.2f}x")
+                if args.enforce_min_speedup:
+                    failures.append(message)
+                else:
+                    print(f"WARN [sim_throughput]: {message} "
+                          "(warn-only; pass --enforce-min-speedup to gate)",
+                          file=sys.stderr)
     return failures
 
 
-def check_bandwidth(baseline, current, _max_regression):
+def check_bandwidth(baseline, current, _args):
     """protocol_bandwidth: the v4 < v3 update-cost invariant."""
     failures = []
     if current.get("v4_smaller_than_v3") is not True:
@@ -114,12 +149,24 @@ def main():
                         help="freshly produced BENCH_*.json")
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="allowed fractional throughput drop (0.25)")
+    parser.add_argument("--enforce-min-speedup", action="store_true",
+                        help="fail (not warn) when the thread-sweep speedup "
+                             "misses the baseline's min_speedup")
     parser.add_argument("--write-baseline", action="store_true",
                         help="copy --current over --baseline and exit")
     args = parser.parse_args()
 
     current = load(args.current)
     if args.write_baseline:
+        # min_speedup is a hand-maintained policy knob, not a measurement:
+        # carry it over so refreshing the baseline doesn't drop the gate.
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                old = json.load(handle)
+        except (OSError, ValueError):
+            old = {}
+        if "min_speedup" in old and "min_speedup" not in current:
+            current["min_speedup"] = old["min_speedup"]
         with open(args.baseline, "w", encoding="utf-8") as handle:
             json.dump(current, handle, indent=2)
             handle.write("\n")
@@ -140,7 +187,7 @@ def main():
               file=sys.stderr)
         return 1
 
-    failures = check(baseline, current, args.max_regression)
+    failures = check(baseline, current, args)
     for failure in failures:
         print(f"FAIL [{experiment}]: {failure}", file=sys.stderr)
     if not failures:

@@ -5,13 +5,22 @@
 // C++ targets:
 //
 //   sbsim run scenarios/baseline.json [--threads N] [--out report.json]
+//             [--metrics] [--metrics-out metrics.json] [--metrics-series]
+//             [--prom-out metrics.prom]
 //       Run one scenario, print the report JSON (and check the golden
-//       block when present: a mismatch exits 2).
-//   sbsim verify scenarios/ [--threads 1,2,8]
+//       block when present: a mismatch exits 2). The metrics flags turn
+//       the src/obs profiling layer on and export its snapshot: a stable
+//       machine-readable schema (--metrics-out, docs/observability.md),
+//       Prometheus text (--prom-out), and a phase-breakdown table on
+//       stderr. Reports and metrics go ONLY to their --out paths (or
+//       stdout for the report); logging stays on stderr.
+//   sbsim verify scenarios/ [--threads 1,2,8] [--metrics]
 //       Re-run every scenario at each thread count and fail on ANY drift
 //       from the checked-in goldens -- the engine's determinism contract
 //       (same config => bit-identical logs at any thread count) enforced
-//       as data. This is the CI gate.
+//       as data. This is the CI gate. With --metrics the runs collect
+//       profiling against the SAME goldens, proving the observability
+//       layer changes no observable byte.
 //   sbsim bless scenarios/foo.json [--check-threads 2]
 //       Run at 1 thread, cross-check at another count, and write the
 //       observed golden block back into the file (canonical formatting).
@@ -31,6 +40,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/prom_text.hpp"
 #include "sb/protocol_version.hpp"
 #include "sim/scenario/runner.hpp"
 #include "sim/scenario/scenario.hpp"
@@ -46,7 +57,9 @@ constexpr const char* kUsage =
     "\n"
     "commands:\n"
     "  run <scenario.json> [--threads N] [--out report.json]\n"
-    "  verify <file-or-dir>... [--threads 1,2,8]\n"
+    "      [--metrics] [--metrics-out FILE] [--metrics-series]\n"
+    "      [--prom-out FILE]\n"
+    "  verify <file-or-dir>... [--threads 1,2,8] [--metrics]\n"
     "  bless <scenario.json>... [--check-threads N]\n"
     "  print <scenario.json>\n"
     "  list <file-or-dir>...\n";
@@ -122,6 +135,10 @@ int cmd_run(const std::vector<std::string>& args) {
   std::string file;
   std::optional<std::size_t> threads;
   std::string out_path;
+  bool metrics = false;
+  bool metrics_series = false;
+  std::string metrics_out;
+  std::string prom_out;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--threads" && i + 1 < args.size()) {
       char* end = nullptr;
@@ -133,6 +150,17 @@ int cmd_run(const std::vector<std::string>& args) {
       }
     } else if (args[i] == "--out" && i + 1 < args.size()) {
       out_path = args[++i];
+    } else if (args[i] == "--metrics") {
+      metrics = true;
+    } else if (args[i] == "--metrics-series") {
+      metrics = true;
+      metrics_series = true;
+    } else if (args[i] == "--metrics-out" && i + 1 < args.size()) {
+      metrics = true;
+      metrics_out = args[++i];
+    } else if (args[i] == "--prom-out" && i + 1 < args.size()) {
+      metrics = true;
+      prom_out = args[++i];
     } else if (args[i].rfind("--", 0) == 0) {
       return usage_error(("unknown flag for run: " + args[i]).c_str());
     } else if (file.empty()) {
@@ -143,8 +171,12 @@ int cmd_run(const std::vector<std::string>& args) {
   }
   if (file.empty()) return usage_error("run needs a scenario file");
 
-  const auto scenario = load_or_complain(file);
+  auto scenario = load_or_complain(file);
   if (!scenario) return 1;
+  if (metrics) {
+    scenario->config.collect_metrics = true;
+    if (metrics_series) scenario->config.metrics_per_tick_series = true;
+  }
 
   std::fprintf(stderr, "running %s (%zu users x %llu ticks, %s)...\n",
                scenario->name.c_str(), scenario->config.num_users,
@@ -152,6 +184,20 @@ int cmd_run(const std::vector<std::string>& args) {
                sbp::sb::protocol_version_name(scenario->config.protocol)
                    .data());
   const auto result = sbp::sim::run_scenario(*scenario, threads);
+
+  // One-line wall-clock summary: how fast the engine chewed through the
+  // population ("user ticks" = users x ticks, the engine's unit of work).
+  const double user_ticks = static_cast<double>(scenario->config.num_users) *
+                            static_cast<double>(scenario->config.ticks);
+  std::fprintf(stderr,
+               "done: %zu users x %llu ticks on %zu thread(s) in %.2fs "
+               "(%.0f user_ticks_per_sec)\n",
+               scenario->config.num_users,
+               static_cast<unsigned long long>(scenario->config.ticks),
+               result.threads_used, result.run_seconds,
+               result.run_seconds > 0.0 ? user_ticks / result.run_seconds
+                                        : 0.0);
+
   const std::string report =
       json::dump(sbp::sim::report_to_json(*scenario, result));
   std::fputs(report.c_str(), stdout);
@@ -160,6 +206,34 @@ int cmd_run(const std::vector<std::string>& args) {
     if (!sbp::sim::write_file(out_path, report, &error)) {
       std::fprintf(stderr, "sbsim: %s\n", error.c_str());
       return 1;
+    }
+  }
+
+  if (result.obs) {
+    // Summary table to stderr; machine-readable exports ONLY to their
+    // requested paths -- never interleaved with the stdout report.
+    std::fputs(sbp::obs::summary_table(*result.obs).c_str(), stderr);
+    if (!metrics_out.empty()) {
+      json::Value doc = sbp::obs::snapshot_to_json(*result.obs);
+      doc.set("scenario", scenario->name);
+      doc.set("run_seconds", result.run_seconds);
+      std::string error;
+      if (!sbp::sim::write_file(metrics_out, json::dump(doc), &error)) {
+        std::fprintf(stderr, "sbsim: %s\n", error.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
+    }
+    if (!prom_out.empty()) {
+      std::string error;
+      if (!sbp::sim::write_file(prom_out,
+                                sbp::obs::prometheus_text(*result.obs),
+                                &error)) {
+        std::fprintf(stderr, "sbsim: %s\n", error.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote prometheus text to %s\n",
+                   prom_out.c_str());
     }
   }
 
@@ -183,11 +257,14 @@ int cmd_run(const std::vector<std::string>& args) {
 int cmd_verify(const std::vector<std::string>& args) {
   std::vector<std::string> paths;
   std::vector<std::size_t> threads = {1, 2, 8};
+  bool with_metrics = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--threads" && i + 1 < args.size()) {
       const auto parsed = parse_thread_list(args[++i]);
       if (!parsed) return usage_error("bad --threads list");
       threads = *parsed;
+    } else if (args[i] == "--metrics") {
+      with_metrics = true;
     } else if (args[i].rfind("--", 0) == 0) {
       return usage_error(("unknown flag for verify: " + args[i]).c_str());
     } else {
@@ -206,7 +283,8 @@ int cmd_verify(const std::vector<std::string>& args) {
       ++failures;
       continue;
     }
-    const auto verdict = sbp::sim::verify_scenario(*scenario, threads);
+    const auto verdict =
+        sbp::sim::verify_scenario(*scenario, threads, with_metrics);
     if (verdict.passed) {
       double total_seconds = 0.0;
       for (const auto& run : verdict.runs) total_seconds += run.run_seconds;
