@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   // Deploy and run the population.
   sb::Server server(sb::Provider::kGoogle);
   sb::SimClock clock;
-  sb::Transport transport(server, clock);
+  sb::InProcessTransport transport(server, clock);
   sb::BlacklistFactory factory(42);
   factory.populate(server, {"goog-malware-shavar", 500, 0.0, 0, 0});
 

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   for (const double fraction : {0.05, 0.2, 0.5, 1.0}) {
     sb::Server server;
     sb::SimClock clock;
-    sb::Transport transport(server, clock);
+    sb::InProcessTransport transport(server, clock);
     const auto blacklisted =
         static_cast<std::size_t>(fraction * static_cast<double>(num_sites));
     for (std::size_t i = 0; i < blacklisted; ++i) {

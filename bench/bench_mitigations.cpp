@@ -51,7 +51,7 @@ int main() {
   std::printf("\n[one-prefix-at-a-time] server-visible prefixes per lookup\n");
   sb::Server server;
   sb::SimClock clock;
-  sb::Transport transport(server, clock);
+  sb::InProcessTransport transport(server, clock);
   // Tracked URL: own digest real, domain-root prefix injected (orphan).
   server.add_expression("list", "tracked.example/dir/page.html");
   server.add_orphan_prefix("list", crypto::prefix32_of("tracked.example/"));

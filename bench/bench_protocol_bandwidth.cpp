@@ -78,7 +78,7 @@ UpdateCosts measure_updates(std::size_t entries, std::size_t churn_adds,
   sb::Server server;
   seed_server(server, entries);
   sb::SimClock clock;
-  sb::Transport transport(server, clock, /*round_trip_ticks=*/0);
+  sb::InProcessTransport transport(server, clock, /*round_trip_ticks=*/0);
   sb::ClientConfig config;
   config.protocol = version;
   ClientT client(transport, config);
@@ -125,7 +125,7 @@ LookupCosts measure_lookups(sb::ProtocolVersion version, std::size_t entries,
   sb::Server server;
   seed_server(server, entries);
   sb::SimClock clock;
-  sb::Transport transport(server, clock, /*round_trip_ticks=*/0);
+  sb::InProcessTransport transport(server, clock, /*round_trip_ticks=*/0);
   sb::ClientConfig config;
   config.protocol = version;
   config.cookie = 0xC0FFEE;

@@ -108,7 +108,7 @@ int main() {
   // deliberately tracked lookup against a minimal server.
   sb::Server server(sb::Provider::kGoogle);
   sb::SimClock clock;
-  sb::Transport transport(server, clock);
+  sb::InProcessTransport transport(server, clock);
   server.add_expression("list", "tracked.example/dir/page.html");
   server.add_orphan_prefix("list", crypto::prefix32_of("tracked.example/"));
   server.seal_chunk("list");

@@ -20,7 +20,7 @@ int main() {
 
   // 2. A client (one per browser profile; the cookie identifies it).
   sb::SimClock clock;
-  sb::Transport transport(server, clock);
+  sb::InProcessTransport transport(server, clock);
   sb::ClientConfig config;
   config.cookie = 0xFACE;
   sb::Client client(transport, config);

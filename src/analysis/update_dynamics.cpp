@@ -14,7 +14,7 @@ namespace sbp::analysis {
 ChurnReport simulate_churn(const ChurnConfig& config) {
   sb::Server server;
   sb::SimClock clock;
-  sb::Transport transport(server, clock);
+  sb::InProcessTransport transport(server, clock);
   util::Rng rng(config.seed);
 
   auto fresh_expression = [&rng]() {

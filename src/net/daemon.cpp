@@ -1,0 +1,270 @@
+#include "net/daemon.hpp"
+
+#include <cerrno>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "sb/wire/frames.hpp"
+
+namespace sbp::net {
+
+bool Daemon::listen(const std::string& endpoint_spec, std::string* error) {
+  const auto endpoint = parse_endpoint(endpoint_spec, error);
+  if (!endpoint) return false;
+  Fd fd = listen_endpoint(*endpoint, error);
+  if (!fd.valid()) return false;
+
+  Endpoint resolved = *endpoint;
+  if (!resolved.is_unix && resolved.port == 0) {
+    resolved.port = local_port(fd.get());
+  }
+  listen_endpoints_.push_back(resolved.to_string());
+  listeners_.push_back(std::move(fd));
+  return true;
+}
+
+std::size_t Daemon::poll_once(int timeout_ms) {
+  // Snapshot the connection count: accept_ready() grows connections_ mid-
+  // cycle, and the new entries have no pollfd slot until the next cycle.
+  const std::size_t polled_connections = connections_.size();
+  std::vector<pollfd> fds;
+  fds.reserve(listeners_.size() + polled_connections);
+  for (const auto& listener : listeners_) {
+    fds.push_back({listener.get(), POLLIN, 0});
+  }
+  for (std::size_t c = 0; c < polled_connections; ++c) {
+    const Connection& connection = *connections_[c];
+    short events = POLLIN;
+    if (connection.out_offset < connection.out.size()) events |= POLLOUT;
+    fds.push_back({connection.fd.get(), events, 0});
+  }
+  if (fds.empty()) return 0;
+
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) return 0;  // timeout, or EINTR treated as one
+
+  const std::uint64_t served_before = stats_.frames_served;
+  for (std::size_t i = 0; i < listeners_.size(); ++i) {
+    if ((fds[i].revents & POLLIN) != 0) accept_ready(i);
+  }
+  for (std::size_t c = 0; c < polled_connections; ++c) {
+    const short revents = fds[listeners_.size() + c].revents;
+    Connection& connection = *connections_[c];
+    if ((revents & (POLLERR | POLLNVAL)) != 0) {
+      connection.broken = true;
+      continue;
+    }
+    if ((revents & POLLOUT) != 0) flush(connection);
+    if ((revents & (POLLIN | POLLHUP)) != 0) read_ready(connection);
+  }
+  close_broken();
+  return static_cast<std::size_t>(stats_.frames_served - served_before);
+}
+
+void Daemon::accept_ready(std::size_t listener_index) {
+  for (;;) {
+    const int raw = ::accept(listeners_[listener_index].get(), nullptr,
+                             nullptr);
+    if (raw < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or transient accept error: next poll
+    }
+    Fd fd(raw);
+    std::string error;
+    if (!set_nonblocking(fd.get(), &error)) continue;  // drop this one
+    auto connection = std::make_unique<Connection>();
+    connection->fd = std::move(fd);
+    connections_.push_back(std::move(connection));
+    ++stats_.connections_accepted;
+  }
+}
+
+void Daemon::read_ready(Connection& connection) {
+  std::uint8_t buffer[64 * 1024];
+  for (;;) {
+    const ssize_t got = ::read(connection.fd.get(), buffer, sizeof(buffer));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      connection.broken = true;
+      return;
+    }
+    if (got == 0) {  // peer closed; anything buffered is a truncated frame
+      connection.broken = true;
+      return;
+    }
+    connection.decoder.feed(buffer, static_cast<std::size_t>(got));
+    if (static_cast<std::size_t>(got) < sizeof(buffer)) break;
+  }
+
+  while (auto envelope = connection.decoder.next()) {
+    if (!serve_envelope(connection, *envelope)) {
+      ++stats_.decode_errors;
+      connection.broken = true;
+      return;
+    }
+  }
+  if (connection.decoder.error()) {
+    ++stats_.decode_errors;
+    connection.broken = true;
+    return;
+  }
+  flush(connection);
+}
+
+bool Daemon::serve_envelope(Connection& connection,
+                            const Envelope& envelope) {
+  if (envelope.payload.empty()) return false;
+  const std::uint64_t start_ns = obs::now_ns();
+  const std::size_t request_bytes = envelope.payload.size();
+
+  std::vector<std::uint8_t> response;
+  obs::Channel channel;
+  bool update_channel = false;
+  switch (static_cast<sb::wire::FrameType>(envelope.payload[0])) {
+    case sb::wire::FrameType::kFullHashRequest: {
+      const auto request = sb::wire::decode_full_hash_request(envelope.payload);
+      if (!request) return false;
+      response = sb::wire::encode_full_hash_response(server_.get_full_hashes(
+          request->prefixes, request->cookie, envelope.tick));
+      channel = obs::Channel::kFullHash;
+      ++wire_.full_hash_requests;
+      break;
+    }
+    case sb::wire::FrameType::kV1LookupRequest: {
+      const auto request = sb::wire::decode_v1_lookup_request(envelope.payload);
+      if (!request) return false;
+      const bool malicious =
+          server_.lookup_v1(request->url, request->cookie, envelope.tick);
+      response = sb::wire::encode_v1_lookup_response({malicious});
+      channel = obs::Channel::kV1Lookup;
+      ++wire_.v1_requests;
+      break;
+    }
+    case sb::wire::FrameType::kUpdateRequest:
+    case sb::wire::FrameType::kV4UpdateRequest: {
+      const bool v4 = envelope.payload[0] ==
+                      static_cast<std::uint8_t>(
+                          sb::wire::FrameType::kV4UpdateRequest);
+      const auto encoded = server_.encoded_update_response(envelope.payload);
+      if (!encoded) return false;
+      response = *encoded;  // copy into the connection's frame
+      channel = v4 ? obs::Channel::kV4Update : obs::Channel::kV3Update;
+      if (v4) {
+        ++wire_.v4_update_requests;
+      } else {
+        ++wire_.update_requests;
+      }
+      update_channel = true;
+      break;
+    }
+    default:
+      return false;  // response tags and unknown bytes are protocol errors
+  }
+
+  wire_.bytes_up += request_bytes;
+  wire_.bytes_down += response.size();
+  if (update_channel) {
+    wire_.update_bytes_up += request_bytes;
+    wire_.update_bytes_down += response.size();
+  }
+  obs_.channel(channel).record(request_bytes, response.size(),
+                               obs::now_ns() - start_ns);
+  ++stats_.frames_served;
+
+  const std::vector<std::uint8_t> out_envelope =
+      encode_envelope(envelope.tick, response);
+  connection.out.insert(connection.out.end(), out_envelope.begin(),
+                        out_envelope.end());
+  return true;
+}
+
+void Daemon::flush(Connection& connection) {
+  while (connection.out_offset < connection.out.size()) {
+    const ssize_t written = ::send(
+        connection.fd.get(), connection.out.data() + connection.out_offset,
+        connection.out.size() - connection.out_offset, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // POLLOUT later
+      connection.broken = true;  // EPIPE/ECONNRESET: peer is gone
+      return;
+    }
+    connection.out_offset += static_cast<std::size_t>(written);
+  }
+  connection.out.clear();
+  connection.out_offset = 0;
+}
+
+void Daemon::close_broken() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->broken) {
+      it = connections_.erase(it);
+      ++stats_.connections_closed;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Daemon::shutdown(int drain_ms) {
+  listeners_.clear();
+  listen_endpoints_.clear();
+
+  // Flush whatever responses are still queued, bounded in wall time so a
+  // stalled peer cannot wedge the exit.
+  const std::uint64_t deadline_ns =
+      obs::now_ns() + static_cast<std::uint64_t>(drain_ms) * 1'000'000ULL;
+  for (;;) {
+    bool pending = false;
+    for (const auto& connection : connections_) {
+      if (!connection->broken &&
+          connection->out_offset < connection->out.size()) {
+        pending = true;
+        break;
+      }
+    }
+    if (!pending || obs::now_ns() >= deadline_ns) break;
+
+    std::vector<pollfd> fds;
+    for (const auto& connection : connections_) {
+      if (!connection->broken &&
+          connection->out_offset < connection->out.size()) {
+        fds.push_back({connection->fd.get(), POLLOUT, 0});
+      }
+    }
+    if (::poll(fds.data(), fds.size(), 50) <= 0) continue;
+    for (auto& connection : connections_) {
+      if (!connection->broken &&
+          connection->out_offset < connection->out.size()) {
+        flush(*connection);
+      }
+    }
+    close_broken();
+  }
+
+  stats_.connections_closed += connections_.size();
+  connections_.clear();
+}
+
+obs::Snapshot Daemon::snapshot() const {
+  obs::Snapshot snapshot;
+  snapshot.enabled = true;
+  snapshot.threads_used = 1;  // the reactor is single-threaded by design
+  snapshot.ticks = 0;         // no tick loop; phases stay all-zero
+  snapshot.pool.workers.resize(1);
+  snapshot.transport.merge_from(obs_);
+
+  obs::MetricsRegistry& counters = snapshot.counters;
+  counters.counter("connections_accepted").value =
+      stats_.connections_accepted;
+  counters.counter("connections_closed").value = stats_.connections_closed;
+  counters.counter("frames_served").value = stats_.frames_served;
+  counters.counter("decode_errors").value = stats_.decode_errors;
+  counters.counter("update_encode_cache_hits").value =
+      server_.update_encode_cache_hits();
+  return snapshot;
+}
+
+}  // namespace sbp::net

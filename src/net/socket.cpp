@@ -1,0 +1,230 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace sbp::net {
+
+namespace {
+
+void set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void Fd::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+std::string Endpoint::to_string() const {
+  if (is_unix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+std::optional<Endpoint> parse_endpoint(std::string_view spec,
+                                       std::string* error) {
+  Endpoint endpoint;
+  if (spec.rfind("unix:", 0) == 0) {
+    endpoint.is_unix = true;
+    endpoint.path = std::string(spec.substr(5));
+    if (endpoint.path.empty()) {
+      if (error != nullptr) *error = "unix endpoint needs a path";
+      return std::nullopt;
+    }
+    // sockaddr_un.sun_path is a fixed 108-byte buffer.
+    if (endpoint.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      if (error != nullptr) *error = "unix socket path too long";
+      return std::nullopt;
+    }
+    return endpoint;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string_view rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 >= rest.size()) {
+      if (error != nullptr) *error = "tcp endpoint needs HOST:PORT";
+      return std::nullopt;
+    }
+    endpoint.host = std::string(rest.substr(0, colon));
+    const std::string_view port_text = rest.substr(colon + 1);
+    std::uint32_t port = 0;
+    for (const char c : port_text) {
+      if (c < '0' || c > '9' || port > 65535) {
+        if (error != nullptr) {
+          *error = "bad tcp port: " + std::string(port_text);
+        }
+        return std::nullopt;
+      }
+      port = port * 10 + static_cast<std::uint32_t>(c - '0');
+    }
+    if (port > 65535) {
+      if (error != nullptr) *error = "bad tcp port: " + std::string(port_text);
+      return std::nullopt;
+    }
+    endpoint.port = static_cast<std::uint16_t>(port);
+    return endpoint;
+  }
+  if (error != nullptr) {
+    *error = "endpoint must be tcp:HOST:PORT or unix:/PATH, got '" +
+             std::string(spec) + "'";
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+bool fill_inet(const Endpoint& endpoint, sockaddr_in* addr,
+               std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(endpoint.port);
+  const std::string host =
+      endpoint.host == "localhost" ? "127.0.0.1" : endpoint.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "bad IPv4 host '" + endpoint.host +
+               "' (dotted quad or 'localhost')";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool fill_unix(const Endpoint& endpoint, sockaddr_un* addr,
+               std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  if (endpoint.path.size() >= sizeof(addr->sun_path)) {
+    if (error != nullptr) *error = "unix socket path too long";
+    return false;
+  }
+  std::memcpy(addr->sun_path, endpoint.path.c_str(), endpoint.path.size());
+  return true;
+}
+
+}  // namespace
+
+Fd listen_endpoint(const Endpoint& endpoint, std::string* error) {
+  Fd fd(::socket(endpoint.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    set_error(error, "socket");
+    return {};
+  }
+  if (endpoint.is_unix) {
+    ::unlink(endpoint.path.c_str());  // the daemon owns its socket path
+    sockaddr_un addr;
+    if (!fill_unix(endpoint, &addr, error)) return {};
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      set_error(error, "bind " + endpoint.to_string());
+      return {};
+    }
+  } else {
+    const int one = 1;
+    (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    if (!fill_inet(endpoint, &addr, error)) return {};
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      set_error(error, "bind " + endpoint.to_string());
+      return {};
+    }
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) {
+    set_error(error, "listen " + endpoint.to_string());
+    return {};
+  }
+  if (!set_nonblocking(fd.get(), error)) return {};
+  return fd;
+}
+
+Fd connect_endpoint(const Endpoint& endpoint, std::string* error) {
+  Fd fd(::socket(endpoint.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    set_error(error, "socket");
+    return {};
+  }
+  int rc;
+  if (endpoint.is_unix) {
+    sockaddr_un addr;
+    if (!fill_unix(endpoint, &addr, error)) return {};
+    do {
+      rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+  } else {
+    sockaddr_in addr;
+    if (!fill_inet(endpoint, &addr, error)) return {};
+    do {
+      rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+  }
+  if (rc != 0) {
+    set_error(error, "connect " + endpoint.to_string());
+    return {};
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0 ||
+      addr.sin_family != AF_INET) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+bool set_nonblocking(int fd, std::string* error) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    set_error(error, "fcntl O_NONBLOCK");
+    return false;
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    // MSG_NOSIGNAL: a vanished peer is an EPIPE return, never a process
+    // signal -- callers that haven't ignored SIGPIPE (tests) stay alive.
+    const ssize_t written = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += written;
+    n -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+bool read_exact(int fd, std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t got = ::read(fd, data, n);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // EOF mid-message
+    data += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+void ignore_sigpipe() { (void)std::signal(SIGPIPE, SIG_IGN); }
+
+}  // namespace sbp::net

@@ -1,0 +1,69 @@
+// sb::Transport over a stream socket (src/net).
+//
+// The networked twin of sb::InProcessTransport: the same four protocol
+// endpoints, but each request is encoded to a wire frame, wrapped in the
+// envelope framing of net/frame_codec.hpp and round-tripped synchronously
+// over one TCP or Unix connection to a running sbserved. Synchronous
+// blocking IO is deliberate -- the engine's client model is one
+// outstanding request per client, so a request/response pipeline would
+// buy nothing and cost the determinism argument (docs/networking.md).
+//
+// Equivalence contract: byte counters (TransportStats, obs) count frame
+// payload bytes only -- identical to InProcessTransport for the same
+// request stream -- and every request carries clock().now() so the daemon
+// logs queries at this client's deterministic tick. Like the engine's
+// default in-process wiring, the clock is never advanced by transport
+// (round-trip time is wall-clock, not simulated ticks).
+//
+// Failure model: any socket error (connect refused, EOF mid-response,
+// oversize response length) closes the connection, sets error(), counts
+// failed_requests, and makes every subsequent request fail fast with
+// nullopt -- the same nullopt surface the client retry logic already
+// handles for injected failures. No reconnects: a scenario run is one
+// connection per shard, and a daemon restart mid-run would break the
+// equivalence contract anyway.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "sb/transport.hpp"
+
+namespace sbp::net {
+
+class SocketTransport final : public sb::Transport {
+ public:
+  /// Connects to `endpoint_spec` ("tcp:HOST:PORT" or "unix:/PATH")
+  /// immediately. On failure the transport is constructed in the error
+  /// state (connected() == false) and every request returns nullopt.
+  SocketTransport(const std::string& endpoint_spec, sb::SimClock& clock);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
+  /// Human-readable description of the first failure, empty if none.
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  [[nodiscard]] std::optional<sb::FullHashResponse> get_full_hashes_or_error(
+      const std::vector<crypto::Prefix32>& prefixes, sb::Cookie cookie) override;
+  [[nodiscard]] std::optional<sb::UpdateResponse> fetch_update_or_error(
+      const sb::UpdateRequest& request) override;
+  [[nodiscard]] std::optional<sb::V4UpdateResponse> fetch_v4_update_or_error(
+      const sb::V4UpdateRequest& request) override;
+  [[nodiscard]] std::optional<bool> lookup_v1_or_error(
+      std::string_view url, sb::Cookie cookie) override;
+
+ private:
+  /// Writes `request_frame` under an envelope stamped with clock().now(),
+  /// reads exactly one response envelope back. nullopt (and a dead
+  /// connection) on any IO or framing error.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> round_trip(
+      const std::vector<std::uint8_t>& request_frame);
+  void fail(const std::string& what);
+
+  Fd fd_;
+  std::string error_;
+};
+
+}  // namespace sbp::net

@@ -48,10 +48,10 @@ LookupResult PrefixProtocolClient::lookup(std::string_view url) {
   }
   ++metrics_.local_hits;
 
-  // Resolve each hit prefix to full digests: from cache when fresh,
-  // otherwise batched into one server request.
+  // Resolve each hit prefix to (list, digest) entries: from cache when
+  // fresh, otherwise batched into one server request.
   const std::uint64_t now = transport_.clock().now();
-  std::map<crypto::Prefix32, std::vector<crypto::Digest256>> resolved;
+  std::map<crypto::Prefix32, std::vector<storage::FullHashEntry>> resolved;
   std::vector<crypto::Prefix32> to_fetch;
   for (const auto prefix : result.local_hits) {
     if (auto cached = cache_.get(prefix, now)) {
@@ -89,32 +89,28 @@ LookupResult PrefixProtocolClient::lookup(std::string_view url) {
     }
     full_hash_backoff_.on_success(arrival);
     for (const auto& [prefix, matches] : response->matches) {
-      std::vector<crypto::Digest256> digests;
-      digests.reserve(matches.size());
-      for (const auto& match : matches) digests.push_back(match.digest);
-      cache_.put(prefix, digests, arrival);
-      resolved[prefix] = std::move(digests);
+      std::vector<storage::FullHashEntry> entries;
+      entries.reserve(matches.size());
+      for (const auto& match : matches) {
+        entries.push_back({match.list_name, match.digest});
+      }
+      cache_.put(prefix, entries, arrival);
+      resolved[prefix] = std::move(entries);
     }
   }
 
-  // Verdict: some decomposition's full digest appears among the returned
-  // digests for its prefix.
+  // Verdict: some decomposition's full digest appears among the resolved
+  // entries for its prefix. The matching entry carries the list tag, so
+  // reporting needs nothing beyond what crossed the wire (entries are in
+  // server response order: ascending list name).
   for (const Hit& hit : hits) {
     const auto it = resolved.find(hit.prefix);
     if (it == resolved.end()) continue;
-    if (std::find(it->second.begin(), it->second.end(), hit.digest) !=
-        it->second.end()) {
+    for (const auto& entry : it->second) {
+      if (entry.digest != hit.digest) continue;
       result.verdict = Verdict::kMalicious;
       result.matched_expression = hit.decomposition->expression;
-      // Recover the list tag for reporting (one extra no-log introspection).
-      for (const auto& name : transport_.server().list_names()) {
-        const auto digests = transport_.server().digests_for(name, hit.prefix);
-        if (std::find(digests.begin(), digests.end(), hit.digest) !=
-            digests.end()) {
-          result.matched_list = name;
-          break;
-        }
-      }
+      result.matched_list = entry.list_name;
       ++metrics_.malicious_verdicts;
       return result;
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sb/wire/frames.hpp"
 #include "storage/raw_hash_store.hpp"
 #include "url/decompose.hpp"
 
@@ -26,6 +27,8 @@ void Server::drain_log_buffer(QueryLogBuffer& buffer) {
 
 void Server::invalidate_snapshot() noexcept {
   snapshot_.store(nullptr, std::memory_order_release);
+  // Any list mutation also invalidates every memoized update encoding.
+  update_encode_cache_.clear();
 }
 
 std::shared_ptr<const Server::LookupSnapshot> Server::lookup_snapshot() const {
@@ -133,6 +136,10 @@ void Server::remove_expressions(std::string_view list_name,
 
 void Server::seal(ListData& data) {
   if (data.open_chunk.prefixes.empty()) return;
+  // A real seal bumps the chunk sequence, changing every update diff.
+  // (The adds that filled the open chunk already cleared the cache via
+  // invalidate_snapshot; this keeps seal safe on its own too.)
+  update_encode_cache_.clear();
   Chunk chunk = std::move(data.open_chunk);
   chunk.type = ChunkType::kAdd;
   chunk.number = data.next_chunk_number++;
@@ -272,6 +279,47 @@ UpdateResponse Server::fetch_update(const UpdateRequest& request) {
     }
   }
   return response;
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>>
+Server::encoded_update_response(
+    const std::vector<std::uint8_t>& request_frame) {
+  const auto cached = update_encode_cache_.find(
+      std::string(request_frame.begin(), request_frame.end()));
+  if (cached != update_encode_cache_.end()) {
+    // Safe to skip fetch_*: a live cache entry means no mutation (and so
+    // no pending open chunk) happened since it was stored, so the seal
+    // inside fetch_* would have been a no-op and the response identical.
+    ++update_encode_cache_hits_;
+    return cached->second;
+  }
+  if (request_frame.empty()) return nullptr;
+
+  std::vector<std::uint8_t> response_frame;
+  switch (static_cast<wire::FrameType>(request_frame[0])) {
+    case wire::FrameType::kUpdateRequest: {
+      const auto request = wire::decode_update_request(request_frame);
+      if (!request) return nullptr;
+      response_frame = wire::encode_update_response(fetch_update(*request));
+      break;
+    }
+    case wire::FrameType::kV4UpdateRequest: {
+      const auto request = wire::decode_v4_update_request(request_frame);
+      if (!request) return nullptr;
+      response_frame =
+          wire::encode_v4_update_response(fetch_v4_update(*request));
+      break;
+    }
+    default:
+      return nullptr;
+  }
+  auto shared = std::make_shared<const std::vector<std::uint8_t>>(
+      std::move(response_frame));
+  // Insert AFTER serving: fetch_* may seal, which clears the cache; the
+  // entry stored now describes the post-seal state it was computed from.
+  update_encode_cache_.emplace(
+      std::string(request_frame.begin(), request_frame.end()), shared);
+  return shared;
 }
 
 FullHashResponse Server::get_full_hashes(

@@ -271,6 +271,26 @@ class Server {
   /// effective prefix set and returns removal-index/addition slices.
   [[nodiscard]] V4UpdateResponse fetch_v4_update(const V4UpdateRequest& request);
 
+  /// Encode-once/fan-out update serving: takes an ENCODED v3 or v4 update
+  /// request frame (tag 0x33 or 0x41), dispatches to the matching fetch_*
+  /// endpoint and returns the encoded response frame. The encoding is
+  /// memoized per request-frame bytes -- N clients resyncing from the same
+  /// state token share ONE encoding of the diff instead of re-encoding it
+  /// per client (ROADMAP: ~93 MB of wire_bytes_down re-encoded per
+  /// 20k-user run). Any list mutation or set_minimum_wait() invalidates
+  /// the whole cache, so a hit is always byte-identical to a fresh
+  /// encode. Returns nullptr when the frame fails to decode. Not
+  /// thread-safe (update serving is mutation -- see the concurrency model
+  /// above).
+  [[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>>
+  encoded_update_response(const std::vector<std::uint8_t>& request_frame);
+
+  /// Number of update requests served from the encode cache since
+  /// construction (exported as the `update_encode_cache_hits` counter).
+  [[nodiscard]] std::uint64_t update_encode_cache_hits() const noexcept {
+    return update_encode_cache_hits_;
+  }
+
   /// Full-hash lookup (shared by v3 and v4). Logs (tick, cookie, prefixes)
   /// -- the privacy-critical observation. Unknown prefixes yield empty
   /// match vectors.
@@ -281,9 +301,11 @@ class Server {
   /// Server-imposed minimum gap between updates, echoed as v3's
   /// next_update_after and v4's minimum_wait (request-frequency limits,
   /// Section 2.2.1). Default 0 so tests and benches can drive updates
-  /// freely.
+  /// freely. Drops the update-encode cache (the wait is baked into every
+  /// encoded response).
   void set_minimum_wait(std::uint64_t ticks) noexcept {
     minimum_wait_ = ticks;
+    update_encode_cache_.clear();
   }
 
   // -- introspection (forensics & experiments) ------------------------------
@@ -343,6 +365,14 @@ class Server {
 
   mutable std::atomic<std::shared_ptr<const LookupSnapshot>> snapshot_{};
   mutable std::mutex snapshot_rebuild_mutex_;
+
+  /// Encoded update responses keyed by encoded request-frame bytes.
+  /// Cleared by every mutation (via invalidate_snapshot and seal) and by
+  /// set_minimum_wait; never copied (copies start cold).
+  std::unordered_map<std::string,
+                     std::shared_ptr<const std::vector<std::uint8_t>>>
+      update_encode_cache_;
+  std::uint64_t update_encode_cache_hits_ = 0;
 
   /// Thread-local routing target installed by ScopedLogShard.
   static thread_local QueryLogBuffer* active_log_buffer_;

@@ -8,10 +8,16 @@
 // then encode/count/decode the response symmetrically. A decode failure --
 // impossible unless a codec is broken -- surfaces as a request error, which
 // the round-trip tests would catch immediately.
+//
+// The two update channels route the response through
+// Server::encoded_update_response so N clients resyncing from the same
+// state token share ONE encoding of the diff (the encode-once/fan-out
+// cache); byte accounting is unchanged because the cached bytes are
+// exactly what encode_*_update_response would have produced.
 
 namespace sbp::sb {
 
-std::optional<FullHashResponse> Transport::get_full_hashes_or_error(
+std::optional<FullHashResponse> InProcessTransport::get_full_hashes_or_error(
     const std::vector<crypto::Prefix32>& prefixes, Cookie cookie) {
   if (round_trip_ > 0) clock_.advance(round_trip_);
   if (fail_full_hashes_ > 0) {
@@ -42,13 +48,7 @@ std::optional<FullHashResponse> Transport::get_full_hashes_or_error(
   return decoded;
 }
 
-FullHashResponse Transport::get_full_hashes(
-    const std::vector<crypto::Prefix32>& prefixes, Cookie cookie) {
-  auto response = get_full_hashes_or_error(prefixes, cookie);
-  return response ? std::move(*response) : FullHashResponse{};
-}
-
-std::optional<UpdateResponse> Transport::fetch_update_or_error(
+std::optional<UpdateResponse> InProcessTransport::fetch_update_or_error(
     const UpdateRequest& request) {
   if (round_trip_ > 0) clock_.advance(round_trip_);
   if (fail_updates_ > 0) {
@@ -61,30 +61,22 @@ std::optional<UpdateResponse> Transport::fetch_update_or_error(
       wire::encode_update_request(request);
   stats_.bytes_up += request_frame.size();
   stats_.update_bytes_up += request_frame.size();
-  const auto decoded_request = wire::decode_update_request(request_frame);
-  if (!decoded_request) return std::nullopt;
 
   ++stats_.update_requests;
-  const UpdateResponse response = server_.fetch_update(*decoded_request);
+  const auto response_frame = server_.encoded_update_response(request_frame);
+  if (!response_frame) return std::nullopt;
 
-  const std::vector<std::uint8_t> response_frame =
-      wire::encode_update_response(response);
-  stats_.bytes_down += response_frame.size();
-  stats_.update_bytes_down += response_frame.size();
-  auto decoded = wire::decode_update_response(response_frame);
+  stats_.bytes_down += response_frame->size();
+  stats_.update_bytes_down += response_frame->size();
+  auto decoded = wire::decode_update_response(*response_frame);
   if (decoded) {
     record_obs(obs::Channel::kV3Update, request_frame.size(),
-               response_frame.size(), start_ns);
+               response_frame->size(), start_ns);
   }
   return decoded;
 }
 
-UpdateResponse Transport::fetch_update(const UpdateRequest& request) {
-  auto response = fetch_update_or_error(request);
-  return response ? std::move(*response) : UpdateResponse{};
-}
-
-std::optional<V4UpdateResponse> Transport::fetch_v4_update_or_error(
+std::optional<V4UpdateResponse> InProcessTransport::fetch_v4_update_or_error(
     const V4UpdateRequest& request) {
   if (round_trip_ > 0) clock_.advance(round_trip_);
   if (fail_updates_ > 0) {
@@ -97,26 +89,23 @@ std::optional<V4UpdateResponse> Transport::fetch_v4_update_or_error(
       wire::encode_v4_update_request(request);
   stats_.bytes_up += request_frame.size();
   stats_.update_bytes_up += request_frame.size();
-  const auto decoded_request = wire::decode_v4_update_request(request_frame);
-  if (!decoded_request) return std::nullopt;
 
   ++stats_.v4_update_requests;
-  const V4UpdateResponse response = server_.fetch_v4_update(*decoded_request);
+  const auto response_frame = server_.encoded_update_response(request_frame);
+  if (!response_frame) return std::nullopt;
 
-  const std::vector<std::uint8_t> response_frame =
-      wire::encode_v4_update_response(response);
-  stats_.bytes_down += response_frame.size();
-  stats_.update_bytes_down += response_frame.size();
-  auto decoded = wire::decode_v4_update_response(response_frame);
+  stats_.bytes_down += response_frame->size();
+  stats_.update_bytes_down += response_frame->size();
+  auto decoded = wire::decode_v4_update_response(*response_frame);
   if (decoded) {
     record_obs(obs::Channel::kV4Update, request_frame.size(),
-               response_frame.size(), start_ns);
+               response_frame->size(), start_ns);
   }
   return decoded;
 }
 
-std::optional<bool> Transport::lookup_v1_or_error(std::string_view url,
-                                                  Cookie cookie) {
+std::optional<bool> InProcessTransport::lookup_v1_or_error(
+    std::string_view url, Cookie cookie) {
   if (round_trip_ > 0) clock_.advance(round_trip_);
   if (fail_v1_ > 0) {
     --fail_v1_;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,8 @@
 
 namespace sbp::sb {
 class Server;
+class SimClock;
+class Transport;
 }
 
 namespace sbp::sim {
@@ -162,6 +165,19 @@ struct SimConfig {
   /// sealed and clients sync -- the hook tracking experiments use to deploy
   /// shadow prefixes (Algorithm 1) into the live lists.
   std::function<void(sb::Server&)> server_setup;
+
+  /// Optional per-shard transport factory. When set, each shard's
+  /// transport comes from this hook instead of the default zero-latency
+  /// in-process transport bound to the engine's own server -- the seam
+  /// that points a whole simulated fleet at a remote sbserved daemon
+  /// (net::SocketTransport). The factory receives the shard index and the
+  /// engine's clock; implementations must only READ the clock (the engine
+  /// advances it). Like server_setup and num_threads, this hook is outside
+  /// the JSON scenario round trip; determinism then depends on the remote
+  /// endpoint serving the same state an in-process run would.
+  std::function<std::unique_ptr<sb::Transport>(std::size_t shard_index,
+                                               sb::SimClock& clock)>
+      transport_factory;
 
   /// A corpus sized for simulation: bounded pages-per-site so sampling any
   /// site is cheap, paper-shaped otherwise.

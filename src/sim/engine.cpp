@@ -142,8 +142,13 @@ void Engine::build_population() {
   shards_.clear();
   shards_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>(server_, clock_, traffic_model_,
-                                              obs_enabled_));
+    std::unique_ptr<sb::Transport> transport =
+        config_.transport_factory
+            ? config_.transport_factory(s, clock_)
+            : std::make_unique<sb::InProcessTransport>(
+                  server_, clock_, /*round_trip_ticks=*/0);
+    shards_.push_back(std::make_unique<Shard>(std::move(transport),
+                                              traffic_model_, obs_enabled_));
   }
   const double interested = config_.traffic.interested_fraction;
 
@@ -192,7 +197,7 @@ void Engine::build_population() {
     client_config.cookie = user.cookie;
     // Clients bind to their shard's transport: every wire request a user
     // makes counts against (and only touches) shard-local state.
-    user.client = sb::make_protocol_client(shard.transport, client_config);
+    user.client = sb::make_protocol_client(*shard.transport, client_config);
     for (const auto& list : config_.blacklist.lists) {
       user.client->subscribe(list);
     }
@@ -210,7 +215,7 @@ std::size_t Engine::num_users() const noexcept { return config_.num_users; }
 
 sb::TransportStats Engine::transport_stats() const {
   sb::TransportStats total;
-  for (const auto& shard : shards_) total += shard->transport.stats();
+  for (const auto& shard : shards_) total += shard->transport->stats();
   return total;
 }
 
@@ -365,7 +370,7 @@ void Engine::mitigated_dispatch(Shard& shard, UserState& user,
   }
   const auto padded = dummy_policy_.pad_request(hits);
   const auto response =
-      shard.transport.get_full_hashes_or_error(padded, user.cookie);
+      shard.transport->get_full_hashes_or_error(padded, user.cookie);
   if (!response) return;  // fail open, like the stock client
 
   for (std::size_t i = 0; i < prefixes.digests.size(); ++i) {
@@ -515,6 +520,8 @@ obs::Snapshot Engine::obs_snapshot() const {
   counters.counter("url_cache_misses").value = metrics_.url_cache_misses;
   counters.counter("url_cache_invalidations").value =
       metrics_.url_cache_invalidations;
+  counters.counter("update_encode_cache_hits").value =
+      server_.update_encode_cache_hits();
 
   snapshot.per_tick = obs_series_;
   return snapshot;

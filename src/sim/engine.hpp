@@ -235,16 +235,19 @@ class Engine {
   /// Everything a tick mutates, owned per shard so worker threads never
   /// share writable state.
   struct Shard {
-    Shard(sb::Server& server, sb::SimClock& clock,
+    Shard(std::unique_ptr<sb::Transport> transport_in,
           const TrafficModel& traffic_model, bool obs_enabled)
-        : transport(server, clock, /*round_trip_ticks=*/0),
+        : transport(std::move(transport_in)),
           site_cache(traffic_model.make_cache()) {
       // Attached before the initial syncs in build_population, so setup
       // traffic lands in the channel stats too.
-      if (obs_enabled) transport.set_obs(&obs_transport);
+      if (obs_enabled) transport->set_obs(&obs_transport);
     }
 
-    sb::Transport transport;
+    /// Default: a zero-latency InProcessTransport on the engine's server;
+    /// with SimConfig.transport_factory set, whatever the factory built
+    /// (e.g. a SocketTransport to a remote daemon).
+    std::unique_ptr<sb::Transport> transport;
     TrafficModel::SiteCache site_cache;
     std::vector<UserState> users;
     std::unordered_map<std::string, UrlPrefixes> url_cache;

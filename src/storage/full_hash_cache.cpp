@@ -3,16 +3,16 @@
 namespace sbp::storage {
 
 void FullHashCache::put(crypto::Prefix32 prefix,
-                        std::vector<crypto::Digest256> digests,
+                        std::vector<FullHashEntry> entries,
                         std::uint64_t now) {
-  entries_[prefix] = Entry{std::move(digests), now};
+  entries_[prefix] = Entry{std::move(entries), now};
 }
 
-std::optional<std::vector<crypto::Digest256>> FullHashCache::get(
+std::optional<std::vector<FullHashEntry>> FullHashCache::get(
     crypto::Prefix32 prefix, std::uint64_t now) const {
   const auto it = entries_.find(prefix);
   if (it == entries_.end() || !fresh(it->second, now)) return std::nullopt;
-  return it->second.digests;
+  return it->second.entries;
 }
 
 std::size_t FullHashCache::evict_expired(std::uint64_t now) {

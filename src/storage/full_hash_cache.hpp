@@ -13,12 +13,27 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "crypto/digest.hpp"
 
 namespace sbp::storage {
+
+/// One cached full digest tagged with the list it came from (the shape of
+/// the server's full-hash response, mirrored here so a cache answer
+/// carries everything a verdict needs -- including the list name --
+/// without asking the server again).
+struct FullHashEntry {
+  std::string list_name;
+  crypto::Digest256 digest;
+
+  friend bool operator==(const FullHashEntry& a,
+                         const FullHashEntry& b) noexcept {
+    return a.list_name == b.list_name && a.digest == b.digest;
+  }
+};
 
 class FullHashCache {
  public:
@@ -29,11 +44,11 @@ class FullHashCache {
   /// Stores the server's full digests for `prefix` (possibly empty = the
   /// prefix has no matching digest, a *negative* entry -- exactly the
   /// "orphan prefix" situation of paper Section 7.2).
-  void put(crypto::Prefix32 prefix, std::vector<crypto::Digest256> digests,
+  void put(crypto::Prefix32 prefix, std::vector<FullHashEntry> entries,
            std::uint64_t now);
 
-  /// Cached digests for `prefix` if present and fresh at `now`.
-  [[nodiscard]] std::optional<std::vector<crypto::Digest256>> get(
+  /// Cached entries for `prefix` if present and fresh at `now`.
+  [[nodiscard]] std::optional<std::vector<FullHashEntry>> get(
       crypto::Prefix32 prefix, std::uint64_t now) const;
 
   /// Drops everything (a database update invalidates cached responses).
@@ -46,7 +61,7 @@ class FullHashCache {
 
  private:
   struct Entry {
-    std::vector<crypto::Digest256> digests;
+    std::vector<FullHashEntry> entries;
     std::uint64_t stored_at = 0;
   };
 

@@ -30,7 +30,7 @@ TEST(EndToEndTest, ProtectionPipelineAtScale) {
       factory.populate(server, {"goog-malware-shavar", 500, 0.0, 0, 0});
 
   sb::SimClock clock;
-  sb::Transport transport(server, clock);
+  sb::InProcessTransport transport(server, clock);
   sb::ClientConfig config;
   config.cookie = 7;
   sb::Client client(transport, config);
@@ -60,7 +60,7 @@ TEST(EndToEndTest, UpdateChurnKeepsClientConsistent) {
   // Entries come and go via chunks; the client tracks the server exactly.
   sb::Server server;
   sb::SimClock clock;
-  sb::Transport transport(server, clock);
+  sb::InProcessTransport transport(server, clock);
   sb::ClientConfig config;
   sb::Client client(transport, config);
   client.subscribe("list");
@@ -100,7 +100,7 @@ TEST(EndToEndTest, SurveillancePipeline) {
   server.seal_chunk("ydx-porno-hosts-top-shavar");
 
   sb::SimClock clock;
-  sb::Transport transport(server, clock);
+  sb::InProcessTransport transport(server, clock);
 
   tracking::PopulationConfig population;
   population.num_users = 30;
@@ -154,7 +154,7 @@ TEST(EndToEndTest, ReidentificationFromLiveTraffic) {
   server.seal_chunk("list");
 
   sb::SimClock clock;
-  sb::Transport transport(server, clock);
+  sb::InProcessTransport transport(server, clock);
   sb::ClientConfig config;
   config.cookie = 0xBEEF;
   sb::Client client(transport, config);
@@ -180,7 +180,7 @@ TEST(EndToEndTest, DummyPaddingDoesNotChangeVerdicts) {
   server.add_expression("list", "evil.example/x.html");
   server.seal_chunk("list");
   sb::SimClock clock;
-  sb::Transport transport(server, clock);
+  sb::InProcessTransport transport(server, clock);
 
   const mitigation::DummyPolicy policy(8);
   const auto real = crypto::prefix32_of("evil.example/x.html");
@@ -205,7 +205,7 @@ TEST(EndToEndTest, V1VersusV3InformationAsymmetry) {
   server.add_expression("list", "evil.example/");
   server.seal_chunk("list");
   sb::SimClock clock;
-  sb::Transport transport(server, clock);
+  sb::InProcessTransport transport(server, clock);
   sb::ClientConfig v1_config;
   v1_config.protocol = sb::ProtocolVersion::kV1Lookup;
   v1_config.cookie = 1;

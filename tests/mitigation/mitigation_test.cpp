@@ -85,7 +85,7 @@ class OnePrefixTest : public ::testing::Test {
 
   sb::Server server_;
   sb::SimClock clock_;
-  sb::Transport transport_;
+  sb::InProcessTransport transport_;
 };
 
 TEST_F(OnePrefixTest, RootQueryResolvesDomainBlacklist) {

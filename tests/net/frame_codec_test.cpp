@@ -1,0 +1,167 @@
+// The envelope codec under every stream fragmentation a socket can
+// produce: byte-at-a-time feeds, split headers, back-to-back frames in one
+// read, truncation, and the oversize-length poison path. The codec is the
+// only thing between recv() and the wire decoders, so partial-read
+// tolerance here IS the daemon's partial-read tolerance.
+#include "net/frame_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sbp::net {
+namespace {
+
+std::vector<std::uint8_t> payload_of(std::initializer_list<int> bytes) {
+  std::vector<std::uint8_t> out;
+  for (const int b : bytes) out.push_back(static_cast<std::uint8_t>(b));
+  return out;
+}
+
+TEST(FrameCodecTest, RoundTripsOneEnvelope) {
+  const auto payload = payload_of({0x33, 1, 2, 3});
+  const auto encoded = encode_envelope(/*tick=*/77, payload);
+  ASSERT_EQ(encoded.size(), kEnvelopeHeaderBytes + payload.size());
+
+  FrameDecoder decoder;
+  decoder.feed(encoded.data(), encoded.size());
+  const auto envelope = decoder.next();
+  ASSERT_TRUE(envelope.has_value());
+  EXPECT_EQ(envelope->tick, 77u);
+  EXPECT_EQ(envelope->payload, payload);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.buffered(), 0u);
+  EXPECT_FALSE(decoder.error());
+}
+
+TEST(FrameCodecTest, EmptyPayloadRoundTrips) {
+  const auto encoded = encode_envelope(0, {});
+  FrameDecoder decoder;
+  decoder.feed(encoded.data(), encoded.size());
+  const auto envelope = decoder.next();
+  ASSERT_TRUE(envelope.has_value());
+  EXPECT_TRUE(envelope->payload.empty());
+}
+
+TEST(FrameCodecTest, ByteAtATimeFeedYieldsExactlyAtCompletion) {
+  const auto payload = payload_of({0x41, 9, 8, 7, 6, 5});
+  const auto encoded = encode_envelope(0xDEADBEEFCAFEF00DULL, payload);
+
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i + 1 < encoded.size(); ++i) {
+    decoder.feed(&encoded[i], 1);
+    // Nothing may surface until the LAST byte arrives.
+    EXPECT_FALSE(decoder.next().has_value()) << "byte " << i;
+  }
+  decoder.feed(&encoded.back(), 1);
+  const auto envelope = decoder.next();
+  ASSERT_TRUE(envelope.has_value());
+  EXPECT_EQ(envelope->tick, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(envelope->payload, payload);
+}
+
+TEST(FrameCodecTest, TwoFramesInOneFeed) {
+  const auto first = encode_envelope(1, payload_of({0x31, 0xAA}));
+  const auto second = encode_envelope(2, payload_of({0x11, 0xBB, 0xCC}));
+  std::vector<std::uint8_t> stream = first;
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  FrameDecoder decoder;
+  decoder.feed(stream.data(), stream.size());
+  const auto a = decoder.next();
+  const auto b = decoder.next();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->tick, 1u);
+  EXPECT_EQ(b->tick, 2u);
+  EXPECT_EQ(a->payload, payload_of({0x31, 0xAA}));
+  EXPECT_EQ(b->payload, payload_of({0x11, 0xBB, 0xCC}));
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(FrameCodecTest, SplitAcrossFeedsAtEveryBoundary) {
+  const auto payload = payload_of({0x33, 1, 2, 3, 4, 5, 6, 7});
+  const auto encoded = encode_envelope(42, payload);
+  for (std::size_t split = 0; split <= encoded.size(); ++split) {
+    FrameDecoder decoder;
+    decoder.feed(encoded.data(), split);
+    decoder.feed(encoded.data() + split, encoded.size() - split);
+    const auto envelope = decoder.next();
+    ASSERT_TRUE(envelope.has_value()) << "split at " << split;
+    EXPECT_EQ(envelope->payload, payload);
+  }
+}
+
+TEST(FrameCodecTest, TruncatedFrameStaysPending) {
+  const auto encoded = encode_envelope(3, payload_of({0x31, 1, 2, 3}));
+  FrameDecoder decoder;
+  decoder.feed(encoded.data(), encoded.size() - 1);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.error());  // incomplete, not broken
+  EXPECT_EQ(decoder.buffered(), encoded.size() - 1);
+}
+
+TEST(FrameCodecTest, OversizeLengthPoisonsWithoutAllocating) {
+  // A hostile 4 GB length must flip error() and drop the buffer -- never
+  // attempt the allocation.
+  std::vector<std::uint8_t> header(kEnvelopeHeaderBytes, 0xFF);
+  FrameDecoder decoder;
+  decoder.feed(header.data(), header.size());
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.error());
+  EXPECT_EQ(decoder.buffered(), 0u);
+
+  // Poisoned decoders ignore further input: the stream has no recoverable
+  // framing.
+  const auto valid = encode_envelope(1, payload_of({0x31}));
+  decoder.feed(valid.data(), valid.size());
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameCodecTest, MaxPayloadBoundaryIsExact) {
+  // Exactly kMaxPayloadBytes is legal; one more byte is poison. Declared
+  // lengths only -- nothing near 64 MB is allocated (the body never
+  // arrives).
+  std::vector<std::uint8_t> header = {0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 0, 0};
+  const std::uint32_t limit = kMaxPayloadBytes;
+  header[0] = static_cast<std::uint8_t>(limit);
+  header[1] = static_cast<std::uint8_t>(limit >> 8);
+  header[2] = static_cast<std::uint8_t>(limit >> 16);
+  header[3] = static_cast<std::uint8_t>(limit >> 24);
+  {
+    FrameDecoder decoder;
+    decoder.feed(header.data(), header.size());
+    EXPECT_FALSE(decoder.next().has_value());  // waiting for the body
+    EXPECT_FALSE(decoder.error());
+  }
+  const std::uint32_t over = limit + 1;
+  header[0] = static_cast<std::uint8_t>(over);
+  header[1] = static_cast<std::uint8_t>(over >> 8);
+  header[2] = static_cast<std::uint8_t>(over >> 16);
+  header[3] = static_cast<std::uint8_t>(over >> 24);
+  {
+    FrameDecoder decoder;
+    decoder.feed(header.data(), header.size());
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_TRUE(decoder.error());
+  }
+}
+
+TEST(FrameCodecTest, HeaderIsLittleEndian) {
+  // Pin the wire layout: [u32 len LE][u64 tick LE][payload]. A silent
+  // endianness change would break daemon/client interop with old peers.
+  const auto encoded = encode_envelope(0x0102030405060708ULL,
+                                       payload_of({0xEE}));
+  ASSERT_EQ(encoded.size(), 13u);
+  EXPECT_EQ(encoded[0], 1u);  // len = 1
+  EXPECT_EQ(encoded[1], 0u);
+  EXPECT_EQ(encoded[2], 0u);
+  EXPECT_EQ(encoded[3], 0u);
+  EXPECT_EQ(encoded[4], 0x08u);  // tick, least-significant byte first
+  EXPECT_EQ(encoded[11], 0x01u);
+  EXPECT_EQ(encoded[12], 0xEEu);
+}
+
+}  // namespace
+}  // namespace sbp::net

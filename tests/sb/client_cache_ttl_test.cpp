@@ -27,7 +27,7 @@ class ClientCacheTtlTest : public ::testing::Test {
 
   Server server_;
   SimClock clock_;
-  Transport transport_;
+  InProcessTransport transport_;
 };
 
 TEST_F(ClientCacheTtlTest, FreshCacheAnswersWithoutTraffic) {

@@ -28,7 +28,7 @@ class ClientTest : public ::testing::Test {
 
   Server server_;
   SimClock clock_;
-  Transport transport_;
+  InProcessTransport transport_;
 };
 
 TEST_F(ClientTest, SafeUrlLeaksNothing) {
@@ -167,7 +167,7 @@ TEST_F(ClientTest, CookieAccompaniesEveryFullHashRequest) {
 TEST(LookupV1Test, ServerSeesUrlsInClear) {
   Server server;
   SimClock clock;
-  Transport transport(server, clock);
+  InProcessTransport transport(server, clock);
   server.add_expression("l", "evil.example/attack.html");
   ClientConfig config;
   config.protocol = ProtocolVersion::kV1Lookup;

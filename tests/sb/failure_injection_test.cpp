@@ -28,7 +28,7 @@ class FailureInjectionTest : public ::testing::Test {
 
   Server server_;
   SimClock clock_;
-  Transport transport_;
+  InProcessTransport transport_;
 };
 
 TEST_F(FailureInjectionTest, FullHashErrorFailsOpen) {

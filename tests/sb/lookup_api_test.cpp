@@ -27,7 +27,7 @@ class LookupApiTest : public ::testing::Test {
 
   Server server_;
   SimClock clock_;
-  Transport transport_;
+  InProcessTransport transport_;
   std::unique_ptr<V1LookupProtocol> v1_;
 };
 

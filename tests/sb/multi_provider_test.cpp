@@ -23,7 +23,7 @@ class MultiProviderTest : public ::testing::Test {
 
   Server yandex_;
   SimClock clock_;
-  Transport transport_;
+  InProcessTransport transport_;
 };
 
 TEST_F(MultiProviderTest, ClientMatchesAcrossSubscribedLists) {
@@ -84,8 +84,8 @@ TEST(TwoProviderTest, SameExpressionOnBothProviders) {
   yandex.seal_chunk("ydx-malware-shavar");
 
   SimClock clock;
-  Transport google_net(google, clock);
-  Transport yandex_net(yandex, clock);
+  InProcessTransport google_net(google, clock);
+  InProcessTransport yandex_net(yandex, clock);
 
   ClientConfig chrome_config;
   chrome_config.cookie = 0xC4;

@@ -22,12 +22,12 @@ namespace {
 struct Stack {
   Server server;
   SimClock clock;
-  std::unique_ptr<Transport> transport;
+  std::unique_ptr<InProcessTransport> transport;
   sim::InMemorySink sink;
   std::unique_ptr<ProtocolClient> client;
 
   explicit Stack(ProtocolVersion version) {
-    transport = std::make_unique<Transport>(server, clock,
+    transport = std::make_unique<InProcessTransport>(server, clock,
                                             /*round_trip_ticks=*/1);
     server.set_query_log_sink(&sink, /*retain_in_memory=*/false);
     ClientConfig config;

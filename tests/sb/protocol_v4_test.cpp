@@ -28,7 +28,7 @@ class V4ProtocolTest : public ::testing::Test {
 
   Server server_;
   SimClock clock_;
-  Transport transport_;
+  InProcessTransport transport_;
 };
 
 TEST_F(V4ProtocolTest, FullSyncPopulatesSortedStore) {
@@ -145,7 +145,7 @@ TEST_F(V4ProtocolTest, UpdateBandwidthBeatsV3OnSameContent) {
 
   Server v3_server = server_;  // same content, separate byte accounting
   SimClock v3_clock;
-  Transport v3_transport(v3_server, v3_clock, 0);
+  InProcessTransport v3_transport(v3_server, v3_clock, 0);
   ClientConfig v3_config;
   Client v3(v3_transport, v3_config);
   v3.subscribe("list");

@@ -17,7 +17,7 @@ class TransportTest : public ::testing::Test {
 
   Server server_;
   SimClock clock_;
-  Transport transport_;
+  InProcessTransport transport_;
 };
 
 TEST_F(TransportTest, RoundTripAdvancesClock) {

@@ -5,17 +5,28 @@
 namespace sbp::storage {
 namespace {
 
-crypto::Digest256 digest_of(const char* s) {
-  return crypto::Digest256::of(s);
+FullHashEntry entry_of(const char* s, const char* list = "goog-malware") {
+  return {list, crypto::Digest256::of(s)};
 }
 
 TEST(FullHashCacheTest, PutGet) {
   FullHashCache cache;
-  cache.put(0xe70ee6d1, {digest_of("petsymposium.org/2016/cfp.php")}, 0);
+  cache.put(0xe70ee6d1, {entry_of("petsymposium.org/2016/cfp.php")}, 0);
   const auto hit = cache.get(0xe70ee6d1, 100);
   ASSERT_TRUE(hit.has_value());
   ASSERT_EQ(hit->size(), 1u);
-  EXPECT_EQ((*hit)[0], digest_of("petsymposium.org/2016/cfp.php"));
+  EXPECT_EQ((*hit)[0], entry_of("petsymposium.org/2016/cfp.php"));
+}
+
+TEST(FullHashCacheTest, EntryCarriesListName) {
+  // The verdict path reports the matched list straight from the cached
+  // entry -- no server introspection -- so the tag must survive a round
+  // trip.
+  FullHashCache cache;
+  cache.put(7, {entry_of("evil.example/", "ydx-phish-shavar")}, 0);
+  const auto hit = cache.get(7, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].list_name, "ydx-phish-shavar");
 }
 
 TEST(FullHashCacheTest, MissReturnsNullopt) {
@@ -35,7 +46,7 @@ TEST(FullHashCacheTest, NegativeEntryIsCached) {
 
 TEST(FullHashCacheTest, TtlExpiry) {
   FullHashCache cache(/*ttl_ticks=*/10);
-  cache.put(1, {digest_of("a/")}, 100);
+  cache.put(1, {entry_of("a/")}, 100);
   EXPECT_TRUE(cache.get(1, 105).has_value());
   EXPECT_TRUE(cache.get(1, 110).has_value());   // inclusive boundary
   EXPECT_FALSE(cache.get(1, 111).has_value());  // expired
@@ -43,23 +54,23 @@ TEST(FullHashCacheTest, TtlExpiry) {
 
 TEST(FullHashCacheTest, ZeroTtlNeverExpires) {
   FullHashCache cache(0);
-  cache.put(1, {digest_of("a/")}, 0);
+  cache.put(1, {entry_of("a/")}, 0);
   EXPECT_TRUE(cache.get(1, 1'000'000'000ULL).has_value());
 }
 
 TEST(FullHashCacheTest, PutOverwrites) {
   FullHashCache cache;
-  cache.put(1, {digest_of("old/")}, 0);
-  cache.put(1, {digest_of("new/")}, 5);
+  cache.put(1, {entry_of("old/")}, 0);
+  cache.put(1, {entry_of("new/")}, 5);
   const auto hit = cache.get(1, 6);
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ((*hit)[0], digest_of("new/"));
+  EXPECT_EQ((*hit)[0], entry_of("new/"));
 }
 
 TEST(FullHashCacheTest, ClearDropsEverything) {
   FullHashCache cache;
-  cache.put(1, {digest_of("a/")}, 0);
-  cache.put(2, {digest_of("b/")}, 0);
+  cache.put(1, {entry_of("a/")}, 0);
+  cache.put(2, {entry_of("b/")}, 0);
   EXPECT_EQ(cache.size(), 2u);
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
@@ -68,8 +79,8 @@ TEST(FullHashCacheTest, ClearDropsEverything) {
 
 TEST(FullHashCacheTest, EvictExpired) {
   FullHashCache cache(10);
-  cache.put(1, {digest_of("a/")}, 0);
-  cache.put(2, {digest_of("b/")}, 100);
+  cache.put(1, {entry_of("a/")}, 0);
+  cache.put(2, {entry_of("b/")}, 100);
   EXPECT_EQ(cache.evict_expired(50), 1u);  // entry 1 expired at 10
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_TRUE(cache.get(2, 105).has_value());

@@ -23,7 +23,7 @@ class TrackingSystemTest : public ::testing::Test {
 
   sb::Server server_;
   sb::SimClock clock_;
-  sb::Transport transport_;
+  sb::InProcessTransport transport_;
 };
 
 TEST_F(TrackingSystemTest, DetectsInterestedUsersExactly) {

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Verify the CI loopback smoke run: socket == in-process, daemon == golden.
+
+Takes the two `sbsim loadgen` reports (--socket from a run against a live
+sbserved, --in-process from the reference run) plus the daemon's --stats-out
+JSON and the scenario file, and fails (exit 2) unless:
+
+  * the socket report's `deterministic` block equals the in-process one
+    field for field -- verdicts, lookups, every wire-byte counter; this is
+    the network-equivalence contract (docs/networking.md) checked over a
+    real socket rather than the unit-test harness;
+  * the socket run had zero failed requests and the daemon zero decode
+    errors (a silently flaky transport could otherwise still produce
+    equal counters by retrying);
+  * the daemon's own query-log fingerprint/counts equal the scenario's
+    committed golden -- the server-side observable, which the loadgen
+    client cannot see;
+  * the daemon actually served frames and the encode-once cache actually
+    fanned out (hits > 0) -- guarding against a smoke that silently
+    exercised nothing.
+
+stdlib only, like the other tools/ checkers.
+
+usage:
+  tools/check_smoke.py --socket socket.json --in-process in-process.json \
+                       --daemon-stats daemon-stats.json \
+                       --scenario scenarios/net-loopback.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"check_smoke: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(1)
+
+
+def flatten(value, prefix=""):
+    """{'a': {'b': 1}} -> {'a.b': 1}, for field-by-field diffs."""
+    out = {}
+    if isinstance(value, dict):
+        for key, child in value.items():
+            out.update(flatten(child, f"{prefix}{key}."))
+    else:
+        out[prefix[:-1]] = value
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Check the loopback smoke run for equivalence")
+    parser.add_argument("--socket", required=True)
+    parser.add_argument("--in-process", dest="in_process", required=True)
+    parser.add_argument("--daemon-stats", dest="daemon_stats", required=True)
+    parser.add_argument("--scenario", required=True)
+    args = parser.parse_args()
+
+    socket_report = load(args.socket)
+    reference = load(args.in_process)
+    daemon = load(args.daemon_stats)
+    golden = load(args.scenario).get("golden") or {}
+
+    failures = []
+
+    if socket_report.get("mode") != "socket":
+        failures.append(f"--socket report has mode "
+                        f"{socket_report.get('mode')!r}, not 'socket'")
+    if reference.get("mode") != "in-process":
+        failures.append(f"--in-process report has mode "
+                        f"{reference.get('mode')!r}, not 'in-process'")
+
+    # The deterministic block: every field, not a curated subset, so a
+    # future counter diverging cannot slip past the smoke.
+    socket_det = flatten(socket_report.get("deterministic") or {})
+    reference_det = flatten(reference.get("deterministic") or {})
+    if not socket_det:
+        failures.append("--socket report has no deterministic block")
+    for key in sorted(set(socket_det) | set(reference_det)):
+        if socket_det.get(key) != reference_det.get(key):
+            failures.append(
+                f"deterministic.{key}: socket {socket_det.get(key)!r} != "
+                f"in-process {reference_det.get(key)!r}")
+    if not failures:
+        print(f"equivalence: {len(socket_det)} deterministic fields equal")
+
+    if socket_report.get("failed_requests") != 0:
+        failures.append(f"socket run had "
+                        f"{socket_report.get('failed_requests')} "
+                        "failed requests")
+    if daemon.get("decode_errors") != 0:
+        failures.append(f"daemon reported {daemon.get('decode_errors')} "
+                        "decode errors")
+    if not daemon.get("frames_served"):
+        failures.append("daemon served no frames")
+    if not daemon.get("update_encode_cache_hits"):
+        failures.append("encode-once cache never hit: fan-out not exercised")
+    if daemon.get("open_connections") != 0:
+        failures.append(f"daemon exited with "
+                        f"{daemon.get('open_connections')} open connections")
+
+    # Daemon-side log vs the scenario's committed golden.
+    daemon_log = daemon.get("query_log") or {}
+    for daemon_key, golden_key in (("fingerprint", "fingerprint"),
+                                   ("entries", "entries"),
+                                   ("prefixes", "prefixes"),
+                                   ("multi_prefix_entries",
+                                    "multi_prefix_entries")):
+        expected = golden.get(golden_key)
+        actual = daemon_log.get(daemon_key)
+        if expected is None:
+            failures.append(f"scenario golden has no {golden_key}")
+        elif actual != expected:
+            failures.append(f"daemon query_log.{daemon_key} {actual!r} != "
+                            f"scenario golden {expected!r}")
+    if not failures:
+        print(f"daemon log: fingerprint {daemon_log.get('fingerprint')} "
+              f"matches the scenario golden "
+              f"({daemon_log.get('entries')} entries)")
+        print(f"daemon: {daemon.get('frames_served')} frames served, "
+              f"{daemon.get('update_encode_cache_hits')} encode-cache hits")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("OK: socket run equivalent to in-process; daemon matches "
+              "the golden")
+    return 2 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -134,9 +134,67 @@ def check_bandwidth(baseline, current, _args):
     return failures
 
 
+def check_net(baseline, current, args):
+    """net_throughput: equivalence gate + request-rate floor + p99 ceiling.
+
+    The hardware-independent part is `equivalent`: the socket leg must
+    reproduce the in-process run bit for bit, on any machine. Throughput
+    and latency are hardware-dependent and gated generously: the request
+    rate may drop at most --max-regression below baseline (like
+    sim_throughput), and each channel's p99 round-trip latency may grow to
+    at most 4x its baseline -- wide enough for noisy shared runners, tight
+    enough to catch an accidental sleep/extra-copy/Nagle-style stall in
+    the daemon's request path.
+    """
+    failures = []
+    if current.get("equivalent") is not True:
+        failures.append(
+            "equivalent is not true: the socket run diverged from the "
+            "in-process run (fingerprint "
+            f"{current.get('log_fingerprint')}, failed_requests "
+            f"{current.get('failed_requests')})")
+    base = baseline.get("requests_per_sec")
+    cur = current.get("requests_per_sec")
+    if not isinstance(base, (int, float)) or base <= 0:
+        failures.append("baseline has no positive requests_per_sec")
+    elif not isinstance(cur, (int, float)) or cur <= 0:
+        failures.append("current has no positive requests_per_sec")
+    else:
+        floor = base * (1.0 - args.max_regression)
+        delta = (cur - base) / base
+        print(f"net throughput: current {cur:.0f} vs baseline {base:.0f} "
+              f"req/s ({delta:+.1%}; floor {floor:.0f})")
+        if cur < floor:
+            failures.append(
+                f"request rate regressed {-delta:.1%} "
+                f"(> {args.max_regression:.0%} allowed): {cur:.0f} < floor "
+                f"{floor:.0f} req/s")
+    p99_ceiling = 4.0
+    base_latency = baseline.get("latency") or {}
+    cur_latency = current.get("latency") or {}
+    for channel, base_stats in sorted(base_latency.items()):
+        base_p99 = base_stats.get("p99_ns")
+        cur_p99 = (cur_latency.get(channel) or {}).get("p99_ns")
+        if not isinstance(base_p99, (int, float)) or base_p99 <= 0:
+            continue
+        if not isinstance(cur_p99, (int, float)):
+            failures.append(f"current has no p99_ns for channel {channel}")
+            continue
+        print(f"net latency/{channel}: p99 {cur_p99 / 1000:.0f}us vs "
+              f"baseline {base_p99 / 1000:.0f}us "
+              f"(ceiling {p99_ceiling:.0f}x)")
+        if cur_p99 > base_p99 * p99_ceiling:
+            failures.append(
+                f"{channel} p99 latency {cur_p99 / 1000:.0f}us exceeds "
+                f"{p99_ceiling:.0f}x baseline "
+                f"{base_p99 / 1000:.0f}us")
+    return failures
+
+
 CHECKS = {
     "sim_throughput": check_throughput,
     "protocol_bandwidth": check_bandwidth,
+    "net_throughput": check_net,
 }
 
 

@@ -29,9 +29,18 @@
 //       the JSON <-> SimConfig round trip made visible.
 //   sbsim list scenarios/
 //       One line per scenario: name, population, protocol, description.
+//   sbsim loadgen scenarios/foo.json --connect unix:/tmp/sb.sock
+//       Drive the scenario's client fleet against a RUNNING sbserved
+//       (tools/sbserved) over TCP or Unix sockets -- one connection per
+//       shard -- and report client-side deterministic counters plus
+//       request-latency percentiles. With --in-process the same fleet
+//       runs against the embedded server instead; the deterministic
+//       block of both reports must be identical (the network-equivalence
+//       contract, docs/networking.md). Exits 3 if any request failed.
 //
 // Exit codes: 0 ok; 1 usage/file/parse error; 2 golden verification
-// failure. See docs/scenarios.md for the file format.
+// failure; 3 loadgen transport failure. See docs/scenarios.md for the
+// file format.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -40,6 +49,8 @@
 #include <string>
 #include <vector>
 
+#include "net/socket.hpp"
+#include "net/socket_transport.hpp"
 #include "obs/export.hpp"
 #include "obs/prom_text.hpp"
 #include "sb/protocol_version.hpp"
@@ -62,7 +73,9 @@ constexpr const char* kUsage =
     "  verify <file-or-dir>... [--threads 1,2,8] [--metrics]\n"
     "  bless <scenario.json>... [--check-threads N]\n"
     "  print <scenario.json>\n"
-    "  list <file-or-dir>...\n";
+    "  list <file-or-dir>...\n"
+    "  loadgen <scenario.json> (--connect tcp:HOST:PORT|unix:/PATH |\n"
+    "      --in-process) [--threads N] [--out report.json]\n";
 
 int usage_error(const char* message) {
   std::fprintf(stderr, "sbsim: %s\n%s", message, kUsage);
@@ -372,6 +385,159 @@ int cmd_bless(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Latency sub-object for one transport channel, from the obs histograms
+/// (wall-clock ns; NOT deterministic, reported for capacity planning).
+json::Value channel_latency_json(const sbp::obs::ChannelStats& stats) {
+  json::Value out{json::Object{}};
+  out.set("requests", stats.requests);
+  out.set("bytes_up", stats.bytes_up);
+  out.set("bytes_down", stats.bytes_down);
+  out.set("p50_ns", stats.serve_ns.quantile(0.50));
+  out.set("p90_ns", stats.serve_ns.quantile(0.90));
+  out.set("p99_ns", stats.serve_ns.quantile(0.99));
+  return out;
+}
+
+int cmd_loadgen(const std::vector<std::string>& args) {
+  std::string file;
+  std::string endpoint;
+  bool in_process = false;
+  std::optional<std::size_t> threads;
+  std::string out_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--connect" && i + 1 < args.size()) {
+      endpoint = args[++i];
+    } else if (args[i] == "--in-process") {
+      in_process = true;
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      char* end = nullptr;
+      const std::string& text = args[++i];
+      threads = static_cast<std::size_t>(
+          std::strtoull(text.c_str(), &end, 10));
+      if (end == text.c_str() || *end != '\0') {
+        return usage_error("--threads needs a number");
+      }
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (args[i].rfind("--", 0) == 0) {
+      return usage_error(("unknown flag for loadgen: " + args[i]).c_str());
+    } else if (file.empty()) {
+      file = args[i];
+    } else {
+      return usage_error("loadgen takes exactly one scenario file");
+    }
+  }
+  if (file.empty()) return usage_error("loadgen needs a scenario file");
+  if (in_process == !endpoint.empty()) {
+    return usage_error("loadgen needs exactly one of --connect/--in-process");
+  }
+  if (!endpoint.empty()) {
+    std::string error;
+    if (!sbp::net::parse_endpoint(endpoint, &error)) {
+      return usage_error(("--connect: " + error).c_str());
+    }
+  }
+
+  auto scenario = load_or_complain(file);
+  if (!scenario) return 1;
+  if (scenario->config.churn.epoch_ticks != 0) {
+    std::fprintf(stderr,
+                 "sbsim: loadgen cannot drive churn scenarios (epoch "
+                 "mutation lives in the engine tick loop, not the daemon)\n");
+    return 1;
+  }
+  scenario->config.collect_metrics = true;  // latency percentiles
+  if (!endpoint.empty()) {
+    // One synchronous connection per shard: the client fleet.
+    scenario->config.transport_factory =
+        [&endpoint](std::size_t, sbp::sb::SimClock& clock) {
+          return std::make_unique<sbp::net::SocketTransport>(endpoint, clock);
+        };
+  }
+
+  std::fprintf(stderr, "loadgen %s (%zu users x %llu ticks) against %s...\n",
+               scenario->name.c_str(), scenario->config.num_users,
+               static_cast<unsigned long long>(scenario->config.ticks),
+               endpoint.empty() ? "in-process server" : endpoint.c_str());
+  const auto result = sbp::sim::run_scenario(*scenario, threads);
+
+  // The deterministic block: every field must be IDENTICAL between a
+  // --connect run and an --in-process run of the same scenario/seed (the
+  // CI loopback smoke compares these objects byte-for-byte). Query-log
+  // observables are daemon-side in --connect mode, so they live in
+  // sbserved's stats dump, not here.
+  json::Value deterministic{json::Object{}};
+  deterministic.set("lookups", result.metrics.lookups);
+  deterministic.set("malicious_verdicts", result.metrics.malicious_verdicts);
+  deterministic.set("ticks_run", result.metrics.ticks_run);
+  deterministic.set("population_full_hash_requests",
+                    result.population.full_hash_requests);
+  deterministic.set("population_cache_answers",
+                    result.population.cache_answers);
+  json::Value wire{json::Object{}};
+  wire.set("full_hash_requests", result.wire.full_hash_requests);
+  wire.set("update_requests", result.wire.update_requests);
+  wire.set("v4_update_requests", result.wire.v4_update_requests);
+  wire.set("v1_requests", result.wire.v1_requests);
+  wire.set("bytes_up", result.wire.bytes_up);
+  wire.set("bytes_down", result.wire.bytes_down);
+  wire.set("update_bytes_up", result.wire.update_bytes_up);
+  wire.set("update_bytes_down", result.wire.update_bytes_down);
+  deterministic.set("wire", std::move(wire));
+
+  json::Value report{json::Object{}};
+  report.set("experiment", "loadgen");
+  report.set("scenario", scenario->name);
+  report.set("mode", endpoint.empty() ? "in-process" : "socket");
+  if (!endpoint.empty()) report.set("endpoint", endpoint);
+  report.set("threads_used", result.threads_used);
+  report.set("run_seconds", result.run_seconds);
+  const std::uint64_t requests =
+      result.wire.full_hash_requests + result.wire.update_requests +
+      result.wire.v4_update_requests + result.wire.v1_requests;
+  report.set("requests", requests);
+  report.set("requests_per_sec",
+             result.run_seconds > 0.0
+                 ? static_cast<double>(requests) / result.run_seconds
+                 : 0.0);
+  report.set("failed_requests", result.wire.failed_requests);
+  report.set("deterministic", std::move(deterministic));
+  if (result.obs) {
+    json::Value latency{json::Object{}};
+    for (std::size_t c = 0; c < sbp::obs::kChannelCount; ++c) {
+      const auto& stats = result.obs->transport.channels[c];
+      if (stats.requests == 0) continue;
+      latency.set(
+          sbp::obs::channel_name(static_cast<sbp::obs::Channel>(c)),
+          channel_latency_json(stats));
+    }
+    report.set("latency", std::move(latency));
+  }
+
+  const std::string text = json::dump(report);
+  std::fputs(text.c_str(), stdout);
+  if (!out_path.empty()) {
+    std::string error;
+    if (!sbp::sim::write_file(out_path, text, &error)) {
+      std::fprintf(stderr, "sbsim: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  if (result.wire.failed_requests > 0) {
+    // loadgen injects no failures, so any failure is a real transport
+    // error (daemon gone, connect refused) -- the verdict stream is no
+    // longer comparable.
+    std::fprintf(stderr,
+                 "sbsim: loadgen saw %llu failed request(s) -- transport "
+                 "errors, run not comparable\n",
+                 static_cast<unsigned long long>(
+                     result.wire.failed_requests));
+    return 3;
+  }
+  return 0;
+}
+
 int cmd_print(const std::vector<std::string>& args) {
   if (args.size() != 1) return usage_error("print takes one scenario file");
   const auto scenario = load_or_complain(args[0]);
@@ -402,10 +568,14 @@ int cmd_list(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A daemon closing a loadgen connection mid-write must surface as an
+  // errno, not kill the process.
+  sbp::net::ignore_sigpipe();
   if (argc < 2) return usage_error("missing command");
   const std::string command = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
   if (command == "run") return cmd_run(args);
+  if (command == "loadgen") return cmd_loadgen(args);
   if (command == "verify") return cmd_verify(args);
   if (command == "bless") return cmd_bless(args);
   if (command == "print") return cmd_print(args);
