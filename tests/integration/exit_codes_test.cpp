@@ -1,0 +1,149 @@
+// tools/sbsim exit-code contract, pinned end to end against the real
+// binary: 0 ok, 1 usage/file/parse error, 2 golden/determinism/invariant
+// failure, 3 loadgen transport failure. The codes are what CI scripts
+// and the fuzz-smoke job branch on, so they are an API: any drift
+// (a new command reusing a taken code, a failure path collapsing to 1)
+// fails here, not in a workflow run.
+//
+// Compiled without SBP_SBSIM_PATH (e.g. the sanitizer legs build with
+// SBP_BUILD_TOOLS=OFF) the suite skips rather than fakes a pass.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <filesystem>
+#include <string>
+
+#ifdef SBP_SBSIM_PATH
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Runs `sbsim <args>` with stdout/stderr discarded; returns the exit
+/// code (or -1 if the child did not exit normally).
+int sbsim(const std::string& args) {
+  const std::string command =
+      std::string(SBP_SBSIM_PATH) + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  if (status == -1 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+/// A scratch directory per test run; fs::temp_directory_path is writable
+/// in every CI leg.
+fs::path scratch_dir() {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("sbsim-exit-codes-" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  return dir;
+}
+
+void write(const fs::path& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+/// Small scenario (sub-second run), no golden.
+constexpr const char* kTinyScenario = R"({
+  "name": "exit-code-tiny",
+  "config": {
+    "num_users": 8,
+    "ticks": 3,
+    "num_shards": 1,
+    "seed": 5,
+    "corpus": {"num_hosts": 50}
+  }
+})";
+
+TEST(SbsimExitCodes, ZeroOnSuccess) {
+  const fs::path dir = scratch_dir();
+  const fs::path scenario = dir / "tiny.json";
+  write(scenario, kTinyScenario);
+  EXPECT_EQ(sbsim("print " + scenario.string()), 0);
+  EXPECT_EQ(sbsim("run " + scenario.string()), 0);
+  EXPECT_EQ(sbsim("list " + scenario.string()), 0);
+  EXPECT_EQ(sbsim("fuzz --iterations 1 --seed 1 --threads 1,2 --out-dir " +
+                  (dir / "fuzz").string()),
+            0);
+}
+
+TEST(SbsimExitCodes, OneOnUsageAndFileErrors) {
+  EXPECT_EQ(sbsim(""), 1);                        // missing command
+  EXPECT_EQ(sbsim("no-such-command"), 1);
+  EXPECT_EQ(sbsim("run"), 1);                     // missing scenario file
+  EXPECT_EQ(sbsim("run --bogus-flag x.json"), 1);
+  EXPECT_EQ(sbsim("run /no/such/scenario.json"), 1);
+  EXPECT_EQ(sbsim("fuzz --iterations 0"), 1);
+  EXPECT_EQ(sbsim("fuzz --doctor no-such-invariant"), 1);
+  EXPECT_EQ(sbsim("verify"), 1);
+
+  const fs::path dir = scratch_dir();
+  const fs::path malformed = dir / "malformed.json";
+  write(malformed, R"({"name": "x", "config": {"num_userz": 5}})");
+  EXPECT_EQ(sbsim("run " + malformed.string()), 1);
+}
+
+TEST(SbsimExitCodes, TwoOnGoldenDriftAndInvariantFailure) {
+  const fs::path dir = scratch_dir();
+
+  // A scenario whose golden block cannot match any honest run.
+  const fs::path doctored = dir / "doctored.json";
+  write(doctored, R"({
+    "name": "exit-code-drift",
+    "config": {
+      "num_users": 8,
+      "ticks": 3,
+      "num_shards": 1,
+      "seed": 5,
+      "corpus": {"num_hosts": 50}
+    },
+    "golden": {
+      "fingerprint": "0x0000000000000001",
+      "entries": 999,
+      "prefixes": 999,
+      "multi_prefix_entries": 0,
+      "lookups": 999,
+      "wire_bytes_up": 1,
+      "wire_bytes_down": 1
+    }
+  })");
+  EXPECT_EQ(sbsim("run " + doctored.string()), 2);
+  EXPECT_EQ(sbsim("verify " + doctored.string() + " --threads 1"), 2);
+
+  // A doctored invariant: exit 2 plus a shrunken repro that re-fails
+  // standalone with exit 2 (the fuzzer's acceptance contract).
+  const fs::path out = dir / "repros";
+  EXPECT_EQ(sbsim("fuzz --iterations 1 --seed 1 --threads 1,2 "
+                  "--doctor thread-determinism --out-dir " +
+                  out.string()),
+            2);
+  const fs::path repro = out / "fuzz-0x0000000000000001-0-repro.json";
+  ASSERT_TRUE(fs::exists(repro)) << repro;
+  EXPECT_EQ(sbsim("fuzz --repro " + repro.string()), 2);
+}
+
+TEST(SbsimExitCodes, ThreeOnLoadgenTransportFailure) {
+  const fs::path dir = scratch_dir();
+  const fs::path scenario = dir / "tiny.json";
+  write(scenario, kTinyScenario);
+  // No daemon behind the endpoint: every request fails -> 3, distinct
+  // from usage (1) and drift (2).
+  EXPECT_EQ(sbsim("loadgen " + scenario.string() + " --connect unix:" +
+                  (dir / "no-daemon.sock").string()),
+            3);
+}
+
+}  // namespace
+
+#else  // !SBP_SBSIM_PATH
+
+TEST(SbsimExitCodes, RequiresSbsimBinary) {
+  GTEST_SKIP() << "built without SBP_BUILD_TOOLS; sbsim path unavailable";
+}
+
+#endif  // SBP_SBSIM_PATH

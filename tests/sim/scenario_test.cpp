@@ -8,7 +8,10 @@
 // one.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "sim/scenario/runner.hpp"
 #include "sim/scenario/scenario.hpp"
@@ -326,6 +329,42 @@ TEST(ScenarioGoldenContract, ReportSectionsFollowReportConfig) {
   EXPECT_EQ(slim.find("population"), nullptr);
   EXPECT_EQ(slim.find("kanonymity"), nullptr);
 }
+
+// ----------------------- shipped-corpus canonicality -----------------------
+
+#ifdef SBP_SCENARIOS_DIR
+TEST(ScenarioCorpus, EveryShippedScenarioIsACanonicalFixpoint) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(SBP_SCENARIOS_DIR)) {
+    if (entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GE(files.size(), 9u) << "scenario corpus shrank?";
+
+  for (const std::string& file : files) {
+    std::string error;
+    const auto scenario = load_scenario(file, &error);
+    ASSERT_TRUE(scenario.has_value()) << file << ": " << error;
+
+    // parse -> canonical-serialize -> parse is a fixpoint: the canonical
+    // form loses nothing and is stable (the same property the fuzzer's
+    // canonical-roundtrip invariant checks on generated scenarios).
+    const std::string canonical = json::dump(scenario_to_json(*scenario));
+    const Scenario reparsed = parse_ok(canonical);
+    EXPECT_EQ(json::dump(scenario_to_json(reparsed)), canonical) << file;
+
+    // The checked-in files ARE the canonical form (`sbsim print` output),
+    // so diffs of scenario changes always show every effective knob.
+    std::string text;
+    ASSERT_TRUE(read_file(file, &text, &error)) << error;
+    EXPECT_EQ(text, canonical)
+        << file << " is not canonical; rewrite it with `sbsim print`";
+  }
+}
+#endif  // SBP_SCENARIOS_DIR
 
 }  // namespace
 }  // namespace sbp::sim

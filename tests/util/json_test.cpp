@@ -181,6 +181,30 @@ TEST(JsonRoundTrip, HexU64) {
   EXPECT_FALSE(parse_hex_u64("0x11112222333344445").has_value());  // > 16
 }
 
+TEST(JsonRoundTrip, ParseDumpParseIsATextFixpoint) {
+  // The canonicality contract `sbsim fuzz`'s canonical-roundtrip invariant
+  // builds on: one dump-parse cycle lands on the canonical text, and every
+  // further cycle reproduces it byte for byte -- regardless of how messy
+  // the input spelling was (whitespace, escape choices, number forms).
+  const char* documents[] = {
+      "{  \"a\":1,\"b\"  : [ 1 ,2, 3 ] }",
+      "[\"\\u0041\", \"\\n\", \"\\/\", -0.0625, 1e2]",
+      "{\"nested\": {\"deep\": [{}, [], null, true, false]}}",
+      "\"plain string\"",
+      "[1234567890123456789, \"0xffffffffffffffff\"]",
+  };
+  for (const char* document : documents) {
+    const ParseResult first = parse(document);
+    ASSERT_TRUE(first.ok()) << document;
+    for (const int indent : {0, 2}) {
+      const std::string canonical = dump(*first.value, indent);
+      const ParseResult second = parse(canonical);
+      ASSERT_TRUE(second.ok()) << canonical;
+      EXPECT_EQ(dump(*second.value, indent), canonical) << document;
+    }
+  }
+}
+
 // ------------------------------- fuzzing ----------------------------------
 
 class JsonFuzzTest : public ::testing::TestWithParam<int> {};

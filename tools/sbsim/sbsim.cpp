@@ -37,10 +37,23 @@
 //       runs against the embedded server instead; the deterministic
 //       block of both reports must be identical (the network-equivalence
 //       contract, docs/networking.md). Exits 3 if any request failed.
+//   sbsim fuzz [--iterations N] [--seed S] [--threads 1,2,8]
+//              [--out-dir DIR] [--doctor INVARIANT] [--repro FILE]
+//       Seeded scenario fuzzing (docs/fuzzing.md): generate N
+//       random-but-valid scenarios (sim/scenario/generator) and check
+//       the golden-free invariant catalog (sim/invariants) on each --
+//       thread determinism, metrics transparency, v3=v4 equivalence,
+//       counter conservation, canonical JSON round trip. Same seed =>
+//       identical scenario stream and identical verdicts. On failure the
+//       scenario is greedily shrunk and written to --out-dir as a
+//       self-contained repro JSON; `--repro FILE` re-checks such a file
+//       (exit 2 iff it still fails). --doctor forces a named invariant
+//       to fail -- the harness's self-test hook.
 //
-// Exit codes: 0 ok; 1 usage/file/parse error; 2 golden verification
-// failure; 3 loadgen transport failure. See docs/scenarios.md for the
-// file format.
+// Exit codes: 0 ok; 1 usage/file/parse error; 2 golden, determinism or
+// invariant failure; 3 loadgen transport failure. The codes are distinct
+// by contract (tests/integration/exit_codes_test.cpp pins them). See
+// docs/scenarios.md for the file format.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -54,6 +67,8 @@
 #include "obs/export.hpp"
 #include "obs/prom_text.hpp"
 #include "sb/protocol_version.hpp"
+#include "sim/invariants.hpp"
+#include "sim/scenario/generator.hpp"
 #include "sim/scenario/runner.hpp"
 #include "sim/scenario/scenario.hpp"
 
@@ -75,7 +90,9 @@ constexpr const char* kUsage =
     "  print <scenario.json>\n"
     "  list <file-or-dir>...\n"
     "  loadgen <scenario.json> (--connect tcp:HOST:PORT|unix:/PATH |\n"
-    "      --in-process) [--threads N] [--out report.json]\n";
+    "      --in-process) [--threads N] [--out report.json]\n"
+    "  fuzz [--iterations N] [--seed S] [--threads 1,2,8]\n"
+    "      [--out-dir DIR] [--doctor INVARIANT] [--repro FILE]\n";
 
 int usage_error(const char* message) {
   std::fprintf(stderr, "sbsim: %s\n%s", message, kUsage);
@@ -538,6 +555,208 @@ int cmd_loadgen(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// The self-contained repro document `fuzz` writes for a shrunken
+/// failure: provenance + verdict in "fuzz_repro", the minimized scenario
+/// in "scenario" (canonical form, loadable by every other subcommand).
+json::Value repro_to_json(std::uint64_t generator_seed,
+                          std::uint64_t iteration,
+                          const std::vector<std::size_t>& threads,
+                          const std::string& doctor,
+                          const sbp::sim::ShrinkResult& shrunk) {
+  json::Value meta{json::Object{}};
+  meta.set("generator_seed", json::hex_u64(generator_seed));
+  meta.set("iteration", iteration);
+  meta.set("invariant", shrunk.report.failures.front().invariant);
+  meta.set("detail", shrunk.report.failures.front().detail);
+  if (!doctor.empty()) meta.set("doctor", doctor);
+  json::Array thread_counts;
+  for (const std::size_t t : threads) {
+    thread_counts.emplace_back(static_cast<std::uint64_t>(t));
+  }
+  meta.set("thread_counts", json::Value{std::move(thread_counts)});
+  meta.set("shrink_steps_tried",
+           static_cast<std::uint64_t>(shrunk.steps_tried));
+  meta.set("shrink_steps_accepted",
+           static_cast<std::uint64_t>(shrunk.steps_accepted));
+
+  json::Value doc{json::Object{}};
+  doc.set("fuzz_repro", std::move(meta));
+  doc.set("scenario", sbp::sim::scenario_to_json(shrunk.scenario));
+  return doc;
+}
+
+/// `sbsim fuzz --repro FILE`: re-check a written repro standalone,
+/// applying its recorded doctor hook and thread counts (both overridable
+/// on the command line). Exit 2 iff the invariant still fails.
+int run_repro(const std::string& file, sbp::sim::InvariantOptions options,
+              bool threads_overridden) {
+  std::string text;
+  std::string error;
+  if (!sbp::sim::read_file(file, &text, &error)) {
+    std::fprintf(stderr, "sbsim: %s\n", error.c_str());
+    return 1;
+  }
+  const json::ParseResult parsed = json::parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "sbsim: %s: %s\n", file.c_str(),
+                 parsed.error.describe(text).c_str());
+    return 1;
+  }
+  const json::Value* scenario_doc = parsed.value->find("scenario");
+  if (scenario_doc == nullptr) {
+    std::fprintf(stderr, "sbsim: %s has no \"scenario\" member (not a fuzz "
+                         "repro?)\n",
+                 file.c_str());
+    return 1;
+  }
+  auto loaded = sbp::sim::parse_scenario(*scenario_doc, &error);
+  if (!loaded) {
+    std::fprintf(stderr, "sbsim: %s: %s\n", file.c_str(), error.c_str());
+    return 1;
+  }
+  if (const json::Value* meta = parsed.value->find("fuzz_repro")) {
+    if (const json::Value* doctor = meta->find("doctor");
+        doctor != nullptr && doctor->is_string() && options.doctor.empty()) {
+      options.doctor = doctor->as_string();
+    }
+    if (const json::Value* counts = meta->find("thread_counts");
+        counts != nullptr && counts->is_array() && !threads_overridden) {
+      std::vector<std::size_t> threads;
+      for (const json::Value& count : counts->as_array()) {
+        if (count.is_integer() && count.as_int64() > 0) {
+          threads.push_back(static_cast<std::size_t>(count.as_int64()));
+        }
+      }
+      if (!threads.empty()) options.thread_counts = threads;
+    }
+  }
+
+  const auto report = sbp::sim::check_invariants(*loaded, options);
+  if (report.ok()) {
+    std::printf("ok   %-28s %s\n", loaded->name.c_str(),
+                report.summary().c_str());
+    return 0;
+  }
+  std::printf("FAIL %-28s %s\n", loaded->name.c_str(),
+              report.summary().c_str());
+  return 2;
+}
+
+int cmd_fuzz(const std::vector<std::string>& args) {
+  std::uint64_t iterations = 25;
+  std::uint64_t seed = 1;
+  std::vector<std::size_t> threads = {1, 2, 8};
+  bool threads_overridden = false;
+  std::string out_dir = ".";
+  std::string doctor;
+  std::string repro_file;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--iterations" && i + 1 < args.size()) {
+      char* end = nullptr;
+      const std::string& text = args[++i];
+      iterations = std::strtoull(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0' || iterations == 0) {
+        return usage_error("--iterations needs a positive number");
+      }
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      char* end = nullptr;
+      const std::string& text = args[++i];
+      seed = std::strtoull(text.c_str(), &end, 0);  // base 0: 0x.. allowed
+      if (end == text.c_str() || *end != '\0') {
+        return usage_error("--seed needs a number");
+      }
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      const auto parsed = parse_thread_list(args[++i]);
+      if (!parsed) return usage_error("bad --threads list");
+      threads = *parsed;
+      threads_overridden = true;
+    } else if (args[i] == "--out-dir" && i + 1 < args.size()) {
+      out_dir = args[++i];
+    } else if (args[i] == "--doctor" && i + 1 < args.size()) {
+      doctor = args[++i];
+    } else if (args[i] == "--repro" && i + 1 < args.size()) {
+      repro_file = args[++i];
+    } else if (args[i].rfind("--", 0) == 0) {
+      return usage_error(("unknown flag for fuzz: " + args[i]).c_str());
+    } else {
+      return usage_error(("fuzz does not take positionals: " + args[i])
+                             .c_str());
+    }
+  }
+  if (!doctor.empty()) {
+    const auto& names = sbp::sim::invariant_names();
+    if (std::find(names.begin(), names.end(), doctor) == names.end()) {
+      std::string valid;
+      for (const auto& name : names) {
+        if (!valid.empty()) valid += ", ";
+        valid += name;
+      }
+      return usage_error(
+          ("--doctor: unknown invariant (valid: " + valid + ")").c_str());
+    }
+  }
+
+  sbp::sim::InvariantOptions options;
+  options.thread_counts = threads;
+  options.doctor = doctor;
+  if (!repro_file.empty()) {
+    return run_repro(repro_file, std::move(options), threads_overridden);
+  }
+
+  // Failures past this cap are still reported and still fail the run, but
+  // are not shrunk/written -- shrinking re-runs the engine dozens of
+  // times, and one systemic engine bug would otherwise turn every
+  // iteration into a minimization campaign.
+  constexpr std::uint64_t kMaxShrunkRepros = 3;
+
+  std::fprintf(stderr,
+               "fuzz: seed %s, %llu iteration(s), threads",
+               json::hex_u64(seed).c_str(),
+               static_cast<unsigned long long>(iterations));
+  for (const std::size_t t : threads) std::fprintf(stderr, " %zu", t);
+  std::fprintf(stderr, ", repros -> %s\n", out_dir.c_str());
+
+  sbp::sim::ScenarioGenerator generator(seed);
+  std::uint64_t failures = 0;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    const Scenario scenario = generator.next();
+    const auto report = sbp::sim::check_invariants(scenario, options);
+    if (report.ok()) {
+      std::printf("ok   %-28s %s\n", scenario.name.c_str(),
+                  report.summary().c_str());
+      continue;
+    }
+    ++failures;
+    std::printf("FAIL %-28s %s\n", scenario.name.c_str(),
+                report.summary().c_str());
+    if (failures > kMaxShrunkRepros) continue;
+
+    const auto shrunk = sbp::sim::shrink_failing_scenario(scenario, options);
+    std::error_code ec;
+    fs::create_directories(out_dir, ec);  // best effort; write reports errors
+    const std::string repro_path =
+        out_dir + "/" + scenario.name + "-repro.json";
+    std::string error;
+    if (!sbp::sim::write_file(
+            repro_path,
+            json::dump(repro_to_json(seed, i, threads, doctor, shrunk)),
+            &error)) {
+      std::fprintf(stderr, "sbsim: %s\n", error.c_str());
+    } else {
+      std::printf(
+          "     shrunk to %zu users x %llu ticks (%zu/%zu steps), wrote "
+          "%s\n",
+          shrunk.scenario.config.num_users,
+          static_cast<unsigned long long>(shrunk.scenario.config.ticks),
+          shrunk.steps_accepted, shrunk.steps_tried, repro_path.c_str());
+    }
+  }
+  std::printf("%llu scenario(s), %llu failure(s)\n",
+              static_cast<unsigned long long>(iterations),
+              static_cast<unsigned long long>(failures));
+  return failures == 0 ? 0 : 2;
+}
+
 int cmd_print(const std::vector<std::string>& args) {
   if (args.size() != 1) return usage_error("print takes one scenario file");
   const auto scenario = load_or_complain(args[0]);
@@ -576,6 +795,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 2, argv + argc);
   if (command == "run") return cmd_run(args);
   if (command == "loadgen") return cmd_loadgen(args);
+  if (command == "fuzz") return cmd_fuzz(args);
   if (command == "verify") return cmd_verify(args);
   if (command == "bless") return cmd_bless(args);
   if (command == "print") return cmd_print(args);
