@@ -36,6 +36,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -45,7 +46,25 @@
 #include "sb/chunk.hpp"
 #include "sb/list_spec.hpp"
 
+namespace sbp::storage {
+class SnapshotWriter;
+class StateBackend;
+struct ParsedSnapshot;
+}  // namespace sbp::storage
+
 namespace sbp::sb {
+
+/// Section ids of the persistent snapshot container (docs/persistence.md).
+/// kServerMeta/kLists are written by Server::checkpoint_sections();
+/// kEngineMeta/kQuerySink are host bookkeeping added by the sim layer
+/// (sim::checkpoint_engine) so a resuming daemon knows the snapshot's tick
+/// / churn-epoch provenance and can continue the query-log fingerprint.
+namespace snapshot_section {
+inline constexpr std::uint64_t kServerMeta = 1;
+inline constexpr std::uint64_t kLists = 2;
+inline constexpr std::uint64_t kEngineMeta = 3;
+inline constexpr std::uint64_t kQuerySink = 4;
+}  // namespace snapshot_section
 
 /// An opaque client identifier -- the "SB cookie" of Section 2.2.3.
 using Cookie = std::uint64_t;
@@ -307,6 +326,30 @@ class Server {
     minimum_wait_ = ticks;
     update_encode_cache_.clear();
   }
+
+  // -- persistence (docs/persistence.md) ------------------------------------
+  //
+  // checkpoint_*() serializes the COMPLETE serving state -- every list's
+  // sealed chunks, open chunk, next_chunk_number (the chunk sequence / v4
+  // state token), prefix -> digest map, plus provider and minimum-wait --
+  // into snapshot_section::kServerMeta / kLists sections of a
+  // storage::SnapshotWriter container. Encoding is deterministic (lists in
+  // sorted name order, digest maps in sorted prefix order), so
+  // checkpoint -> restore -> checkpoint is a byte fixpoint. restore_*()
+  // replaces this server's state wholesale; a restored server is
+  // byte-indistinguishable to every client generation (same chunk
+  // sequences, same v3 chunks, same v4 slices and checksums). On any
+  // decode failure restore leaves *this untouched and reports a located
+  // error. Sink wiring and the retained query log are host concerns and
+  // are not serialized; restore clears the retained log.
+
+  void checkpoint_sections(storage::SnapshotWriter& writer) const;
+  [[nodiscard]] std::vector<std::uint8_t> checkpoint_bytes() const;
+  bool checkpoint(storage::StateBackend& backend, std::string* error) const;
+  bool restore_sections(const storage::ParsedSnapshot& snapshot,
+                        std::string* error);
+  bool restore_bytes(std::span<const std::uint8_t> bytes, std::string* error);
+  bool restore(storage::StateBackend& backend, std::string* error);
 
   // -- introspection (forensics & experiments) ------------------------------
 

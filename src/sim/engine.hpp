@@ -154,6 +154,7 @@ class Engine {
   [[nodiscard]] std::uint64_t current_tick() const noexcept { return tick_; }
   [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
   [[nodiscard]] sb::Server& server() noexcept { return server_; }
+  [[nodiscard]] const sb::Server& server() const noexcept { return server_; }
   /// Wire counters summed across every shard transport.
   [[nodiscard]] sb::TransportStats transport_stats() const;
   [[nodiscard]] const SimMetrics& metrics() const noexcept { return metrics_; }

@@ -5,7 +5,9 @@
 #include <optional>
 #include <utility>
 
+#include "sb/wire/frames.hpp"
 #include "sim/scenario/runner.hpp"
+#include "storage/snapshot.hpp"
 #include "util/json/json.hpp"
 
 namespace sbp::sim {
@@ -17,6 +19,7 @@ constexpr const char* kMetricsTransparency = "metrics-transparency";
 constexpr const char* kProtocolEquivalence = "protocol-equivalence";
 constexpr const char* kCounterConservation = "counter-conservation";
 constexpr const char* kCanonicalRoundtrip = "canonical-roundtrip";
+constexpr const char* kCheckpointRestore = "checkpoint-restore";
 
 std::string join(const std::vector<std::string>& parts,
                  const std::string& sep) {
@@ -77,6 +80,9 @@ Scenario base_scenario(const Scenario& scenario) {
   base.config.collect_metrics = false;
   base.config.metrics_per_tick_series = false;
   base.golden.reset();
+  // The checkpoint-restore leg exercises snapshots in memory; an on-disk
+  // snapshot block would make every fuzz iteration write files.
+  base.snapshot.reset();
   return base;
 }
 
@@ -201,6 +207,79 @@ void check_protocol_equivalence(const Scenario& base, Collector& collect) {
     }
   }
   if (!diffs.empty()) collect.fail("v3 twin != v4 twin: " + join(diffs, "; "));
+}
+
+/// The persistence contract (docs/persistence.md) as a golden-free
+/// oracle: after running the scenario, checkpoint the server to a memory
+/// backend, restore into a fresh server, and require (1) re-checkpointing
+/// the restored server reproduces the exact snapshot bytes, and (2) the
+/// restored server is byte-indistinguishable to every client generation
+/// -- same list names, chunk sequences, prefix sets and digests, and
+/// byte-identical encoded v3/v4 update responses for a fresh client.
+void check_checkpoint_restore(const Scenario& base, Collector& collect) {
+  collect.begin(kCheckpointRestore);
+  SimConfig config = base.config;
+  config.num_threads = 1;
+  Engine engine(std::move(config));
+  engine.run();
+  sb::Server& original = engine.server();
+
+  storage::MemoryBackend backend;
+  std::string error;
+  if (!original.checkpoint(backend, &error)) {
+    collect.fail("checkpoint failed: " + error);
+    return;
+  }
+  sb::Server restored;
+  if (!restored.restore(backend, &error)) {
+    collect.fail("restore failed: " + error);
+    return;
+  }
+  collect.law(restored.checkpoint_bytes() == backend.bytes(),
+              "checkpoint -> restore -> checkpoint is not a byte fixpoint");
+
+  const std::vector<std::string> names = original.list_names();
+  if (restored.list_names() != names) {
+    collect.fail("restored list names differ");
+    return;
+  }
+  for (const std::string& name : names) {
+    collect.law(restored.chunk_sequence(name) == original.chunk_sequence(name),
+                name + ": chunk_sequence " +
+                    num(restored.chunk_sequence(name)) + " != " +
+                    num(original.chunk_sequence(name)));
+    const auto prefixes = original.prefixes(name);
+    collect.law(restored.prefixes(name) == prefixes,
+                name + ": restored prefix set differs");
+    const std::size_t sample = std::min<std::size_t>(8, prefixes.size());
+    for (std::size_t i = 0; i < sample; ++i) {
+      collect.law(restored.digests_for(name, prefixes[i]) ==
+                      original.digests_for(name, prefixes[i]),
+                  name + ": digests differ for a sampled prefix");
+    }
+  }
+
+  // Fresh clients of both generations must receive byte-identical update
+  // frames (this also seals any open chunk -- symmetrically, since the
+  // open chunk is serialized verbatim).
+  sb::UpdateRequest v3_request;
+  sb::V4UpdateRequest v4_request;
+  for (const std::string& name : names) {
+    v3_request.lists.push_back({name, {}, {}});
+    v4_request.lists.push_back({name, 0});
+  }
+  const auto v3_frame = sb::wire::encode_update_request(v3_request);
+  const auto v4_frame = sb::wire::encode_v4_update_request(v4_request);
+  const auto v3_original = original.encoded_update_response(v3_frame);
+  const auto v3_restored = restored.encoded_update_response(v3_frame);
+  collect.law(v3_original != nullptr && v3_restored != nullptr &&
+                  *v3_original == *v3_restored,
+              "v3 update response bytes differ after restore");
+  const auto v4_original = original.encoded_update_response(v4_frame);
+  const auto v4_restored = restored.encoded_update_response(v4_frame);
+  collect.law(v4_original != nullptr && v4_restored != nullptr &&
+                  *v4_original == *v4_restored,
+              "v4 update response bytes differ after restore");
 }
 
 void check_counter_conservation(const Scenario& base,
@@ -338,8 +417,8 @@ void check_counter_conservation(const Scenario& base,
 
 const std::vector<std::string>& invariant_names() {
   static const std::vector<std::string> names = {
-      kCanonicalRoundtrip, kThreadDeterminism, kMetricsTransparency,
-      kProtocolEquivalence, kCounterConservation};
+      kCanonicalRoundtrip,   kThreadDeterminism,  kMetricsTransparency,
+      kProtocolEquivalence,  kCounterConservation, kCheckpointRestore};
   return names;
 }
 
@@ -388,6 +467,7 @@ InvariantReport check_invariants(const Scenario& scenario,
   check_metrics_transparency(base, baseline, baseline_threads, collect);
   check_protocol_equivalence(base, collect);
   check_counter_conservation(base, baseline, collect);
+  check_checkpoint_restore(base, collect);
   collect.finish_doctor();
 
   return report;

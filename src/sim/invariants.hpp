@@ -37,6 +37,14 @@
 //                         parse_scenario -> scenario_to_json is a
 //                         fixpoint (the canonical form is stable and
 //                         loses nothing).
+//   checkpoint-restore    after the run, checkpointing the server to a
+//                         memory backend, restoring into a fresh server
+//                         and re-checkpointing is a byte fixpoint, and
+//                         the restored server serves byte-identical v3
+//                         and v4 update frames (same chunk sequences,
+//                         prefix sets and digests) -- the persistence
+//                         contract of docs/persistence.md, exercised on
+//                         every generated scenario.
 //
 // On failure, shrink_failing_scenario() greedily minimizes the scenario
 // (halve the population, drop churn, disable mitigation, ...) while the

@@ -2,7 +2,37 @@
 
 #include <algorithm>
 
+#include "sb/wire/wire_format.hpp"
+
 namespace sbp::sim {
+
+std::vector<std::uint8_t> encode_counting_sink_state(
+    const CountingSinkState& state) {
+  sb::wire::Writer out;
+  out.varint(state.entries);
+  out.varint(state.prefixes);
+  out.varint(state.multi_prefix_entries);
+  out.varint(state.fingerprint);
+  return out.take();
+}
+
+std::optional<CountingSinkState> decode_counting_sink_state(
+    std::span<const std::uint8_t> payload) {
+  sb::wire::Reader reader(payload);
+  CountingSinkState state;
+  const auto entries = reader.varint();
+  const auto prefixes = reader.varint();
+  const auto multi = reader.varint();
+  const auto fingerprint = reader.varint();
+  if (!entries || !prefixes || !multi || !fingerprint || !reader.done()) {
+    return std::nullopt;
+  }
+  state.entries = *entries;
+  state.prefixes = *prefixes;
+  state.multi_prefix_entries = *multi;
+  state.fingerprint = *fingerprint;
+  return state;
+}
 
 namespace {
 

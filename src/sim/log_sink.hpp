@@ -19,6 +19,8 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "sb/server.hpp"
@@ -51,10 +53,42 @@ class InMemorySink : public sb::QueryLogSink {
 [[nodiscard]] std::uint64_t fingerprint_log(
     const std::vector<sb::QueryLogEntry>& log);
 
+/// The complete internal state of a CountingSink -- four integers, so a
+/// checkpointed daemon can persist its fingerprint accumulator and a
+/// restored one continues the stream as if never interrupted
+/// (docs/persistence.md).
+struct CountingSinkState {
+  std::uint64_t entries = 0;
+  std::uint64_t prefixes = 0;
+  std::uint64_t multi_prefix_entries = 0;
+  std::uint64_t fingerprint = 14695981039346656037ULL;  // FNV offset basis
+
+  friend bool operator==(const CountingSinkState&,
+                         const CountingSinkState&) = default;
+};
+
+/// Snapshot-section payload codec for CountingSinkState (four varints, in
+/// struct order). decode returns nullopt on truncation or trailing bytes.
+[[nodiscard]] std::vector<std::uint8_t> encode_counting_sink_state(
+    const CountingSinkState& state);
+[[nodiscard]] std::optional<CountingSinkState> decode_counting_sink_state(
+    std::span<const std::uint8_t> payload);
+
 /// Constant-memory sink: entry/prefix counts plus the stream fingerprint.
 class CountingSink : public sb::QueryLogSink {
  public:
   void record(const sb::QueryLogEntry& entry) override;
+
+  [[nodiscard]] CountingSinkState state() const noexcept {
+    return CountingSinkState{entries_, prefixes_, multi_prefix_entries_,
+                             fingerprint_};
+  }
+  void restore(const CountingSinkState& state) noexcept {
+    entries_ = state.entries;
+    prefixes_ = state.prefixes;
+    multi_prefix_entries_ = state.multi_prefix_entries;
+    fingerprint_ = state.fingerprint;
+  }
 
   [[nodiscard]] std::uint64_t entries() const noexcept { return entries_; }
   [[nodiscard]] std::uint64_t prefixes() const noexcept { return prefixes_; }

@@ -5,6 +5,8 @@
 
 #include "analysis/reidentify.hpp"
 #include "sim/log_sink.hpp"
+#include "sim/snapshot_io.hpp"
+#include "storage/snapshot.hpp"
 
 namespace sbp::sim {
 
@@ -127,7 +129,30 @@ ScenarioRunResult run_scenario(const Scenario& scenario,
   engine.attach_sink(&fanout, /*retain_in_memory=*/false);
 
   const auto run_start = Clock::now();
-  engine.run();
+  if (scenario.snapshot) {
+    // Checkpoint the serving state mid-run: the first time the requested
+    // churn epoch completes (an epoch boundary, so every chunk is sealed),
+    // or after the final tick when at_epoch is 0 / never reached. The
+    // snapshot bytes are a pure function of the scenario, so re-running at
+    // another thread count rewrites an identical file.
+    storage::FileBackend backend(scenario.snapshot->path);
+    bool written = false;
+    while (engine.step()) {
+      if (!written && scenario.snapshot->at_epoch > 0 &&
+          engine.churn_epochs() >= scenario.snapshot->at_epoch) {
+        result.snapshot_written =
+            checkpoint_engine(engine, &counter, backend,
+                              &result.snapshot_error);
+        written = true;
+      }
+    }
+    if (!written) {
+      result.snapshot_written = checkpoint_engine(
+          engine, &counter, backend, &result.snapshot_error);
+    }
+  } else {
+    engine.run();
+  }
   result.run_seconds = seconds_since(run_start);
 
   result.metrics = engine.metrics();

@@ -55,6 +55,12 @@ struct ScenarioRunResult {
   /// Orthogonal to every deterministic observable above.
   std::optional<obs::Snapshot> obs;
 
+  /// Scenario snapshot block outcome: whether a checkpoint file was
+  /// written, and the located failure reason when it was not (empty when
+  /// the scenario has no snapshot block).
+  bool snapshot_written = false;
+  std::string snapshot_error;
+
   /// The deterministic observables of this run, as a golden block.
   [[nodiscard]] ScenarioGolden golden() const noexcept;
 };

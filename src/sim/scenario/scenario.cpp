@@ -424,6 +424,15 @@ void parse_golden(const json::Value& value, ScenarioGolden& out,
   reader.finish();
 }
 
+void parse_snapshot_block(const json::Value& value, ScenarioSnapshot& out,
+                          std::string* error) {
+  ObjectReader reader(value, "snapshot", error);
+  reader.string("path", out.path);
+  reader.u64("at_epoch", out.at_epoch);
+  reader.finish();
+  if (out.path.empty()) reader.fail("snapshot.path must be non-empty");
+}
+
 }  // namespace
 
 std::optional<Scenario> parse_scenario(const json::Value& document,
@@ -446,6 +455,11 @@ std::optional<Scenario> parse_scenario(const json::Value& document,
     ScenarioGolden parsed;
     parse_golden(*golden, parsed, sink);
     scenario.golden = parsed;
+  }
+  if (const json::Value* snapshot = reader.take("snapshot")) {
+    ScenarioSnapshot parsed;
+    parse_snapshot_block(*snapshot, parsed, sink);
+    scenario.snapshot = parsed;
   }
   reader.finish();
 
@@ -575,6 +589,13 @@ json::Value golden_to_json(const ScenarioGolden& golden) {
   return out;
 }
 
+json::Value snapshot_to_json(const ScenarioSnapshot& snapshot) {
+  json::Value out{json::Object{}};
+  out.set("path", snapshot.path);
+  out.set("at_epoch", u64_value(snapshot.at_epoch));
+  return out;
+}
+
 json::Value scenario_to_json(const Scenario& scenario) {
   json::Value report{json::Object{}};
   report.set("transport", scenario.report.transport);
@@ -591,6 +612,9 @@ json::Value scenario_to_json(const Scenario& scenario) {
   out.set("config", config_to_json(scenario.config));
   out.set("report", std::move(report));
   if (scenario.golden) out.set("golden", golden_to_json(*scenario.golden));
+  if (scenario.snapshot) {
+    out.set("snapshot", snapshot_to_json(*scenario.snapshot));
+  }
   return out;
 }
 

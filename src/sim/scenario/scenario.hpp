@@ -60,6 +60,18 @@ struct ScenarioGolden {
   std::uint64_t wire_bytes_down = 0;
 };
 
+/// Optional checkpoint directive (docs/persistence.md): the runner writes
+/// the server's snapshot container to `path`. With `at_epoch > 0` the
+/// checkpoint is taken the moment the engine completes that churn epoch --
+/// an epoch boundary, so the persisted state is sealed and a restored
+/// daemon resumes mid-churn with identical chunk sequences. With
+/// `at_epoch == 0` (or a churn-free scenario) it is taken after the final
+/// tick.
+struct ScenarioSnapshot {
+  std::string path;
+  std::uint64_t at_epoch = 0;
+};
+
 /// One declarative workload: name + config + report plan + golden.
 struct Scenario {
   std::string name;
@@ -67,6 +79,7 @@ struct Scenario {
   SimConfig config;
   ReportConfig report;
   std::optional<ScenarioGolden> golden;
+  std::optional<ScenarioSnapshot> snapshot;
 };
 
 /// Parses a scenario document. On failure returns nullopt and, when
@@ -84,6 +97,8 @@ struct Scenario {
 [[nodiscard]] util::json::Value scenario_to_json(const Scenario& scenario);
 [[nodiscard]] util::json::Value config_to_json(const SimConfig& config);
 [[nodiscard]] util::json::Value golden_to_json(const ScenarioGolden& golden);
+[[nodiscard]] util::json::Value snapshot_to_json(
+    const ScenarioSnapshot& snapshot);
 
 /// Reads a whole file into `out` (false + error message on I/O failure).
 /// Shared by sbsim and the scenario tests; lives here to keep the CLI thin.

@@ -1,0 +1,86 @@
+#include "sim/snapshot_io.hpp"
+
+#include "sb/server.hpp"
+#include "sb/wire/wire_format.hpp"
+
+namespace sbp::sim {
+
+std::vector<std::uint8_t> encode_engine_meta(const EngineSnapshotMeta& meta) {
+  sb::wire::Writer out;
+  out.varint(meta.tick);
+  out.varint(meta.churn_epochs);
+  return out.take();
+}
+
+std::optional<EngineSnapshotMeta> decode_engine_meta(
+    std::span<const std::uint8_t> payload) {
+  sb::wire::Reader reader(payload);
+  const auto tick = reader.varint();
+  const auto epochs = reader.varint();
+  if (!tick || !epochs || !reader.done()) return std::nullopt;
+  return EngineSnapshotMeta{*tick, *epochs};
+}
+
+bool checkpoint_engine(const Engine& engine, const CountingSink* sink,
+                       storage::StateBackend& backend, std::string* error) {
+  storage::SnapshotWriter writer;
+  engine.server().checkpoint_sections(writer);
+  writer.section(sb::snapshot_section::kEngineMeta,
+                 encode_engine_meta(EngineSnapshotMeta{
+                     engine.current_tick(), engine.churn_epochs()}));
+  if (sink != nullptr) {
+    writer.section(sb::snapshot_section::kQuerySink,
+                   encode_counting_sink_state(sink->state()));
+  }
+  return backend.store(writer.encode(), error);
+}
+
+bool restore_engine(Engine& engine, CountingSink* sink,
+                    storage::StateBackend& backend, RestoreInfo* info,
+                    std::string* error) {
+  std::string load_error;
+  const auto bytes = backend.load(&load_error);
+  if (!bytes) {
+    if (error != nullptr) {
+      *error = "cannot load snapshot from " + backend.describe() + ": " +
+               load_error;
+    }
+    return false;
+  }
+  storage::SnapshotError parse_error;
+  const auto parsed = storage::parse_snapshot(*bytes, &parse_error);
+  if (!parsed) {
+    if (error != nullptr) *error = parse_error.to_string();
+    return false;
+  }
+
+  // Decode the optional host sections BEFORE committing anything, so a
+  // malformed sink section cannot leave the server restored but the sink
+  // stale.
+  RestoreInfo decoded;
+  if (const auto* meta = parsed->find(sb::snapshot_section::kEngineMeta)) {
+    const auto engine_meta = decode_engine_meta(meta->payload);
+    if (!engine_meta) {
+      if (error != nullptr) *error = "engine-meta: bad payload";
+      return false;
+    }
+    decoded.meta = *engine_meta;
+    decoded.had_engine_meta = true;
+  }
+  std::optional<CountingSinkState> sink_state;
+  if (const auto* section = parsed->find(sb::snapshot_section::kQuerySink)) {
+    sink_state = decode_counting_sink_state(section->payload);
+    if (!sink_state) {
+      if (error != nullptr) *error = "query-sink: bad payload";
+      return false;
+    }
+    decoded.had_sink_state = true;
+  }
+
+  if (!engine.server().restore_sections(*parsed, error)) return false;
+  if (sink != nullptr && sink_state) sink->restore(*sink_state);
+  if (info != nullptr) *info = decoded;
+  return true;
+}
+
+}  // namespace sbp::sim

@@ -1,0 +1,65 @@
+// Engine-level checkpoint/restore plumbing (docs/persistence.md).
+//
+// sb::Server::checkpoint_sections() covers the serving state; a daemon
+// resuming a fleet needs two more pieces of host bookkeeping, which this
+// layer adds as extra container sections:
+//
+//   * kEngineMeta -- the tick and churn-epoch count the snapshot was taken
+//     at. Churn injections are keyed by epoch, so the epoch counter IS the
+//     injection bookkeeping: it pins exactly which scheduled injections
+//     are already inside the serialized lists.
+//   * kQuerySink -- the CountingSink accumulator (entry/prefix counts +
+//     the FNV-1a stream fingerprint), so a restored daemon's query-log
+//     fingerprint continues exactly where the interrupted run stopped.
+//
+// Shared by tools/sbserved (--snapshot/--restore/--checkpoint-on), the
+// scenario runner (snapshot block), sbsim snapshot, and the
+// restart-equivalence tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/log_sink.hpp"
+#include "storage/snapshot.hpp"
+
+namespace sbp::sim {
+
+/// Provenance of a checkpoint: where in simulated time it was taken.
+struct EngineSnapshotMeta {
+  std::uint64_t tick = 0;
+  std::uint64_t churn_epochs = 0;
+
+  friend bool operator==(const EngineSnapshotMeta&,
+                         const EngineSnapshotMeta&) = default;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_engine_meta(
+    const EngineSnapshotMeta& meta);
+[[nodiscard]] std::optional<EngineSnapshotMeta> decode_engine_meta(
+    std::span<const std::uint8_t> payload);
+
+/// Serializes engine.server() + engine meta (+ sink state when `sink` is
+/// non-null) and stores the container via `backend`. Returns false with a
+/// located message in `*error` on encode/store failure.
+bool checkpoint_engine(const Engine& engine, const CountingSink* sink,
+                       storage::StateBackend& backend, std::string* error);
+
+/// What a restore found beyond the server sections.
+struct RestoreInfo {
+  EngineSnapshotMeta meta;
+  bool had_engine_meta = false;
+  bool had_sink_state = false;
+};
+
+/// Loads a container from `backend` and restores engine.server() (and
+/// `sink`, when non-null and the snapshot carries sink state). On failure
+/// nothing is modified and `*error` holds the located reason.
+bool restore_engine(Engine& engine, CountingSink* sink,
+                    storage::StateBackend& backend, RestoreInfo* info,
+                    std::string* error);
+
+}  // namespace sbp::sim

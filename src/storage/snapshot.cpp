@@ -1,0 +1,246 @@
+#include "storage/snapshot.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "sb/wire/wire_format.hpp"
+
+namespace sbp::storage {
+
+namespace wire = sb::wire;
+
+std::uint32_t fnv1a32(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint32_t hash = 2166136261u;  // FNV offset basis
+  for (const std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 16777619u;  // FNV prime
+  }
+  return hash;
+}
+
+void SnapshotWriter::section(std::uint64_t id,
+                             std::vector<std::uint8_t> payload) {
+  sections_.push_back(SnapshotSection{id, std::move(payload)});
+}
+
+std::vector<std::uint8_t> SnapshotWriter::encode() const {
+  wire::Writer out;
+  for (const std::uint8_t byte : kSnapshotMagic) out.u8(byte);
+  out.u32be(kSnapshotFormatVersion);
+  out.varint(sections_.size());
+  for (const SnapshotSection& section : sections_) {
+    out.varint(section.id);
+    out.varint(section.payload.size());
+    out.u32be(fnv1a32(section.payload));
+    out.bytes(section.payload);
+  }
+  return out.take();
+}
+
+std::string_view snapshot_error_kind_name(SnapshotErrorKind kind) noexcept {
+  switch (kind) {
+    case SnapshotErrorKind::kEmptyFile:
+      return "empty-file";
+    case SnapshotErrorKind::kTruncatedHeader:
+      return "truncated-header";
+    case SnapshotErrorKind::kBadMagic:
+      return "bad-magic";
+    case SnapshotErrorKind::kUnsupportedVersion:
+      return "unsupported-version";
+    case SnapshotErrorKind::kTruncatedSection:
+      return "truncated-section";
+    case SnapshotErrorKind::kSectionChecksumMismatch:
+      return "section-checksum-mismatch";
+    case SnapshotErrorKind::kTrailingGarbage:
+      return "trailing-garbage";
+  }
+  return "unknown";
+}
+
+std::string SnapshotError::to_string() const {
+  std::string out(snapshot_error_kind_name(kind));
+  out += " at byte ";
+  out += std::to_string(offset);
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+
+const SnapshotSection* ParsedSnapshot::find(std::uint64_t id) const noexcept {
+  for (const SnapshotSection& section : sections) {
+    if (section.id == id) return &section;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::optional<ParsedSnapshot> fail(SnapshotError* error, SnapshotErrorKind kind,
+                                   std::size_t offset, std::string detail) {
+  if (error != nullptr) {
+    error->kind = kind;
+    error->offset = offset;
+    error->detail = std::move(detail);
+  }
+  return std::nullopt;
+}
+
+std::string hex32(std::uint32_t value) {
+  char buffer[11];
+  std::snprintf(buffer, sizeof(buffer), "0x%08x", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::optional<ParsedSnapshot> parse_snapshot(
+    std::span<const std::uint8_t> bytes, SnapshotError* error) {
+  if (bytes.empty()) {
+    return fail(error, SnapshotErrorKind::kEmptyFile, 0,
+                "snapshot is zero bytes");
+  }
+  wire::Reader reader(bytes);
+  const auto magic = reader.bytes(4);
+  if (!magic) {
+    return fail(error, SnapshotErrorKind::kTruncatedHeader, reader.offset(),
+                "input ends inside the 4-byte magic");
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    if ((*magic)[i] != kSnapshotMagic[i]) {
+      return fail(error, SnapshotErrorKind::kBadMagic, i,
+                  "expected \"SBSN\"");
+    }
+  }
+  const auto version = reader.u32be();
+  if (!version) {
+    return fail(error, SnapshotErrorKind::kTruncatedHeader, reader.offset(),
+                "input ends inside the format version");
+  }
+  if (*version == 0 || *version > kSnapshotFormatVersion) {
+    return fail(error, SnapshotErrorKind::kUnsupportedVersion, 4,
+                "format version " + std::to_string(*version) +
+                    " (this build reads <= " +
+                    std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  // Every section costs at least 6 header bytes, so a count larger than
+  // the remaining bytes is corruption -- reject before any allocation.
+  const auto count = reader.bounded_varint(reader.remaining());
+  if (!count) {
+    return fail(error, SnapshotErrorKind::kTruncatedHeader, reader.offset(),
+                "bad section count");
+  }
+
+  ParsedSnapshot parsed;
+  parsed.format_version = *version;
+  parsed.sections.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const std::size_t section_start = reader.offset();
+    const auto id = reader.varint();
+    if (!id) {
+      return fail(error, SnapshotErrorKind::kTruncatedSection, section_start,
+                  "section " + std::to_string(i) + ": bad id");
+    }
+    const auto length = reader.bounded_varint(reader.remaining());
+    if (!length) {
+      return fail(error, SnapshotErrorKind::kTruncatedSection, reader.offset(),
+                  "section " + std::to_string(i) + ": bad payload length");
+    }
+    const auto stored_checksum = reader.u32be();
+    if (!stored_checksum) {
+      return fail(error, SnapshotErrorKind::kTruncatedSection, reader.offset(),
+                  "section " + std::to_string(i) + ": bad checksum field");
+    }
+    const std::size_t payload_offset = reader.offset();
+    const auto payload = reader.bytes(static_cast<std::size_t>(*length));
+    if (!payload) {
+      return fail(error, SnapshotErrorKind::kTruncatedSection, payload_offset,
+                  "section " + std::to_string(i) + ": payload cut short");
+    }
+    const std::uint32_t computed = fnv1a32(*payload);
+    if (computed != *stored_checksum) {
+      return fail(error, SnapshotErrorKind::kSectionChecksumMismatch,
+                  payload_offset,
+                  "section id " + std::to_string(*id) + ": stored " +
+                      hex32(*stored_checksum) + " computed " + hex32(computed));
+    }
+    parsed.sections.push_back(
+        SnapshotSection{*id, {payload->begin(), payload->end()}});
+  }
+  if (!reader.done()) {
+    return fail(error, SnapshotErrorKind::kTrailingGarbage, reader.offset(),
+                std::to_string(reader.remaining()) +
+                    " bytes past the final section");
+  }
+  return parsed;
+}
+
+// ---------------------------------------------------------------------------
+// Backends.
+// ---------------------------------------------------------------------------
+
+bool MemoryBackend::store(std::span<const std::uint8_t> bytes,
+                          std::string* error) {
+  (void)error;
+  bytes_.assign(bytes.begin(), bytes.end());
+  has_snapshot_ = true;
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> MemoryBackend::load(
+    std::string* error) {
+  if (!has_snapshot_) {
+    if (error != nullptr) *error = "memory backend holds no snapshot";
+    return std::nullopt;
+  }
+  return bytes_;
+}
+
+bool FileBackend::store(std::span<const std::uint8_t> bytes,
+                        std::string* error) {
+  const std::string temp = path_ + ".tmp";
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + temp + " for writing";
+    return false;
+  }
+  const std::size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool flushed = std::fclose(file) == 0;
+  if (written != bytes.size() || !flushed) {
+    std::remove(temp.c_str());
+    if (error != nullptr) *error = "short write to " + temp;
+    return false;
+  }
+  if (std::rename(temp.c_str(), path_.c_str()) != 0) {
+    std::remove(temp.c_str());
+    if (error != nullptr) *error = "cannot rename " + temp + " to " + path_;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> FileBackend::load(
+    std::string* error) {
+  std::FILE* file = std::fopen(path_.c_str(), "rb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path_;
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> out;
+  std::uint8_t buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out.insert(out.end(), buffer, buffer + got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    if (error != nullptr) *error = "read error on " + path_;
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace sbp::storage

@@ -1,0 +1,160 @@
+// Versioned binary snapshot container + pluggable state backends
+// (docs/persistence.md).
+//
+// A snapshot is the persistent form of a server's complete serving state:
+// the thing that lets sbserved restart and keep answering a mid-churn
+// fleet with identical chunk sequences and v4 state tokens. This header
+// owns only the *container* -- a magic/versioned header followed by
+// checksummed sections -- and the backends that move container bytes to
+// and from storage. What goes inside a section is the owner's business
+// (sb::Server encodes its lists, sim:: adds engine/sink bookkeeping).
+//
+// Container layout (all integers big-endian or LEB128 varints, matching
+// the wire protocol conventions of src/sb/wire):
+//
+//   magic            4 bytes  "SBSN"
+//   format_version   u32be    (currently 1; readers reject anything newer)
+//   section_count    varint
+//   section*         id varint | payload_len varint | checksum u32be
+//                    | payload bytes
+//
+// The checksum is FNV-1a/32 over the section payload. The decoder follows
+// the Reader discipline: every malformation -- truncation, bad magic, a
+// version from the future, a checksum mismatch, bytes past the final
+// section -- becomes a located SnapshotError, never a crash or over-read.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbp::storage {
+
+inline constexpr std::uint8_t kSnapshotMagic[4] = {'S', 'B', 'S', 'N'};
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// FNV-1a/32 over raw bytes -- the per-section integrity checksum.
+[[nodiscard]] std::uint32_t fnv1a32(
+    std::span<const std::uint8_t> bytes) noexcept;
+
+struct SnapshotSection {
+  std::uint64_t id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Accumulates sections and encodes the container. Section order is
+/// preserved verbatim, so writers that emit sections deterministically get
+/// byte-identical snapshots for identical state (the checkpoint -> restore
+/// -> checkpoint fixpoint the tests pin).
+class SnapshotWriter {
+ public:
+  void section(std::uint64_t id, std::vector<std::uint8_t> payload);
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  [[nodiscard]] const std::vector<SnapshotSection>& sections()
+      const noexcept {
+    return sections_;
+  }
+
+ private:
+  std::vector<SnapshotSection> sections_;
+};
+
+/// Every way a snapshot file can be rejected. One kind per corruption
+/// class so callers (sbserved --restore, sbsim snapshot) can surface a
+/// distinct, located error for each.
+enum class SnapshotErrorKind {
+  kEmptyFile,                ///< zero-length input
+  kTruncatedHeader,          ///< magic/version/count cut short
+  kBadMagic,                 ///< first four bytes are not "SBSN"
+  kUnsupportedVersion,       ///< format_version newer than this build
+  kTruncatedSection,         ///< a section header or payload cut short
+  kSectionChecksumMismatch,  ///< stored checksum != FNV-1a of payload
+  kTrailingGarbage,          ///< bytes remain after the final section
+};
+
+[[nodiscard]] std::string_view snapshot_error_kind_name(
+    SnapshotErrorKind kind) noexcept;
+
+struct SnapshotError {
+  SnapshotErrorKind kind = SnapshotErrorKind::kEmptyFile;
+  std::size_t offset = 0;  ///< byte offset where the problem was detected
+  std::string detail;
+
+  /// "section-checksum-mismatch at byte 23: section 2: stored 0x... ..."
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ParsedSnapshot {
+  std::uint32_t format_version = 0;
+  std::vector<SnapshotSection> sections;
+
+  /// First section with `id`, or nullptr.
+  [[nodiscard]] const SnapshotSection* find(std::uint64_t id) const noexcept;
+};
+
+/// Strict decode of a container. Returns nullopt and fills `*error` (when
+/// non-null) on any malformation; never reads past `bytes`.
+[[nodiscard]] std::optional<ParsedSnapshot> parse_snapshot(
+    std::span<const std::uint8_t> bytes, SnapshotError* error = nullptr);
+
+// ---------------------------------------------------------------------------
+// State backends: where container bytes live between runs.
+// ---------------------------------------------------------------------------
+
+/// Destination/source for snapshot bytes. Implementations must make
+/// store() atomic from a reader's point of view: a concurrent or crashed
+/// load() sees either the old snapshot or the new one, never a torn write.
+class StateBackend {
+ public:
+  virtual ~StateBackend() = default;
+
+  virtual bool store(std::span<const std::uint8_t> bytes,
+                     std::string* error) = 0;
+  [[nodiscard]] virtual std::optional<std::vector<std::uint8_t>> load(
+      std::string* error) = 0;
+  /// Human-readable target ("memory", the file path) for error messages.
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// Keeps the snapshot in RAM -- the in-memory tier (tests, the invariant
+/// oracle, single-process restarts).
+class MemoryBackend final : public StateBackend {
+ public:
+  bool store(std::span<const std::uint8_t> bytes, std::string* error) override;
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> load(
+      std::string* error) override;
+  [[nodiscard]] std::string describe() const override { return "memory"; }
+
+  [[nodiscard]] bool has_snapshot() const noexcept { return has_snapshot_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return bytes_;
+  }
+
+ private:
+  bool has_snapshot_ = false;
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Persists the snapshot to one file with write-to-temp-then-rename
+/// atomicity: a crash mid-checkpoint leaves the previous snapshot intact
+/// (sim::write_file is a plain fopen/fwrite and is NOT safe for this).
+class FileBackend final : public StateBackend {
+ public:
+  explicit FileBackend(std::string path) : path_(std::move(path)) {}
+
+  bool store(std::span<const std::uint8_t> bytes, std::string* error) override;
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> load(
+      std::string* error) override;
+  [[nodiscard]] std::string describe() const override { return path_; }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace sbp::storage

@@ -12,7 +12,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <filesystem>
+#include <iterator>
 #include <string>
+#include <vector>
 
 #ifdef SBP_SBSIM_PATH
 
@@ -126,6 +128,128 @@ TEST(SbsimExitCodes, TwoOnGoldenDriftAndInvariantFailure) {
   ASSERT_TRUE(fs::exists(repro)) << repro;
   EXPECT_EQ(sbsim("fuzz --repro " + repro.string()), 2);
 }
+
+// ---------------------------------------------------------------------------
+// Snapshot fault injection (docs/persistence.md): a valid checkpoint
+// corrupted six distinct ways must be REFUSED -- sbserved --restore exits
+// with the pinned snapshot code 4 (never 0, never a crash, never serving
+// partial state), and `sbsim snapshot` exits 1. The corruption classes
+// mirror the SnapshotErrorKind catalog one-to-one.
+// ---------------------------------------------------------------------------
+
+std::vector<unsigned char> read_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const fs::path& path,
+                 const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Runs `sbsim run` on a tiny scenario with a snapshot block and returns
+/// the checkpoint it wrote.
+fs::path make_valid_snapshot(const fs::path& dir) {
+  const fs::path snapshot = dir / "state.snap";
+  const fs::path scenario = dir / "snapshot-scenario.json";
+  write(scenario, std::string(R"({
+    "name": "exit-code-snapshot",
+    "config": {
+      "num_users": 8,
+      "ticks": 3,
+      "num_shards": 1,
+      "seed": 5,
+      "corpus": {"num_hosts": 50}
+    },
+    "snapshot": {"path": ")") +
+                    snapshot.string() + R"("}
+  })");
+  EXPECT_EQ(sbsim("run " + scenario.string()), 0);
+  EXPECT_TRUE(fs::exists(snapshot));
+  return snapshot;
+}
+
+/// The six corruption modes, applied to a fresh copy of `valid` each.
+/// Returns the path of the corrupted variant.
+fs::path corrupt(const fs::path& dir, const fs::path& valid, int mode) {
+  auto bytes = read_bytes(valid);
+  const fs::path out = dir / ("corrupt-" + std::to_string(mode) + ".snap");
+  switch (mode) {
+    case 0:  // truncated header
+      bytes.resize(5);
+      break;
+    case 1:  // wrong magic
+      bytes[0] ^= 0xFF;
+      break;
+    case 2:  // format version from the future
+      bytes[4] = 0;
+      bytes[5] = 0;
+      bytes[6] = 0;
+      bytes[7] = 0xFF;
+      break;
+    case 3:  // section payload flip -> checksum mismatch
+      bytes.back() ^= 0x01;
+      break;
+    case 4:  // zero-length file
+      bytes.clear();
+      break;
+    case 5:  // trailing garbage
+      bytes.insert(bytes.end(), {0xDE, 0xAD, 0xBE, 0xEF});
+      break;
+  }
+  write_bytes(out, bytes);
+  return out;
+}
+
+TEST(SnapshotExitCodes, SbsimSnapshotZeroOnValidOneOnEveryCorruption) {
+  const fs::path dir = scratch_dir();
+  const fs::path valid = make_valid_snapshot(dir);
+  EXPECT_EQ(sbsim("snapshot " + valid.string()), 0);
+  EXPECT_EQ(sbsim("snapshot /no/such/state.snap"), 1);
+  EXPECT_EQ(sbsim("snapshot"), 1);  // missing argument
+  for (int mode = 0; mode < 6; ++mode) {
+    EXPECT_EQ(sbsim("snapshot " + corrupt(dir, valid, mode).string()), 1)
+        << "corruption mode " << mode;
+  }
+}
+
+#ifdef SBP_SBSERVED_PATH
+
+/// Runs `sbserved <args>` with output discarded; returns the exit code.
+int sbserved(const std::string& args) {
+  const std::string command =
+      std::string(SBP_SBSERVED_PATH) + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  if (status == -1 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+TEST(SnapshotExitCodes, SbservedRefusesEveryCorruptionWithFour) {
+  const fs::path dir = scratch_dir();
+  const fs::path valid = make_valid_snapshot(dir);
+  const fs::path scenario = dir / "snapshot-scenario.json";
+  const std::string base_args = scenario.string() + " --listen unix:" +
+                                (dir / "served.sock").string();
+
+  // Missing snapshot file: the restore path, not usage, so 4.
+  EXPECT_EQ(
+      sbserved(base_args + " --snapshot /no/such/state.snap --restore"), 4);
+  // But --restore without --snapshot is a usage error: 1, not 4.
+  EXPECT_EQ(sbserved(base_args + " --restore"), 1);
+
+  for (int mode = 0; mode < 6; ++mode) {
+    const fs::path bad = corrupt(dir, valid, mode);
+    EXPECT_EQ(
+        sbserved(base_args + " --snapshot " + bad.string() + " --restore"),
+        4)
+        << "corruption mode " << mode << " (" << bad << ")";
+  }
+}
+
+#endif  // SBP_SBSERVED_PATH
 
 TEST(SbsimExitCodes, ThreeOnLoadgenTransportFailure) {
   const fs::path dir = scratch_dir();

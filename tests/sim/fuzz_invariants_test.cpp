@@ -90,7 +90,7 @@ TEST(ScenarioGeneratorTest, EveryEmissionSurvivesTheStrictParser) {
 
 TEST(InvariantsTest, CatalogIsStable) {
   const auto& names = invariant_names();
-  ASSERT_EQ(names.size(), 5u);
+  ASSERT_EQ(names.size(), 6u);
   // Order is documented (docs/fuzzing.md) and repro files reference the
   // names, so this is an API, not an implementation detail.
   EXPECT_EQ(names[0], "canonical-roundtrip");
@@ -98,6 +98,7 @@ TEST(InvariantsTest, CatalogIsStable) {
   EXPECT_EQ(names[2], "metrics-transparency");
   EXPECT_EQ(names[3], "protocol-equivalence");
   EXPECT_EQ(names[4], "counter-conservation");
+  EXPECT_EQ(names[5], "checkpoint-restore");
 }
 
 TEST(InvariantsTest, HoldOnGeneratedScenarios) {

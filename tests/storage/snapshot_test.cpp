@@ -1,0 +1,234 @@
+// Unit tests for the snapshot container (src/storage/snapshot.hpp): the
+// encode/parse roundtrip, one distinct located error per corruption class,
+// and the state backends. The worked example pinned here is the one
+// docs/persistence.md walks through byte by byte -- if the encoding
+// changes, this test and the doc must change together.
+#include "storage/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sbp::storage {
+namespace {
+
+std::vector<std::uint8_t> valid_snapshot() {
+  SnapshotWriter writer;
+  writer.section(7, {0xAB, 0xCD});
+  return writer.encode();
+}
+
+std::string hex(std::span<const std::uint8_t> bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (const std::uint8_t byte : bytes) {
+    out.push_back(digits[byte >> 4]);
+    out.push_back(digits[byte & 0xF]);
+  }
+  return out;
+}
+
+TEST(SnapshotContainerTest, DocWorkedExampleBytes) {
+  // The exact container docs/persistence.md dissects: one section, id 7,
+  // payload {0xAB, 0xCD}. magic | version 1 | count 1 | id 7 | len 2 |
+  // fnv1a32(AB CD) | payload.
+  EXPECT_EQ(hex(valid_snapshot()), "5342534e00000001010702e3a027a5abcd");
+  EXPECT_EQ(fnv1a32(std::vector<std::uint8_t>{0xAB, 0xCD}), 0xE3A027A5u);
+}
+
+TEST(SnapshotContainerTest, RoundtripPreservesSectionsAndOrder) {
+  SnapshotWriter writer;
+  writer.section(3, {1, 2, 3});
+  writer.section(1, {});  // empty payloads are legal
+  writer.section(3, {9});  // duplicate ids are the writer's business
+  SnapshotError error;
+  const auto parsed = parse_snapshot(writer.encode(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error.to_string();
+  EXPECT_EQ(parsed->format_version, kSnapshotFormatVersion);
+  ASSERT_EQ(parsed->sections.size(), 3u);
+  EXPECT_EQ(parsed->sections[0].id, 3u);
+  EXPECT_EQ(parsed->sections[0].payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(parsed->sections[1].id, 1u);
+  EXPECT_TRUE(parsed->sections[1].payload.empty());
+  // find() returns the FIRST section with the id.
+  ASSERT_NE(parsed->find(3), nullptr);
+  EXPECT_EQ(parsed->find(3)->payload.size(), 3u);
+  EXPECT_EQ(parsed->find(99), nullptr);
+}
+
+TEST(SnapshotContainerTest, EmptyContainerIsValid) {
+  SnapshotWriter writer;
+  const auto parsed = parse_snapshot(writer.encode());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->sections.empty());
+}
+
+// -- one corruption class per error kind ------------------------------------
+
+TEST(SnapshotContainerTest, EmptyFileRejected) {
+  SnapshotError error;
+  EXPECT_FALSE(parse_snapshot({}, &error).has_value());
+  EXPECT_EQ(error.kind, SnapshotErrorKind::kEmptyFile);
+  EXPECT_EQ(error.offset, 0u);
+}
+
+TEST(SnapshotContainerTest, TruncatedHeaderRejected) {
+  const auto bytes = valid_snapshot();
+  for (std::size_t len = 1; len < 9; ++len) {
+    SnapshotError error;
+    EXPECT_FALSE(
+        parse_snapshot(std::span(bytes.data(), len), &error).has_value())
+        << "prefix of length " << len;
+    EXPECT_EQ(error.kind, SnapshotErrorKind::kTruncatedHeader)
+        << "prefix of length " << len << ": " << error.to_string();
+  }
+}
+
+TEST(SnapshotContainerTest, BadMagicRejectedAtOffendingByte) {
+  auto bytes = valid_snapshot();
+  bytes[2] ^= 0xFF;
+  SnapshotError error;
+  EXPECT_FALSE(parse_snapshot(bytes, &error).has_value());
+  EXPECT_EQ(error.kind, SnapshotErrorKind::kBadMagic);
+  EXPECT_EQ(error.offset, 2u);
+}
+
+TEST(SnapshotContainerTest, FutureVersionRejected) {
+  auto bytes = valid_snapshot();
+  bytes[7] = static_cast<std::uint8_t>(kSnapshotFormatVersion + 1);
+  SnapshotError error;
+  EXPECT_FALSE(parse_snapshot(bytes, &error).has_value());
+  EXPECT_EQ(error.kind, SnapshotErrorKind::kUnsupportedVersion);
+  EXPECT_EQ(error.offset, 4u);
+  // Version 0 never existed either.
+  bytes[7] = 0;
+  EXPECT_FALSE(parse_snapshot(bytes, &error).has_value());
+  EXPECT_EQ(error.kind, SnapshotErrorKind::kUnsupportedVersion);
+}
+
+TEST(SnapshotContainerTest, TruncatedSectionRejected) {
+  const auto bytes = valid_snapshot();
+  // Every cut inside the section region (after the 9-byte header) is a
+  // section-level truncation.
+  for (std::size_t len = 9; len < bytes.size(); ++len) {
+    SnapshotError error;
+    EXPECT_FALSE(
+        parse_snapshot(std::span(bytes.data(), len), &error).has_value())
+        << "prefix of length " << len;
+    EXPECT_EQ(error.kind, SnapshotErrorKind::kTruncatedSection)
+        << "prefix of length " << len << ": " << error.to_string();
+  }
+}
+
+TEST(SnapshotContainerTest, ChecksumMismatchRejectedWithStoredAndComputed) {
+  auto bytes = valid_snapshot();
+  bytes.back() ^= 0x01;  // flip one payload bit
+  SnapshotError error;
+  EXPECT_FALSE(parse_snapshot(bytes, &error).has_value());
+  EXPECT_EQ(error.kind, SnapshotErrorKind::kSectionChecksumMismatch);
+  EXPECT_NE(error.detail.find("stored"), std::string::npos);
+  EXPECT_NE(error.detail.find("computed"), std::string::npos);
+}
+
+TEST(SnapshotContainerTest, TrailingGarbageRejected) {
+  auto bytes = valid_snapshot();
+  const std::size_t end = bytes.size();
+  bytes.insert(bytes.end(), {0xDE, 0xAD});
+  SnapshotError error;
+  EXPECT_FALSE(parse_snapshot(bytes, &error).has_value());
+  EXPECT_EQ(error.kind, SnapshotErrorKind::kTrailingGarbage);
+  EXPECT_EQ(error.offset, end);
+}
+
+TEST(SnapshotContainerTest, ErrorKindNamesAreDistinct) {
+  const SnapshotErrorKind kinds[] = {
+      SnapshotErrorKind::kEmptyFile,
+      SnapshotErrorKind::kTruncatedHeader,
+      SnapshotErrorKind::kBadMagic,
+      SnapshotErrorKind::kUnsupportedVersion,
+      SnapshotErrorKind::kTruncatedSection,
+      SnapshotErrorKind::kSectionChecksumMismatch,
+      SnapshotErrorKind::kTrailingGarbage,
+  };
+  std::vector<std::string> names;
+  for (const SnapshotErrorKind kind : kinds) {
+    names.emplace_back(snapshot_error_kind_name(kind));
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+TEST(SnapshotContainerTest, ErrorToStringCarriesKindOffsetDetail) {
+  SnapshotError error;
+  error.kind = SnapshotErrorKind::kBadMagic;
+  error.offset = 2;
+  error.detail = "expected \"SBSN\"";
+  const std::string text = error.to_string();
+  EXPECT_NE(text.find("bad-magic"), std::string::npos);
+  EXPECT_NE(text.find("byte 2"), std::string::npos);
+  EXPECT_NE(text.find("SBSN"), std::string::npos);
+}
+
+// -- backends ---------------------------------------------------------------
+
+TEST(SnapshotBackendTest, MemoryBackendRoundtrip) {
+  MemoryBackend backend;
+  EXPECT_FALSE(backend.has_snapshot());
+  std::string error;
+  EXPECT_FALSE(backend.load(&error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  const auto bytes = valid_snapshot();
+  ASSERT_TRUE(backend.store(bytes, &error));
+  EXPECT_TRUE(backend.has_snapshot());
+  const auto loaded = backend.load(&error);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, bytes);
+  EXPECT_EQ(backend.describe(), "memory");
+}
+
+TEST(SnapshotBackendTest, FileBackendRoundtripAndOverwrite) {
+  const std::string path =
+      ::testing::TempDir() + "snapshot_backend_test.snap";
+  std::remove(path.c_str());
+  FileBackend backend(path);
+  std::string error;
+  EXPECT_FALSE(backend.load(&error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  const auto bytes = valid_snapshot();
+  ASSERT_TRUE(backend.store(bytes, &error)) << error;
+  auto loaded = backend.load(&error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(*loaded, bytes);
+
+  // The temp file of the write-then-rename dance must be gone.
+  FILE* temp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(temp, nullptr);
+  if (temp != nullptr) std::fclose(temp);
+
+  // Overwriting replaces the content atomically.
+  std::vector<std::uint8_t> other = bytes;
+  other.push_back(0x00);
+  ASSERT_TRUE(backend.store(other, &error)) << error;
+  loaded = backend.load(&error);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, other);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotBackendTest, FileBackendStoreFailsIntoError) {
+  FileBackend backend("/nonexistent-dir/sub/state.snap");
+  std::string error;
+  EXPECT_FALSE(backend.store(valid_snapshot(), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace sbp::storage

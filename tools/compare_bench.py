@@ -191,10 +191,61 @@ def check_net(baseline, current, args):
     return failures
 
 
+def check_snapshot(baseline, current, _args):
+    """snapshot: fixpoint gate + restore-beats-rebuild + byte-size ceiling.
+
+    Hardware-independent gates: `restore_identical` must be true (a
+    restored server that re-checkpoints differently is silent state
+    corruption), and at every size restore must cost less wall time than
+    the cold rebuild it replaces -- the ratio is measured within one run
+    on one machine, so runner speed cancels out. Snapshot bytes are
+    deterministic at fixed size; more than 25% growth over the committed
+    baseline means the format got fatter without a deliberate baseline
+    refresh.
+    """
+    failures = []
+    if current.get("restore_identical") is not True:
+        failures.append(
+            "restore_identical is not true: checkpoint -> restore -> "
+            "checkpoint is no longer a byte fixpoint")
+    bytes_ceiling = 1.25
+    base_sizes = {entry.get("prefixes"): entry
+                  for entry in baseline.get("sizes", [])}
+    for entry in current.get("sizes", []):
+        prefixes = entry.get("prefixes")
+        restore = entry.get("restore_ms")
+        rebuild = entry.get("cold_build_ms")
+        if isinstance(restore, (int, float)) and \
+                isinstance(rebuild, (int, float)) and rebuild > 0:
+            print(f"snapshot/{prefixes}: restore {restore:.2f}ms vs cold "
+                  f"rebuild {rebuild:.2f}ms "
+                  f"({rebuild / max(restore, 1e-9):.1f}x faster), "
+                  f"{entry.get('snapshot_bytes')} bytes")
+            if restore >= rebuild:
+                failures.append(
+                    f"{prefixes} prefixes: restore ({restore:.2f}ms) is "
+                    f"not faster than the cold rebuild ({rebuild:.2f}ms) "
+                    "it exists to replace")
+        base = base_sizes.get(prefixes, {}).get("snapshot_bytes")
+        cur = entry.get("snapshot_bytes")
+        if isinstance(base, (int, float)) and base > 0 and \
+                isinstance(cur, (int, float)):
+            if cur > base * bytes_ceiling:
+                failures.append(
+                    f"{prefixes} prefixes: snapshot grew to {cur} bytes "
+                    f"(> {bytes_ceiling:.2f}x baseline {base}); refresh "
+                    "the baseline if the format change is deliberate")
+            elif cur != base:
+                print(f"note: snapshot_bytes at {prefixes} prefixes "
+                      f"changed: {base} -> {cur} (format change?)")
+    return failures
+
+
 CHECKS = {
     "sim_throughput": check_throughput,
     "protocol_bandwidth": check_bandwidth,
     "net_throughput": check_net,
+    "snapshot": check_snapshot,
 }
 
 

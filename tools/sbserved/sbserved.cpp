@@ -30,6 +30,16 @@
 // memory) that the loopback smoke test compares against the in-process
 // golden. Scenarios with churn are rejected: epoch mutation is driven by
 // the engine's tick loop, which a daemon doesn't have.
+//
+// Persistence (docs/persistence.md): --snapshot PATH names the checkpoint
+// file; --restore replaces the seeded state with the snapshot's at boot
+// (this is how a daemon serves mid-churn state: a scenario run checkpoints
+// at an epoch boundary, the daemon restores it -- so churn scenarios ARE
+// accepted under --restore); --checkpoint-on SIGUSR1 writes the snapshot
+// (atomic write-then-rename) whenever SIGUSR1 arrives. The daemon's state
+// is static between signals, so every SIGUSR1 checkpoint is sealed by
+// construction. Snapshot failures at boot exit with the distinct code 4
+// and never serve partial state.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -43,6 +53,8 @@
 #include "sim/engine.hpp"
 #include "sim/log_sink.hpp"
 #include "sim/scenario/scenario.hpp"
+#include "sim/snapshot_io.hpp"
+#include "storage/snapshot.hpp"
 #include "util/json/json.hpp"
 
 namespace {
@@ -54,10 +66,17 @@ constexpr const char* kUsage =
     "                [--config daemon.json] [--metrics-out FILE]\n"
     "                [--prom-out FILE] [--stats-out FILE]\n"
     "                [--endpoints-out FILE] [--drain-ms N]\n"
+    "                [--snapshot FILE] [--restore]\n"
+    "                [--checkpoint-on SIGUSR1]\n"
     "\n"
     "ENDPOINT is tcp:HOST:PORT (port 0 = ephemeral) or unix:/PATH.\n"
     "SIGINT/SIGTERM: graceful drain + exports + exit 0. SIGHUP: stats to\n"
-    "stderr.\n";
+    "stderr. --restore boots from the --snapshot file (exit 4 if it is\n"
+    "missing or corrupt); --checkpoint-on SIGUSR1 rewrites it on signal.\n";
+
+/// Distinct from 1 (usage/scenario errors) so the fault-injection suite
+/// can pin "refused a bad snapshot" apart from "bad invocation".
+constexpr int kExitSnapshotError = 4;
 
 int usage_error(const char* message) {
   std::fprintf(stderr, "sbserved: %s\n%s", message, kUsage);
@@ -68,9 +87,11 @@ int usage_error(const char* message) {
 // (poll(2) is not restarted by SA_RESTART, so delivery wakes it).
 volatile std::sig_atomic_t g_stop = 0;
 volatile std::sig_atomic_t g_hup = 0;
+volatile std::sig_atomic_t g_usr1 = 0;
 
 void on_stop(int) { g_stop = 1; }
 void on_hup(int) { g_hup = 1; }
+void on_usr1(int) { g_usr1 = 1; }
 
 struct Options {
   std::string scenario_path;
@@ -80,6 +101,9 @@ struct Options {
   std::string stats_out;
   std::string endpoints_out;
   int drain_ms = 2000;
+  std::string snapshot_path;
+  bool restore = false;
+  bool checkpoint_on_usr1 = false;
 };
 
 bool load_config_file(const std::string& path, Options* options,
@@ -116,6 +140,10 @@ bool load_config_file(const std::string& path, Options* options,
       options->endpoints_out = value.as_string();
     } else if (key == "drain_ms" && value.is_integer()) {
       options->drain_ms = static_cast<int>(value.as_int64());
+    } else if (key == "snapshot" && value.is_string()) {
+      options->snapshot_path = value.as_string();
+    } else if (key == "restore" && value.is_bool()) {
+      options->restore = value.as_bool();
     } else {
       *error = path + ": unknown or mistyped config key '" + key + "'";
       return false;
@@ -199,6 +227,15 @@ int main(int argc, char** argv) {
       options.endpoints_out = args[++i];
     } else if (args[i] == "--drain-ms" && i + 1 < args.size()) {
       options.drain_ms = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--snapshot" && i + 1 < args.size()) {
+      options.snapshot_path = args[++i];
+    } else if (args[i] == "--restore") {
+      options.restore = true;
+    } else if (args[i] == "--checkpoint-on" && i + 1 < args.size()) {
+      if (args[++i] != "SIGUSR1") {
+        return usage_error("--checkpoint-on only supports SIGUSR1");
+      }
+      options.checkpoint_on_usr1 = true;
     } else if (args[i].rfind("--", 0) == 0) {
       return usage_error(("unknown flag: " + args[i]).c_str());
     } else if (options.scenario_path.empty()) {
@@ -213,6 +250,10 @@ int main(int argc, char** argv) {
   if (options.listen.empty()) {
     return usage_error("at least one --listen endpoint is required");
   }
+  if ((options.restore || options.checkpoint_on_usr1) &&
+      options.snapshot_path.empty()) {
+    return usage_error("--restore/--checkpoint-on require --snapshot FILE");
+  }
 
   std::string error;
   auto scenario = sbp::sim::load_scenario(options.scenario_path, &error);
@@ -220,10 +261,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "sbserved: %s\n", error.c_str());
     return 1;
   }
-  if (scenario->config.churn.epoch_ticks != 0) {
+  if (scenario->config.churn.epoch_ticks != 0 && !options.restore) {
     std::fprintf(stderr,
                  "sbserved: scenario '%s' uses churn, which is driven by "
-                 "the engine tick loop -- a daemon cannot serve it\n",
+                 "the engine tick loop -- a daemon cannot serve it "
+                 "(checkpoint an epoch boundary with a scenario snapshot "
+                 "block and boot with --snapshot FILE --restore)\n",
                  scenario->name.c_str());
     return 1;
   }
@@ -238,6 +281,27 @@ int main(int argc, char** argv) {
 
   sbp::sim::CountingSink log_sink;
   engine.attach_sink(&log_sink, /*retain_in_memory=*/false);
+
+  sbp::storage::FileBackend snapshot_backend(options.snapshot_path);
+  if (options.restore) {
+    // Refuse to serve anything on failure: a daemon that silently fell
+    // back to the seeded state would hand a resuming fleet wrong chunk
+    // sequences.
+    sbp::sim::RestoreInfo info;
+    if (!sbp::sim::restore_engine(engine, &log_sink, snapshot_backend, &info,
+                                  &error)) {
+      std::fprintf(stderr, "sbserved: snapshot restore failed: %s\n",
+                   error.c_str());
+      return kExitSnapshotError;
+    }
+    std::fprintf(stderr,
+                 "sbserved: restored %s (tick %llu, churn epoch %llu, "
+                 "query-log fingerprint continued: %s)\n",
+                 options.snapshot_path.c_str(),
+                 static_cast<unsigned long long>(info.meta.tick),
+                 static_cast<unsigned long long>(info.meta.churn_epochs),
+                 info.had_sink_state ? "yes" : "no");
+  }
 
   sbp::net::Daemon daemon(engine.server());
   for (const std::string& endpoint : options.listen) {
@@ -264,6 +328,7 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_stop);
   std::signal(SIGTERM, on_stop);
   std::signal(SIGHUP, on_hup);
+  if (options.checkpoint_on_usr1) std::signal(SIGUSR1, on_usr1);
 
   while (g_stop == 0) {
     daemon.poll_once(/*timeout_ms=*/200);
@@ -272,6 +337,19 @@ int main(int argc, char** argv) {
       const std::string stats = json::dump(stats_to_json(
           daemon, log_sink, engine.server().update_encode_cache_hits()));
       std::fprintf(stderr, "%s\n", stats.c_str());
+    }
+    if (g_usr1 != 0) {
+      g_usr1 = 0;
+      // Runs between reactor steps, so no request is mid-mutation; the
+      // serving state is sealed and the write is atomic (temp + rename).
+      if (sbp::sim::checkpoint_engine(engine, &log_sink, snapshot_backend,
+                                      &error)) {
+        std::fprintf(stderr, "sbserved: checkpoint written to %s\n",
+                     options.snapshot_path.c_str());
+      } else {
+        std::fprintf(stderr, "sbserved: checkpoint failed: %s\n",
+                     error.c_str());
+      }
     }
   }
 

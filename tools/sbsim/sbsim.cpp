@@ -71,6 +71,9 @@
 #include "sim/scenario/generator.hpp"
 #include "sim/scenario/runner.hpp"
 #include "sim/scenario/scenario.hpp"
+#include "sim/snapshot_io.hpp"
+#include "storage/raw_hash_store.hpp"
+#include "storage/snapshot.hpp"
 
 namespace {
 
@@ -92,7 +95,8 @@ constexpr const char* kUsage =
     "  loadgen <scenario.json> (--connect tcp:HOST:PORT|unix:/PATH |\n"
     "      --in-process) [--threads N] [--out report.json]\n"
     "  fuzz [--iterations N] [--seed S] [--threads 1,2,8]\n"
-    "      [--out-dir DIR] [--doctor INVARIANT] [--repro FILE]\n";
+    "      [--out-dir DIR] [--doctor INVARIANT] [--repro FILE]\n"
+    "  snapshot <state.snap>\n";
 
 int usage_error(const char* message) {
   std::fprintf(stderr, "sbsim: %s\n%s", message, kUsage);
@@ -265,6 +269,16 @@ int cmd_run(const std::vector<std::string>& args) {
       std::fprintf(stderr, "wrote prometheus text to %s\n",
                    prom_out.c_str());
     }
+  }
+
+  if (scenario->snapshot) {
+    if (!result.snapshot_written) {
+      std::fprintf(stderr, "sbsim: snapshot checkpoint failed: %s\n",
+                   result.snapshot_error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote snapshot to %s\n",
+                 scenario->snapshot->path.c_str());
   }
 
   if (scenario->golden) {
@@ -766,6 +780,92 @@ int cmd_print(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_snapshot(const std::vector<std::string>& args) {
+  if (args.size() != 1 || args[0].rfind("--", 0) == 0) {
+    return usage_error("snapshot takes one checkpoint file");
+  }
+  const std::string& file = args[0];
+
+  std::string error;
+  sbp::storage::FileBackend backend(file);
+  const auto bytes = backend.load(&error);
+  if (!bytes) {
+    std::fprintf(stderr, "sbsim: %s\n", error.c_str());
+    return 1;
+  }
+  sbp::storage::SnapshotError parse_error;
+  const auto parsed = sbp::storage::parse_snapshot(*bytes, &parse_error);
+  if (!parsed) {
+    std::fprintf(stderr, "sbsim: %s: %s\n", file.c_str(),
+                 parse_error.to_string().c_str());
+    return 1;
+  }
+
+  // Decoding the server sections into a scratch server is the deep
+  // verification: every list, chunk and digest must decode cleanly.
+  sbp::sb::Server server;
+  if (!server.restore_sections(*parsed, &error)) {
+    std::fprintf(stderr, "sbsim: %s: %s\n", file.c_str(), error.c_str());
+    return 1;
+  }
+
+  json::Value out{json::Object{}};
+  out.set("file", file);
+  out.set("bytes", static_cast<std::int64_t>(bytes->size()));
+  out.set("format_version",
+          static_cast<std::int64_t>(parsed->format_version));
+  json::Value sections{json::Array{}};
+  for (const auto& section : parsed->sections) {
+    json::Value entry{json::Object{}};
+    entry.set("id", static_cast<std::int64_t>(section.id));
+    entry.set("bytes", static_cast<std::int64_t>(section.payload.size()));
+    sections.as_array().push_back(std::move(entry));
+  }
+  out.set("sections", std::move(sections));
+
+  if (const auto* meta =
+          parsed->find(sbp::sb::snapshot_section::kEngineMeta)) {
+    if (const auto engine_meta = sbp::sim::decode_engine_meta(meta->payload)) {
+      json::Value engine{json::Object{}};
+      engine.set("tick", static_cast<std::int64_t>(engine_meta->tick));
+      engine.set("churn_epochs",
+                 static_cast<std::int64_t>(engine_meta->churn_epochs));
+      out.set("engine", std::move(engine));
+    }
+  }
+  if (const auto* section =
+          parsed->find(sbp::sb::snapshot_section::kQuerySink)) {
+    if (const auto state =
+            sbp::sim::decode_counting_sink_state(section->payload)) {
+      json::Value sink{json::Object{}};
+      sink.set("entries", state->entries);
+      sink.set("prefixes", state->prefixes);
+      sink.set("multi_prefix_entries", state->multi_prefix_entries);
+      sink.set("fingerprint", json::hex_u64(state->fingerprint));
+      out.set("query_log", std::move(sink));
+    }
+  }
+
+  json::Value lists{json::Array{}};
+  for (const std::string& name : server.list_names()) {
+    const auto prefixes = server.prefixes(name);
+    json::Value entry{json::Object{}};
+    entry.set("name", name);
+    entry.set("chunk_sequence",
+              static_cast<std::int64_t>(server.chunk_sequence(name)));
+    entry.set("prefixes", static_cast<std::int64_t>(prefixes.size()));
+    entry.set("v4_checksum",
+              json::hex_u64(sbp::storage::RawHashStore::checksum_of(prefixes)));
+    lists.as_array().push_back(std::move(entry));
+  }
+  json::Value server_out{json::Object{}};
+  server_out.set("lists", std::move(lists));
+  out.set("server", std::move(server_out));
+
+  std::fputs(json::dump(out).c_str(), stdout);
+  return 0;
+}
+
 int cmd_list(const std::vector<std::string>& args) {
   if (args.empty()) return usage_error("list needs files or directories");
   const auto files = collect_scenario_files(args);
@@ -800,6 +900,7 @@ int main(int argc, char** argv) {
   if (command == "bless") return cmd_bless(args);
   if (command == "print") return cmd_print(args);
   if (command == "list") return cmd_list(args);
+  if (command == "snapshot") return cmd_snapshot(args);
   if (command == "--help" || command == "-h" || command == "help") {
     std::fputs(kUsage, stdout);
     return 0;
