@@ -25,18 +25,41 @@
 // metrics overhead to the sweep entry. Overhead is reported, not gated:
 // at bench scale it sits inside run-to-run noise; the <3% contract is
 // what the numbers document.
+#include <atomic>
 #include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "obs/phase.hpp"
 #include "sim/engine.hpp"
 #include "sim/log_sink.hpp"
+
+// Heap-traffic instrumentation: replacing the global allocation functions
+// in this one TU counts every operator-new across the whole binary, which
+// is how the sweep reports allocations/tick -- the arena/scratch-buffer
+// work's regression gate. Relaxed atomic: the count is a sum, so it is
+// exact regardless of thread interleaving.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -80,6 +103,8 @@ struct SweepPoint {
   std::uint64_t log_prefixes = 0;
   std::uint64_t log_multi_prefix_entries = 0;
   std::uint64_t log_fingerprint = 0;
+  /// Global operator-new calls during the run phase (not setup).
+  std::uint64_t run_allocations = 0;
 
   /// From the companion metrics-on run of the same thread count.
   double metrics_run_seconds = 0.0;
@@ -102,9 +127,13 @@ SweepPoint run_point(std::size_t users, std::uint64_t ticks,
   sbp::sim::CountingSink sink;
   engine.attach_sink(&sink, /*retain_in_memory=*/false);
 
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
   const auto run_start = Clock::now();
   engine.run();
   point.run_seconds = seconds_since(run_start);
+  point.run_allocations =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
 
   point.metrics = engine.metrics();
   point.population = engine.population_metrics();
@@ -200,6 +229,15 @@ std::string format_json(const std::vector<SweepPoint>& sweep,
          static_cast<unsigned long long>(base.log_multi_prefix_entries));
   append("  \"log_fingerprint\": \"0x%016llx\",\n",
          static_cast<unsigned long long>(base.log_fingerprint));
+  append("  \"allocations_per_tick\": %.0f,\n",
+         base.metrics.ticks_run > 0
+             ? static_cast<double>(base.run_allocations) /
+                   static_cast<double>(base.metrics.ticks_run)
+             : 0.0);
+  // Lets bench comparers scale speedup expectations to the machine that
+  // produced the numbers (a 1-core CI runner cannot show parallel gains).
+  append("  \"hardware_threads\": %u,\n",
+         std::thread::hardware_concurrency());
 
   // The thread sweep. Each entry carries the plain-run numbers (schema of
   // earlier PRs) plus the companion metrics-on run: overhead ratio and the
@@ -217,6 +255,12 @@ std::string format_json(const std::vector<SweepPoint>& sweep,
         static_cast<double>(point.metrics.lookups) / point.run_seconds,
         base.run_seconds / point.run_seconds,
         static_cast<unsigned long long>(point.log_fingerprint));
+    append("     \"allocations\": %llu, \"allocations_per_tick\": %.0f,\n",
+           static_cast<unsigned long long>(point.run_allocations),
+           point.metrics.ticks_run > 0
+               ? static_cast<double>(point.run_allocations) /
+                     static_cast<double>(point.metrics.ticks_run)
+               : 0.0);
     append("     \"metrics_run_seconds\": %.3f, \"metrics_overhead\": %.3f,\n",
            point.metrics_run_seconds, point.metrics_overhead);
     json += "     \"phases\": {";

@@ -47,12 +47,18 @@ CorpusConfig CorpusConfig::random_like(std::size_t hosts,
 }
 
 std::string Page::expression() const {
-  std::string out = host + path;
+  std::string out;
+  append_expression_to(out);
+  return out;
+}
+
+void Page::append_expression_to(std::string& out) const {
+  out += host;
+  out += path;
   if (has_query) {
     out += '?';
     out += query;
   }
-  return out;
 }
 
 std::string Page::url() const { return "http://" + expression(); }

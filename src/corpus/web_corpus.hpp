@@ -67,6 +67,8 @@ struct Page {
   [[nodiscard]] std::string expression() const;
   /// A full URL "http://host/path?query".
   [[nodiscard]] std::string url() const;
+  /// Appends expression() to `out` without intermediate allocations.
+  void append_expression_to(std::string& out) const;
 };
 
 /// All pages of one host ("site" = registrable domain + its subdomains).

@@ -37,14 +37,14 @@ namespace sbp::obs {
 [[nodiscard]] std::uint64_t now_ns() noexcept;
 
 /// The engine phases the profiler distinguishes. One simulation tick is
-/// serial(churn_epoch? resync) -> parallel(plan+lookup per shard) ->
+/// serial(churn_epoch?) -> parallel(resync+plan+lookup per shard) ->
 /// serial(log_drain); parallel_tick spans the whole parallel section
-/// including the barrier, so parallel_tick - (plan+lookup)/threads is
-/// scheduling overhead.
+/// including the barrier, so parallel_tick - (resync+plan+lookup)/threads
+/// is scheduling overhead.
 enum class Phase : std::size_t {
   kPlan = 0,       ///< per-user URL planning (traffic model), per shard
   kLookup,         ///< per-user dispatch through the batched lookup layer
-  kResync,         ///< serial: staggered client update() polls
+  kResync,         ///< staggered client update() polls, per shard
   kChurnEpoch,     ///< serial: epoch mutation + reseal + republish
   kLogDrain,       ///< serial: post-barrier log merge + counter reduction
   kParallelTick,   ///< the whole parallel_for over shards, incl. barrier
@@ -56,8 +56,8 @@ constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount);
 [[nodiscard]] std::string_view phase_name(Phase phase) noexcept;
 
 /// Accumulated wall time + span distribution of one phase. A "span" is
-/// one timed execution: per user for plan/lookup, per tick for resync and
-/// log_drain, per epoch for churn_epoch.
+/// one timed execution: per user for plan/lookup, per shard-tick for
+/// resync, per tick for log_drain, per epoch for churn_epoch.
 struct PhaseStats {
   std::uint64_t spans = 0;
   std::uint64_t total_ns = 0;

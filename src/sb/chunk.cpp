@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <set>
 
 namespace sbp::sb {
 
@@ -94,16 +93,43 @@ std::vector<crypto::Prefix32> ChunkStore::effective_prefixes() const {
 
 std::vector<crypto::Prefix32> ChunkStore::effective_prefixes(
     std::uint32_t below_chunk_number) const {
-  std::set<crypto::Prefix32> prefixes;
+  std::vector<crypto::Prefix32> out;
+  std::vector<crypto::Prefix32> scratch;
+  effective_prefixes_into(below_chunk_number, out, scratch);
+  return out;
+}
+
+void ChunkStore::effective_prefixes_into(
+    std::uint32_t below_chunk_number, std::vector<crypto::Prefix32>& out,
+    std::vector<crypto::Prefix32>& scratch) const {
+  // Gather adds, sort + dedup (equivalent to the set-insert pass, minus
+  // the node allocations).
+  out.clear();
   for (const Chunk& chunk : adds_) {
     if (chunk.number >= below_chunk_number) continue;
-    prefixes.insert(chunk.prefixes.begin(), chunk.prefixes.end());
+    out.insert(out.end(), chunk.prefixes.begin(), chunk.prefixes.end());
   }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+
+  // Gather subs the same way, then subtract in place (two-pointer walk).
+  scratch.clear();
   for (const Chunk& chunk : subs_) {
     if (chunk.number >= below_chunk_number) continue;
-    for (const auto prefix : chunk.prefixes) prefixes.erase(prefix);
+    scratch.insert(scratch.end(), chunk.prefixes.begin(),
+                   chunk.prefixes.end());
   }
-  return {prefixes.begin(), prefixes.end()};
+  if (scratch.empty()) return;
+  std::sort(scratch.begin(), scratch.end());
+  scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+
+  std::size_t w = 0, j = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    while (j < scratch.size() && scratch[j] < out[i]) ++j;
+    if (j < scratch.size() && scratch[j] == out[i]) continue;  // revoked
+    out[w++] = out[i];
+  }
+  out.resize(w);
 }
 
 std::string ChunkStore::format_ranges(

@@ -55,6 +55,14 @@ class ChunkStore {
   [[nodiscard]] std::vector<crypto::Prefix32> effective_prefixes(
       std::uint32_t below_chunk_number) const;
 
+  /// Allocation-reusing form: writes the sorted, deduplicated effective
+  /// set into `out` (cleared first) using `scratch` for the sub-chunk
+  /// gather. Identical contents to effective_prefixes(below) -- this is
+  /// what client store rebuilds call so re-syncs stop churning the heap.
+  void effective_prefixes_into(std::uint32_t below_chunk_number,
+                               std::vector<crypto::Prefix32>& out,
+                               std::vector<crypto::Prefix32>& scratch) const;
+
   /// Chunk numbers applied, as a compact range descriptor, e.g. "1-3,7"
   /// (the shavar "a:" / "s:" advertisement format).
   [[nodiscard]] std::string add_ranges() const;

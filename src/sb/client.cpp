@@ -1,6 +1,7 @@
 #include "sb/client.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace sbp::sb {
 
@@ -19,13 +20,15 @@ void Client::subscribe(std::string_view list_name) {
 }
 
 void Client::rebuild_store(ListState& state) {
-  storage::PrefixBatch batch(4);
-  for (const auto prefix : state.chunks.effective_prefixes()) {
-    batch.add32(prefix);
-  }
-  batch.sort_unique();
-  state.store =
-      storage::make_store(config_.store_kind, batch, config_.bloom_bits);
+  // effective_prefixes_into yields a sorted, deduplicated set, so the
+  // batch can adopt it directly; all three buffers are member scratch,
+  // reused across rebuilds.
+  state.chunks.effective_prefixes_into(
+      std::numeric_limits<std::uint32_t>::max(), rebuild_prefixes_,
+      rebuild_subs_);
+  rebuild_batch_.assign_sorted32(rebuild_prefixes_);
+  state.store = storage::make_store(config_.store_kind, rebuild_batch_,
+                                    config_.bloom_bits);
 }
 
 bool Client::update() {
@@ -71,10 +74,32 @@ bool Client::update() {
 }
 
 bool Client::local_contains(crypto::Prefix32 prefix) const {
-  return std::any_of(lists_.begin(), lists_.end(),
-                     [prefix](const ListState& state) {
-                       return state.store && state.store->contains32(prefix);
-                     });
+  // Scalar convenience for tests/tools; delegates to the batch path so
+  // there is exactly one membership implementation.
+  bool hit = false;
+  local_contains_many(std::span<const crypto::Prefix32>(&prefix, 1),
+                      std::span<bool>(&hit, 1));
+  return hit;
+}
+
+void Client::local_contains_many(std::span<const crypto::Prefix32> prefixes,
+                                 std::span<bool> out) const {
+  const std::size_t n = prefixes.size();
+  std::fill(out.begin(), out.begin() + n, false);
+  // OR each list store's batch answer into `out`, 64 queries at a time
+  // (stack scratch; batches above 64 are split, preserving order).
+  bool tmp[64];
+  for (const auto& state : lists_) {
+    if (!state.store) continue;
+    for (std::size_t base = 0; base < n; base += 64) {
+      const std::size_t count = std::min<std::size_t>(64, n - base);
+      state.store->contains_many32(prefixes.subspan(base, count),
+                                   std::span<bool>(tmp, count));
+      for (std::size_t i = 0; i < count; ++i) {
+        out[base + i] = out[base + i] || tmp[i];
+      }
+    }
+  }
 }
 
 std::size_t Client::local_prefix_count() const noexcept {

@@ -51,9 +51,15 @@ class Client : public PrefixProtocolClient {
     return update_backoff_.wait_time(now);
   }
 
-  /// Local-store membership only (no network) -- used by the engine
-  /// prefilter and by mitigation strategies that re-order server queries.
+  /// Local-store membership only (no network) -- used by mitigation
+  /// strategies that re-order server queries and by tests. Hot paths (the
+  /// engine prefilter, the lookup flow) go through local_contains_many.
   [[nodiscard]] bool local_contains(crypto::Prefix32 prefix) const override;
+
+  /// Batch membership across all subscribed lists' stores (OR of each
+  /// store's sorted-probe answer) -- bit-identical to the scalar test.
+  void local_contains_many(std::span<const crypto::Prefix32> prefixes,
+                           std::span<bool> out) const override;
 
   [[nodiscard]] std::size_t local_prefix_count() const noexcept override;
   [[nodiscard]] std::size_t local_store_bytes() const noexcept override;
@@ -69,6 +75,11 @@ class Client : public PrefixProtocolClient {
 
   std::vector<ListState> lists_;
   BackoffState update_backoff_;
+  // Rebuild scratch, reused across updates so periodic re-syncs stop
+  // churning the heap (the profiled resync hotspot).
+  std::vector<crypto::Prefix32> rebuild_prefixes_;
+  std::vector<crypto::Prefix32> rebuild_subs_;
+  storage::PrefixBatch rebuild_batch_{4};
 };
 
 /// The v3 generation under its protocol-family name.

@@ -2,10 +2,11 @@
 
 namespace sbp::sb {
 
-LookupResult V1LookupProtocol::lookup(std::string_view url) {
+LookupResult V1LookupProtocol::lookup(const LookupRequest& request) {
   ++metrics_.lookups;
   LookupResult result;
-  const auto malicious = transport_.lookup_v1_or_error(url, config_.cookie);
+  const auto malicious =
+      transport_.lookup_v1_or_error(request.url(), config_.cookie);
   if (!malicious) {
     ++metrics_.network_errors;
     result.unconfirmed = true;

@@ -15,7 +15,9 @@
 // (32-bit prefixes, and only on local hits).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 #include "sb/protocol.hpp"
@@ -47,13 +49,19 @@ class V1LookupProtocol : public ProtocolClient {
     return 0;
   }
 
-  /// Ships the raw URL; the server checks every decomposition's full
-  /// digest directly. Fails open on a network error, like v3/v4.
-  [[nodiscard]] LookupResult lookup(std::string_view url) override;
+  /// Ships the ORIGINAL URL bytes (request.url(), pre-canonicalization,
+  /// like the real Lookup API); the server checks every decomposition's
+  /// full digest directly. Fails open on a network error, like v3/v4.
+  using ProtocolClient::lookup;  // keep the string convenience visible
+  [[nodiscard]] LookupResult lookup(const LookupRequest& request) override;
 
   /// No local database: every URL is a wire candidate.
   [[nodiscard]] bool local_contains(crypto::Prefix32) const override {
     return true;
+  }
+  void local_contains_many(std::span<const crypto::Prefix32> prefixes,
+                           std::span<bool> out) const override {
+    std::fill(out.begin(), out.begin() + prefixes.size(), true);
   }
   [[nodiscard]] std::size_t local_prefix_count() const noexcept override {
     return 0;

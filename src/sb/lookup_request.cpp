@@ -1,0 +1,36 @@
+#include "sb/lookup_request.hpp"
+
+#include <algorithm>
+
+#include "url/decompose.hpp"
+
+namespace sbp::sb {
+
+void LookupRequest::build(std::string_view raw_url) {
+  url_.assign(raw_url);
+  expressions_.clear();
+  digests_.clear();
+  prefixes_.clear();
+  unique_prefixes_.clear();
+
+  // decompose(string_view) canonicalizes internally, so this equals the
+  // historical per-client canonicalize -> decompose pipeline exactly.
+  auto decompositions = url::decompose(raw_url);
+  valid_ = !decompositions.empty();
+  digests_.reserve(decompositions.size());
+  prefixes_.reserve(decompositions.size());
+  expressions_.reserve(decompositions.size());
+  for (auto& d : decompositions) {
+    const crypto::Digest256 digest = crypto::Digest256::of(d.expression);
+    const crypto::Prefix32 prefix = digest.prefix32();
+    expressions_.push_back(std::move(d.expression));
+    digests_.push_back(digest);
+    prefixes_.push_back(prefix);
+    if (std::find(unique_prefixes_.begin(), unique_prefixes_.end(), prefix) ==
+        unique_prefixes_.end()) {
+      unique_prefixes_.push_back(prefix);
+    }
+  }
+}
+
+}  // namespace sbp::sb

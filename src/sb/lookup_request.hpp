@@ -1,0 +1,82 @@
+// The shared lookup input of every protocol generation (src/sb).
+//
+// v1, v3 and v4 lookups all start from the same raw material -- the URL, its
+// canonical decompositions (paper Section 2.2.1), and one SHA-256 digest +
+// 32-bit prefix per decomposition -- but historically each entry point
+// recomputed it in its own shape (v1 shipped the raw string, the prefix
+// clients re-canonicalized and re-hashed per call, and the simulation
+// engine kept a fourth copy in its per-shard URL cache). LookupRequest is
+// that material computed ONCE: build() canonicalizes, decomposes and hashes
+// a URL into reusable buffers, and ProtocolClient::lookup(const
+// LookupRequest&) is the single batched entry point all generations
+// implement. Callers that only have a string still call
+// lookup(std::string_view); it builds a scratch request internally.
+//
+// The engine's per-shard URL cache stores LookupRequests directly, so a
+// cached URL's decomposition work is shared by every user of the shard and
+// every protocol generation without re-deriving anything -- the client
+// flow is unchanged because url::decompose(raw) IS canonicalize +
+// decompose, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/digest.hpp"
+
+namespace sbp::sb {
+
+/// One URL canonicalized, decomposed and hashed once -- the input shape of
+/// every generation's lookup flow. Reusable: build() overwrites in place,
+/// keeping the vectors' capacity (the per-lookup heap-traffic fix).
+class LookupRequest {
+ public:
+  LookupRequest() = default;
+
+  /// Rebuilds from a raw URL. valid() turns false when the URL cannot be
+  /// canonicalized (zero decompositions); url() always keeps the original
+  /// bytes -- v1 ships them verbatim, valid or not, like the real Lookup
+  /// API did.
+  void build(std::string_view raw_url);
+
+  [[nodiscard]] bool valid() const noexcept { return valid_; }
+  /// The original (pre-canonicalization) URL bytes.
+  [[nodiscard]] std::string_view url() const noexcept { return url_; }
+
+  /// Decomposition count (0 when invalid).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return expressions_.size();
+  }
+  /// Per-decomposition SB expressions, in paper order (most-specific
+  /// first) -- what a confirmed verdict reports as matched_expression.
+  [[nodiscard]] std::span<const std::string> expressions() const noexcept {
+    return expressions_;
+  }
+  /// Per-decomposition full digests (verdict confirmation).
+  [[nodiscard]] std::span<const crypto::Digest256> digests() const noexcept {
+    return digests_;
+  }
+  /// Per-decomposition 32-bit prefixes (same order as expressions).
+  [[nodiscard]] std::span<const crypto::Prefix32> prefixes() const noexcept {
+    return prefixes_;
+  }
+  /// Deduplicated prefixes in first-seen decomposition order -- what a
+  /// client tests against its local store / sends to the server.
+  [[nodiscard]] std::span<const crypto::Prefix32> unique_prefixes()
+      const noexcept {
+    return unique_prefixes_;
+  }
+
+ private:
+  std::string url_;
+  bool valid_ = false;
+  std::vector<std::string> expressions_;
+  std::vector<crypto::Digest256> digests_;
+  std::vector<crypto::Prefix32> prefixes_;
+  std::vector<crypto::Prefix32> unique_prefixes_;
+};
+
+}  // namespace sbp::sb

@@ -2,43 +2,51 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 #include "sb/client.hpp"
 #include "sb/lookup_api.hpp"
 #include "sb/protocol_v4.hpp"
-#include "url/canonicalize.hpp"
-#include "url/decompose.hpp"
 
 namespace sbp::sb {
 
-LookupResult PrefixProtocolClient::lookup(std::string_view url) {
+LookupResult PrefixProtocolClient::lookup(const LookupRequest& request) {
   ++metrics_.lookups;
   LookupResult result;
 
-  const auto canonical = url::canonicalize(url);
-  if (!canonical) {
+  if (!request.valid()) {
     result.verdict = Verdict::kInvalid;
     return result;
   }
 
-  // Decompositions and their digests (digest needed for the final compare).
-  const auto decompositions = url::decompose(*canonical);
+  // One batched local-store probe across every decomposition prefix (the
+  // request pre-computed digests and prefixes; see sb/lookup_request.hpp).
+  const auto prefixes = request.prefixes();
+  const auto digests = request.digests();
+  const auto expressions = request.expressions();
+  const std::size_t n = prefixes.size();
+  bool inline_flags[64];
+  std::unique_ptr<bool[]> heap_flags;
+  bool* flags = inline_flags;
+  if (n > 64) {
+    heap_flags = std::make_unique<bool[]>(n);
+    flags = heap_flags.get();
+  }
+  local_contains_many(prefixes, std::span<bool>(flags, n));
+
   struct Hit {
     crypto::Digest256 digest;
     crypto::Prefix32 prefix;
-    const url::Decomposition* decomposition;
+    const std::string* expression;
   };
   std::vector<Hit> hits;
-  for (const auto& d : decompositions) {
-    const crypto::Digest256 digest = crypto::Digest256::of(d.expression);
-    const crypto::Prefix32 prefix = digest.prefix32();
-    if (local_contains(prefix)) {
-      // Multiple decompositions can share a prefix; keep each digest.
-      hits.push_back({digest, prefix, &d});
-      if (std::find(result.local_hits.begin(), result.local_hits.end(),
-                    prefix) == result.local_hits.end()) {
-        result.local_hits.push_back(prefix);
-      }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!flags[i]) continue;
+    // Multiple decompositions can share a prefix; keep each digest.
+    hits.push_back({digests[i], prefixes[i], &expressions[i]});
+    if (std::find(result.local_hits.begin(), result.local_hits.end(),
+                  prefixes[i]) == result.local_hits.end()) {
+      result.local_hits.push_back(prefixes[i]);
     }
   }
 
@@ -109,7 +117,7 @@ LookupResult PrefixProtocolClient::lookup(std::string_view url) {
     for (const auto& entry : it->second) {
       if (entry.digest != hit.digest) continue;
       result.verdict = Verdict::kMalicious;
-      result.matched_expression = hit.decomposition->expression;
+      result.matched_expression = *hit.expression;
       result.matched_list = entry.list_name;
       ++metrics_.malicious_verdicts;
       return result;

@@ -23,6 +23,7 @@
 
 #include "crypto/digest.hpp"
 #include "sb/backoff.hpp"
+#include "sb/lookup_request.hpp"
 #include "sb/protocol_version.hpp"
 #include "sb/transport.hpp"
 #include "storage/full_hash_cache.hpp"
@@ -113,12 +114,36 @@ class ProtocolClient {
   [[nodiscard]] virtual std::uint64_t update_wait(
       std::uint64_t now) const noexcept = 0;
 
-  /// "Is this URL malicious?" -- the Figure 3 flow for the generation.
-  [[nodiscard]] virtual LookupResult lookup(std::string_view url) = 0;
+  /// "Is this URL malicious?" -- the Figure 3 flow for the generation,
+  /// over a pre-built request (URL decomposed and hashed once; see
+  /// sb/lookup_request.hpp). THE lookup entry point: v1/v3/v4 all
+  /// implement this one shape, and batch callers (the simulation engine)
+  /// pass their cached request straight through.
+  [[nodiscard]] virtual LookupResult lookup(const LookupRequest& request) = 0;
+
+  /// String convenience: builds a scratch request (reused across calls)
+  /// and runs the same flow. Identical results to lookup(request).
+  [[nodiscard]] LookupResult lookup(std::string_view url) {
+    scratch_request_.build(url);
+    return lookup(scratch_request_);
+  }
 
   /// Local-database membership (no network). v1 has no local database and
   /// answers true: every URL is a candidate that goes to the wire.
+  /// Interface-level / test entry point -- hot paths use the batch form.
   [[nodiscard]] virtual bool local_contains(crypto::Prefix32 prefix) const = 0;
+
+  /// Batch local-database membership: out[i] = local_contains(prefixes[i]),
+  /// answered through the stores' sorted-probe batch API. `out` must hold
+  /// prefixes.size() elements. This is the hot-path form the engine
+  /// prefilter and the prefix lookup flow use; the default forwards to the
+  /// scalar test for exotic subclasses.
+  virtual void local_contains_many(std::span<const crypto::Prefix32> prefixes,
+                                   std::span<bool> out) const {
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+      out[i] = local_contains(prefixes[i]);
+    }
+  }
 
   [[nodiscard]] virtual std::size_t local_prefix_count() const noexcept = 0;
   [[nodiscard]] virtual std::size_t local_store_bytes() const noexcept = 0;
@@ -135,15 +160,21 @@ class ProtocolClient {
   Transport& transport_;
   ClientConfig config_;
   ClientMetrics metrics_;
+
+ private:
+  /// Backs the string-convenience lookup; buffers reused across calls.
+  LookupRequest scratch_request_;
 };
 
-/// Shared prefix-based lookup flow (v3 and v4): canonicalize, decompose,
-/// hash, test the local store, resolve hits via cache or one batched
-/// full-hash request, confirm against full digests. Subclasses provide the
-/// local store (local_contains) and the update mechanism.
+/// Shared prefix-based lookup flow (v3 and v4): one batched local-store
+/// test over the request's decomposition prefixes, then resolve hits via
+/// cache or one batched full-hash request and confirm against full
+/// digests. Subclasses provide the local store (local_contains_many) and
+/// the update mechanism.
 class PrefixProtocolClient : public ProtocolClient {
  public:
-  [[nodiscard]] LookupResult lookup(std::string_view url) override;
+  using ProtocolClient::lookup;  // keep the string convenience visible
+  [[nodiscard]] LookupResult lookup(const LookupRequest& request) override;
 
  protected:
   PrefixProtocolClient(Transport& transport, ClientConfig config)

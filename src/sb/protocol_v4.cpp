@@ -67,9 +67,29 @@ bool V4SlicedProtocol::update() {
 }
 
 bool V4SlicedProtocol::local_contains(crypto::Prefix32 prefix) const {
-  return std::any_of(
-      lists_.begin(), lists_.end(),
-      [prefix](const ListState& state) { return state.store.contains(prefix); });
+  // Scalar convenience for tests/tools; delegates to the batch path so
+  // there is exactly one membership implementation.
+  bool hit = false;
+  local_contains_many(std::span<const crypto::Prefix32>(&prefix, 1),
+                      std::span<bool>(&hit, 1));
+  return hit;
+}
+
+void V4SlicedProtocol::local_contains_many(
+    std::span<const crypto::Prefix32> prefixes, std::span<bool> out) const {
+  const std::size_t n = prefixes.size();
+  std::fill(out.begin(), out.begin() + n, false);
+  bool tmp[64];
+  for (const auto& state : lists_) {
+    for (std::size_t base = 0; base < n; base += 64) {
+      const std::size_t count = std::min<std::size_t>(64, n - base);
+      state.store.contains_many32(prefixes.subspan(base, count),
+                                  std::span<bool>(tmp, count));
+      for (std::size_t i = 0; i < count; ++i) {
+        out[base + i] = out[base + i] || tmp[i];
+      }
+    }
+  }
 }
 
 std::size_t V4SlicedProtocol::local_prefix_count() const noexcept {

@@ -284,8 +284,14 @@ UpdateResponse Server::fetch_update(const UpdateRequest& request) {
 std::shared_ptr<const std::vector<std::uint8_t>>
 Server::encoded_update_response(
     const std::vector<std::uint8_t>& request_frame) {
-  const auto cached = update_encode_cache_.find(
-      std::string(request_frame.begin(), request_frame.end()));
+  // One mutex covers lookup, encode and insert, so concurrent re-syncs
+  // from the engine's parallel shard tick serialize here: for each
+  // distinct request frame exactly ONE caller encodes (a miss) and every
+  // other sees the cached bytes (hits) -- the hit/miss totals are
+  // independent of arrival order, keeping metrics thread-count-invariant.
+  const std::lock_guard<std::mutex> lock(update_serve_mutex_);
+  std::string key(request_frame.begin(), request_frame.end());
+  const auto cached = update_encode_cache_.find(key);
   if (cached != update_encode_cache_.end()) {
     // Safe to skip fetch_*: a live cache entry means no mutation (and so
     // no pending open chunk) happened since it was stored, so the seal
@@ -317,8 +323,7 @@ Server::encoded_update_response(
       std::move(response_frame));
   // Insert AFTER serving: fetch_* may seal, which clears the cache; the
   // entry stored now describes the post-seal state it was computed from.
-  update_encode_cache_.emplace(
-      std::string(request_frame.begin(), request_frame.end()), shared);
+  update_encode_cache_.emplace(std::move(key), shared);
   return shared;
 }
 

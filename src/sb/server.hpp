@@ -298,9 +298,12 @@ class Server {
   /// per client (ROADMAP: ~93 MB of wire_bytes_down re-encoded per
   /// 20k-user run). Any list mutation or set_minimum_wait() invalidates
   /// the whole cache, so a hit is always byte-identical to a fresh
-  /// encode. Returns nullptr when the frame fails to decode. Not
-  /// thread-safe (update serving is mutation -- see the concurrency model
-  /// above).
+  /// encode. Returns nullptr when the frame fails to decode. THREAD-SAFE:
+  /// the whole serve (cache probe, encode, insert) runs under one mutex,
+  /// so the engine's parallel-phase re-syncs may call it concurrently --
+  /// provided no caller mutates lists concurrently (the engine's serial
+  /// churn epoch seals everything before the parallel phase opens, so the
+  /// seal inside fetch_* is always a no-op there).
   [[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>>
   encoded_update_response(const std::vector<std::uint8_t>& request_frame);
 
@@ -416,6 +419,8 @@ class Server {
                      std::shared_ptr<const std::vector<std::uint8_t>>>
       update_encode_cache_;
   std::uint64_t update_encode_cache_hits_ = 0;
+  /// Serializes encoded_update_response (parallel-phase client re-syncs).
+  mutable std::mutex update_serve_mutex_;
 
   /// Thread-local routing target installed by ScopedLogShard.
   static thread_local QueryLogBuffer* active_log_buffer_;

@@ -4,10 +4,9 @@
 #include <array>
 #include <cmath>
 #include <numeric>
+#include <span>
 #include <thread>
 #include <utility>
-
-#include "url/decompose.hpp"
 
 namespace sbp::sim {
 
@@ -156,15 +155,16 @@ void Engine::build_population() {
     // Deterministic re-sync slots: each user polls for updates every
     // resync_cadence() ticks at its own offset, spreading the fleet's
     // update load evenly over the cadence window (real fleets jitter
-    // their timers for the same reason). Bucketed by slot so a tick
-    // touches only the users actually due.
+    // their timers for the same reason). Bucketed per shard (by LOCAL
+    // user index) so each shard re-syncs exactly its own due users
+    // inside the parallel tick.
     const std::uint64_t cadence = resync_cadence();
-    resync_slots_.resize(cadence);
+    for (auto& shard : shards_) shard->resync_slots.resize(cadence);
     for (std::size_t u = 0; u < config_.num_users; ++u) {
-      resync_slots_[derive_seed(config_.seed,
-                                0x5C4EDB1E00000000ULL + u * kGolden) %
-                    cadence]
-          .push_back(u);
+      const std::uint64_t slot =
+          derive_seed(config_.seed, 0x5C4EDB1E00000000ULL + u * kGolden) %
+          cadence;
+      shards_[u % num_shards]->resync_slots[slot].push_back(u / num_shards);
     }
   }
 
@@ -255,23 +255,9 @@ void Engine::apply_churn_epoch() {
   ++metrics_.churn_events;
 }
 
-void Engine::resync_clients() {
-  const std::uint64_t now = clock_.now();
-  for (const std::size_t u : resync_slots_[tick_ % resync_cadence()]) {
-    sb::ProtocolClient& client = *user(u).client;
-    if (client.version() == sb::ProtocolVersion::kV1Lookup) continue;
-    // The client's own minimum-wait timer decides; it covers the server-
-    // imposed wait (echoed into backoff on every success) and any error
-    // backoff, so a poll here never produces a suppressed attempt.
-    if (client.update_wait(now) > 0) continue;
-    (void)client.update();
-    ++metrics_.churn_updates;
-  }
-}
-
-void Engine::stamp_universe(UrlPrefixes& entry) const {
+void Engine::stamp_universe(CachedUrl& entry) const {
   entry.universe_hits.clear();
-  for (const auto prefix : entry.unique_prefixes) {
+  for (const auto prefix : entry.request.unique_prefixes()) {
     if (listed_universe_.count(prefix) > 0) {
       entry.universe_hits.push_back(prefix);
     }
@@ -279,8 +265,8 @@ void Engine::stamp_universe(UrlPrefixes& entry) const {
   entry.universe_version = universe_version_;
 }
 
-const Engine::UrlPrefixes& Engine::url_prefixes(Shard& shard,
-                                                const std::string& url) {
+const Engine::CachedUrl& Engine::url_prefixes(Shard& shard,
+                                              const std::string& url) {
   const auto it = shard.url_cache.find(url);
   if (it != shard.url_cache.end()) {
     ++shard.tick_metrics.url_cache_hits;
@@ -298,48 +284,60 @@ const Engine::UrlPrefixes& Engine::url_prefixes(Shard& shard,
     shard.url_cache.clear();  // simple epoch eviction; hot URLs repopulate
   }
 
-  UrlPrefixes prefixes;
-  const auto decompositions = url::decompose(url);
-  prefixes.valid = !decompositions.empty();
-  prefixes.digests.reserve(decompositions.size());
-  prefixes.digest_prefixes.reserve(decompositions.size());
-  for (const auto& d : decompositions) {
-    const crypto::Digest256 digest = crypto::Digest256::of(d.expression);
-    const crypto::Prefix32 prefix = digest.prefix32();
-    prefixes.digests.push_back(digest);
-    prefixes.digest_prefixes.push_back(prefix);
-    if (std::find(prefixes.unique_prefixes.begin(),
-                  prefixes.unique_prefixes.end(),
-                  prefix) == prefixes.unique_prefixes.end()) {
-      prefixes.unique_prefixes.push_back(prefix);
-    }
-  }
-  stamp_universe(prefixes);
-  return shard.url_cache.emplace(url, std::move(prefixes)).first->second;
+  // Build in place: the entry IS the LookupRequest the clients consume
+  // (decompose + hash happen exactly once per distinct URL per shard).
+  CachedUrl& entry = shard.url_cache.try_emplace(url).first->second;
+  entry.request.build(url);
+  stamp_universe(entry);
+  return entry;
 }
+
+namespace {
+
+/// Stack-first scratch for batch membership flags (std::vector<bool>
+/// cannot back a std::span<bool>).
+struct FlagScratch {
+  bool inline_[64];
+  std::unique_ptr<bool[]> heap;
+
+  std::span<bool> get(std::size_t n) {
+    if (n <= 64) return {inline_, n};
+    heap = std::make_unique<bool[]>(n);
+    return {heap.get(), n};
+  }
+};
+
+}  // namespace
 
 void Engine::dispatch(Shard& shard, UserState& user, const std::string& url) {
   ++shard.tick_metrics.lookups;
-  const UrlPrefixes& prefixes = url_prefixes(shard, url);
-  if (!prefixes.valid) return;
+  const CachedUrl& entry = url_prefixes(shard, url);
+  if (!entry.request.valid()) return;
 
   // Prefilter: the client-equivalent local membership test, shared-hash
-  // edition. A miss is the client's "safe, nothing leaves the machine".
-  // Exact stores only ever hold shipped prefixes, so testing the memoized
-  // universe subset is outcome-identical and skips the per-user loop for
-  // the (vast majority of) URLs with no listed prefix; v1 has no store
-  // (everything ships) and Bloom stores may false-positive outside the
-  // universe, so both keep the full per-prefix walk.
+  // edition -- ONE batched store probe over the URL's candidate prefixes.
+  // A miss is the client's "safe, nothing leaves the machine". Exact
+  // stores only ever hold shipped prefixes, so testing the memoized
+  // universe subset is outcome-identical and shrinks the batch to empty
+  // for the (vast majority of) URLs with no listed prefix; v1 has no
+  // store (everything ships) and Bloom stores may false-positive outside
+  // the universe, so both test the full unique-prefix batch.
   const bool exact_store =
       universe_prefilter_ &&
       user.client->version() != sb::ProtocolVersion::kV1Lookup;
-  const std::vector<crypto::Prefix32>& candidates =
-      exact_store ? prefixes.universe_hits : prefixes.unique_prefixes;
+  const std::span<const crypto::Prefix32> candidates =
+      exact_store ? std::span<const crypto::Prefix32>(entry.universe_hits)
+                  : entry.request.unique_prefixes();
   bool any_hit = false;
-  for (const auto prefix : candidates) {
-    if (user.client->local_contains(prefix)) {
-      any_hit = true;
-      break;
+  if (!candidates.empty()) {
+    FlagScratch scratch;
+    const std::span<bool> flags = scratch.get(candidates.size());
+    user.client->local_contains_many(candidates, flags);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (flags[i]) {
+        any_hit = true;
+        break;
+      }
     }
   }
   if (!any_hit) return;
@@ -347,39 +345,45 @@ void Engine::dispatch(Shard& shard, UserState& user, const std::string& url) {
 
   if (config_.mitigation.dummy_requests) {
     ++shard.tick_metrics.mitigated_lookups;
-    mitigated_dispatch(shard, user, prefixes);
+    mitigated_dispatch(shard, user, entry);
     return;
   }
 
   ++shard.tick_metrics.dispatched_lookups;
-  const auto result = user.client->lookup(url);
+  const auto result = user.client->lookup(entry.request);
   if (result.verdict == sb::Verdict::kMalicious) {
     ++shard.tick_metrics.malicious_verdicts;
   }
 }
 
 void Engine::mitigated_dispatch(Shard& shard, UserState& user,
-                                const UrlPrefixes& prefixes) {
+                                const CachedUrl& entry) {
   // Firefox-style padded request (Section 8): the wire carries the real hit
   // prefixes plus deterministic dummies. This path models the padded wire
   // exchange directly; the client's full-hash cache and backoff are not
   // consulted (every mitigated hit produces one padded server query).
+  const auto unique = entry.request.unique_prefixes();
+  FlagScratch scratch;
+  const std::span<bool> flags = scratch.get(unique.size());
+  user.client->local_contains_many(unique, flags);
   std::vector<crypto::Prefix32> hits;
-  for (const auto prefix : prefixes.unique_prefixes) {
-    if (user.client->local_contains(prefix)) hits.push_back(prefix);
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    if (flags[i]) hits.push_back(unique[i]);
   }
   const auto padded = dummy_policy_.pad_request(hits);
   const auto response =
       shard.transport->get_full_hashes_or_error(padded, user.cookie);
   if (!response) return;  // fail open, like the stock client
 
-  for (std::size_t i = 0; i < prefixes.digests.size(); ++i) {
-    const crypto::Prefix32 prefix = prefixes.digest_prefixes[i];
+  const auto digests = entry.request.digests();
+  const auto digest_prefixes = entry.request.prefixes();
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    const crypto::Prefix32 prefix = digest_prefixes[i];
     if (std::find(hits.begin(), hits.end(), prefix) == hits.end()) continue;
     const auto it = response->matches.find(prefix);
     if (it == response->matches.end()) continue;
     for (const auto& match : it->second) {
-      if (match.digest == prefixes.digests[i]) {
+      if (match.digest == digests[i]) {
         ++shard.tick_metrics.malicious_verdicts;
         return;
       }
@@ -394,19 +398,45 @@ void Engine::tick_shard(Shard& shard) {
   shard.tick_metrics = SimMetrics{};
   shard.tick_plan_ns = 0;
   shard.tick_lookup_ns = 0;
+  shard.tick_resync_ns = 0;
   // Per-user spans cost three steady_clock reads when timing is on and
   // three predictable branches when it is off; everything recorded is
   // shard-confined, so timing cannot perturb any cross-shard state.
   const bool timed = obs_enabled_;
+
+  if (churn_) {
+    // Staggered client re-syncs for this shard's due users. Runs in the
+    // parallel phase: the epoch already sealed and republished, updates
+    // touch only shard-owned state + the server's mutex-guarded update
+    // path, and none of it reaches the query log (see Shard::resync_slots).
+    const std::uint64_t r0 = timed ? obs::now_ns() : 0;
+    const std::uint64_t now = clock_.now();
+    for (const std::size_t li : shard.resync_slots[tick_ % resync_cadence()]) {
+      sb::ProtocolClient& client = *shard.users[li].client;
+      if (client.version() == sb::ProtocolVersion::kV1Lookup) continue;
+      // The client's own minimum-wait timer decides; it covers the server-
+      // imposed wait (echoed into backoff on every success) and any error
+      // backoff, so a poll here never produces a suppressed attempt.
+      if (client.update_wait(now) > 0) continue;
+      (void)client.update();
+      ++shard.tick_metrics.churn_updates;
+    }
+    if (timed) {
+      const std::uint64_t ns = obs::now_ns() - r0;
+      shard.obs_phases.record(obs::Phase::kResync, ns);
+      shard.tick_resync_ns = ns;
+    }
+  }
+
   for (auto& user : shard.users) {
-    shard.scratch_urls.clear();
+    shard.scratch_urls.reset();
     const std::uint64_t t0 = timed ? obs::now_ns() : 0;
     shard.tick_metrics.target_visits +=
         plan_user_tick(user, config_.traffic, traffic_model_,
                        shard.site_cache, shard.scratch_urls);
     const std::uint64_t t1 = timed ? obs::now_ns() : 0;
-    for (const auto& url : shard.scratch_urls) {
-      dispatch(shard, user, url);
+    for (std::size_t i = 0; i < shard.scratch_urls.size(); ++i) {
+      dispatch(shard, user, shard.scratch_urls[i]);
     }
     if (timed) {
       const std::uint64_t t2 = obs::now_ns();
@@ -438,12 +468,11 @@ bool Engine::step() {
   };
 
   if (churn_) {
-    // Serial churn phases: epoch mutation (republishes the snapshot),
-    // then the staggered client re-syncs due this tick.
+    // Serial churn phase: epoch mutation (republishes the snapshot). The
+    // staggered re-syncs happen inside the parallel shard tick below.
     if (tick_ > 0 && tick_ % config_.churn.epoch_ticks == 0) {
       timed_phase(obs::Phase::kChurnEpoch, [&] { apply_churn_epoch(); });
     }
-    timed_phase(obs::Phase::kResync, [&] { resync_clients(); });
   }
 
   // Parallel phase: shards tick concurrently; they share only immutable
@@ -474,6 +503,8 @@ bool Engine::step() {
           shard->tick_plan_ns;
       sample.phase_ns[static_cast<std::size_t>(obs::Phase::kLookup)] +=
           shard->tick_lookup_ns;
+      sample.phase_ns[static_cast<std::size_t>(obs::Phase::kResync)] +=
+          shard->tick_resync_ns;
     }
     obs_series_.push_back(sample);
   }

@@ -9,12 +9,12 @@
 //                add/retire plan + injections, seal one add (+ one sub)
 //                chunk per list -- bumping the v3 chunk / v4 state-token
 //                sequence -- and atomically republish the LookupSnapshot
-//              serial: staggered client re-syncs -- users whose re-sync
-//                slot is this tick and whose update channel's minimum-wait
-//                timer (update_wait) has expired fetch true incremental
-//                deltas (v3 missing chunks / v4 slices) through their
-//                shard transports
 //              shards ticked in parallel on the thread pool:
+//                staggered client re-syncs -- the shard's users whose
+//                  re-sync slot is this tick and whose update channel's
+//                  minimum-wait timer (update_wait) has expired fetch true
+//                  incremental deltas (v3 missing chunks / v4 slices)
+//                  through their shard transports
 //                for each user of the shard:
 //                    plan this tick's URLs (sessions / revisits / targets)
 //                    dispatch each URL through the batched lookup layer
@@ -27,7 +27,14 @@
 // traffic model's site LRU, a query-log buffer and a tick-metrics
 // accumulator -- so worker threads share only immutable state: the traffic
 // model, the clock (read-only during a tick) and the server's published
-// LookupSnapshot (lock-free reads; see sb/server.hpp). After the barrier
+// LookupSnapshot (lock-free reads; see sb/server.hpp). Client re-syncs run
+// inside the parallel phase too: the serial churn epoch seals every list
+// BEFORE the barrier opens, so concurrent updates read frozen server
+// state (the update path itself is mutex-guarded, and its encode-cache
+// totals are order-independent -- see sb/server.hpp), touch only
+// shard-owned client state, and write nothing to the query log -- which
+// is exactly why moving them off the engine thread changes no observable
+// output. After the barrier
 // the engine drains the per-shard log buffers in canonical
 // (tick, shard, seq) order and sums the per-shard counters, which is why
 // the same seed produces bit-identical logs and fingerprints at ANY
@@ -112,7 +119,9 @@ struct SimMetrics {
 
   /// Field-wise sum -- the post-barrier reduction of per-shard tick
   /// accumulators (which never set the serial-phase fields ticks_run /
-  /// churn_*, / injected_prefixes, so summing everything is safe).
+  /// churn_events / churn_adds / churn_removes / injected_prefixes, so
+  /// summing everything is safe; churn_updates IS shard-set now that
+  /// re-syncs run inside the parallel shard tick).
   SimMetrics& operator+=(const SimMetrics& other) noexcept {
     ticks_run += other.ticks_run;
     lookups += other.lookups;
@@ -215,20 +224,16 @@ class Engine {
   [[nodiscard]] obs::Snapshot obs_snapshot() const;
 
  private:
-  /// Decompositions of one URL, hashed once and shared across all users
-  /// of a shard.
-  struct UrlPrefixes {
-    bool valid = false;
-    /// Unique prefixes in first-seen decomposition order (what the client
-    /// would test against its store).
-    std::vector<crypto::Prefix32> unique_prefixes;
-    /// Per-decomposition digest + its prefix (verdict confirmation).
-    std::vector<crypto::Digest256> digests;
-    std::vector<crypto::Prefix32> digest_prefixes;
-    /// Subset of unique_prefixes present in the listed-prefix universe as
-    /// of `universe_version` (same order); empty = no client store can hit
-    /// this URL, the prefilter fast path. Re-validated lazily whenever an
-    /// epoch grows the universe (0 = never stamped).
+  /// One URL decomposed and hashed once, shared across all users of a
+  /// shard AND passed straight into ProtocolClient::lookup -- the request
+  /// object is the same sb::LookupRequest every generation's lookup
+  /// consumes, so a cache hit re-derives nothing.
+  struct CachedUrl {
+    sb::LookupRequest request;
+    /// Subset of request.unique_prefixes() present in the listed-prefix
+    /// universe as of `universe_version` (same order); empty = no client
+    /// store can hit this URL, the prefilter fast path. Re-validated
+    /// lazily whenever an epoch grows the universe (0 = never stamped).
     std::vector<crypto::Prefix32> universe_hits;
     std::uint64_t universe_version = 0;
   };
@@ -251,18 +256,28 @@ class Engine {
     std::unique_ptr<sb::Transport> transport;
     TrafficModel::SiteCache site_cache;
     std::vector<UserState> users;
-    std::unordered_map<std::string, UrlPrefixes> url_cache;
+    std::unordered_map<std::string, CachedUrl> url_cache;
     sb::QueryLogBuffer log_buffer;
     SimMetrics tick_metrics;  ///< zeroed per tick, reduced post-barrier
-    std::vector<std::string> scratch_urls;
+    UrlArena scratch_urls;
+    /// LOCAL user indices (into `users`) bucketed by re-sync slot: bucket
+    /// s holds, ascending, the shard's users polling for updates at ticks
+    /// == s (mod resync_cadence()). The re-sync phase runs INSIDE
+    /// tick_shard -- updates touch only shard-owned state (client stores,
+    /// the shard transport) plus the server's lock-free snapshot reads and
+    /// its mutex-guarded update path, and produce no query-log entries, so
+    /// parallelizing them preserves the log and every counter bit-for-bit.
+    /// Empty when churn is off.
+    std::vector<std::vector<std::size_t>> resync_slots;
     /// Shard-confined profiling state (only touched with obs enabled):
-    /// plan/lookup span profiles, the shard transport's channel stats, and
-    /// this tick's plan/lookup wall time for the per-tick series. Written
+    /// resync/plan/lookup span profiles, the shard transport's channel
+    /// stats, and this tick's wall times for the per-tick series. Written
     /// only by the worker ticking this shard; merged post-barrier.
     obs::PhaseProfile obs_phases;
     obs::TransportObs obs_transport;
     std::uint64_t tick_plan_ns = 0;
     std::uint64_t tick_lookup_ns = 0;
+    std::uint64_t tick_resync_ns = 0;
   };
 
   void seed_blacklist();
@@ -270,14 +285,13 @@ class Engine {
   [[nodiscard]] UserState& user(std::size_t index);
   void build_listed_universe();
   void apply_churn_epoch();
-  void resync_clients();
   /// Recomputes entry.universe_hits against the current universe version.
-  void stamp_universe(UrlPrefixes& entry) const;
+  void stamp_universe(CachedUrl& entry) const;
   void tick_shard(Shard& shard);
-  const UrlPrefixes& url_prefixes(Shard& shard, const std::string& url);
+  const CachedUrl& url_prefixes(Shard& shard, const std::string& url);
   void dispatch(Shard& shard, UserState& user, const std::string& url);
   void mitigated_dispatch(Shard& shard, UserState& user,
-                          const UrlPrefixes& prefixes);
+                          const CachedUrl& entry);
 
   SimConfig config_;
   sb::Server server_;
@@ -291,7 +305,8 @@ class Engine {
   SimMetrics metrics_;
 
   /// Observability (config.collect_metrics). serial_profile_ holds the
-  /// engine-thread phases (churn_epoch, resync, parallel_tick, log_drain);
+  /// engine-thread phases (churn_epoch, parallel_tick, log_drain; resync
+  /// is recorded per shard now that it runs inside the parallel tick);
   /// pool_obs_ is filled by the thread pool; the optional series grows by
   /// one sample per tick. All engine-thread-only.
   bool obs_enabled_ = false;
@@ -300,14 +315,10 @@ class Engine {
   std::vector<obs::TickSample> obs_series_;
 
   /// The epoch mutation planner (null when churn.epoch_ticks == 0).
+  /// Re-sync slots live per shard (Shard::resync_slots): the staggered
+  /// update polls run inside the parallel shard tick.
   std::unique_ptr<ChurnSchedule> churn_;
   std::uint64_t epoch_count_ = 0;
-  /// Users bucketed by re-sync slot: bucket s (of resync_cadence() many)
-  /// holds, in ascending order, the indices of users polling for updates
-  /// at ticks == s (mod cadence), their minimum-wait timers permitting --
-  /// so a tick touches only its due bucket, not the population. Empty
-  /// when churn is off.
-  std::vector<std::vector<std::size_t>> resync_slots_;
 
   /// Every prefix the server has ever shipped (seed lists + epoch adds);
   /// grows monotonically, read-only during parallel phases. The version

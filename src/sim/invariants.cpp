@@ -5,10 +5,14 @@
 #include <optional>
 #include <utility>
 
+#include "crypto/digest.hpp"
 #include "sb/wire/frames.hpp"
 #include "sim/scenario/runner.hpp"
+#include "storage/bloom_filter.hpp"
+#include "storage/raw_hash_store.hpp"
 #include "storage/snapshot.hpp"
 #include "util/json/json.hpp"
+#include "util/rng.hpp"
 
 namespace sbp::sim {
 
@@ -20,6 +24,7 @@ constexpr const char* kProtocolEquivalence = "protocol-equivalence";
 constexpr const char* kCounterConservation = "counter-conservation";
 constexpr const char* kCanonicalRoundtrip = "canonical-roundtrip";
 constexpr const char* kCheckpointRestore = "checkpoint-restore";
+constexpr const char* kBatchScalarEquivalence = "batch-scalar-equivalence";
 
 std::string join(const std::vector<std::string>& parts,
                  const std::string& sep) {
@@ -413,12 +418,107 @@ void check_counter_conservation(const Scenario& base,
   }
 }
 
+/// The batch membership contract (storage/prefix_store.hpp): for every
+/// store kind, contains_many32 over an arbitrary batch -- unsorted, with
+/// duplicates, empty -- is bit-identical to the scalar test applied
+/// element-wise, Bloom false positives included. Store shape (entry count,
+/// Bloom sizing) and query mix derive from the scenario's seed and
+/// blacklist knobs, so the fuzzer's configuration walk explores store
+/// sizes and densities no fixed unit test pins down. This is the oracle
+/// behind the engine's batch prefilter: a sorted-probe cursor bug here
+/// surfaces as a query-log divergence there.
+void check_batch_scalar_equivalence(const Scenario& base, Collector& collect) {
+  collect.begin(kBatchScalarEquivalence);
+  const SimConfig& config = base.config;
+  const std::size_t entries = std::max<std::size_t>(
+      std::size_t{1}, std::min<std::size_t>(config.blacklist.max_entries, 4096));
+
+  util::Rng member_rng(config.seed ^ 0xBA7C45CA1A12ULL);
+  storage::PrefixBatch members(4);
+  std::vector<crypto::Prefix32> member_list;
+  for (std::size_t i = 0; i < entries; ++i) {
+    member_list.push_back(static_cast<crypto::Prefix32>(member_rng.next()));
+  }
+  std::sort(member_list.begin(), member_list.end());
+  member_list.erase(std::unique(member_list.begin(), member_list.end()),
+                    member_list.end());
+  for (const auto p : member_list) members.add32(p);
+  members.sort_unique();
+
+  // Query mix: ~half members, half random, deliberately unsorted, first
+  // query duplicated at the tail (cursor-resumption stress). Sized past
+  // the 64-entry inline scratch of BatchOrder.
+  util::Rng query_rng(config.seed ^ 0x0B5E53A1E5ULL);
+  std::vector<crypto::Prefix32> queries;
+  const std::size_t query_count = 96 + query_rng.next() % 64;
+  for (std::size_t i = 0; i < query_count; ++i) {
+    queries.push_back(query_rng.next() % 2 == 0
+                          ? member_list[query_rng.next() % member_list.size()]
+                          : static_cast<crypto::Prefix32>(query_rng.next()));
+  }
+  queries.push_back(queries.front());
+  queries.push_back(queries.front());
+
+  const std::size_t bloom_bits =
+      config.bloom_bits != 0 ? config.bloom_bits : members.size() * 16;
+  const std::pair<const char*, std::unique_ptr<storage::PrefixStore>>
+      stores[] = {
+          {"raw-sorted",
+           make_store(storage::StoreKind::kRawSorted, members)},
+          {"delta-coded",
+           make_store(storage::StoreKind::kDeltaCoded, members)},
+          {"bloom",
+           make_store(storage::StoreKind::kBloom, members, bloom_bits)},
+      };
+  std::vector<bool> expected(queries.size());
+  std::vector<char> raw(queries.size());
+  const std::span<bool> out(reinterpret_cast<bool*>(raw.data()),
+                            queries.size());
+  for (const auto& [name, store] : stores) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      expected[i] = store->contains32(queries[i]);
+    }
+    store->contains_many32(queries, out);
+    store->contains_many32({}, {});  // empty batch must be a no-op
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (static_cast<bool>(out[i]) != expected[i]) {
+        collect.fail(std::string(name) + ": contains_many32[" + num(i) +
+                     "]=" + (out[i] ? "true" : "false") + " but scalar says " +
+                     (expected[i] ? "true" : "false") + " for prefix " +
+                     crypto::prefix32_hex(queries[i]));
+        break;  // one index per store kind is diagnosis enough
+      }
+    }
+  }
+
+  // The v4 store is not a PrefixStore; same law, own entry point.
+  storage::RawHashStore v4_store;
+  if (!v4_store.apply_slice({}, member_list)) {
+    collect.fail("raw-hash: apply_slice rejected a sorted addition list");
+    return;
+  }
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expected[i] = v4_store.contains(queries[i]);
+  }
+  v4_store.contains_many32(queries, out);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (static_cast<bool>(out[i]) != expected[i]) {
+      collect.fail("raw-hash: contains_many32[" + num(i) + "]=" +
+                   (out[i] ? "true" : "false") + " but scalar says " +
+                   (expected[i] ? "true" : "false") + " for prefix " +
+                   crypto::prefix32_hex(queries[i]));
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& invariant_names() {
   static const std::vector<std::string> names = {
-      kCanonicalRoundtrip,   kThreadDeterminism,  kMetricsTransparency,
-      kProtocolEquivalence,  kCounterConservation, kCheckpointRestore};
+      kCanonicalRoundtrip,   kThreadDeterminism,   kMetricsTransparency,
+      kProtocolEquivalence,  kCounterConservation, kCheckpointRestore,
+      kBatchScalarEquivalence};
   return names;
 }
 
@@ -468,6 +568,7 @@ InvariantReport check_invariants(const Scenario& scenario,
   check_protocol_equivalence(base, collect);
   check_counter_conservation(base, baseline, collect);
   check_checkpoint_restore(base, collect);
+  check_batch_scalar_equivalence(base, collect);
   collect.finish_doctor();
 
   return report;

@@ -45,6 +45,15 @@
 //                         prefix sets and digests) -- the persistence
 //                         contract of docs/persistence.md, exercised on
 //                         every generated scenario.
+//   batch-scalar-equivalence
+//                         for every store kind (raw-sorted, delta-coded,
+//                         Bloom, v4 raw-hash), batch contains_many32 over
+//                         an unsorted, duplicate-bearing query mix is
+//                         bit-identical to the scalar test element-wise,
+//                         Bloom false positives included; store shape and
+//                         query mix derive from the scenario's seed and
+//                         blacklist knobs. The contract behind the
+//                         engine's batched prefilter hot path.
 //
 // On failure, shrink_failing_scenario() greedily minimizes the scenario
 // (halve the population, drop churn, disable mitigation, ...) while the

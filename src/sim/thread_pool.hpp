@@ -101,7 +101,11 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   bool batch_open_ = false;
   bool stop_ = false;
-  std::atomic<std::size_t> next_{0};
+  /// The ticket counter is the ONE field hammered by every thread during
+  /// the claim loop; keep it on its own cache line so the contended CAS
+  /// traffic doesn't false-share with the mutex-guarded batch state above
+  /// (which workers read on wake).
+  alignas(64) std::atomic<std::size_t> next_{0};
 };
 
 }  // namespace sbp::sim

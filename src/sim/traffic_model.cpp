@@ -41,14 +41,27 @@ const corpus::Site& TrafficModel::site(std::size_t index,
 }
 
 std::string TrafficModel::sample_url(util::Rng& rng, SiteCache& cache) const {
+  std::string out;
+  sample_url_into(rng, cache, out);
+  return out;
+}
+
+void TrafficModel::sample_url_into(util::Rng& rng, SiteCache& cache,
+                                   std::string& out) const {
   // Rank r (1-based) maps straight to site index r-1: low indices are the
   // popular head. The page within the site is uniform.
   const std::size_t index =
       static_cast<std::size_t>(rank_sampler_.sample(rng) - 1);
   const corpus::Site& chosen = site(index, cache);
-  if (chosen.pages.empty()) return "http://" + chosen.domain + "/";
+  out.clear();
+  out += "http://";
+  if (chosen.pages.empty()) {
+    out += chosen.domain;
+    out += '/';
+    return;
+  }
   const std::size_t page = rng.next_below(chosen.pages.size());
-  return chosen.pages[page].url();
+  chosen.pages[page].append_expression_to(out);
 }
 
 }  // namespace sbp::sim

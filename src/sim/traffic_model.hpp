@@ -66,6 +66,11 @@ class TrafficModel {
   [[nodiscard]] std::string sample_url(util::Rng& rng,
                                        SiteCache& cache) const;
 
+  /// Allocation-reusing form: writes the sampled URL into `out` (cleared
+  /// first), reusing its buffer. Identical draw to sample_url.
+  void sample_url_into(util::Rng& rng, SiteCache& cache,
+                       std::string& out) const;
+
   [[nodiscard]] const corpus::WebCorpus& corpus() const noexcept {
     return corpus_;
   }

@@ -19,8 +19,7 @@ void remember(UserState& user, const TrafficConfig& traffic,
 
 std::size_t plan_user_tick(UserState& user, const TrafficConfig& traffic,
                            const TrafficModel& model,
-                           TrafficModel::SiteCache& cache,
-                           std::vector<std::string>& urls) {
+                           TrafficModel::SiteCache& cache, UrlArena& urls) {
   if (!user.in_session) {
     if (!user.rng.next_bool(traffic.session_start_probability)) return 0;
     user.in_session = true;
@@ -32,19 +31,19 @@ std::size_t plan_user_tick(UserState& user, const TrafficConfig& traffic,
         user.rng.next_bool(traffic.target_visit_probability)) {
       const auto& target =
           traffic.target_urls[user.rng.next_below(traffic.target_urls.size())];
-      urls.push_back(target);
+      urls.next() = target;
       remember(user, traffic, target);
       ++target_visits;
       continue;
     }
     if (!user.history.empty() &&
         user.rng.next_bool(traffic.revisit_probability)) {
-      urls.push_back(user.history[user.rng.next_below(user.history.size())]);
+      urls.next() = user.history[user.rng.next_below(user.history.size())];
       continue;  // a revisit does not refresh the history slot
     }
-    std::string url = model.sample_url(user.rng, cache);
+    std::string& url = urls.next();
+    model.sample_url_into(user.rng, cache, url);
     remember(user, traffic, url);
-    urls.push_back(std::move(url));
   }
 
   if (!user.rng.next_bool(traffic.session_continue_probability)) {

@@ -39,6 +39,30 @@ struct UserState {
   std::unique_ptr<sb::ProtocolClient> client;
 };
 
+/// String-reusing URL list: next() hands out a cleared std::string whose
+/// heap buffer survives reset(), so per-tick URL planning stops allocating
+/// once a shard's high-water mark is reached. (A plain
+/// vector<string>::clear() destroys every string's buffer; this is the
+/// per-lookup heap-traffic fix for the planning phase.)
+class UrlArena {
+ public:
+  void reset() noexcept { count_ = 0; }
+  [[nodiscard]] std::string& next() {
+    if (count_ == slots_.size()) slots_.emplace_back();
+    std::string& slot = slots_[count_++];
+    slot.clear();
+    return slot;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] const std::string& operator[](std::size_t i) const noexcept {
+    return slots_[i];
+  }
+
+ private:
+  std::vector<std::string> slots_;
+  std::size_t count_ = 0;
+};
+
 /// Plans one tick of browsing for `user`: appends the URLs to visit to
 /// `urls` and returns how many of them are interest-target visits.
 /// Advances session state and history deterministically from user.rng.
@@ -46,7 +70,6 @@ struct UserState {
 /// never which URLs are planned.
 std::size_t plan_user_tick(UserState& user, const TrafficConfig& traffic,
                            const TrafficModel& model,
-                           TrafficModel::SiteCache& cache,
-                           std::vector<std::string>& urls);
+                           TrafficModel::SiteCache& cache, UrlArena& urls);
 
 }  // namespace sbp::sim

@@ -76,6 +76,28 @@ bool BloomFilter::contains(
   return true;
 }
 
+void BloomFilter::contains_many(std::span<const std::uint8_t> flat,
+                                std::span<bool> out) const noexcept {
+  const std::size_t n = stride_ == 0 ? 0 : flat.size() / stride_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = contains(flat.subspan(i * stride_, stride_));
+  }
+}
+
+void BloomFilter::contains_many32(std::span<const crypto::Prefix32> prefixes,
+                                  std::span<bool> out) const noexcept {
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    const crypto::Prefix32 prefix = prefixes[i];
+    const std::uint8_t bytes[4] = {
+        static_cast<std::uint8_t>(prefix >> 24),
+        static_cast<std::uint8_t>(prefix >> 16),
+        static_cast<std::uint8_t>(prefix >> 8),
+        static_cast<std::uint8_t>(prefix),
+    };
+    out[i] = contains(std::span<const std::uint8_t>(bytes, 4));
+  }
+}
+
 double BloomFilter::theoretical_fpp() const noexcept {
   if (count_ == 0) return 0.0;
   const double exponent = -static_cast<double>(k_) *

@@ -32,6 +32,13 @@ class BloomFilter final : public PrefixStore {
   }
   [[nodiscard]] bool contains(
       std::span<const std::uint8_t> prefix) const noexcept override;
+  /// Probe order is irrelevant to a Bloom filter, so the batch forms are
+  /// plain devirtualized loops -- still bit-identical to the scalar test
+  /// (false positives are a pure function of the queried bytes).
+  void contains_many(std::span<const std::uint8_t> flat,
+                     std::span<bool> out) const noexcept override;
+  void contains_many32(std::span<const crypto::Prefix32> prefixes,
+                       std::span<bool> out) const noexcept override;
   [[nodiscard]] std::size_t size() const noexcept override { return count_; }
   [[nodiscard]] std::size_t memory_bytes() const noexcept override {
     return bits_.size() * sizeof(std::uint64_t);

@@ -36,6 +36,14 @@ class DeltaCodedTable final : public PrefixStore {
   }
   [[nodiscard]] bool contains(
       std::span<const std::uint8_t> prefix) const noexcept override;
+  /// Sorted probe: queries are visited in ascending order against a
+  /// single resumable decode cursor, so one index binary search and one
+  /// block decode are shared by every query landing in the same region --
+  /// the batch amortization of the "slower than Bloom" per-query cost.
+  void contains_many(std::span<const std::uint8_t> flat,
+                     std::span<bool> out) const noexcept override;
+  void contains_many32(std::span<const crypto::Prefix32> prefixes,
+                       std::span<bool> out) const noexcept override;
   [[nodiscard]] std::size_t size() const noexcept override { return count_; }
   [[nodiscard]] std::size_t memory_bytes() const noexcept override;
 
@@ -51,6 +59,24 @@ class DeltaCodedTable final : public PrefixStore {
     std::uint32_t byte_offset; ///< offset of the entry in deltas_
     std::uint32_t ordinal;     ///< entry index
   };
+
+  /// Resumable forward decode position for the sorted-probe batch walk.
+  struct Cursor {
+    std::size_t offset = 0;       ///< next varint to decode in deltas_
+    std::size_t ordinal = 0;      ///< ordinal of the next entry to decode
+    std::uint32_t head = 0;       ///< head of the last decoded entry
+    const std::uint8_t* tail = nullptr;  ///< its tail bytes (stride > 4)
+    bool loaded = false;          ///< a current entry is decoded
+  };
+
+  /// Positions `cursor` at the start of index block `block`.
+  void seek_block(Cursor& cursor, std::size_t block) const noexcept;
+  /// Decodes the next entry into the cursor; false on end or corruption.
+  bool advance(Cursor& cursor, std::size_t tail_len) const noexcept;
+  /// The index block a sorted-probe walk should decode from for
+  /// `target_head`, or npos when target_head precedes the first entry.
+  [[nodiscard]] std::size_t block_for(std::uint32_t target_head)
+      const noexcept;
 
   std::size_t stride_;
   std::size_t count_ = 0;

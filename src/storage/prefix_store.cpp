@@ -19,6 +19,22 @@ bool PrefixStore::contains32(crypto::Prefix32 prefix) const noexcept {
   return contains(std::span<const std::uint8_t>(bytes, 4));
 }
 
+void PrefixStore::contains_many(std::span<const std::uint8_t> flat,
+                                std::span<bool> out) const noexcept {
+  const std::size_t stride = prefix_bytes();
+  const std::size_t n = stride == 0 ? 0 : flat.size() / stride;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = contains(flat.subspan(i * stride, stride));
+  }
+}
+
+void PrefixStore::contains_many32(std::span<const crypto::Prefix32> prefixes,
+                                  std::span<bool> out) const noexcept {
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    out[i] = contains32(prefixes[i]);
+  }
+}
+
 PrefixBatch::PrefixBatch(std::size_t prefix_bytes) : stride_(prefix_bytes) {
   if (prefix_bytes == 0 || prefix_bytes > 32) {
     throw std::invalid_argument("PrefixBatch: stride must be in [1, 32]");
@@ -44,6 +60,20 @@ void PrefixBatch::add32(crypto::Prefix32 prefix) {
 
 void PrefixBatch::add_digest(const crypto::Digest256& digest) {
   add(std::span<const std::uint8_t>(digest.bytes().data(), stride_));
+}
+
+void PrefixBatch::assign_sorted32(std::span<const crypto::Prefix32> sorted) {
+  if (stride_ != 4) {
+    throw std::invalid_argument("PrefixBatch::assign_sorted32: stride != 4");
+  }
+  data_.resize(sorted.size() * 4);
+  std::uint8_t* out = data_.data();
+  for (const auto prefix : sorted) {
+    *out++ = static_cast<std::uint8_t>(prefix >> 24);
+    *out++ = static_cast<std::uint8_t>(prefix >> 16);
+    *out++ = static_cast<std::uint8_t>(prefix >> 8);
+    *out++ = static_cast<std::uint8_t>(prefix);
+  }
 }
 
 void PrefixBatch::sort_unique() {
@@ -92,6 +122,86 @@ bool RawSortedStore::contains(
     }
   }
   return false;
+}
+
+void RawSortedStore::contains_many(std::span<const std::uint8_t> flat,
+                                   std::span<bool> out) const noexcept {
+  const std::size_t n = flat.size() / stride_;
+  if (n == 0) return;
+  const std::size_t count = data_.size() / stride_;
+  const std::uint8_t* queries = flat.data();
+  const std::uint8_t* entries = data_.data();
+  const std::size_t stride = stride_;
+
+  BatchOrder scratch;
+  const auto order =
+      scratch.sorted(n, [queries, stride](std::uint32_t a, std::uint32_t b) {
+        return std::memcmp(queries + a * stride, queries + b * stride,
+                           stride) < 0;
+      });
+
+  // Ascending queries, each binary search restricted to the suffix after
+  // the previous query's lower bound: total cost O(n log(count)) worst
+  // case but near-linear for clustered batches.
+  std::size_t lo = 0;
+  for (const std::uint32_t q : order) {
+    const std::uint8_t* query = queries + q * stride;
+    std::size_t left = lo;
+    std::size_t right = count;
+    while (left < right) {
+      const std::size_t mid = left + (right - left) / 2;
+      if (std::memcmp(entries + mid * stride, query, stride) < 0) {
+        left = mid + 1;
+      } else {
+        right = mid;
+      }
+    }
+    lo = left;
+    out[q] = left < count &&
+             std::memcmp(entries + left * stride, query, stride) == 0;
+  }
+}
+
+void RawSortedStore::contains_many32(
+    std::span<const crypto::Prefix32> prefixes,
+    std::span<bool> out) const noexcept {
+  if (stride_ != 4) {
+    std::fill(out.begin(), out.end(), false);
+    return;
+  }
+  const std::size_t n = prefixes.size();
+  if (n == 0) return;
+  const std::size_t count = data_.size() / 4;
+  const std::uint8_t* entries = data_.data();
+  const auto entry_at = [entries](std::size_t i) noexcept {
+    return (static_cast<std::uint32_t>(entries[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(entries[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(entries[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(entries[i * 4 + 3]);
+  };
+
+  BatchOrder scratch;
+  const auto order =
+      scratch.sorted(n, [&prefixes](std::uint32_t a, std::uint32_t b) {
+        return prefixes[a] < prefixes[b];
+      });
+
+  std::size_t lo = 0;
+  for (const std::uint32_t q : order) {
+    const crypto::Prefix32 query = prefixes[q];
+    std::size_t left = lo;
+    std::size_t right = count;
+    while (left < right) {
+      const std::size_t mid = left + (right - left) / 2;
+      if (entry_at(mid) < query) {
+        left = mid + 1;
+      } else {
+        right = mid;
+      }
+    }
+    lo = left;
+    out[q] = left < count && entry_at(left) == query;
+  }
 }
 
 std::unique_ptr<PrefixStore> make_store(StoreKind kind,

@@ -11,6 +11,7 @@
 // convenience overloads exist for the protocol's 32-bit prefixes.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -28,6 +29,16 @@ enum class StoreKind {
 };
 
 /// Abstract prefix membership store.
+///
+/// Membership comes in two shapes: the scalar `contains` (one prefix, one
+/// answer) and the batch `contains_many` family, which answers a whole
+/// query batch in one call. Batch answers are defined to be bit-identical
+/// to calling the scalar test per element -- including Bloom false
+/// positives, which are a pure function of the queried bytes -- so the two
+/// forms are interchangeable; the batch form exists because sorted-probe
+/// implementations amortize their index searches across the batch (the
+/// simulation engine's hot path queries every decomposition of a URL at
+/// once). Batches may be empty, unsorted and contain duplicates.
 class PrefixStore {
  public:
   virtual ~PrefixStore() = default;
@@ -39,6 +50,18 @@ class PrefixStore {
   /// Bloom filters may return false positives; exact stores never do.
   [[nodiscard]] virtual bool contains(
       std::span<const std::uint8_t> prefix) const noexcept = 0;
+
+  /// Batch membership over `flat` = N concatenated prefix_bytes()-wide
+  /// entries; writes out[i] = contains(entry i). `out` must hold exactly
+  /// N elements. The default forwards to the scalar test element-wise;
+  /// sorted stores override with a sorted-probe walk.
+  virtual void contains_many(std::span<const std::uint8_t> flat,
+                             std::span<bool> out) const noexcept;
+
+  /// Batch membership for the protocol's 32-bit prefixes; out[i] =
+  /// contains32(prefixes[i]) (all false unless prefix_bytes() == 4).
+  virtual void contains_many32(std::span<const crypto::Prefix32> prefixes,
+                               std::span<bool> out) const noexcept;
 
   /// Number of entries inserted at build time.
   [[nodiscard]] virtual std::size_t size() const noexcept = 0;
@@ -64,6 +87,13 @@ class PrefixBatch {
 
   /// Sorts lexicographically and removes duplicates.
   void sort_unique();
+
+  /// Replaces the contents with `sorted` (which must already be sorted
+  /// and deduplicated, as ChunkStore::effective_prefixes produces), in
+  /// one pass and reusing the existing allocation -- the store-rebuild
+  /// hot path; equivalent to clear + add32 loop + sort_unique. Requires
+  /// prefix_bytes() == 4.
+  void assign_sorted32(std::span<const crypto::Prefix32> sorted);
 
   [[nodiscard]] std::size_t prefix_bytes() const noexcept { return stride_; }
   [[nodiscard]] std::size_t size() const noexcept {
@@ -93,6 +123,12 @@ class RawSortedStore final : public PrefixStore {
   }
   [[nodiscard]] bool contains(
       std::span<const std::uint8_t> prefix) const noexcept override;
+  /// Sorted probe: the batch is visited in ascending order and each
+  /// binary search resumes from the previous hit's position.
+  void contains_many(std::span<const std::uint8_t> flat,
+                     std::span<bool> out) const noexcept override;
+  void contains_many32(std::span<const crypto::Prefix32> prefixes,
+                       std::span<bool> out) const noexcept override;
   [[nodiscard]] std::size_t size() const noexcept override {
     return data_.size() / stride_;
   }
@@ -103,6 +139,34 @@ class RawSortedStore final : public PrefixStore {
  private:
   std::size_t stride_;
   std::vector<std::uint8_t> data_;
+};
+
+/// Scratch for sorted-probe batch queries: the query order permutation,
+/// sized for the common case (every decomposition of one URL) on the
+/// stack and falling back to the heap above kInline entries. Stores
+/// sort this internally so callers can pass batches in any order.
+struct BatchOrder {
+  static constexpr std::size_t kInline = 64;
+
+  /// Index array [0, n) sorted so that key(order[0]) <= key(order[1]) ...
+  /// `less` compares two query indices.
+  template <typename Less>
+  std::span<const std::uint32_t> sorted(std::size_t n, Less&& less) {
+    std::uint32_t* base = inline_;
+    if (n > kInline) {
+      heap_.resize(n);
+      base = heap_.data();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      base[i] = static_cast<std::uint32_t>(i);
+    }
+    std::sort(base, base + n, less);
+    return {base, n};
+  }
+
+ private:
+  std::uint32_t inline_[kInline];
+  std::vector<std::uint32_t> heap_;
 };
 
 /// Factory covering all three kinds (Bloom sized per `bloom_bits` total).

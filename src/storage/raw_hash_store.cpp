@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "storage/prefix_store.hpp"  // BatchOrder
+
 namespace sbp::storage {
 
 namespace {
@@ -66,6 +68,24 @@ bool RawHashStore::apply_slice(
 
 bool RawHashStore::contains(crypto::Prefix32 prefix) const noexcept {
   return std::binary_search(sorted_.begin(), sorted_.end(), prefix);
+}
+
+void RawHashStore::contains_many32(std::span<const crypto::Prefix32> prefixes,
+                                   std::span<bool> out) const noexcept {
+  const std::size_t n = prefixes.size();
+  if (n == 0) return;
+  BatchOrder scratch;
+  const auto order =
+      scratch.sorted(n, [&prefixes](std::uint32_t a, std::uint32_t b) {
+        return prefixes[a] < prefixes[b];
+      });
+  // Ascending queries; each lower bound resumes after the previous one.
+  auto lo = sorted_.begin();
+  for (const std::uint32_t q : order) {
+    const crypto::Prefix32 query = prefixes[q];
+    lo = std::lower_bound(lo, sorted_.end(), query);
+    out[q] = lo != sorted_.end() && *lo == query;
+  }
 }
 
 std::uint32_t RawHashStore::checksum_of(

@@ -34,6 +34,14 @@ class RawHashStore {
   void clear() noexcept { sorted_.clear(); }
 
   [[nodiscard]] bool contains(crypto::Prefix32 prefix) const noexcept;
+
+  /// Batch membership: out[i] = contains(prefixes[i]); bit-identical to
+  /// the scalar test, amortizing the binary searches across a sorted
+  /// probe order (see storage::PrefixStore::contains_many). Batches may
+  /// be empty, unsorted and contain duplicates.
+  void contains_many32(std::span<const crypto::Prefix32> prefixes,
+                       std::span<bool> out) const noexcept;
+
   [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
     return sorted_.size() * sizeof(crypto::Prefix32);

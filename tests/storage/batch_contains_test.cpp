@@ -1,0 +1,232 @@
+// Batch/scalar equivalence for the membership API (ISSUE 10).
+//
+// The batch `contains_many` family is DEFINED to be bit-identical to the
+// scalar test applied element-wise -- including Bloom false positives and
+// probes against empty stores. These tests exercise every concrete store
+// against that contract with empty, singleton, duplicate, unsorted and
+// large batches, so a sorted-probe implementation that mishandles cursor
+// resumption or duplicate keys fails here rather than as a silent query-log
+// divergence in the engine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/digest.hpp"
+#include "storage/bloom_filter.hpp"
+#include "storage/delta_table.hpp"
+#include "storage/prefix_store.hpp"
+#include "storage/raw_hash_store.hpp"
+#include "util/rng.hpp"
+
+namespace sbp::storage {
+namespace {
+
+PrefixBatch random_batch(std::size_t n, std::uint64_t seed,
+                         std::size_t stride = 4) {
+  util::Rng rng(seed);
+  PrefixBatch batch(stride);
+  std::vector<std::uint8_t> entry(stride);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& b : entry) b = static_cast<std::uint8_t>(rng.next());
+    batch.add(entry);
+  }
+  batch.sort_unique();
+  return batch;
+}
+
+// Query mix: ~half members (drawn from the store's own entries), half
+// random misses, deliberately unsorted, with duplicates appended.
+std::vector<crypto::Prefix32> query_mix32(const PrefixBatch& batch,
+                                          std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<crypto::Prefix32> queries;
+  queries.reserve(n + 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (batch.size() > 0 && rng.next() % 2 == 0) {
+      const auto e = batch.entry(rng.next() % batch.size());
+      queries.push_back(static_cast<crypto::Prefix32>(e[0]) << 24 |
+                        static_cast<crypto::Prefix32>(e[1]) << 16 |
+                        static_cast<crypto::Prefix32>(e[2]) << 8 |
+                        static_cast<crypto::Prefix32>(e[3]));
+    } else {
+      queries.push_back(static_cast<crypto::Prefix32>(rng.next()));
+    }
+  }
+  // Duplicates, including back-to-back ones, stress cursor resumption.
+  if (!queries.empty()) {
+    queries.push_back(queries.front());
+    queries.push_back(queries.front());
+    queries.push_back(queries.back());
+    queries.push_back(queries[queries.size() / 2]);
+  }
+  return queries;
+}
+
+void expect_batch_matches_scalar32(const PrefixStore& store,
+                                   std::span<const crypto::Prefix32> queries) {
+  std::vector<bool> expected(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expected[i] = store.contains32(queries[i]);
+  }
+  // vector<bool> has no .data(); batch output needs a real bool array.
+  std::vector<char> raw(queries.size() ? queries.size() : 1);
+  std::span<bool> out(reinterpret_cast<bool*>(raw.data()), queries.size());
+  store.contains_many32(queries, out);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(static_cast<bool>(out[i]), expected[i]) << "query index " << i;
+  }
+}
+
+void expect_batch_matches_scalar_flat(const PrefixStore& store,
+                                      const PrefixBatch& queries) {
+  const std::size_t n = queries.size();
+  std::vector<bool> expected(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    expected[i] = store.contains(queries.entry(i));
+  }
+  std::vector<char> raw(n ? n : 1);
+  std::span<bool> out(reinterpret_cast<bool*>(raw.data()), n);
+  store.contains_many(queries.flat(), out);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(static_cast<bool>(out[i]), expected[i]) << "query index " << i;
+  }
+}
+
+void run_store_suite(const PrefixStore& store, const PrefixBatch& members,
+                     std::uint64_t seed) {
+  // Empty batch: no writes, no crash.
+  expect_batch_matches_scalar32(store, {});
+
+  // Singleton hit and singleton miss.
+  if (members.size() > 0) {
+    const auto e = members.entry(0);
+    const crypto::Prefix32 member = static_cast<crypto::Prefix32>(e[0]) << 24 |
+                                    static_cast<crypto::Prefix32>(e[1]) << 16 |
+                                    static_cast<crypto::Prefix32>(e[2]) << 8 |
+                                    static_cast<crypto::Prefix32>(e[3]);
+    expect_batch_matches_scalar32(store, std::vector<crypto::Prefix32>{member});
+  }
+  expect_batch_matches_scalar32(store,
+                                std::vector<crypto::Prefix32>{0xDEADBEEFu});
+
+  // Unsorted mixes with duplicates, several sizes including ones past the
+  // 64-entry inline scratch.
+  for (const std::size_t n : {3u, 17u, 64u, 65u, 300u}) {
+    expect_batch_matches_scalar32(store, query_mix32(members, n, seed + n));
+  }
+}
+
+TEST(BatchContainsTest, RawSortedStoreMatchesScalar) {
+  const PrefixBatch members = random_batch(5000, 11);
+  const RawSortedStore store(members);
+  run_store_suite(store, members, 101);
+}
+
+TEST(BatchContainsTest, RawSortedStoreEmptyStore) {
+  PrefixBatch empty(4);
+  empty.sort_unique();
+  const RawSortedStore store(empty);
+  run_store_suite(store, empty, 102);
+}
+
+TEST(BatchContainsTest, DeltaCodedTableMatchesScalar) {
+  const PrefixBatch members = random_batch(5000, 12);
+  const DeltaCodedTable store(members);
+  run_store_suite(store, members, 103);
+}
+
+TEST(BatchContainsTest, DeltaCodedTableEmptyStore) {
+  PrefixBatch empty(4);
+  empty.sort_unique();
+  const DeltaCodedTable store(empty);
+  run_store_suite(store, empty, 104);
+}
+
+TEST(BatchContainsTest, DeltaCodedTableWideStride) {
+  // Stride-8 table: exercises the generic contains_many (flat byte) path,
+  // including the final partial block of the delta stream.
+  const PrefixBatch members = random_batch(1000, 13, 8);
+  const DeltaCodedTable store(members);
+  expect_batch_matches_scalar_flat(store, random_batch(257, 14, 8));
+}
+
+TEST(BatchContainsTest, BloomFilterMatchesScalarIncludingFalsePositives) {
+  const PrefixBatch members = random_batch(5000, 15);
+  // Deliberately undersized filter (~2 bits/entry) so the query mix is
+  // dense in false positives; equivalence must hold for those too.
+  const BloomFilter store(members, members.size() * 2);
+  run_store_suite(store, members, 105);
+}
+
+TEST(BatchContainsTest, RawHashStoreMatchesScalar) {
+  RawHashStore store;
+  std::vector<crypto::Prefix32> additions;
+  util::Rng rng(16);
+  for (std::size_t i = 0; i < 5000; ++i) {
+    additions.push_back(static_cast<crypto::Prefix32>(rng.next()));
+  }
+  std::sort(additions.begin(), additions.end());
+  additions.erase(std::unique(additions.begin(), additions.end()),
+                  additions.end());
+  ASSERT_TRUE(store.apply_slice({}, additions));
+
+  auto check = [&store](std::span<const crypto::Prefix32> queries) {
+    std::vector<bool> expected(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      expected[i] = store.contains(queries[i]);
+    }
+    std::vector<char> raw(queries.size() ? queries.size() : 1);
+    std::span<bool> out(reinterpret_cast<bool*>(raw.data()), queries.size());
+    store.contains_many32(queries, out);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(static_cast<bool>(out[i]), expected[i])
+          << "query index " << i;
+    }
+  };
+
+  check({});  // empty batch
+  check(std::vector<crypto::Prefix32>{additions.front()});   // singleton hit
+  check(std::vector<crypto::Prefix32>{0xDEADBEEFu});         // singleton miss
+  util::Rng qrng(17);
+  for (const std::size_t n : {3u, 64u, 65u, 300u}) {
+    std::vector<crypto::Prefix32> queries;
+    for (std::size_t i = 0; i < n; ++i) {
+      queries.push_back(qrng.next() % 2 == 0
+                            ? additions[qrng.next() % additions.size()]
+                            : static_cast<crypto::Prefix32>(qrng.next()));
+    }
+    queries.push_back(queries.front());  // duplicate
+    check(queries);
+  }
+}
+
+TEST(BatchContainsTest, AssignSorted32EquivalentToAddLoop) {
+  util::Rng rng(18);
+  std::vector<crypto::Prefix32> sorted;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    sorted.push_back(static_cast<crypto::Prefix32>(rng.next()));
+  }
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  PrefixBatch via_add(4);
+  for (const auto p : sorted) via_add.add32(p);
+  via_add.sort_unique();
+
+  PrefixBatch via_assign(4);
+  via_assign.add32(0x12345678u);  // stale contents must be discarded
+  via_assign.assign_sorted32(sorted);
+
+  ASSERT_EQ(via_assign.size(), via_add.size());
+  const auto a = via_assign.flat();
+  const auto b = via_add.flat();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+}
+
+}  // namespace
+}  // namespace sbp::storage

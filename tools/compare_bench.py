@@ -12,8 +12,13 @@ fail the job instead of rotting silently in artifacts:
     implementation broke;
   * thread scaling (warn-only by default): when the baseline declares
     `min_speedup`, the best `thread_sweep` speedup must reach it; misses
-    print a WARN unless --enforce-min-speedup upgrades them to failures
-    (CI runner core counts vary too much to hard-gate everywhere).
+    print a WARN unless --enforce-min-speedup upgrades them to failures.
+    The floor is hardware-aware: the effective requirement is
+    min(min_speedup, max(1.0, 0.5 * hardware_threads)) using the CURRENT
+    artifact's `hardware_threads`, so a 1-core container trivially passes
+    (no parallelism exists to demand) while a 4-vCPU CI runner must show
+    at least 2x -- the committed min_speedup is the policy ceiling that
+    kicks in once the hardware can express it.
 
 The tool dispatches on the artifact's `experiment` field, so wiring a new
 bench in is: emit `experiment` + numbers, add a committed baseline, call
@@ -74,11 +79,17 @@ def check_throughput(baseline, current, args):
 
     # Thread-scaling floor: the baseline file declares `min_speedup`, the
     # best speedup over the 1-thread run the sweep is expected to reach.
-    # Warn-only by default -- CI runners have wildly different core counts
-    # and contention profiles -- but --enforce-min-speedup turns a miss
-    # into a failure for environments with pinned hardware.
+    # Warn-only by default; --enforce-min-speedup turns a miss into a
+    # failure. The effective floor scales with the CURRENT machine's core
+    # count (see module docstring), so enforcement is safe even on a
+    # 1-core container: with no cores to scale across, the floor
+    # degenerates to 1.0x.
     min_speedup = baseline.get("min_speedup")
     if isinstance(min_speedup, (int, float)) and min_speedup > 0:
+        hardware = current.get("hardware_threads")
+        effective = min_speedup
+        if isinstance(hardware, (int, float)) and hardware > 0:
+            effective = min(min_speedup, max(1.0, 0.5 * hardware))
         sweep = current.get("thread_sweep") or []
         speedups = [point.get("speedup") for point in sweep
                     if isinstance(point.get("speedup"), (int, float))]
@@ -92,16 +103,44 @@ def check_throughput(baseline, current, args):
         else:
             best = max(speedups)
             print(f"scaling: best speedup {best:.2f}x over 1 thread "
-                  f"(floor {min_speedup:.2f}x)")
-            if best < min_speedup:
+                  f"(policy floor {min_speedup:.2f}x, effective "
+                  f"{effective:.2f}x at hardware_threads={hardware})")
+            if best < effective:
                 message = (f"best thread-sweep speedup {best:.2f}x below "
-                           f"baseline min_speedup {min_speedup:.2f}x")
+                           f"effective min_speedup {effective:.2f}x "
+                           f"(policy {min_speedup:.2f}x, "
+                           f"hardware_threads={hardware})")
                 if args.enforce_min_speedup:
                     failures.append(message)
                 else:
                     print(f"WARN [sim_throughput]: {message} "
                           "(warn-only; pass --enforce-min-speedup to gate)",
                           file=sys.stderr)
+
+    # Per-phase breakdown deltas (informational): surfaces WHERE a
+    # throughput change landed -- resync vs lookup vs plan -- by matching
+    # sweep entries on requested thread count. Baselines predating the
+    # phases{} field just skip this.
+    base_phases = {point.get("threads"): point.get("phases")
+                   for point in (baseline.get("thread_sweep") or [])
+                   if isinstance(point.get("phases"), dict)}
+    for point in (current.get("thread_sweep") or []):
+        threads = point.get("threads")
+        cur_phases = point.get("phases")
+        base = base_phases.get(threads)
+        if not isinstance(cur_phases, dict) or not isinstance(base, dict):
+            continue
+        deltas = []
+        for key in sorted(cur_phases):
+            b, c = base.get(key), cur_phases.get(key)
+            if not isinstance(b, (int, float)) or b <= 0 or \
+                    not isinstance(c, (int, float)):
+                continue
+            deltas.append(f"{key.removesuffix('_ns')} "
+                          f"{(c - b) / b:+.0%} ({b / 1e6:.0f}ms "
+                          f"-> {c / 1e6:.0f}ms)")
+        if deltas:
+            print(f"phases @ {threads} thread(s): " + ", ".join(deltas))
     return failures
 
 
